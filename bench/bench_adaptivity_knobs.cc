@@ -1,0 +1,150 @@
+// E2 — "Adapting adaptivity" (§4.3): the batching and operator-fixing
+// knobs trade routing overhead against reaction speed.
+//
+// Two sweeps over the same 5-filter pipeline:
+//   * batch sweep — tuples per routing decision in {1..256};
+//   * sequence sweep — operators fixed per decision in {1..5}.
+//
+// Reported per configuration: decisions_per_tuple (the overhead being
+// amortized), visits_per_tuple under mid-stream selectivity drift (the
+// adaptivity being lost: larger batches react later, so more wasted
+// operator evaluations), and wall time.
+// Expected shape: decisions/tuple falls ~1/knob; time/tuple falls with it;
+// visits/tuple (drift waste) creeps up — the paper's overhead/flexibility
+// trade-off.
+
+#include <benchmark/benchmark.h>
+
+#include "eddy/eddy.h"
+#include "eddy/knob_controller.h"
+#include "eddy/operators.h"
+
+namespace tcq {
+namespace {
+
+constexpr int64_t kTuples = 30000;
+constexpr size_t kFilters = 5;
+
+SchemaPtr KV() {
+  return Schema::Make(
+      {{"k", ValueType::kInt64, ""}, {"v", ValueType::kInt64, ""}});
+}
+
+void RunKnobs(benchmark::State& state, size_t batch, size_t seq_len) {
+  uint64_t visits = 0, decisions = 0, tuples = 0;
+  for (auto _ : state) {
+    SourceLayout layout;
+    const size_t s = layout.AddSource("s", KV());
+    SmallBitset req(1);
+    req.Set(s);
+    Eddy::Options opts;
+    opts.batch_size = batch;
+    opts.fixed_sequence_length = seq_len;
+    Eddy eddy(&layout, std::make_unique<LotteryPolicy>(42), opts);
+    // Five filters; which one is selective rotates every kTuples/5 of the
+    // global stream, forcing continual re-adaptation.
+    auto pos = std::make_shared<uint64_t>(0);
+    for (size_t f = 0; f < kFilters; ++f) {
+      eddy.AddOperator(std::make_shared<SyntheticFilterOp>(
+          "f" + std::to_string(f), req,
+          [f, pos](uint64_t) {
+            const size_t hot = (*pos / (kTuples / kFilters)) % kFilters;
+            return hot == f ? 0.1 : 0.95;
+          },
+          1.0, 100 + f));
+    }
+    for (int64_t i = 0; i < kTuples; ++i) {
+      *pos = static_cast<uint64_t>(i);
+      eddy.Inject(s, Tuple::Make({Value::Int64(i), Value::Int64(i)}, i));
+      eddy.Drain();
+    }
+    visits += eddy.visits();
+    decisions += eddy.decisions();
+    tuples += kTuples;
+  }
+  state.counters["decisions_per_tuple"] =
+      static_cast<double>(decisions) / static_cast<double>(tuples);
+  state.counters["visits_per_tuple"] =
+      static_cast<double>(visits) / static_cast<double>(tuples);
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsRate);
+}
+
+void BM_BatchKnob(benchmark::State& state) {
+  RunKnobs(state, static_cast<size_t>(state.range(0)), 1);
+}
+BENCHMARK(BM_BatchKnob)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SequenceKnob(benchmark::State& state) {
+  RunKnobs(state, 1, static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_SequenceKnob)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BothKnobs(benchmark::State& state) {
+  RunKnobs(state, static_cast<size_t>(state.range(0)),
+           static_cast<size_t>(state.range(1)));
+}
+BENCHMARK(BM_BothKnobs)
+    ->Args({64, 5})
+    ->Args({256, 5})
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation: the automatic knob controller (§4.3 "policies for
+// automatically turning knobs"). The workload alternates long stable
+// phases with drift bursts; the controller should approach small-batch
+// adaptivity (low wasted visits) at large-batch decision counts.
+void BM_AutoKnob(benchmark::State& state) {
+  uint64_t visits = 0, decisions = 0, tuples = 0;
+  uint64_t final_batch = 0;
+  for (auto _ : state) {
+    SourceLayout layout;
+    const size_t s = layout.AddSource("s", KV());
+    SmallBitset req(1);
+    req.Set(s);
+    Eddy eddy(&layout, std::make_unique<LotteryPolicy>(42));
+    auto pos = std::make_shared<uint64_t>(0);
+    for (size_t f = 0; f < kFilters; ++f) {
+      eddy.AddOperator(std::make_shared<SyntheticFilterOp>(
+          "f" + std::to_string(f), req,
+          [f, pos](uint64_t) {
+            const size_t hot = (*pos / (kTuples / kFilters)) % kFilters;
+            return hot == f ? 0.1 : 0.95;
+          },
+          1.0, 100 + f));
+    }
+    KnobController::Options copts;
+    copts.sample_interval = 256;
+    copts.max_batch = 256;
+    KnobController controller(&eddy, copts);
+    for (int64_t i = 0; i < kTuples; ++i) {
+      *pos = static_cast<uint64_t>(i);
+      eddy.Inject(s, Tuple::Make({Value::Int64(i), Value::Int64(i)}, i));
+      eddy.Drain();
+      controller.OnTuple();
+    }
+    visits += eddy.visits();
+    decisions += eddy.decisions();
+    tuples += kTuples;
+    final_batch = eddy.batch_size();
+  }
+  state.counters["decisions_per_tuple"] =
+      static_cast<double>(decisions) / static_cast<double>(tuples);
+  state.counters["visits_per_tuple"] =
+      static_cast<double>(visits) / static_cast<double>(tuples);
+  state.counters["final_batch"] = static_cast<double>(final_batch);
+}
+BENCHMARK(BM_AutoKnob)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tcq

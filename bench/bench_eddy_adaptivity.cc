@@ -1,0 +1,141 @@
+// E1 — Eddy adaptivity under selectivity drift (§2.2, [AH00]).
+//
+// Workload: one stream routed through two commutative filters whose
+// selectivities SWAP at the stream midpoint:
+//   phase 1: f_a passes 10%, f_b passes 90%   (a-first is optimal)
+//   phase 2: f_a passes 90%, f_b passes 10%   (b-first is optimal)
+//
+// Plans compared (identical output in all cases):
+//   static_a_first — classic fixed plan, optimal for phase 1 only;
+//   static_b_first — fixed plan, optimal for phase 2 only;
+//   eddy_lottery   — per-tuple adaptive routing with ticket decay;
+//   eddy_random    — adaptivity floor (no learning).
+//
+// Reported: visits_per_tuple (operator evaluations per input tuple — the
+// work metric; the oracle is 1.1, the pessimum 1.9) and wall time.
+// Expected shape: lottery tracks near-oracle through BOTH phases; each
+// static plan wins one phase and loses the other; random sits at ~1.5.
+
+#include <benchmark/benchmark.h>
+
+#include "eddy/eddy.h"
+#include "eddy/operators.h"
+
+namespace tcq {
+namespace {
+
+constexpr int64_t kTuples = 40000;
+
+SchemaPtr KV() {
+  return Schema::Make(
+      {{"k", ValueType::kInt64, ""}, {"v", ValueType::kInt64, ""}});
+}
+
+std::unique_ptr<RoutingPolicy> PolicyByName(const std::string& name) {
+  if (name == "static_a_first") {
+    return std::make_unique<FixedPolicy>(std::vector<size_t>{0, 1});
+  }
+  if (name == "static_b_first") {
+    return std::make_unique<FixedPolicy>(std::vector<size_t>{1, 0});
+  }
+  return MakePolicy(name, 42);
+}
+
+void RunDriftWorkload(benchmark::State& state, const std::string& policy) {
+  uint64_t visits = 0;
+  uint64_t tuples = 0;
+  uint64_t emitted = 0;
+  for (auto _ : state) {
+    SourceLayout layout;
+    const size_t s = layout.AddSource("s", KV());
+    SmallBitset req(1);
+    req.Set(s);
+
+    // Selectivities swap at the stream midpoint. Drift is keyed to the
+    // GLOBAL stream position (shared by both filters), so the optimal
+    // order genuinely flips at the midpoint for every plan.
+    auto pos = std::make_shared<uint64_t>(0);
+    auto sel_a = [pos](uint64_t) {
+      return *pos < static_cast<uint64_t>(kTuples) / 2 ? 0.1 : 0.9;
+    };
+    auto sel_b = [pos](uint64_t) {
+      return *pos < static_cast<uint64_t>(kTuples) / 2 ? 0.9 : 0.1;
+    };
+    Eddy eddy(&layout, PolicyByName(policy));
+    eddy.AddOperator(std::make_shared<SyntheticFilterOp>("f_a", req, sel_a,
+                                                         1.0, 7));
+    eddy.AddOperator(std::make_shared<SyntheticFilterOp>("f_b", req, sel_b,
+                                                         1.0, 8));
+    eddy.SetSink([&](RoutedTuple&&) { ++emitted; });
+
+    for (int64_t i = 0; i < kTuples; ++i) {
+      *pos = static_cast<uint64_t>(i);
+      eddy.Inject(s, Tuple::Make({Value::Int64(i), Value::Int64(i)}, i));
+      eddy.Drain();  // Route immediately so drift applies at arrival time.
+    }
+    visits += eddy.visits();
+    tuples += kTuples;
+  }
+  state.counters["visits_per_tuple"] =
+      static_cast<double>(visits) / static_cast<double>(tuples);
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsRate);
+}
+
+void BM_Drift_StaticAFirst(benchmark::State& state) {
+  RunDriftWorkload(state, "static_a_first");
+}
+void BM_Drift_StaticBFirst(benchmark::State& state) {
+  RunDriftWorkload(state, "static_b_first");
+}
+void BM_Drift_EddyLottery(benchmark::State& state) {
+  RunDriftWorkload(state, "lottery");
+}
+void BM_Drift_EddyRandom(benchmark::State& state) {
+  RunDriftWorkload(state, "random");
+}
+
+BENCHMARK(BM_Drift_StaticAFirst)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Drift_StaticBFirst)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Drift_EddyLottery)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Drift_EddyRandom)->Unit(benchmark::kMillisecond);
+
+// Steady-state control: no drift. Static-optimal is the oracle; the
+// lottery's remaining gap is the price of adaptivity (exploration).
+void RunSteadyWorkload(benchmark::State& state, const std::string& policy) {
+  uint64_t visits = 0;
+  uint64_t tuples = 0;
+  for (auto _ : state) {
+    SourceLayout layout;
+    const size_t s = layout.AddSource("s", KV());
+    SmallBitset req(1);
+    req.Set(s);
+    Eddy eddy(&layout, PolicyByName(policy));
+    eddy.AddOperator(std::make_shared<SyntheticFilterOp>(
+        "f_a", req, [](uint64_t) { return 0.1; }, 1.0, 7));
+    eddy.AddOperator(std::make_shared<SyntheticFilterOp>(
+        "f_b", req, [](uint64_t) { return 0.9; }, 1.0, 8));
+    for (int64_t i = 0; i < kTuples; ++i) {
+      eddy.Inject(s, Tuple::Make({Value::Int64(i), Value::Int64(i)}, i));
+      if (i % 64 == 0) eddy.Drain();
+    }
+    eddy.Drain();
+    visits += eddy.visits();
+    tuples += kTuples;
+  }
+  state.counters["visits_per_tuple"] =
+      static_cast<double>(visits) / static_cast<double>(tuples);
+}
+
+void BM_Steady_StaticOracle(benchmark::State& state) {
+  RunSteadyWorkload(state, "static_a_first");
+}
+void BM_Steady_EddyLottery(benchmark::State& state) {
+  RunSteadyWorkload(state, "lottery");
+}
+
+BENCHMARK(BM_Steady_StaticOracle)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Steady_EddyLottery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,126 @@
+// E10 — Shared executor behaviour (§4.2.2): scaling with concurrent
+// queries of mixed footprints, and dynamic query fold-in on a live system.
+//
+// Experiments:
+//
+//  1. push_throughput — ingest rate of the server as the number of
+//     concurrent queries grows, for two populations:
+//       filters  — standing CACQ filters (shared eddy; sub-linear cost),
+//       windowed — sliding-window aggregates (per-query runners; linear).
+//
+//  2. submit_latency — time to parse/analyze/fold in a new query while
+//     data flows (the paper's dynamic query addition — no stalls).
+
+#include <benchmark/benchmark.h>
+
+#include "core/server.h"
+#include "ingress/sources.h"
+
+namespace tcq {
+namespace {
+
+Tuple Stock(int64_t day, const std::string& sym, double price) {
+  return Tuple::Make(
+      {Value::Int64(day), Value::String(sym), Value::Double(price)}, day);
+}
+
+void BM_PushThroughputFilters(benchmark::State& state) {
+  const size_t num_queries = static_cast<size_t>(state.range(0));
+  Server server;
+  benchmark::DoNotOptimize(server.DefineStream(
+      "ClosingStockPrices", StockTickerSource::MakeSchema(), 0));
+  for (size_t i = 0; i < num_queries; ++i) {
+    auto q = server.Submit(
+        "SELECT closingPrice FROM ClosingStockPrices WHERE stockSymbol = '" +
+        StockTickerSource::SymbolName(i % 16) + "' AND closingPrice > " +
+        std::to_string(30 + (i % 40)));
+    benchmark::DoNotOptimize(q);
+    // Drop results as they appear so memory stays flat.
+    benchmark::DoNotOptimize(
+        server.SetCallback(*q, [](const ResultSet&) {}));
+  }
+  int64_t day = 1;
+  size_t sym = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.Push(
+        "ClosingStockPrices",
+        Stock(day, StockTickerSource::SymbolName(sym), 50.0)));
+    if (++sym == 16) {
+      sym = 0;
+      ++day;
+    }
+  }
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PushThroughputFilters)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PushThroughputWindowed(benchmark::State& state) {
+  const size_t num_queries = static_cast<size_t>(state.range(0));
+  Server server;
+  benchmark::DoNotOptimize(server.DefineStream(
+      "ClosingStockPrices", StockTickerSource::MakeSchema(), 0));
+  for (size_t i = 0; i < num_queries; ++i) {
+    auto q = server.Submit(
+        "SELECT AVG(closingPrice) FROM ClosingStockPrices "
+        "WHERE stockSymbol = '" +
+        StockTickerSource::SymbolName(i % 16) +
+        "' for (t = ST; true; t += 10) { "
+        "WindowIs(ClosingStockPrices, t - 9, t); }");
+    benchmark::DoNotOptimize(q);
+    benchmark::DoNotOptimize(
+        server.SetCallback(*q, [](const ResultSet&) {}));
+  }
+  int64_t day = 1;
+  size_t sym = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.Push(
+        "ClosingStockPrices",
+        Stock(day, StockTickerSource::SymbolName(sym), 50.0)));
+    if (++sym == 16) {
+      sym = 0;
+      ++day;
+    }
+  }
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PushThroughputWindowed)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SubmitAndCancelLatency(benchmark::State& state) {
+  Server server;
+  benchmark::DoNotOptimize(server.DefineStream(
+      "ClosingStockPrices", StockTickerSource::MakeSchema(), 0));
+  // A live background population.
+  for (int i = 0; i < 64; ++i) {
+    auto q = server.Submit(
+        "SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > " +
+        std::to_string(i));
+    benchmark::DoNotOptimize(
+        server.SetCallback(*q, [](const ResultSet&) {}));
+  }
+  int64_t day = 1;
+  for (auto _ : state) {
+    auto q = server.Submit(
+        "SELECT closingPrice, timestamp FROM ClosingStockPrices "
+        "WHERE stockSymbol = 'MSFT' AND closingPrice > 42");
+    benchmark::DoNotOptimize(
+        server.Push("ClosingStockPrices", Stock(day++, "MSFT", 50.0)));
+    benchmark::DoNotOptimize(server.Cancel(*q));
+  }
+  state.counters["submit_push_cancel_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SubmitAndCancelLatency)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,179 @@
+// E4 — Fjords queue semantics (§2.3, [MF02]).
+//
+// Workload: a union over two sources, one of which stalls periodically
+// (a disconnected sensor / slow web page). The consumer wants the live
+// source's tuples promptly.
+//
+//   blocking_pull — the consumer does a blocking Dequeue per input in
+//                   turn (iterator/Exchange style): a stalled input
+//                   blocks it even though the other input has data;
+//   fjords_push   — non-blocking push queues under the non-preemptive
+//                   scheduler: the stalled source yields, the live
+//                   source's tuples flow.
+//
+// Reported: wall time to deliver the live source's kLiveTuples tuples
+// while the slow source stalls kStallMicros at a time. Expected shape:
+// blocking pays ~(#stalls × stall), Fjords stays near flat.
+//
+// A second pair measures raw queue throughput for the three queue
+// flavors (pull / push / Exchange) under one producer + one consumer.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "fjords/queue.h"
+#include "fjords/scheduler.h"
+#include "modules/relational.h"
+
+namespace tcq {
+namespace {
+
+constexpr int kLiveTuples = 1000;
+constexpr int kSlowPrefix = 10;     // Slow source emits these, then stalls.
+constexpr int kStallMillis = 30;    // One long stall (a hung web fetch).
+
+Tuple Row(int64_t v) { return Tuple::Make({Value::Int64(v)}, v); }
+
+/// Slow source: a brief prefix, then one long stall, then close. Models a
+/// remote page / sensor that goes quiet mid-query.
+void SlowProducer(TupleQueue* q) {
+  for (int64_t i = 0; i < kSlowPrefix; ++i) {
+    if (!q->Enqueue(Row(i))) break;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(kStallMillis));
+  q->Close();
+}
+
+/// Live tuples carry values offset by kLiveTag so consumers can count
+/// them apart from the slow source's output.
+constexpr int64_t kLiveTag = 1000000000;
+
+/// Live source: emits its tuples immediately.
+void LiveProducer(TupleQueue* q) {
+  for (int64_t i = 0; i < kLiveTuples; ++i) {
+    while (!q->Enqueue(Row(kLiveTag + i))) {
+      if (q->closed()) return;
+      std::this_thread::yield();
+    }
+  }
+  q->Close();
+}
+
+// Blocking-iterator union: strict alternation of blocking Dequeues. The
+// slow source's stall blocks delivery of the live source's data — the
+// failure mode Fjords exists to avoid (§2.3).
+void BM_BlockingPullUnion(benchmark::State& state) {
+  for (auto _ : state) {
+    FjordQueue<Tuple> slow(PullQueueOptions(1024));
+    FjordQueue<Tuple> live(PullQueueOptions(1024));
+    std::thread t_slow(SlowProducer, &slow);
+    std::thread t_live(LiveProducer, &live);
+
+    int live_seen = 0;
+    bool slow_done = false, live_done = false;
+    while (live_seen < kLiveTuples && !live_done) {
+      if (!slow_done) {
+        auto a = slow.Dequeue();  // Blocks through the stall.
+        if (!a.has_value()) slow_done = true;
+        benchmark::DoNotOptimize(a);
+      }
+      auto b = live.Dequeue();
+      if (b.has_value()) {
+        ++live_seen;
+      } else if (live.Exhausted()) {
+        live_done = true;
+      }
+    }
+    t_slow.join();
+    t_live.join();
+  }
+  state.counters["live_latency_ms_floor"] = kStallMillis;
+}
+BENCHMARK(BM_BlockingPullUnion)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+// Fjords union: non-blocking push queues — dry inputs yield control, the
+// live source's tuples flow during the stall.
+void BM_FjordsPushUnion(benchmark::State& state) {
+  for (auto _ : state) {
+    auto slow = std::make_shared<TupleQueue>(PushQueueOptions(1024));
+    auto live = std::make_shared<TupleQueue>(PushQueueOptions(1024));
+    auto out = std::make_shared<TupleQueue>(PushQueueOptions(1 << 16));
+    std::thread t_slow(SlowProducer, slow.get());
+    std::thread t_live(LiveProducer, live.get());
+
+    UnionModule u("union", {slow, live}, out);
+    int live_seen = 0;
+    while (live_seen < kLiveTuples) {
+      const auto r = u.Step(256);
+      while (auto t = out->Dequeue()) {
+        if (t->cell(0).int64_value() >= kLiveTag) ++live_seen;
+        benchmark::DoNotOptimize(*t);
+      }
+      if (r == FjordModule::StepResult::kIdle) {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+    }
+    // All live tuples delivered; the slow source is still mid-stall.
+    // Joining means waiting out the stall — exclude it from the timing.
+    state.PauseTiming();
+    t_slow.join();
+    t_live.join();
+    state.ResumeTiming();
+  }
+  state.counters["live_latency_ms_floor"] = 0;
+}
+BENCHMARK(BM_FjordsPushUnion)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+// --- Raw queue flavor throughput -------------------------------------------
+
+void RunQueueThroughput(benchmark::State& state, QueueOptions opts) {
+  constexpr int kN = 100000;
+  for (auto _ : state) {
+    FjordQueue<Tuple> q(opts);
+    std::thread producer([&] {
+      for (int64_t i = 0; i < kN; ++i) {
+        while (!q.Enqueue(Row(i))) {
+          std::this_thread::yield();
+        }
+      }
+      q.Close();
+    });
+    int64_t n = 0;
+    while (n < kN) {
+      auto t = q.Dequeue();
+      if (t.has_value()) {
+        ++n;
+      } else if (q.Exhausted()) {
+        break;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    producer.join();
+  }
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      100000.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_PullQueueThroughput(benchmark::State& state) {
+  RunQueueThroughput(state, PullQueueOptions(1024));
+}
+void BM_PushQueueThroughput(benchmark::State& state) {
+  RunQueueThroughput(state, PushQueueOptions(1024));
+}
+void BM_ExchangeQueueThroughput(benchmark::State& state) {
+  RunQueueThroughput(state, ExchangeQueueOptions(1024));
+}
+BENCHMARK(BM_PullQueueThroughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PushQueueThroughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExchangeQueueThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tcq

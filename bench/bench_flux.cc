@@ -1,0 +1,157 @@
+// E9 — Flux: online repartitioning and process-pair fault tolerance
+// (§2.4, [SHCF03]) on the simulated shared-nothing cluster.
+//
+// Experiments:
+//
+//  1. drain_under_bad_partitioning — the operator's partitions all start
+//     on node 0 (data characteristics shifted since deployment). Time
+//     (ticks) to drain a fixed workload with repartitioning off vs on.
+//     Expected: repartitioning cuts drain time by ~num_nodes/2 or better.
+//
+//  2. replication_overhead — steady-state throughput with and without
+//     mirrored standby updates: the reliability-for-performance QoS knob.
+//
+//  3. failover — kill a node mid-run; with replication the standby is
+//     promoted, in-flight tuples replay, and lost_updates == 0; without
+//     it the node's state is gone (lost_updates > 0). Recovery happens
+//     without human intervention either way.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "flux/flux.h"
+
+namespace tcq {
+namespace {
+
+TupleVector MakeBatch(size_t n, uint64_t keys, uint64_t seed) {
+  Rng rng(seed);
+  TupleVector batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(Tuple::Make(
+        {Value::Int64(static_cast<int64_t>(rng.NextBounded(keys))),
+         Value::Double(1.0)},
+        0));
+  }
+  return batch;
+}
+
+void BM_DrainBadPartitioning(benchmark::State& state) {
+  const bool repartition = state.range(0) != 0;
+  uint64_t ticks = 0;
+  for (auto _ : state) {
+    FluxCluster::Options opts;
+    opts.num_nodes = 8;
+    opts.capacity_per_tick = 64;
+    opts.enable_repartitioning = repartition;
+    opts.min_backlog_for_move = 32;
+    opts.move_cooldown_ticks = 2;
+    opts.initial_owner.assign(opts.num_partitions, 0);  // All on node 0.
+    FluxCluster cluster(opts);
+    cluster.Feed(MakeBatch(40000, 64, 3));
+    ticks += cluster.Run();
+  }
+  state.counters["drain_ticks"] = static_cast<double>(ticks) /
+                                  static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DrainBadPartitioning)
+    ->Arg(0)  // repartitioning off
+    ->Arg(1)  // repartitioning on
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReplicationOverhead(benchmark::State& state) {
+  const bool replicate = state.range(0) != 0;
+  uint64_t ticks = 0;
+  for (auto _ : state) {
+    FluxCluster::Options opts;
+    opts.num_nodes = 4;
+    opts.capacity_per_tick = 128;
+    opts.enable_repartitioning = false;
+    opts.enable_replication = replicate;
+    FluxCluster cluster(opts);
+    cluster.Feed(MakeBatch(50000, 256, 5));
+    ticks += cluster.Run();
+  }
+  state.counters["drain_ticks"] = static_cast<double>(ticks) /
+                                  static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ReplicationOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FailoverRecovery(benchmark::State& state) {
+  const bool replicate = state.range(0) != 0;
+  uint64_t lost = 0;
+  uint64_t replayed = 0;
+  uint64_t ticks = 0;
+  for (auto _ : state) {
+    FluxCluster::Options opts;
+    opts.num_nodes = 4;
+    opts.capacity_per_tick = 64;
+    opts.enable_repartitioning = false;
+    opts.enable_replication = replicate;
+    FluxCluster cluster(opts);
+    TupleVector batch = MakeBatch(30000, 128, 7);
+    cluster.Feed(TupleVector(batch.begin(), batch.begin() + 15000));
+    for (int i = 0; i < 20; ++i) cluster.Tick();
+    benchmark::DoNotOptimize(cluster.KillNode(1));
+    cluster.Feed(TupleVector(batch.begin() + 15000, batch.end()));
+    ticks += cluster.Run();
+    lost += cluster.lost_updates();
+    replayed += cluster.replayed();
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["lost_updates"] = static_cast<double>(lost) / iters;
+  state.counters["replayed_in_flight"] =
+      static_cast<double>(replayed) / iters;
+  state.counters["drain_ticks"] = static_cast<double>(ticks) / iters;
+}
+BENCHMARK(BM_FailoverRecovery)
+    ->Arg(0)  // no replication: state lost
+    ->Arg(1)  // process-pair: zero loss
+    ->Unit(benchmark::kMillisecond);
+
+// Skewed live stream: repartitioning reacts to drift in key popularity
+// (the hotspot migrates every quarter of the run).
+void BM_SkewDriftThroughput(benchmark::State& state) {
+  const bool repartition = state.range(0) != 0;
+  uint64_t ticks = 0;
+  for (auto _ : state) {
+    FluxCluster::Options opts;
+    opts.num_nodes = 8;
+    opts.capacity_per_tick = 64;
+    opts.enable_repartitioning = repartition;
+    opts.min_backlog_for_move = 32;
+    opts.move_cooldown_ticks = 4;
+    FluxCluster cluster(opts);
+    Rng rng(11);
+    for (int phase = 0; phase < 4; ++phase) {
+      for (int step = 0; step < 25; ++step) {
+        TupleVector batch;
+        for (int i = 0; i < 400; ++i) {
+          // 70% of traffic hits one drifting hot key.
+          const int64_t key =
+              rng.NextBool(0.7)
+                  ? phase * 13 + 1
+                  : static_cast<int64_t>(rng.NextBounded(128));
+          batch.push_back(
+              Tuple::Make({Value::Int64(key), Value::Double(1.0)}, 0));
+        }
+        cluster.Feed(batch);
+        cluster.Tick();
+      }
+    }
+    ticks += cluster.Run();
+  }
+  state.counters["total_ticks"] = static_cast<double>(ticks) /
+                                  static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SkewDriftThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,133 @@
+// E6 — Grouped filter vs. per-query predicate evaluation (§3.1).
+//
+// Workload: N single-column boolean factors over one attribute (a mix of
+// equality over a 64-value pool and range bounds). For each probe value:
+//
+//   grouped — one GroupedFilter::Apply (hash hit + sorted-prefix walks);
+//   naive   — evaluate each of the N predicates individually.
+//
+// Reported: time per probe as N grows. Expected shape: naive is O(N) per
+// tuple; grouped is O(log N + matches) — the curves cross immediately and
+// diverge by orders of magnitude at N in the thousands. This is the
+// index the paper's Query SteM generalizes.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "modules/grouped_filter.h"
+
+namespace tcq {
+namespace {
+
+struct Pred {
+  BinaryOp op;
+  int64_t constant;
+};
+
+std::vector<Pred> MakePredicates(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Pred> preds;
+  preds.reserve(n);
+  const BinaryOp ops[] = {BinaryOp::kEq, BinaryOp::kEq, BinaryOp::kEq,
+                          BinaryOp::kGt, BinaryOp::kLt};
+  for (size_t i = 0; i < n; ++i) {
+    preds.push_back(
+        {ops[rng.NextBounded(5)], rng.NextInt(0, 63)});
+  }
+  return preds;
+}
+
+void BM_GroupedFilterProbe(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto preds = MakePredicates(n, 5);
+  GroupedFilter gf;
+  for (size_t i = 0; i < n; ++i) {
+    gf.AddPredicate(static_cast<QueryId>(i), preds[i].op,
+                    Value::Int64(preds[i].constant));
+  }
+  Rng rng(9);
+  SmallBitset candidates(n);
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    candidates.SetAll();
+    gf.Apply(Value::Int64(rng.NextInt(0, 63)), &candidates);
+    matches += candidates.Count();
+    benchmark::DoNotOptimize(candidates);
+  }
+  state.counters["avg_matches"] = static_cast<double>(matches) /
+                                  static_cast<double>(state.iterations());
+  state.counters["probes_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GroupedFilterProbe)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kNanosecond);
+
+void BM_NaivePredicateScan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto preds = MakePredicates(n, 5);
+  Rng rng(9);
+  SmallBitset candidates(n);
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    const int64_t v = rng.NextInt(0, 63);
+    candidates.SetAll();
+    for (size_t i = 0; i < n; ++i) {
+      bool pass = false;
+      switch (preds[i].op) {
+        case BinaryOp::kEq:
+          pass = v == preds[i].constant;
+          break;
+        case BinaryOp::kGt:
+          pass = v > preds[i].constant;
+          break;
+        default:
+          pass = v < preds[i].constant;
+          break;
+      }
+      if (!pass) candidates.Clear(i);
+    }
+    matches += candidates.Count();
+    benchmark::DoNotOptimize(candidates);
+  }
+  state.counters["avg_matches"] = static_cast<double>(matches) /
+                                  static_cast<double>(state.iterations());
+  state.counters["probes_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NaivePredicateScan)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kNanosecond);
+
+// Equality-only workload: the grouped filter's best case (pure hash).
+void BM_GroupedFilterEqualityOnly(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  GroupedFilter gf;
+  Rng rng(5);
+  for (size_t i = 0; i < n; ++i) {
+    gf.AddPredicate(static_cast<QueryId>(i), BinaryOp::kEq,
+                    Value::Int64(rng.NextInt(0, 1023)));
+  }
+  Rng probe_rng(9);
+  SmallBitset candidates(n);
+  for (auto _ : state) {
+    candidates.SetAll();
+    gf.Apply(Value::Int64(probe_rng.NextInt(0, 1023)), &candidates);
+    benchmark::DoNotOptimize(candidates);
+  }
+}
+BENCHMARK(BM_GroupedFilterEqualityOnly)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,151 @@
+// E7 — PSoup's materialized Results Structure (§3.2, [CF02]).
+//
+// Workload: standing selection queries over a sensor stream; disconnected
+// clients reconnect and invoke. Strategies compared for invocation cost:
+//
+//   psoup_invoke — results were materialized on arrival; Invoke() imposes
+//                  the window on the Results Structure (binary search +
+//                  copy of the answer);
+//   recompute    — no materialization; every invocation rescans retained
+//                  history applying the predicate (the NiagaraCQ-ish
+//                  query-at-poll-time baseline).
+//
+// Reported: invocation latency vs. history length, plus the per-tuple
+// upkeep PSoup pays on the data path and new-query backfill latency.
+// Expected shape: invocation is O(answer) for PSoup vs O(history) for
+// recompute — crossing over as soon as the predicate is selective; PSoup
+// pays instead a small constant per arriving tuple.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ingress/sources.h"
+#include "psoup/psoup.h"
+
+namespace tcq {
+namespace {
+
+SchemaPtr SensorSchema() { return SensorSource::MakeSchema(); }
+
+TupleVector MakeReadings(int64_t n) {
+  SensorSource::Options opts;
+  opts.num_sensors = 32;
+  opts.num_readings = n * 2;  // Dropouts shrink output; oversample.
+  opts.dropout = 0.0;
+  SensorSource src(opts);
+  TupleVector out;
+  while (auto t = src.Next()) {
+    out.push_back(std::move(*t));
+    if (out.size() == static_cast<size_t>(n)) break;
+  }
+  return out;
+}
+
+ExprPtr SensorPredicate(int64_t sensor) {
+  return Expr::Binary(BinaryOp::kEq, Expr::Column("sensorId"),
+                      Expr::Literal(Value::Int64(sensor)));
+}
+
+void BM_PSoupInvoke(benchmark::State& state) {
+  const int64_t history = state.range(0);
+  const TupleVector readings = MakeReadings(history);
+  PSoup psoup(SensorSchema());
+  auto q = psoup.Register(SensorPredicate(3), /*window_width=*/history);
+  for (const Tuple& t : readings) psoup.OnData(t);
+  const Timestamp now = readings.back().timestamp();
+  size_t answer = 0;
+  for (auto _ : state) {
+    auto results = psoup.Invoke(*q, now);
+    answer = results->size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["answer_size"] = static_cast<double>(answer);
+  state.counters["invokes_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PSoupInvoke)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RecomputeInvoke(benchmark::State& state) {
+  const int64_t history = state.range(0);
+  const TupleVector readings = MakeReadings(history);
+  SchemaPtr schema = SensorSchema();
+  ExprPtr bound = *SensorPredicate(3)->Bind(*schema);
+  const Timestamp now = readings.back().timestamp();
+  const Timestamp lo = now - history + 1;
+  size_t answer = 0;
+  for (auto _ : state) {
+    TupleVector results;
+    for (const Tuple& t : readings) {
+      if (t.timestamp() < lo || t.timestamp() > now) continue;
+      const Value keep = bound->Eval(t);
+      if (!keep.is_null() && keep.bool_value()) results.push_back(t);
+    }
+    answer = results.size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["answer_size"] = static_cast<double>(answer);
+  state.counters["invokes_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RecomputeInvoke)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Data-path upkeep: cost per arriving tuple with N standing queries
+// (the price of continuous materialization).
+void BM_PSoupDataPath(benchmark::State& state) {
+  const size_t num_queries = static_cast<size_t>(state.range(0));
+  PSoup::Options opts;
+  opts.history_span = 4096;  // Bound memory during the run.
+  PSoup psoup(SensorSchema(), opts);
+  for (size_t i = 0; i < num_queries; ++i) {
+    benchmark::DoNotOptimize(
+        psoup.Register(SensorPredicate(static_cast<int64_t>(i % 32)), 512));
+  }
+  const TupleVector readings = MakeReadings(20000);
+  size_t pos = 0;
+  for (auto _ : state) {
+    Tuple t = readings[pos % readings.size()];
+    t.set_timestamp(static_cast<Timestamp>(pos + 1));  // Keep time moving.
+    psoup.OnData(t);
+    ++pos;
+  }
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PSoupDataPath)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(128)
+    ->Arg(1024)
+    ->Unit(benchmark::kNanosecond);
+
+// New query over old data: backfill latency vs. retained history (the
+// "queries over history" capability CACQ lacks).
+void BM_PSoupNewQueryBackfill(benchmark::State& state) {
+  const int64_t history = state.range(0);
+  const TupleVector readings = MakeReadings(history);
+  for (auto _ : state) {
+    state.PauseTiming();
+    PSoup psoup(SensorSchema());
+    for (const Tuple& t : readings) psoup.OnData(t);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(psoup.Register(SensorPredicate(3), history));
+  }
+  state.counters["registrations_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PSoupNewQueryBackfill)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace tcq

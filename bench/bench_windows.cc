@@ -1,0 +1,156 @@
+// E8 — Window semantics and their state/recompute costs (§4.1).
+//
+// Three experiments on the ClosingStockPrices stream:
+//
+//  1. landmark_max vs sliding_max — §4.1.2's observation made concrete:
+//     a landmark MAX runs with O(1) accumulator state; a sliding MAX must
+//     retain the window and recompute on retirement. Reported per window
+//     size: time and buffered tuples.
+//
+//  2. sliding_sum_subtractable — COUNT/SUM/AVG retire in O(1) even for
+//     sliding windows (subtractable accumulators; recomputes stays 0).
+//
+//  3. hop_size sweep — end-to-end QueryRunner cost of the paper's sliding
+//     AVG (example 3) as the hop grows: larger hops execute fewer windows
+//     over the same stream (and when hop > width, skip data entirely).
+
+#include <benchmark/benchmark.h>
+
+#include "core/server.h"
+#include "ingress/sources.h"
+
+namespace tcq {
+namespace {
+
+Tuple Stock(int64_t day, double price) {
+  return Tuple::Make(
+      {Value::Int64(day), Value::String("MSFT"), Value::Double(price)}, day);
+}
+
+std::vector<AggregateSpec> MaxSpec() {
+  SchemaPtr schema = StockTickerSource::MakeSchema();
+  AggregateSpec spec;
+  spec.kind = AggKind::kMax;
+  spec.arg = *Expr::Column("closingPrice")->Bind(*schema);
+  spec.output_name = "max_price";
+  return {spec};
+}
+
+std::vector<AggregateSpec> SumSpec() {
+  SchemaPtr schema = StockTickerSource::MakeSchema();
+  AggregateSpec spec;
+  spec.kind = AggKind::kSum;
+  spec.arg = *Expr::Column("closingPrice")->Bind(*schema);
+  spec.output_name = "sum_price";
+  return {spec};
+}
+
+constexpr int64_t kDays = 20000;
+
+void BM_LandmarkMax(benchmark::State& state) {
+  uint64_t buffered = 0;
+  for (auto _ : state) {
+    WindowAggregator agg(MaxSpec(), {}, /*retain_tuples=*/false);
+    for (int64_t d = 1; d <= kDays; ++d) {
+      agg.Add(Stock(d, 50.0 + (d % 100)));
+      if (d % 100 == 0) benchmark::DoNotOptimize(agg.Emit(d));
+    }
+    buffered = agg.buffered_tuples();
+  }
+  state.counters["buffered_tuples"] = static_cast<double>(buffered);
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(kDays) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LandmarkMax)->Unit(benchmark::kMillisecond);
+
+void BM_SlidingMax(benchmark::State& state) {
+  const int64_t width = state.range(0);
+  uint64_t recomputes = 0;
+  uint64_t buffered = 0;
+  for (auto _ : state) {
+    WindowAggregator agg(MaxSpec(), {}, /*retain_tuples=*/true);
+    for (int64_t d = 1; d <= kDays; ++d) {
+      agg.Add(Stock(d, 50.0 + (d % 100)));
+      if (d % 100 == 0) {
+        agg.SetWindow(d - width + 1, d);  // Retire the old edge.
+        benchmark::DoNotOptimize(agg.Emit(d));
+      }
+    }
+    recomputes = agg.recomputes();
+    buffered = agg.buffered_tuples();
+  }
+  state.counters["recomputes"] = static_cast<double>(recomputes);
+  state.counters["buffered_tuples"] = static_cast<double>(buffered);
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(kDays) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SlidingMax)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SlidingSumSubtractable(benchmark::State& state) {
+  const int64_t width = state.range(0);
+  uint64_t recomputes = 0;
+  for (auto _ : state) {
+    WindowAggregator agg(SumSpec(), {}, /*retain_tuples=*/true);
+    for (int64_t d = 1; d <= kDays; ++d) {
+      agg.Add(Stock(d, 50.0 + (d % 100)));
+      if (d % 100 == 0) {
+        agg.SetWindow(d - width + 1, d);
+        benchmark::DoNotOptimize(agg.Emit(d));
+      }
+    }
+    recomputes = agg.recomputes();
+  }
+  state.counters["recomputes"] = static_cast<double>(recomputes);
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(kDays) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SlidingSumSubtractable)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end: the paper's example-3 sliding AVG through the full server,
+// sweeping the hop. Stream length fixed; the number of fired windows is
+// inversely proportional to the hop.
+void BM_ServerSlidingAvgHop(benchmark::State& state) {
+  const int64_t hop = state.range(0);
+  constexpr int64_t kStreamDays = 2000;
+  uint64_t windows_fired = 0;
+  for (auto _ : state) {
+    Server server;
+    benchmark::DoNotOptimize(server.DefineStream(
+        "ClosingStockPrices", StockTickerSource::MakeSchema(), 0));
+    auto q = server.Submit(
+        "Select AVG(closingPrice) From ClosingStockPrices "
+        "Where stockSymbol = 'MSFT' "
+        "for (t = ST; true; t += " + std::to_string(hop) + ") { "
+        "WindowIs(ClosingStockPrices, t - 9, t); }");
+    for (int64_t d = 1; d <= kStreamDays; ++d) {
+      benchmark::DoNotOptimize(
+          server.Push("ClosingStockPrices", Stock(d, 50.0 + (d % 10))));
+    }
+    windows_fired += server.PollAll(*q).size();
+  }
+  state.counters["windows_fired"] =
+      static_cast<double>(windows_fired) /
+      static_cast<double>(state.iterations());
+  state.counters["days_per_sec"] = benchmark::Counter(
+      2000.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServerSlidingAvgHop)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tcq

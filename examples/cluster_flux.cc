@@ -1,0 +1,90 @@
+// Flux on the simulated shared-nothing cluster (§2.4): a partitioned
+// streaming aggregate suffers (a) a badly balanced initial partitioning
+// and (b) a machine failure. Online repartitioning rebalances the load;
+// process-pair replication makes the failure lossless.
+//
+//   $ ./build/examples/cluster_flux
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "flux/flux.h"
+
+namespace {
+
+tcq::TupleVector MakeBatch(size_t n, tcq::Rng* rng) {
+  tcq::TupleVector batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(tcq::Tuple::Make(
+        {tcq::Value::Int64(static_cast<int64_t>(rng->NextBounded(64))),
+         tcq::Value::Double(1.0)},
+        0));
+  }
+  return batch;
+}
+
+void PrintNodes(const tcq::FluxCluster& cluster, const char* when) {
+  std::printf("%s\n", when);
+  for (size_t n = 0; n < cluster.num_nodes(); ++n) {
+    const auto s = cluster.node_stats(n);
+    std::printf("  node %zu: %s, %zu partitions, backlog %zu, "
+                "processed %llu\n",
+                n, s.alive ? "alive" : "DEAD", s.partitions_owned, s.backlog,
+                static_cast<unsigned long long>(s.processed));
+  }
+}
+
+}  // namespace
+
+int main() {
+  tcq::FluxCluster::Options opts;
+  opts.num_nodes = 4;
+  opts.capacity_per_tick = 64;
+  opts.enable_repartitioning = true;
+  opts.enable_replication = true;
+  opts.min_backlog_for_move = 32;
+  opts.move_cooldown_ticks = 2;
+  // Deliberately terrible initial partitioning: everything on node 0.
+  opts.initial_owner.assign(opts.num_partitions, 0);
+
+  tcq::FluxCluster cluster(opts);
+  tcq::Rng rng(42);
+
+  PrintNodes(cluster, "initial state (all partitions on node 0):");
+
+  // Phase 1: stream load; the controller repartitions online.
+  for (int step = 0; step < 60; ++step) {
+    cluster.Feed(MakeBatch(200, &rng));
+    cluster.Tick();
+  }
+  cluster.Run();
+  PrintNodes(cluster, "\nafter 12000 tuples with online repartitioning:");
+  std::printf("  moves=%llu moved_entries=%llu\n",
+              static_cast<unsigned long long>(cluster.moves()),
+              static_cast<unsigned long long>(cluster.moved_entries()));
+
+  // Phase 2: kill a node mid-stream.
+  cluster.Feed(MakeBatch(4000, &rng));
+  cluster.Tick();
+  std::printf("\n*** node 1 fails ***\n");
+  tcq::Status st = cluster.KillNode(1);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  cluster.Feed(MakeBatch(4000, &rng));
+  cluster.Run();
+  PrintNodes(cluster, "\nafter failover and drain:");
+  std::printf("  replayed in-flight tuples: %llu\n",
+              static_cast<unsigned long long>(cluster.replayed()));
+  std::printf("  lost updates: %llu (process pairs: should be 0)\n",
+              static_cast<unsigned long long>(cluster.lost_updates()));
+
+  // Verify the aggregate survived intact.
+  int64_t total = 0;
+  for (const auto& [key, ks] : cluster.Snapshot()) total += ks.count;
+  std::printf("  aggregate total count: %lld (fed: %d)\n",
+              static_cast<long long>(total), 12000 + 4000 + 4000);
+  return 0;
+}

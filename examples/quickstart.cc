@@ -1,0 +1,60 @@
+// Quickstart: declare a stream, submit one continuous query, feed data,
+// and consume the result sets.
+//
+//   $ ./build/examples/quickstart
+//
+// The query is the paper's sliding-average example (§4.1.1, example 3):
+// every 5th trading day, the average MSFT closing price over the five
+// most recent days.
+
+#include <cstdio>
+
+#include "core/server.h"
+#include "ingress/sources.h"
+
+int main() {
+  tcq::Server server;
+
+  // 1. Declare the stream: schema + which column carries the timestamp.
+  tcq::Status st = server.DefineStream(
+      "ClosingStockPrices", tcq::StockTickerSource::MakeSchema(),
+      /*timestamp_field=*/0);
+  if (!st.ok()) {
+    std::fprintf(stderr, "DefineStream: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 2. Submit a continuous query — SQL plus the for-loop window clause.
+  auto query = server.Submit(
+      "SELECT AVG(closingPrice) "
+      "FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' "
+      "for (t = ST; t < ST + 50; t += 5) { "
+      "  WindowIs(ClosingStockPrices, t - 4, t); "
+      "}");
+  if (!query.ok()) {
+    std::fprintf(stderr, "Submit: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Feed the stream (here: a synthetic ticker; any Push() works).
+  tcq::StockTickerSource::Options opts;
+  opts.num_symbols = 4;
+  opts.num_days = 60;
+  tcq::StockTickerSource source(opts);
+  st = server.PushAll("ClosingStockPrices", &source);
+  if (!st.ok()) {
+    std::fprintf(stderr, "Push: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 4. Pull the result sets — one per window, as windows complete.
+  std::printf("window_t  avg_closing_price\n");
+  for (const tcq::ResultSet& rs : server.PollAll(*query)) {
+    for (const tcq::Tuple& row : rs.rows) {
+      std::printf("%8lld  %.4f\n", static_cast<long long>(rs.t),
+                  row.cell(0).double_value());
+    }
+  }
+  return 0;
+}

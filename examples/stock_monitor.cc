@@ -1,0 +1,109 @@
+// The paper's four worked example queries (§4.1.1), run end to end over
+// one synthetic ClosingStockPrices stream:
+//
+//   1. snapshot  — MSFT's closing prices on the first five trading days;
+//   2. landmark  — days after day 10 where MSFT closed above $50
+//                  (scaled down from the paper's day 100 / $50 / 1000);
+//   3. sliding   — every 5th day, MSFT's 5-day average closing price;
+//   4. band join — stocks that closed higher than MSFT the same day.
+//
+//   $ ./build/examples/stock_monitor
+
+#include <cstdio>
+
+#include "core/server.h"
+#include "ingress/sources.h"
+
+namespace {
+
+void PrintResults(tcq::Server* server, tcq::QueryId q, const char* title,
+                  size_t max_sets = 4) {
+  std::printf("\n== %s ==\n", title);
+  auto sets = server->PollAll(q);
+  std::printf("   %zu result set(s)\n", sets.size());
+  size_t shown = 0;
+  for (const tcq::ResultSet& rs : sets) {
+    if (shown++ >= max_sets) {
+      std::printf("   ... (%zu more sets)\n", sets.size() - max_sets);
+      break;
+    }
+    std::printf("   t=%lld:", static_cast<long long>(rs.t));
+    size_t cells_shown = 0;
+    for (const tcq::Tuple& row : rs.rows) {
+      if (cells_shown++ >= 4) {
+        std::printf("  ...(%zu rows)", rs.rows.size());
+        break;
+      }
+      std::printf("  [");
+      for (size_t c = 0; c < row.arity(); ++c) {
+        std::printf("%s%s", c ? ", " : "", row.cell(c).ToString().c_str());
+      }
+      std::printf("]");
+    }
+    if (rs.rows.empty()) std::printf("  (empty)");
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  tcq::Server server;
+  auto check = [](const tcq::Status& st) {
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  check(server.DefineStream("ClosingStockPrices",
+                            tcq::StockTickerSource::MakeSchema(), 0));
+
+  // --- The four paper queries -------------------------------------------
+  auto q_snapshot = server.Submit(
+      "SELECT closingPrice, timestamp FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' "
+      "for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 5); }");
+  check(q_snapshot.status());
+
+  auto q_landmark = server.Submit(
+      "SELECT closingPrice, timestamp FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' and closingPrice > 50.00 "
+      "for (t = 10; t <= 40; t++) { "
+      "  WindowIs(ClosingStockPrices, 10, t); }");
+  check(q_landmark.status());
+
+  auto q_sliding = server.Submit(
+      "Select AVG(closingPrice) From ClosingStockPrices "
+      "Where stockSymbol = 'MSFT' "
+      "for (t = ST; t < ST + 50; t += 5) { "
+      "  WindowIs(ClosingStockPrices, t - 4, t); }");
+  check(q_sliding.status());
+
+  auto q_band = server.Submit(
+      "Select c2.* "
+      "FROM ClosingStockPrices as c1, ClosingStockPrices as c2 "
+      "WHERE c1.stockSymbol = 'MSFT' and c2.stockSymbol != 'MSFT' and "
+      "      c2.closingPrice > c1.closingPrice and "
+      "      c2.timestamp = c1.timestamp "
+      "for (t = ST; t < ST + 20; t++) { "
+      "  WindowIs(c1, t - 4, t); WindowIs(c2, t - 4, t); }");
+  check(q_band.status());
+
+  // --- Feed 60 trading days of 8 symbols ---------------------------------
+  tcq::StockTickerSource::Options opts;
+  opts.num_symbols = 8;
+  opts.num_days = 60;
+  opts.seed = 2003;
+  tcq::StockTickerSource source(opts);
+  check(server.PushAll("ClosingStockPrices", &source));
+
+  PrintResults(&server, *q_snapshot,
+               "1. Snapshot: MSFT, first five trading days");
+  PrintResults(&server, *q_landmark,
+               "2. Landmark: MSFT above $50 after day 10");
+  PrintResults(&server, *q_sliding,
+               "3. Sliding: 5-day average MSFT price, every 5 days");
+  PrintResults(&server, *q_band,
+               "4. Band join: stocks closing above MSFT, same day");
+  return 0;
+}

@@ -1,0 +1,128 @@
+#ifndef TCQ_CACQ_ENGINE_H_
+#define TCQ_CACQ_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cacq/shared_ops.h"
+#include "cacq/shared_stem.h"
+#include "eddy/eddy.h"
+#include "expr/ast.h"
+#include "modules/grouped_filter.h"
+
+namespace tcq {
+
+/// A continuous query registered with the shared engine.
+struct CacqQuerySpec {
+  /// Source aliases this query ranges over (its *footprint*) — a subset of
+  /// the engine's streams. Single-stream selection queries name one.
+  std::vector<std::string> sources;
+  /// WHERE predicate with qualified (or unique bare) column names; null =
+  /// no predicate. Equality factors between two sources become shared
+  /// SteM joins; single-column factors enter grouped filters; everything
+  /// else becomes per-query residual work.
+  ExprPtr where;
+};
+
+/// CACQ (§3.1): one Eddy executing many continuous queries at once — the
+/// "super-query" that is the disjunction of all registered queries. Tuple
+/// lineage (a query bitmap) tracks which queries each tuple still
+/// satisfies; grouped filters index shared selections; shared SteMs serve
+/// every query's joins from one copy of the state.
+///
+/// One engine is one *query class* (§4.2.2): all join queries registered
+/// here must agree on the equi-join graph (the executor opens a new class
+/// for a different footprint). Selection queries over any single stream
+/// mix freely. Newly added queries see only data arriving after them.
+class CacqEngine {
+ public:
+  struct Options {
+    std::string policy = "lottery";
+    uint64_t seed = 7;
+    Eddy::Options eddy;
+  };
+
+  CacqEngine();
+  explicit CacqEngine(Options options);
+
+  CacqEngine(const CacqEngine&) = delete;
+  CacqEngine& operator=(const CacqEngine&) = delete;
+
+  /// Declares a stream before any query references it.
+  Result<size_t> AddStream(const std::string& name, SchemaPtr schema);
+
+  /// Delivery callback: (query, full-width result tuple). For a selection
+  /// query the tuple's cells outside its stream are NULL; join results
+  /// carry both sides. Use layout().Narrow to project a source back out.
+  using Sink = std::function<void(QueryId, const Tuple&)>;
+  void SetSink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Registers a continuous query; it applies to all future tuples.
+  Result<QueryId> AddQuery(const CacqQuerySpec& spec);
+
+  /// Unregisters a query; shared state it alone used is scrubbed.
+  Status RemoveQuery(QueryId q);
+
+  /// Feeds one tuple of `stream` and routes it (plus any join matches).
+  Status Inject(const std::string& stream, const Tuple& tuple);
+
+  /// Evicts join state older than `ts` (window maintenance).
+  void EvictBefore(Timestamp ts);
+
+  size_t num_active_queries() const { return active_queries_; }
+  const Eddy& eddy() const { return *eddy_; }
+  const SourceLayout& layout() const { return layout_; }
+
+ private:
+  struct JoinKey {
+    size_t target_source;
+    int stored_key;  ///< Absolute column index the stem indexes.
+    bool operator<(const JoinKey& o) const {
+      return target_source != o.target_source
+                 ? target_source < o.target_source
+                 : stored_key < o.stored_key;
+    }
+  };
+
+  struct QueryInfo {
+    SmallBitset footprint;
+    bool active = false;
+    /// Grouped-filter registrations: (column op const) per column op, for
+    /// removal bookkeeping.
+    std::vector<size_t> filter_columns;
+    std::vector<std::shared_ptr<ResidualFilterOp>> residual_ops;
+  };
+
+  /// Lazily creates the grouped-filter operator for a column.
+  std::shared_ptr<GroupedFilterOp> FilterOpFor(size_t column);
+  /// Lazily creates the residual operator for a source set.
+  std::shared_ptr<ResidualFilterOp> ResidualOpFor(const SmallBitset& req);
+  /// Lazily creates build op + stem for (source, key column) and the probe
+  /// ops in both directions for an equi-join pair.
+  Status EnsureJoin(size_t src_a, int col_a, size_t src_b, int col_b);
+
+  void Deliver(RoutedTuple&& rt);
+
+  Options options_;
+  SourceLayout layout_;
+  std::unique_ptr<Eddy> eddy_;
+  Sink sink_;
+
+  std::vector<QueryInfo> queries_;
+  size_t active_queries_ = 0;
+  /// Per source: queries whose footprint contains it (lineage seed).
+  std::vector<SmallBitset> interested_;
+
+  std::map<size_t, std::shared_ptr<GroupedFilterOp>> filter_ops_;
+  std::map<uint64_t, std::shared_ptr<ResidualFilterOp>> residual_ops_;
+  std::map<JoinKey, SharedSteMPtr> stems_;
+  /// Registered probe edges (target, stored key, probe key) to avoid dups.
+  std::map<std::tuple<size_t, int, int>, bool> probe_edges_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_CACQ_ENGINE_H_

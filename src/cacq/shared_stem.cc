@@ -1,0 +1,57 @@
+#include "cacq/shared_stem.h"
+
+#include "common/logging.h"
+
+namespace tcq {
+
+SharedSteM::SharedSteM(std::string name, SchemaPtr schema, int key_field)
+    : name_(std::move(name)), schema_(std::move(schema)),
+      key_field_(key_field) {
+  TCQ_CHECK(schema_ != nullptr);
+  TCQ_CHECK(key_field_ < static_cast<int>(schema_->num_fields()));
+}
+
+void SharedSteM::Insert(const Tuple& tuple, const SmallBitset& queries) {
+  const uint64_t id = base_id_ + entries_.size();
+  if (key_field_ >= 0) {
+    index_.emplace(tuple.cell(static_cast<size_t>(key_field_)), id);
+  }
+  entries_.push_back(Entry{tuple, queries, false});
+  ++live_;
+}
+
+size_t SharedSteM::EvictBefore(Timestamp ts) {
+  size_t n = 0;
+  for (Entry& e : entries_) {
+    if (!e.dead && e.tuple.timestamp() < ts) {
+      e.dead = true;
+      --live_;
+      ++n;
+    }
+  }
+  CompactFront();
+  return n;
+}
+
+void SharedSteM::ScrubQuery(size_t q) {
+  for (Entry& e : entries_) {
+    if (!e.dead && q < e.queries.size_bits()) e.queries.Clear(q);
+  }
+}
+
+void SharedSteM::CompactFront() {
+  while (!entries_.empty() && entries_.front().dead) {
+    if (key_field_ >= 0) {
+      const Value& key =
+          entries_.front().tuple.cell(static_cast<size_t>(key_field_));
+      auto [b, e] = index_.equal_range(key);
+      for (auto it = b; it != e;) {
+        it = (it->second == base_id_) ? index_.erase(it) : std::next(it);
+      }
+    }
+    entries_.pop_front();
+    ++base_id_;
+  }
+}
+
+}  // namespace tcq

@@ -1,0 +1,101 @@
+#ifndef TCQ_CACQ_SHARED_STEM_H_
+#define TCQ_CACQ_SHARED_STEM_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/bitset.h"
+#include "common/clock.h"
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+#include "tuple/value.h"
+
+namespace tcq {
+
+/// A SteM variant for shared (CACQ) processing: every stored tuple carries
+/// its query lineage — the set of queries it still satisfied when it was
+/// built. Probes intersect lineages, so one physical SteM serves the joins
+/// of many queries at once (§3.1). Newly added queries see only tuples
+/// stored after their arrival (CACQ semantics: no history; PSoup adds it).
+class SharedSteM {
+ public:
+  SharedSteM(std::string name, SchemaPtr schema, int key_field);
+
+  SharedSteM(const SharedSteM&) = delete;
+  SharedSteM& operator=(const SharedSteM&) = delete;
+
+  const std::string& name() const { return name_; }
+  int key_field() const { return key_field_; }
+
+  void Insert(const Tuple& tuple, const SmallBitset& queries);
+
+  /// Applies `fn(stored_tuple, stored_lineage)` to every live stored tuple
+  /// matching `key` (nullptr = scan) with timestamp within [lo, hi].
+  template <typename Fn>
+  void ProbeCollect(const Value* key, Timestamp lo, Timestamp hi,
+                    Fn&& fn) const {
+    ++probes_;
+    auto consider = [&](size_t pos) {
+      const Entry& e = entries_[pos];
+      if (e.dead) return;
+      ++scanned_;
+      const Timestamp ts = e.tuple.timestamp();
+      if (ts < lo || ts > hi) return;
+      fn(e.tuple, e.queries);
+    };
+    if (key != nullptr && key_field_ >= 0) {
+      auto [b, e] = index_.equal_range(*key);
+      for (auto it = b; it != e; ++it) {
+        const uint64_t id = it->second;
+        if (id < base_id_) continue;
+        const size_t pos = static_cast<size_t>(id - base_id_);
+        if (pos >= entries_.size()) continue;
+        if (entries_[pos].tuple.cell(static_cast<size_t>(key_field_)) !=
+            *key) {
+          continue;
+        }
+        consider(pos);
+      }
+    } else {
+      for (size_t i = 0; i < entries_.size(); ++i) consider(i);
+    }
+  }
+
+  /// Evicts tuples with timestamp < ts; returns the count evicted.
+  size_t EvictBefore(Timestamp ts);
+
+  /// Clears query q's bit from every stored lineage (query removed).
+  void ScrubQuery(size_t q);
+
+  size_t size() const { return live_; }
+  uint64_t probes() const { return probes_; }
+  uint64_t scanned() const { return scanned_; }
+
+ private:
+  struct Entry {
+    Tuple tuple;
+    SmallBitset queries;
+    bool dead = false;
+  };
+
+  void CompactFront();
+
+  const std::string name_;
+  const SchemaPtr schema_;
+  const int key_field_;
+
+  std::deque<Entry> entries_;
+  uint64_t base_id_ = 0;
+  size_t live_ = 0;
+  std::unordered_multimap<Value, uint64_t, ValueHash> index_;
+  mutable uint64_t probes_ = 0;
+  mutable uint64_t scanned_ = 0;
+};
+
+using SharedSteMPtr = std::shared_ptr<SharedSteM>;
+
+}  // namespace tcq
+
+#endif  // TCQ_CACQ_SHARED_STEM_H_

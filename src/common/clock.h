@@ -1,0 +1,63 @@
+#ifndef TCQ_COMMON_CLOCK_H_
+#define TCQ_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace tcq {
+
+/// Timestamps in TelegraphCQ come in two flavors (§4.1.2 of the paper):
+/// logical (tuple sequence numbers — memory needs of a window are known a
+/// priori) and physical (wall-clock — memory needs depend on arrival rate).
+/// Both are carried as int64 values; WindowSpec records which flavor a
+/// query's for-loop variable ranges over.
+using Timestamp = int64_t;
+
+constexpr Timestamp kMinTimestamp = INT64_MIN;
+constexpr Timestamp kMaxTimestamp = INT64_MAX;
+
+enum class TimeDomain {
+  kLogical,   ///< Tuple sequence numbers, starting at 1 per the paper.
+  kPhysical,  ///< Microseconds.
+};
+
+/// Monotonic source of logical timestamps for a stream.
+class LogicalClock {
+ public:
+  explicit LogicalClock(Timestamp start = 1) : next_(start) {}
+
+  /// Returns the next sequence number (consecutive, starting at `start`).
+  Timestamp Tick() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+  Timestamp Peek() const { return next_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Timestamp> next_;
+};
+
+/// Wall-clock microseconds. Used only by benches and physical-time sources;
+/// all tests run in the logical domain for determinism.
+inline Timestamp PhysicalNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A virtual clock that the simulation advances explicitly. Lets physical-
+/// time windows be tested deterministically.
+class VirtualClock {
+ public:
+  Timestamp Now() const { return now_.load(std::memory_order_acquire); }
+  void AdvanceTo(Timestamp t) { now_.store(t, std::memory_order_release); }
+  void AdvanceBy(Timestamp delta) {
+    now_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<Timestamp> now_{0};
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_COMMON_CLOCK_H_

@@ -1,0 +1,38 @@
+#include "common/logging.h"
+
+namespace tcq {
+
+std::atomic<int> Logger::threshold_{static_cast<int>(LogLevel::kWarn)};
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
+
+void Logger::Write(LogLevel level, const std::string& msg) {
+  if (!Enabled(level) && level != LogLevel::kFatal) return;
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::cerr << "[" << LevelName(level) << "] " << msg << "\n";
+}
+
+}  // namespace tcq

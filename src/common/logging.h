@@ -1,0 +1,92 @@
+#ifndef TCQ_COMMON_LOGGING_H_
+#define TCQ_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace tcq {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kFatal = 4,
+  kOff = 5,
+};
+
+/// Process-wide logging configuration. Default level is kWarn so tests and
+/// benchmarks stay quiet; examples raise it to kInfo.
+class Logger {
+ public:
+  static LogLevel threshold() {
+    return static_cast<LogLevel>(threshold_.load(std::memory_order_relaxed));
+  }
+  static void set_threshold(LogLevel level) {
+    threshold_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  static bool Enabled(LogLevel level) { return level >= threshold(); }
+
+  /// Serializes a formatted line to stderr.
+  static void Write(LogLevel level, const std::string& msg);
+
+ private:
+  static std::atomic<int> threshold_;
+};
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << file << ":" << line << "] ";
+  }
+  ~LogMessage() {
+    Logger::Write(level_, stream_.str());
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression when the level is disabled.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define TCQ_LOG_INTERNAL(level)                                    \
+  ::tcq::internal::LogMessage(level, __FILE__, __LINE__).stream()
+#define TCQ_LOG(severity)                                           \
+  !::tcq::Logger::Enabled(::tcq::LogLevel::k##severity)              \
+      ? (void)0                                                      \
+      : ::tcq::internal::LogMessageVoidify() &                       \
+            TCQ_LOG_INTERNAL(::tcq::LogLevel::k##severity)
+
+/// Invariant check that aborts (with message) in all build modes.
+#define TCQ_CHECK(cond)                                       \
+  (cond) ? (void)0                                            \
+         : ::tcq::internal::LogMessageVoidify() &             \
+               TCQ_LOG_INTERNAL(::tcq::LogLevel::kFatal)      \
+                   << "Check failed: " #cond " "
+
+#ifndef NDEBUG
+#define TCQ_DCHECK(cond) TCQ_CHECK(cond)
+#else
+#define TCQ_DCHECK(cond) \
+  while (false) TCQ_CHECK(cond)
+#endif
+
+}  // namespace tcq
+
+#endif  // TCQ_COMMON_LOGGING_H_

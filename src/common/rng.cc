@@ -1,0 +1,28 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace tcq {
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  if (n == 0) return 0;
+  if (s <= 0.0) return NextBounded(n);
+  // Inverse-CDF on the continuous approximation of the zipf distribution,
+  // which is accurate enough for skewed workload generation and O(1).
+  const double exponent = 1.0 - s;
+  double u = NextDouble();
+  double value;
+  if (std::fabs(exponent) < 1e-9) {
+    // s == 1: CDF ~ ln(x)/ln(n+1).
+    value = std::pow(static_cast<double>(n) + 1.0, u);
+  } else {
+    const double hi = std::pow(static_cast<double>(n) + 1.0, exponent);
+    value = std::pow(u * (hi - 1.0) + 1.0, 1.0 / exponent);
+  }
+  uint64_t rank = static_cast<uint64_t>(value);
+  if (rank >= 1) rank -= 1;
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+}  // namespace tcq

@@ -1,0 +1,82 @@
+#ifndef TCQ_COMMON_RNG_H_
+#define TCQ_COMMON_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace tcq {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**).
+/// Every stochastic component in the engine (sources, lottery routing,
+/// fault injection) takes one of these with an explicit seed so that tests
+/// and experiments are reproducible run-to-run.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator. Uses splitmix64 to expand the seed so that
+  /// small consecutive seeds give uncorrelated streams.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed rank in [0, n) with skew parameter s (s=0 uniform).
+  /// Uses rejection-inversion; adequate for workload generation.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// UniformRandomBitGenerator interface for <random>/<algorithm> interop.
+  uint64_t operator()() { return Next(); }
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_COMMON_RNG_H_

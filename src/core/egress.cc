@@ -1,0 +1,120 @@
+#include "core/egress.h"
+
+#include "common/logging.h"
+
+namespace tcq {
+
+EgressOperator::EgressOperator(Options options) : options_(options) {
+  TCQ_CHECK(options_.spool_capacity > 0);
+}
+
+Result<std::unique_ptr<EgressOperator>> EgressOperator::Attach(
+    Server* server, QueryId query) {
+  return Attach(server, query, Options());
+}
+
+Result<std::unique_ptr<EgressOperator>> EgressOperator::Attach(
+    Server* server, QueryId query, Options options) {
+  TCQ_CHECK(server != nullptr);
+  auto egress =
+      std::unique_ptr<EgressOperator>(new EgressOperator(options));
+  EgressOperator* raw = egress.get();
+  TCQ_RETURN_NOT_OK(server->SetCallback(
+      query, [raw](const ResultSet& rs) { raw->OnResult(rs); }));
+  return egress;
+}
+
+void EgressOperator::OnResult(const ResultSet& rs) {
+  ClientSink sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sink_) {
+      sink = sink_;  // Deliver outside the lock.
+      ++delivered_;
+    } else {
+      spool_.push_back(rs);
+      while (spool_.size() > options_.spool_capacity) {
+        spool_.pop_front();  // Shed the oldest: freshest results win.
+        ++shed_;
+      }
+    }
+  }
+  if (sink) sink(rs);
+}
+
+void EgressOperator::Connect(ClientSink sink) {
+  std::deque<ResultSet> backlog;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink_ = std::move(sink);
+    backlog.swap(spool_);
+    delivered_ += backlog.size();
+  }
+  for (const ResultSet& rs : backlog) sink_(rs);
+}
+
+void EgressOperator::Disconnect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = nullptr;
+}
+
+std::vector<ResultSet> EgressOperator::Fetch(size_t max_sets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ResultSet> out;
+  const size_t n = std::min(max_sets, spool_.size());
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(spool_.front()));
+    spool_.pop_front();
+  }
+  delivered_ += n;
+  return out;
+}
+
+size_t EgressOperator::spooled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spool_.size();
+}
+
+uint64_t EgressOperator::delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+uint64_t EgressOperator::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+StreamPumpModule::StreamPumpModule(std::string name, Server* server,
+                                   std::string stream, TupleQueuePtr in)
+    : FjordModule(std::move(name)),
+      server_(server),
+      stream_(std::move(stream)),
+      in_(std::move(in)) {
+  TCQ_CHECK(server_ != nullptr && in_ != nullptr);
+}
+
+FjordModule::StepResult StreamPumpModule::Step(size_t max_tuples) {
+  size_t work = 0;
+  while (work < max_tuples) {
+    auto t = in_->Dequeue();
+    if (!t.has_value()) {
+      if (work > 0) return StepResult::kDidWork;
+      return in_->Exhausted() ? StepResult::kDone : StepResult::kIdle;
+    }
+    ++work;
+    const Status st = server_->Push(stream_, *t);
+    if (st.ok()) {
+      ++pumped_;
+    } else {
+      // Out-of-order or malformed input: count and continue — a bad
+      // tuple must not wedge the wrapper (§4.2.3).
+      ++rejected_;
+      TCQ_LOG(Debug) << name() << ": " << st;
+    }
+  }
+  return StepResult::kDidWork;
+}
+
+}  // namespace tcq

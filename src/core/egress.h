@@ -1,0 +1,90 @@
+#ifndef TCQ_CORE_EGRESS_H_
+#define TCQ_CORE_EGRESS_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "core/server.h"
+#include "fjords/module.h"
+
+namespace tcq {
+
+/// An egress operator (§4.3): manages result delivery for one continuous
+/// query on behalf of a client that may be slow or intermittently
+/// connected (mobile). Results spool into a bounded buffer:
+///
+///  * push mode — while a client sink is connected, spooled and live
+///    result sets stream to it;
+///  * pull mode — a disconnected client's results accumulate (up to
+///    `spool_capacity` sets; beyond that the OLDEST sets are shed and
+///    counted — the §4.3 QoS decision of what work to drop), and are
+///    fetched in batches on reconnection.
+class EgressOperator {
+ public:
+  struct Options {
+    size_t spool_capacity = 4096;
+  };
+
+  /// Attaches to a submitted query (installs the server callback).
+  /// One egress operator per query.
+  static Result<std::unique_ptr<EgressOperator>> Attach(Server* server,
+                                                        QueryId query);
+  static Result<std::unique_ptr<EgressOperator>> Attach(Server* server,
+                                                        QueryId query,
+                                                        Options options);
+
+  using ClientSink = std::function<void(const ResultSet&)>;
+
+  /// Push mode on: flushes the spool to `sink`, then streams live results.
+  void Connect(ClientSink sink);
+
+  /// Back to pull mode: subsequent results spool.
+  void Disconnect();
+
+  /// Pull mode: removes and returns up to `max_sets` spooled result sets.
+  std::vector<ResultSet> Fetch(size_t max_sets = SIZE_MAX);
+
+  size_t spooled() const;
+  uint64_t delivered() const;
+  uint64_t shed() const;  ///< Result sets dropped to honor the spool bound.
+
+ private:
+  EgressOperator(Options options);
+
+  void OnResult(const ResultSet& rs);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::deque<ResultSet> spool_;
+  ClientSink sink_;
+  uint64_t delivered_ = 0;
+  uint64_t shed_ = 0;
+};
+
+/// A streamer in reverse: drains a Fjord tuple queue into a server stream.
+/// Lets ingress dataflows (SourceModule pipelines, unions, juggles) feed
+/// the query engine under ExecutionObject scheduling — the Wrapper-to-
+/// Executor hand-off of Figure 5.
+class StreamPumpModule : public FjordModule {
+ public:
+  StreamPumpModule(std::string name, Server* server, std::string stream,
+                   TupleQueuePtr in);
+
+  StepResult Step(size_t max_tuples) override;
+
+  uint64_t pumped() const { return pumped_; }
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  Server* server_;
+  std::string stream_;
+  TupleQueuePtr in_;
+  uint64_t pumped_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_CORE_EGRESS_H_

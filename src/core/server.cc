@@ -1,0 +1,313 @@
+#include "core/server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcq {
+
+namespace {
+
+/// Rewrites every column reference to its bare (unqualified) name. Used on
+/// the CACQ path: the shared engine's layout qualifies columns by stream
+/// name while queries may use private aliases; with a single source the
+/// bare names are unambiguous.
+ExprPtr StripQualifiers(const ExprPtr& e) {
+  if (e == nullptr) return nullptr;
+  switch (e->kind()) {
+    case ExprKind::kLiteral:
+    case ExprKind::kVariable:
+      return e;
+    case ExprKind::kColumn: {
+      const std::string& name = e->column_name();
+      const size_t dot = name.find('.');
+      return dot == std::string::npos ? e
+                                      : Expr::Column(name.substr(dot + 1));
+    }
+    case ExprKind::kUnary:
+      return Expr::Unary(e->unary_op(), StripQualifiers(e->left()));
+    case ExprKind::kBinary:
+      return Expr::Binary(e->binary_op(), StripQualifiers(e->left()),
+                          StripQualifiers(e->right()));
+    case ExprKind::kAggregate:
+      return Expr::Aggregate(e->agg_kind(), StripQualifiers(e->agg_arg()));
+  }
+  return e;
+}
+
+}  // namespace
+
+Server::Server() : Server(Options()) {}
+
+Server::Server(Options options) : options_(std::move(options)) {}
+
+Status Server::DefineStream(const std::string& name, SchemaPtr schema,
+                            int timestamp_field) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamDef def;
+  def.name = name;
+  def.schema = std::move(schema);
+  def.timestamp_field = timestamp_field;
+  TCQ_RETURN_NOT_OK(catalog_.RegisterStream(def));
+  StreamState state;
+  state.def = def;
+  state.archive = std::make_unique<Archive>(options_.retention_span);
+  streams_.emplace(name, std::move(state));
+  return Status::OK();
+}
+
+Status Server::DefineTable(const std::string& name, SchemaPtr schema,
+                           TupleVector rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamDef def;
+  def.name = name;
+  def.schema = std::move(schema);
+  return catalog_.RegisterTable(std::move(def), std::move(rows));
+}
+
+Result<QueryId> Server::Submit(const std::string& sql) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TCQ_ASSIGN_OR_RETURN(AnalyzedQuery analyzed, AnalyzeSql(sql, catalog_));
+
+  const QueryId qid = static_cast<QueryId>(queries_.size());
+  auto qs = std::make_unique<QueryState>();
+  qs->analyzed = std::move(analyzed);
+  const AnalyzedQuery& aq = qs->analyzed;
+
+  if (aq.cacq_eligible) {
+    // Standing single-stream filter: fold into the stream's shared eddy.
+    const std::string& stream = aq.defs[0].name;
+    StreamState& ss = streams_.at(stream);
+    if (ss.cacq == nullptr) {
+      CacqEngine::Options copts;
+      copts.policy = options_.policy;
+      copts.seed = options_.seed;
+      ss.cacq = std::make_unique<CacqEngine>(std::move(copts));
+      auto added = ss.cacq->AddStream(stream, ss.def.schema);
+      TCQ_CHECK(added.ok()) << added.status();
+      ss.cacq->SetSink([this, stream](QueryId engine_q, const Tuple& t) {
+        // mu_ is held by Push when this fires.
+        StreamState& s = streams_.at(stream);
+        auto it = s.cacq_to_server.find(engine_q);
+        if (it == s.cacq_to_server.end()) return;
+        QueryState* owner = queries_[it->second].get();
+        // Project per the query's select list.
+        std::vector<Value> cells;
+        cells.reserve(owner->analyzed.projections.size());
+        for (const ExprPtr& e : owner->analyzed.projections) {
+          cells.push_back(e->Eval(t));
+        }
+        ResultSet rs;
+        rs.t = t.timestamp();
+        rs.rows.push_back(Tuple::Make(std::move(cells), t.timestamp()));
+        std::vector<ResultSet> sets;
+        sets.push_back(std::move(rs));
+        DeliverResults(owner, std::move(sets));
+      });
+    }
+    CacqQuerySpec spec;
+    spec.sources = {stream};
+    spec.where = StripQualifiers(aq.parsed.where);
+    TCQ_ASSIGN_OR_RETURN(QueryId engine_q, ss.cacq->AddQuery(spec));
+    ss.cacq_to_server[engine_q] = qid;
+    qs->is_cacq = true;
+    qs->cacq_stream = stream;
+    qs->cacq_id = engine_q;
+  } else {
+    // Windowed / snapshot path: a QueryRunner over the archives.
+    std::vector<const Archive*> archives;
+    std::vector<TupleVector> table_rows;
+    Timestamp start_time = 1;
+    for (const StreamDef& def : aq.defs) {
+      if (def.is_table) {
+        archives.push_back(nullptr);
+        TCQ_ASSIGN_OR_RETURN(TupleVector rows,
+                             catalog_.GetTableRows(def.name));
+        table_rows.push_back(std::move(rows));
+        continue;
+      }
+      StreamState& ss = streams_.at(def.name);
+      archives.push_back(ss.archive.get());
+      table_rows.emplace_back();
+      start_time = std::max(start_time, ss.watermark + 1);
+    }
+    // Degenerate: table-only runners need a non-null archive slot.
+    static const Archive* const kEmptyArchive = new Archive();
+    for (auto& a : archives) {
+      if (a == nullptr) a = kEmptyArchive;
+    }
+    QueryRunner::Options ropts;
+    ropts.policy = options_.policy;
+    ropts.seed = options_.seed;
+    ropts.start_time = start_time;
+    qs->runner = std::make_unique<QueryRunner>(aq, std::move(archives),
+                                               std::move(table_rows), ropts);
+    // Table-only snapshots and past-window queries may already be
+    // executable: fire them now.
+    Timestamp hwm = kMaxTimestamp;
+    for (const StreamDef& def : aq.defs) {
+      if (!def.is_table) {
+        hwm = std::min(hwm, streams_.at(def.name).watermark);
+      }
+    }
+    std::vector<ResultSet> sets;
+    qs->runner->Advance(hwm == kMaxTimestamp ? 0 : hwm, &sets);
+    DeliverResults(qs.get(), std::move(sets));
+  }
+
+  qs->active = true;
+  queries_.push_back(std::move(qs));
+  return qid;
+}
+
+Status Server::SetCallback(QueryId q, Callback cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (q >= queries_.size() || !queries_[q]->active) {
+    return Status::NotFound("no such active query");
+  }
+  QueryState* qs = queries_[q].get();
+  qs->callback = std::move(cb);
+  // Flush anything already queued.
+  while (!qs->results.empty()) {
+    qs->callback(qs->results.front());
+    qs->results.pop_front();
+  }
+  return Status::OK();
+}
+
+Status Server::Cancel(QueryId q) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (q >= queries_.size() || !queries_[q]->active) {
+    return Status::NotFound("no such active query");
+  }
+  QueryState* qs = queries_[q].get();
+  qs->active = false;
+  if (qs->is_cacq) {
+    StreamState& ss = streams_.at(qs->cacq_stream);
+    TCQ_RETURN_NOT_OK(ss.cacq->RemoveQuery(qs->cacq_id));
+    ss.cacq_to_server.erase(qs->cacq_id);
+  }
+  qs->runner.reset();
+  qs->results.clear();
+  return Status::OK();
+}
+
+Result<SchemaPtr> Server::OutputSchema(QueryId q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (q >= queries_.size()) return Status::NotFound("no such query");
+  return queries_[q]->analyzed.output_schema;
+}
+
+Status Server::Push(const std::string& stream, const Tuple& tuple) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PushLocked(stream, tuple);
+}
+
+Status Server::PushLocked(const std::string& stream, const Tuple& tuple) {
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream: " + stream);
+  }
+  StreamState& ss = it->second;
+  if (tuple.arity() != ss.def.schema->num_fields()) {
+    return Status::InvalidArgument("tuple arity mismatch for " + stream);
+  }
+
+  // Stamp the engine timestamp: declared column or arrival order.
+  Tuple stamped = tuple;
+  ++ss.arrivals;
+  Timestamp ts;
+  if (ss.def.timestamp_field >= 0) {
+    const Value& v =
+        tuple.cell(static_cast<size_t>(ss.def.timestamp_field));
+    if (v.type() != ValueType::kInt64) {
+      return Status::TypeError("timestamp column must be INT64");
+    }
+    ts = v.int64_value();
+  } else {
+    ts = ss.arrivals;
+  }
+  if (ts < ss.watermark) {
+    return Status::InvalidArgument(
+        "out-of-order timestamp on " + stream + ": " + std::to_string(ts) +
+        " < watermark " + std::to_string(ss.watermark));
+  }
+  stamped.set_timestamp(ts);
+  ss.watermark = std::max(ss.watermark, ts);
+
+  // Spool into the archive that serves window scans.
+  ss.archive->Append(stamped);
+
+  // Shared standing filters see the tuple immediately.
+  if (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0) {
+    TCQ_RETURN_NOT_OK(ss.cacq->Inject(stream, stamped));
+  }
+
+  // Advance every windowed query whose footprint includes this stream.
+  for (auto& qptr : queries_) {
+    QueryState* qs = qptr.get();
+    if (!qs->active || qs->runner == nullptr || qs->runner->done()) continue;
+    bool touches = false;
+    Timestamp hwm = kMaxTimestamp;
+    for (const StreamDef& def : qs->analyzed.defs) {
+      if (def.is_table) continue;
+      if (def.name == stream) touches = true;
+      hwm = std::min(hwm, streams_.at(def.name).watermark);
+    }
+    if (!touches || hwm == kMaxTimestamp) continue;
+    std::vector<ResultSet> sets;
+    qs->runner->Advance(hwm, &sets);
+    if (!sets.empty()) DeliverResults(qs, std::move(sets));
+  }
+  return Status::OK();
+}
+
+Status Server::PushAll(const std::string& stream, TupleSource* source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (auto t = source->Next()) {
+    TCQ_RETURN_NOT_OK(PushLocked(stream, *t));
+  }
+  return Status::OK();
+}
+
+void Server::DeliverResults(QueryState* qs, std::vector<ResultSet>&& sets) {
+  for (ResultSet& rs : sets) {
+    if (qs->callback) {
+      qs->callback(rs);
+    } else {
+      qs->results.push_back(std::move(rs));
+    }
+  }
+}
+
+std::optional<ResultSet> Server::Poll(QueryId q) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (q >= queries_.size() || queries_[q]->results.empty()) {
+    return std::nullopt;
+  }
+  ResultSet rs = std::move(queries_[q]->results.front());
+  queries_[q]->results.pop_front();
+  return rs;
+}
+
+std::vector<ResultSet> Server::PollAll(QueryId q) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ResultSet> out;
+  if (q >= queries_.size()) return out;
+  auto& dq = queries_[q]->results;
+  out.assign(std::make_move_iterator(dq.begin()),
+             std::make_move_iterator(dq.end()));
+  dq.clear();
+  return out;
+}
+
+size_t Server::num_active_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& q : queries_) {
+    if (q->active) ++n;
+  }
+  return n;
+}
+
+}  // namespace tcq

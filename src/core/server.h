@@ -1,0 +1,126 @@
+#ifndef TCQ_CORE_SERVER_H_
+#define TCQ_CORE_SERVER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cacq/engine.h"
+#include "core/analyzer.h"
+#include "core/runner.h"
+#include "ingress/wrapper.h"
+#include "tuple/catalog.h"
+
+namespace tcq {
+
+/// The TelegraphCQ server facade: the in-process equivalent of the
+/// paper's FrontEnd + Executor + Wrapper processes (§4.2, Figure 5).
+///
+///  * DefineStream / DefineTable populate the system catalog;
+///  * Submit parses, analyzes and *dynamically folds in* a continuous
+///    query — windowed queries get a QueryRunner in the query class of
+///    their footprint, while standing single-stream filter queries join
+///    the per-stream CACQ shared eddy;
+///  * Push ingests stream data: it lands in the stream's archive (the
+///    spooled history a scanner serves window scans from), advances every
+///    runner whose footprint includes the stream, and routes through the
+///    CACQ engine;
+///  * results accumulate in per-query output queues, pulled with Poll —
+///    the PSoup-style separation of computation from delivery — or pushed
+///    through a callback.
+///
+/// Thread-safety: Push/Submit/Poll are serialized by one mutex; the
+/// heavy lifting stays single-threaded per call (wrap the server in
+/// ExecutionObject modules to scale across streams).
+class Server {
+ public:
+  struct Options {
+    std::string policy = "lottery";
+    uint64_t seed = 7;
+    /// Archive retention span per stream (how much history windows and
+    /// late-registered queries can reach back into).
+    Timestamp retention_span = kMaxTimestamp;
+  };
+
+  Server();
+  explicit Server(Options options);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // --- Catalog -----------------------------------------------------------
+  /// `timestamp_field`: column carrying the application timestamp used by
+  /// windows (-1 = arrival sequence numbers).
+  Status DefineStream(const std::string& name, SchemaPtr schema,
+                      int timestamp_field = -1);
+  Status DefineTable(const std::string& name, SchemaPtr schema,
+                     TupleVector rows);
+
+  // --- Queries -------------------------------------------------------------
+  /// Registers a continuous query; results accumulate until polled.
+  Result<QueryId> Submit(const std::string& sql);
+
+  /// Push-mode delivery for one query (egress operator): set before data
+  /// flows; results still accumulate for Poll when no callback is set.
+  using Callback = std::function<void(const ResultSet&)>;
+  Status SetCallback(QueryId q, Callback cb);
+
+  Status Cancel(QueryId q);
+
+  /// Output schema of a submitted query.
+  Result<SchemaPtr> OutputSchema(QueryId q) const;
+
+  // --- Data ------------------------------------------------------------------
+  /// Ingests one tuple. Its timestamp comes from the stream's declared
+  /// timestamp column (or arrival order), and every affected query
+  /// advances.
+  Status Push(const std::string& stream, const Tuple& tuple);
+
+  /// Convenience: drain a pull source into a stream.
+  Status PushAll(const std::string& stream, TupleSource* source);
+
+  // --- Results -----------------------------------------------------------------
+  /// Next undelivered result set of query q, if any.
+  std::optional<ResultSet> Poll(QueryId q);
+  /// All undelivered result sets of query q.
+  std::vector<ResultSet> PollAll(QueryId q);
+
+  size_t num_active_queries() const;
+
+ private:
+  struct QueryState {
+    bool active = false;
+    bool is_cacq = false;
+    AnalyzedQuery analyzed;
+    std::unique_ptr<QueryRunner> runner;     ///< Windowed path.
+    std::string cacq_stream;                 ///< CACQ path.
+    QueryId cacq_id = 0;
+    std::deque<ResultSet> results;
+    Callback callback;
+  };
+
+  struct StreamState {
+    StreamDef def;
+    std::unique_ptr<Archive> archive;
+    Timestamp watermark = kMinTimestamp;
+    int64_t arrivals = 0;
+    std::unique_ptr<CacqEngine> cacq;  ///< Lazily created shared eddy.
+    std::map<QueryId, QueryId> cacq_to_server;  ///< Engine qid -> server qid.
+  };
+
+  void DeliverResults(QueryState* qs, std::vector<ResultSet>&& sets);
+  Status PushLocked(const std::string& stream, const Tuple& tuple);
+
+  mutable std::mutex mu_;
+  Options options_;
+  Catalog catalog_;
+  std::map<std::string, StreamState> streams_;
+  std::vector<std::unique_ptr<QueryState>> queries_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_CORE_SERVER_H_

@@ -1,0 +1,212 @@
+#include "eddy/eddy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcq {
+
+namespace {
+/// Folds a bitset into one word (collision-free below 64 bits, which
+/// covers realistic source counts and all but enormous operator sets).
+uint64_t FoldBits(const SmallBitset& bits) {
+  uint64_t key = 0;
+  bits.ForEachSet([&](size_t i) { key |= uint64_t{1} << (i % 64); });
+  return key;
+}
+
+/// Batch-cache key for a tuple's routing *stage*: both its source
+/// composition and which operators it has already visited. Tuples at the
+/// same stage may legitimately share one routing decision.
+uint64_t StageKey(const RoutedTuple& rt) {
+  return FoldBits(rt.sources) * 0x9E3779B97F4A7C15ULL ^ FoldBits(rt.done);
+}
+}  // namespace
+
+Eddy::Eddy(const SourceLayout* layout, std::unique_ptr<RoutingPolicy> policy)
+    : Eddy(layout, std::move(policy), Options()) {}
+
+Eddy::Eddy(const SourceLayout* layout, std::unique_ptr<RoutingPolicy> policy,
+           Options options)
+    : layout_(layout), policy_(std::move(policy)), options_(options) {
+  TCQ_CHECK(layout_ != nullptr);
+  TCQ_CHECK(policy_ != nullptr);
+  TCQ_CHECK(options_.batch_size >= 1);
+  TCQ_CHECK(options_.fixed_sequence_length >= 1);
+}
+
+size_t Eddy::AddOperator(EddyOperatorPtr op, int group) {
+  TCQ_CHECK(op != nullptr);
+  ops_.push_back(std::move(op));
+  groups_.push_back(group);
+  is_probe_.push_back(ops_.back()->IsJoinProbe());
+  stats_.emplace_back();
+  cost_hints_.push_back(ops_.back()->CostHint());
+  decision_cache_.clear();  // Cached choices may now be stale.
+  return ops_.size() - 1;
+}
+
+void Eddy::Inject(size_t source, const Tuple& narrow) {
+  SmallBitset sources(layout_->num_sources());
+  sources.Set(source);
+  RoutedTuple rt(layout_->Widen(source, narrow), std::move(sources),
+                 ops_.size());
+  rt.tuple.set_seq(next_seq_++);  // Arrival order, for join dedup.
+  queue_.push_back(std::move(rt));
+}
+
+void Eddy::InjectRouted(RoutedTuple rt) {
+  if (rt.done.size_bits() < ops_.size()) rt.done.Resize(ops_.size());
+  if (rt.tuple.seq() == 0) rt.tuple.set_seq(next_seq_++);
+  queue_.push_back(std::move(rt));
+}
+
+void Eddy::EligibleOps(const RoutedTuple& rt,
+                       std::vector<size_t>* out) const {
+  out->clear();
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (!rt.done.Test(i) && ops_[i]->Eligible(rt.sources)) {
+      out->push_back(i);
+    }
+  }
+}
+
+std::vector<size_t> Eddy::SnapshotRanking() const {
+  std::vector<size_t> ranking(ops_.size());
+  for (size_t i = 0; i < ops_.size(); ++i) ranking[i] = i;
+  std::stable_sort(ranking.begin(), ranking.end(), [&](size_t a, size_t b) {
+    const double wa = stats_[a].tickets / std::max(cost_hints_[a], 1e-9);
+    const double wb = stats_[b].tickets / std::max(cost_hints_[b], 1e-9);
+    return wa > wb;
+  });
+  return ranking;
+}
+
+void Eddy::Complete(RoutedTuple&& rt) {
+  // Shared (CACQ) mode: the engine above decides per-query delivery from
+  // the tuple's composition and lineage.
+  if (partial_sink_) {
+    ++emitted_;
+    partial_sink_(std::move(rt));
+    return;
+  }
+  // Single-query mode: a tuple reaches the query output only when it spans
+  // every source of this Eddy; partial compositions have served their
+  // purpose (their state lives on inside SteMs awaiting future matches).
+  if (rt.sources.Count() == layout_->num_sources()) {
+    ++emitted_;
+    if (sink_) sink_(std::move(rt));
+  }
+}
+
+void Eddy::RouteOne(RoutedTuple rt) {
+  if (rt.done.size_bits() < ops_.size()) rt.done.Resize(ops_.size());
+
+  std::vector<size_t> eligible;
+  EligibleOps(rt, &eligible);
+  if (eligible.empty()) {
+    Complete(std::move(rt));
+    return;
+  }
+
+  // --- One routing decision (possibly served from the batch cache). ---
+  size_t chosen;
+  bool consulted = false;
+  if (options_.batch_size > 1) {
+    const uint64_t key = StageKey(rt);
+    auto it = decision_cache_.find(key);
+    if (it != decision_cache_.end() && it->second.remaining > 0 &&
+        std::find(eligible.begin(), eligible.end(), it->second.op) !=
+            eligible.end()) {
+      chosen = it->second.op;
+      --it->second.remaining;
+    } else {
+      chosen = policy_->Choose(eligible, stats_, cost_hints_);
+      ++decisions_;
+      consulted = true;
+      decision_cache_[key] = {chosen, options_.batch_size - 1};
+    }
+  } else {
+    chosen = policy_->Choose(eligible, stats_, cost_hints_);
+    ++decisions_;
+    consulted = true;
+  }
+  (void)consulted;
+
+  // --- Apply the chosen operator, then (optionally) a fixed sequence. ---
+  std::vector<size_t> ranking;
+  size_t applied = 0;
+  size_t next_op = chosen;
+  while (true) {
+    ++visits_;
+    EddyOpStats& s = stats_[next_op];
+    ++s.routed;
+    EddyOpResult result = ops_[next_op]->Process(rt);
+    rt.done.Set(next_op);
+    // Alternative access methods into the same target: visiting one
+    // satisfies all, so results are never duplicated across alternatives.
+    if (groups_[next_op] >= 0) {
+      for (size_t i = 0; i < ops_.size(); ++i) {
+        if (groups_[i] == groups_[next_op]) rt.done.Set(i);
+      }
+    }
+    // One-probe rule: after any join probe the tuple is spent for joining;
+    // its outputs (probe bits cleared below) carry the remaining work.
+    if (is_probe_[next_op]) {
+      for (size_t i = 0; i < ops_.size(); ++i) {
+        if (is_probe_[i]) rt.done.Set(i);
+      }
+    }
+    if (result.pass) ++s.passed;
+    s.produced += result.outputs.size();
+    policy_->Observe(next_op, result.pass, &stats_);
+
+    for (RoutedTuple& out : result.outputs) {
+      if (out.done.size_bits() < ops_.size()) out.done.Resize(ops_.size());
+      // Join outputs probe the targets they still miss: clear inherited
+      // probe marks (eligibility keeps them away from present targets).
+      for (size_t i = 0; i < ops_.size(); ++i) {
+        if (is_probe_[i]) out.done.Clear(i);
+      }
+      queue_.push_back(std::move(out));
+    }
+
+    if (!result.pass) return;  // Input consumed (dropped or absorbed).
+
+    EligibleOps(rt, &eligible);
+    if (eligible.empty()) {
+      Complete(std::move(rt));
+      return;
+    }
+    ++applied;
+    if (applied >= options_.fixed_sequence_length) break;
+
+    // Continue the fixed sequence: highest-ranked eligible operator under
+    // the decision-time snapshot, without consulting the policy again.
+    if (ranking.empty()) ranking = SnapshotRanking();
+    bool found = false;
+    for (size_t candidate : ranking) {
+      if (std::find(eligible.begin(), eligible.end(), candidate) !=
+          eligible.end()) {
+        next_op = candidate;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+  }
+
+  // Sequence budget exhausted with the tuple still alive: requeue at the
+  // front (depth-first keeps in-flight state bounded) for a new decision.
+  queue_.push_front(std::move(rt));
+}
+
+void Eddy::Drain() {
+  while (!queue_.empty()) {
+    RoutedTuple rt = std::move(queue_.front());
+    queue_.pop_front();
+    RouteOne(std::move(rt));
+  }
+}
+
+}  // namespace tcq

@@ -1,0 +1,147 @@
+#ifndef TCQ_EDDY_EDDY_H_
+#define TCQ_EDDY_EDDY_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "eddy/operator.h"
+#include "eddy/policy.h"
+#include "eddy/routed_tuple.h"
+
+namespace tcq {
+
+/// The Eddy (§2.2, [AH00]): an adaptive tuple router. Tuples injected from
+/// sources are routed, one policy decision at a time, through the set of
+/// connected operators until every applicable operator has handled them;
+/// tuples that then span all of the Eddy's sources are emitted to the sink.
+///
+/// "Adapting adaptivity" (§4.3) is exposed through two knobs:
+///  * batch_size — a routing decision is reused for the next batch_size-1
+///    tuples of the same source composition, amortizing decision cost;
+///  * fixed_sequence_length — each decision fixes a sequence of up to k
+///    operators (ranked by the decision-time ticket snapshot) that the
+///    tuple visits without further policy consultation.
+class Eddy {
+ public:
+  struct Options {
+    size_t batch_size = 1;
+    size_t fixed_sequence_length = 1;
+  };
+
+  /// `layout` must outlive the Eddy and is shared with its operators.
+  Eddy(const SourceLayout* layout, std::unique_ptr<RoutingPolicy> policy);
+  Eddy(const SourceLayout* layout, std::unique_ptr<RoutingPolicy> policy,
+       Options options);
+
+  Eddy(const Eddy&) = delete;
+  Eddy& operator=(const Eddy&) = delete;
+
+  /// Registers an operator; returns its index. Operators may be added
+  /// while the Eddy runs (new queries folding in) — in-flight tuples
+  /// simply become eligible for the new operator too.
+  ///
+  /// `group` >= 0 marks alternative access methods for the same logical
+  /// work (e.g. a SteM probe and a remote-index probe into the same
+  /// source): when a tuple visits one member, every member is marked done
+  /// for it, so alternatives never duplicate results. This is what lets an
+  /// Eddy "run both query plans at the same time" (§2.2) without wasted
+  /// or repeated matches.
+  size_t AddOperator(EddyOperatorPtr op, int group = -1);
+
+  size_t num_operators() const { return ops_.size(); }
+  const EddyOperatorPtr& op(size_t i) const { return ops_[i]; }
+
+  /// Sink for completed tuples (source set == all sources). The RoutedTuple
+  /// passes through so shared-mode consumers can read its query lineage.
+  void SetSink(std::function<void(RoutedTuple&&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Shared (CACQ) mode sink: receives EVERY tuple whose routing finished,
+  /// whatever its source composition — single-stream selection queries
+  /// consume base tuples while join queries consume composites. When set,
+  /// this replaces the full-composition sink entirely.
+  void SetPartialSink(std::function<void(RoutedTuple&&)> sink) {
+    partial_sink_ = std::move(sink);
+  }
+
+  /// Injects a narrow source tuple: widened, stamped, routed on Drain().
+  void Inject(size_t source, const Tuple& narrow);
+
+  /// Injects a pre-built routed tuple (shared mode sets `queries` first).
+  void InjectRouted(RoutedTuple rt);
+
+  /// Routes until the internal queue is empty.
+  void Drain();
+
+  /// Swaps the routing policy mid-flight (operator statistics persist).
+  void SetPolicy(std::unique_ptr<RoutingPolicy> policy) {
+    policy_ = std::move(policy);
+  }
+
+  /// Turns the §4.3 knobs while running (used by the KnobController).
+  void set_batch_size(size_t batch) {
+    options_.batch_size = batch < 1 ? 1 : batch;
+    decision_cache_.clear();
+  }
+  void set_fixed_sequence_length(size_t len) {
+    options_.fixed_sequence_length = len < 1 ? 1 : len;
+  }
+  size_t batch_size() const { return options_.batch_size; }
+  size_t fixed_sequence_length() const {
+    return options_.fixed_sequence_length;
+  }
+
+  const std::vector<EddyOpStats>& op_stats() const { return stats_; }
+  uint64_t decisions() const { return decisions_; }
+  uint64_t visits() const { return visits_; }
+  uint64_t emitted() const { return emitted_; }
+  const SourceLayout& layout() const { return *layout_; }
+
+ private:
+  /// Collects indexes of operators eligible for `rt` and not yet done.
+  void EligibleOps(const RoutedTuple& rt, std::vector<size_t>* out) const;
+
+  /// Routes one tuple one hop; re-enqueues it and its outputs as needed.
+  void RouteOne(RoutedTuple rt);
+
+  /// Emits or discards a tuple that no operator wants anymore.
+  void Complete(RoutedTuple&& rt);
+
+  /// Decision-time ranking used to fix operator sequences: ops sorted by
+  /// tickets/cost descending.
+  std::vector<size_t> SnapshotRanking() const;
+
+  const SourceLayout* layout_;
+  std::unique_ptr<RoutingPolicy> policy_;
+  Options options_;
+
+  std::vector<EddyOperatorPtr> ops_;
+  std::vector<int> groups_;
+  std::vector<bool> is_probe_;
+  std::vector<EddyOpStats> stats_;
+  std::vector<double> cost_hints_;
+  int64_t next_seq_ = 1;
+
+  std::deque<RoutedTuple> queue_;
+  std::function<void(RoutedTuple&&)> sink_;
+  std::function<void(RoutedTuple&&)> partial_sink_;
+
+  // Batch decision cache: source-set key -> (chosen op, uses remaining).
+  struct CachedDecision {
+    size_t op = 0;
+    size_t remaining = 0;
+  };
+  std::unordered_map<uint64_t, CachedDecision> decision_cache_;
+
+  uint64_t decisions_ = 0;
+  uint64_t visits_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_EDDY_EDDY_H_

@@ -1,0 +1,67 @@
+#include "eddy/knob_controller.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tcq {
+
+KnobController::KnobController(Eddy* eddy)
+    : KnobController(eddy, Options()) {}
+
+KnobController::KnobController(Eddy* eddy, Options options)
+    : eddy_(eddy), options_(options) {
+  TCQ_CHECK(eddy_ != nullptr);
+  TCQ_CHECK(options_.sample_interval > 0);
+  TCQ_CHECK(options_.min_batch >= 1);
+  TCQ_CHECK(options_.max_batch >= options_.min_batch);
+}
+
+bool KnobController::OnTuple() {
+  ++tuples_;
+  if (tuples_ % options_.sample_interval != 0) return false;
+  return Sample();
+}
+
+bool KnobController::Sample() {
+  const auto& stats = eddy_->op_stats();
+  if (windows_.size() < stats.size()) windows_.resize(stats.size());
+
+  bool drifting = false;
+  for (size_t i = 0; i < stats.size(); ++i) {
+    OpWindow& w = windows_[i];
+    const uint64_t routed_delta = stats[i].routed - w.routed;
+    const uint64_t passed_delta = stats[i].passed - w.passed;
+    w.routed = stats[i].routed;
+    w.passed = stats[i].passed;
+    if (routed_delta < options_.sample_interval / 8) {
+      continue;  // Too few observations this window to judge.
+    }
+    const double rate = static_cast<double>(passed_delta) /
+                        static_cast<double>(routed_delta);
+    if (w.last_rate >= 0.0 &&
+        std::fabs(rate - w.last_rate) > options_.drift_threshold) {
+      drifting = true;
+    }
+    w.last_rate = rate;
+  }
+
+  const size_t batch = eddy_->batch_size();
+  if (drifting && batch > options_.min_batch) {
+    // Change is fast: drop straight to small groups, decide often (§4.3).
+    // Growth back is gradual (doubling), so a false alarm costs little
+    // while a real drift gets maximum reaction speed.
+    eddy_->set_batch_size(options_.min_batch);
+    ++shrinks_;
+    return true;
+  }
+  if (!drifting && batch < options_.max_batch) {
+    // Change is slow: amortize decisions over bigger batches.
+    eddy_->set_batch_size(std::min(options_.max_batch, batch * 2));
+    ++grows_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tcq

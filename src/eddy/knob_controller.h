@@ -1,0 +1,65 @@
+#ifndef TCQ_EDDY_KNOB_CONTROLLER_H_
+#define TCQ_EDDY_KNOB_CONTROLLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eddy/eddy.h"
+
+namespace tcq {
+
+/// "Adapting adaptivity" (§4.3): a controller that turns the Eddy's
+/// batching knob automatically from observations of selectivity drift.
+///
+/// The paper: "these knobs serve as the primary mechanism for adapting
+/// the adaptivity of TelegraphCQ; implementing them requires ... policies
+/// for automatically turning knobs based on rates of change and relative
+/// selectivity."
+///
+/// Mechanism: the controller samples every operator's cumulative pass
+/// rate each `sample_interval` tuples and compares the *recent window*
+/// pass rate against the previous window's. When any operator's
+/// selectivity moved by more than `drift_threshold`, change is fast —
+/// the batch size halves (more decisions, faster reaction). When all
+/// operators look stable, the batch size doubles (fewer decisions, less
+/// overhead), up to `max_batch`.
+class KnobController {
+ public:
+  struct Options {
+    size_t sample_interval = 512;  ///< Tuples between samples.
+    double drift_threshold = 0.1;  ///< Pass-rate delta that counts as drift.
+    size_t min_batch = 1;
+    size_t max_batch = 256;
+  };
+
+  explicit KnobController(Eddy* eddy);
+  KnobController(Eddy* eddy, Options options);
+
+  /// Call once per injected tuple (cheap; does work only at sample
+  /// boundaries). Returns true when it adjusted a knob this call.
+  bool OnTuple();
+
+  size_t current_batch() const { return eddy_->batch_size(); }
+  uint64_t shrinks() const { return shrinks_; }
+  uint64_t grows() const { return grows_; }
+
+ private:
+  struct OpWindow {
+    uint64_t routed = 0;
+    uint64_t passed = 0;
+    double last_rate = -1.0;  ///< Previous window's pass rate; <0 = none.
+  };
+
+  bool Sample();
+
+  Eddy* eddy_;
+  Options options_;
+  uint64_t tuples_ = 0;
+  std::vector<OpWindow> windows_;
+  uint64_t shrinks_ = 0;
+  uint64_t grows_ = 0;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_EDDY_KNOB_CONTROLLER_H_

@@ -1,0 +1,78 @@
+#include "eddy/routed_tuple.h"
+
+namespace tcq {
+
+size_t SourceLayout::AddSource(std::string alias, SchemaPtr schema) {
+  TCQ_CHECK(schema != nullptr);
+  TCQ_CHECK(full_schema_ == nullptr)
+      << "cannot add sources after full_schema() was built";
+  const size_t index = aliases_.size();
+  offsets_.push_back(total_arity_);
+  total_arity_ += schema->num_fields();
+  aliases_.push_back(std::move(alias));
+  schemas_.push_back(std::move(schema));
+  return index;
+}
+
+const SchemaPtr& SourceLayout::full_schema() const {
+  if (full_schema_ == nullptr) {
+    std::vector<Field> fields;
+    fields.reserve(total_arity_);
+    for (size_t s = 0; s < schemas_.size(); ++s) {
+      for (const Field& f : schemas_[s]->fields()) {
+        Field qualified = f;
+        qualified.qualifier = aliases_[s];
+        fields.push_back(std::move(qualified));
+      }
+    }
+    full_schema_ = Schema::Make(std::move(fields));
+  }
+  return full_schema_;
+}
+
+size_t SourceLayout::SourceIndexOf(const std::string& alias) const {
+  for (size_t s = 0; s < aliases_.size(); ++s) {
+    if (aliases_[s] == alias) return s;
+  }
+  return aliases_.size();
+}
+
+Tuple SourceLayout::Widen(size_t source, const Tuple& narrow) const {
+  TCQ_DCHECK(source < num_sources());
+  TCQ_DCHECK(narrow.arity() == arity(source))
+      << "source " << aliases_[source] << " arity mismatch";
+  std::vector<Value> cells(total_arity_);  // All NULL.
+  const size_t base = offsets_[source];
+  for (size_t i = 0; i < narrow.arity(); ++i) {
+    cells[base + i] = narrow.cell(i);
+  }
+  Tuple wide(std::move(cells), narrow.timestamp());
+  wide.set_seq(narrow.seq());
+  return wide;
+}
+
+Tuple SourceLayout::MergeSparse(const Tuple& a, const Tuple& b) const {
+  TCQ_DCHECK(a.arity() == total_arity_ && b.arity() == total_arity_);
+  std::vector<Value> cells(total_arity_);
+  for (size_t i = 0; i < total_arity_; ++i) {
+    cells[i] = a.cell(i).is_null() ? b.cell(i) : a.cell(i);
+  }
+  const Timestamp ts =
+      a.timestamp() > b.timestamp() ? a.timestamp() : b.timestamp();
+  Tuple merged(std::move(cells), ts);
+  merged.set_seq(a.seq() > b.seq() ? a.seq() : b.seq());
+  return merged;
+}
+
+Tuple SourceLayout::Narrow(size_t source, const Tuple& wide) const {
+  TCQ_DCHECK(source < num_sources());
+  TCQ_DCHECK(wide.arity() == total_arity_);
+  std::vector<Value> cells;
+  const size_t base = offsets_[source];
+  const size_t n = arity(source);
+  cells.reserve(n);
+  for (size_t i = 0; i < n; ++i) cells.push_back(wide.cell(base + i));
+  return Tuple(std::move(cells), wide.timestamp());
+}
+
+}  // namespace tcq

@@ -1,0 +1,50 @@
+#ifndef TCQ_EXPR_PREDICATES_H_
+#define TCQ_EXPR_PREDICATES_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "expr/ast.h"
+
+namespace tcq {
+
+/// A single-variable boolean factor in canonical `column op constant` form —
+/// the shape CACQ indexes in grouped filters (§3.1).
+struct SimplePredicate {
+  std::string column;  ///< Possibly qualified column name.
+  BinaryOp op;         ///< One of the six comparisons.
+  Value constant;
+};
+
+/// An equi-join boolean factor `left_column = right_column` spanning two
+/// sources — the shape SteMs index (§2.2).
+struct EquiJoinPredicate {
+  std::string left_column;
+  std::string right_column;
+};
+
+/// Canonicalizes `expr` as a SimplePredicate if it is a comparison between
+/// one column and one literal (either orientation; `5 < x` flips to
+/// `x > 5`). Returns nullopt otherwise.
+std::optional<SimplePredicate> MatchSimplePredicate(const ExprPtr& expr);
+
+/// Matches `colA = colB` (equality only, both sides bare columns).
+std::optional<EquiJoinPredicate> MatchEquiJoin(const ExprPtr& expr);
+
+/// Mirrors a comparison across `=` (applies when operands are swapped):
+/// < becomes >, <= becomes >=, =/!= unchanged.
+BinaryOp FlipComparison(BinaryOp op);
+
+/// The qualifier ("c1" in "c1.price") or "" when the name is bare.
+std::string QualifierOf(const std::string& column_name);
+
+/// The set of qualifiers referenced by the expression's columns. Bare
+/// columns (no qualifier) contribute "" — the analyzer resolves those to a
+/// unique source before classification.
+std::set<std::string> CollectQualifiers(const ExprPtr& expr);
+
+}  // namespace tcq
+
+#endif  // TCQ_EXPR_PREDICATES_H_

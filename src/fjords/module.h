@@ -1,0 +1,49 @@
+#ifndef TCQ_FJORDS_MODULE_H_
+#define TCQ_FJORDS_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fjords/queue.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+using TupleQueue = FjordQueue<Tuple>;
+using TupleQueuePtr = std::shared_ptr<TupleQueue>;
+
+/// A dataflow module scheduled non-preemptively (the paper's Dispatch Unit
+/// abstraction, §4.2.2). A module owns references to its input/output
+/// Fjord queues and performs a bounded quantum of work per Step() call,
+/// maintaining its own state between calls — never blocking the scheduler
+/// for longer than one quantum.
+class FjordModule {
+ public:
+  /// Outcome of one scheduling quantum.
+  enum class StepResult {
+    kDidWork,  ///< Consumed or produced at least one tuple.
+    kIdle,     ///< Nothing to do right now (inputs empty, outputs full).
+    kDone,     ///< Finished permanently (inputs exhausted, state flushed).
+  };
+
+  explicit FjordModule(std::string name) : name_(std::move(name)) {}
+  virtual ~FjordModule() = default;
+
+  FjordModule(const FjordModule&) = delete;
+  FjordModule& operator=(const FjordModule&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Performs up to `max_tuples` tuples worth of work.
+  virtual StepResult Step(size_t max_tuples) = 0;
+
+ private:
+  std::string name_;
+};
+
+using FjordModulePtr = std::shared_ptr<FjordModule>;
+
+}  // namespace tcq
+
+#endif  // TCQ_FJORDS_MODULE_H_

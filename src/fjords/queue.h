@@ -1,0 +1,158 @@
+#ifndef TCQ_FJORDS_QUEUE_H_
+#define TCQ_FJORDS_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/logging.h"
+
+namespace tcq {
+
+/// Blocking behaviour of one end of a Fjord queue (§2.3 of the paper).
+enum class QueueEnd {
+  kBlocking,     ///< The call waits (producer for space, consumer for data).
+  kNonBlocking,  ///< The call returns immediately, reporting failure.
+};
+
+/// Configuration of a Fjord queue. The paper's three named flavors:
+///  * pull-queue:     blocking enqueue + blocking dequeue
+///  * push-queue:     non-blocking enqueue + non-blocking dequeue
+///  * Exchange:       non-blocking enqueue + blocking dequeue [Graf93]
+struct QueueOptions {
+  size_t capacity = 1024;
+  QueueEnd enqueue = QueueEnd::kBlocking;
+  QueueEnd dequeue = QueueEnd::kBlocking;
+  /// When true, a non-blocking enqueue on a full queue drops the oldest
+  /// element instead of failing — a simple load-shedding knob for QoS
+  /// experiments (§4.3 "deciding what work to drop").
+  bool drop_oldest_when_full = false;
+};
+
+/// A bounded MPMC queue connecting a producer module to a consumer module.
+/// Fjords let plans mix push and pull edges so that operators can be written
+/// agnostic to whether their inputs are streamed or static.
+///
+/// End-of-stream: the producer calls Close(); consumers then drain the
+/// remaining elements and observe closed() + empty.
+template <typename T>
+class FjordQueue {
+ public:
+  explicit FjordQueue(QueueOptions options = {}) : options_(options) {
+    TCQ_CHECK(options_.capacity > 0) << "queue capacity must be positive";
+  }
+
+  FjordQueue(const FjordQueue&) = delete;
+  FjordQueue& operator=(const FjordQueue&) = delete;
+
+  const QueueOptions& options() const { return options_; }
+
+  /// Inserts an element according to the configured enqueue mode.
+  /// Returns false only when the element was not inserted: the queue is
+  /// closed, or it is full in non-blocking mode (without drop_oldest).
+  bool Enqueue(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return false;
+    if (items_.size() >= options_.capacity) {
+      if (options_.enqueue == QueueEnd::kNonBlocking) {
+        if (!options_.drop_oldest_when_full) return false;
+        items_.pop_front();
+        ++dropped_;
+      } else {
+        not_full_.wait(lock, [&] {
+          return items_.size() < options_.capacity || closed_;
+        });
+        if (closed_) return false;
+      }
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Removes the next element according to the configured dequeue mode.
+  /// Returns nullopt when no element is available: queue empty in
+  /// non-blocking mode, or closed and fully drained in blocking mode.
+  std::optional<T> Dequeue() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (options_.dequeue == QueueEnd::kNonBlocking) {
+      if (items_.empty()) return std::nullopt;
+    } else {
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+      if (items_.empty()) return std::nullopt;  // Closed and drained.
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking peek at emptiness (racy by nature; for scheduling hints).
+  bool Empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.empty();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// Elements discarded by the drop_oldest_when_full policy.
+  size_t DroppedCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+
+  /// Marks end-of-stream. Wakes all blocked producers and consumers.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// True once the stream is finished: closed and drained.
+  bool Exhausted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_ && items_.empty();
+  }
+
+ private:
+  const QueueOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  size_t dropped_ = 0;
+  bool closed_ = false;
+};
+
+/// Convenience constructors for the paper's three queue flavors.
+inline QueueOptions PullQueueOptions(size_t capacity = 1024) {
+  return QueueOptions{capacity, QueueEnd::kBlocking, QueueEnd::kBlocking,
+                      false};
+}
+inline QueueOptions PushQueueOptions(size_t capacity = 1024) {
+  return QueueOptions{capacity, QueueEnd::kNonBlocking,
+                      QueueEnd::kNonBlocking, false};
+}
+inline QueueOptions ExchangeQueueOptions(size_t capacity = 1024) {
+  return QueueOptions{capacity, QueueEnd::kNonBlocking, QueueEnd::kBlocking,
+                      false};
+}
+
+}  // namespace tcq
+
+#endif  // TCQ_FJORDS_QUEUE_H_

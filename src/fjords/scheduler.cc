@@ -1,0 +1,122 @@
+#include "fjords/scheduler.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace tcq {
+
+ExecutionObject::ExecutionObject(std::string name)
+    : ExecutionObject(std::move(name), Options()) {}
+
+ExecutionObject::ExecutionObject(std::string name, Options options)
+    : name_(std::move(name)), options_(options) {}
+
+ExecutionObject::~ExecutionObject() { Stop(); }
+
+void ExecutionObject::AddModule(FjordModulePtr module) {
+  TCQ_CHECK(module != nullptr);
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_.push_back(std::move(module));
+}
+
+void ExecutionObject::DrainPending() {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  for (auto& m : pending_) {
+    modules_.push_back(std::move(m));
+    done_.push_back(false);
+  }
+  pending_.clear();
+}
+
+bool ExecutionObject::RunRound(bool* all_done) {
+  DrainPending();
+  bool any_work = false;
+  bool everyone_done = !modules_.empty();
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (done_[i]) continue;
+    const FjordModule::StepResult r = modules_[i]->Step(options_.quantum);
+    switch (r) {
+      case FjordModule::StepResult::kDidWork:
+        any_work = true;
+        everyone_done = false;
+        work_quanta_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FjordModule::StepResult::kIdle:
+        everyone_done = false;
+        break;
+      case FjordModule::StepResult::kDone:
+        done_[i] = true;
+        break;
+    }
+  }
+  // A module marked done during this round still counts toward completion.
+  if (everyone_done) {
+    for (bool d : done_) everyone_done = everyone_done && d;
+  }
+  *all_done = everyone_done && !modules_.empty();
+  return any_work;
+}
+
+void ExecutionObject::ThreadMain() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    bool all_done = false;
+    const bool any_work = RunRound(&all_done);
+    if (all_done) {
+      // Re-check for dynamically added modules before declaring completion.
+      DrainPending();
+      bool still_done = true;
+      for (bool d : done_) still_done = still_done && d;
+      if (still_done && done_.size() == modules_.size()) {
+        all_done_.store(true, std::memory_order_release);
+        // Stay alive: new queries may still be folded in. Sleep politely.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.idle_sleep_micros));
+        continue;
+      }
+    }
+    all_done_.store(all_done, std::memory_order_release);
+    if (!any_work) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.idle_sleep_micros));
+    }
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void ExecutionObject::Start() {
+  TCQ_CHECK(!running_.load()) << "EO " << name_ << " already started";
+  stop_requested_.store(false);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void ExecutionObject::Stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void ExecutionObject::Join() {
+  while (running() && !all_done_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  Stop();
+}
+
+void ExecutionObject::RunToCompletion() {
+  TCQ_CHECK(!running_.load()) << "EO " << name_ << " is running on a thread";
+  while (true) {
+    bool all_done = false;
+    const bool any_work = RunRound(&all_done);
+    if (all_done) return;
+    if (!any_work) {
+      // Single-threaded mode: idle with no thread to produce more work
+      // means sources are non-blocking and temporarily dry; spin politely.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.idle_sleep_micros));
+    }
+  }
+}
+
+}  // namespace tcq

@@ -1,0 +1,86 @@
+#ifndef TCQ_FJORDS_SCHEDULER_H_
+#define TCQ_FJORDS_SCHEDULER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fjords/module.h"
+
+namespace tcq {
+
+/// An Execution Object (§4.2.2): one system thread providing execution
+/// context for a set of non-preemptive Dispatch Units (FjordModules),
+/// scheduled round-robin. Modules can be added while the EO runs (dynamic
+/// fold-in of fresh query plans).
+class ExecutionObject {
+ public:
+  struct Options {
+    /// Tuples each module may process per quantum (the batching knob of
+    /// §4.3 at the scheduler level).
+    size_t quantum = 64;
+    /// Microseconds to sleep when a full round finds no work.
+    size_t idle_sleep_micros = 50;
+  };
+
+  explicit ExecutionObject(std::string name);
+  ExecutionObject(std::string name, Options options);
+  ~ExecutionObject();
+
+  ExecutionObject(const ExecutionObject&) = delete;
+  ExecutionObject& operator=(const ExecutionObject&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Registers a module. Safe to call before Start() or while running.
+  void AddModule(FjordModulePtr module);
+
+  /// Launches the scheduling thread.
+  void Start();
+
+  /// Requests shutdown and joins the thread. Idempotent.
+  void Stop();
+
+  /// Blocks until every registered module reports kDone, then stops.
+  void Join();
+
+  /// Runs the scheduling loop on the caller's thread until all modules are
+  /// done (single-threaded mode; used by tests and deterministic benches).
+  void RunToCompletion();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Total Step() calls that returned kDidWork (scheduling statistic).
+  uint64_t work_quanta() const {
+    return work_quanta_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One pass over all live modules. Returns true if any module did work;
+  /// sets *all_done if every module has finished.
+  bool RunRound(bool* all_done);
+  void ThreadMain();
+  void DrainPending();
+
+  const std::string name_;
+  const Options options_;
+
+  std::mutex pending_mu_;
+  std::vector<FjordModulePtr> pending_;
+
+  std::vector<FjordModulePtr> modules_;  // Owned by the scheduler thread.
+  std::vector<bool> done_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> all_done_{false};
+  std::atomic<uint64_t> work_quanta_{0};
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_FJORDS_SCHEDULER_H_

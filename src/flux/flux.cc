@@ -1,0 +1,354 @@
+#include "flux/flux.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcq {
+
+FluxCluster::FluxCluster() : FluxCluster(Options()) {}
+
+FluxCluster::FluxCluster(Options options) : options_(options) {
+  TCQ_CHECK(options_.num_nodes > 0);
+  TCQ_CHECK(options_.num_partitions > 0);
+  TCQ_CHECK(options_.capacity_per_tick > 0);
+  nodes_.resize(options_.num_nodes);
+  owner_.resize(options_.num_partitions);
+  if (!options_.initial_owner.empty()) {
+    TCQ_CHECK(options_.initial_owner.size() == options_.num_partitions);
+    for (size_t p = 0; p < options_.num_partitions; ++p) {
+      TCQ_CHECK(options_.initial_owner[p] < options_.num_nodes);
+      owner_[p] = options_.initial_owner[p];
+    }
+  } else {
+    for (size_t p = 0; p < options_.num_partitions; ++p) {
+      owner_[p] = p % options_.num_nodes;
+    }
+  }
+}
+
+size_t FluxCluster::PartitionOf(const Value& key) const {
+  return key.Hash() % options_.num_partitions;
+}
+
+size_t FluxCluster::ReplicaNodeOf(size_t partition) const {
+  // Standby lives one node past the primary (process-pair style).
+  return (owner_[partition] + 1) % nodes_.size();
+}
+
+void FluxCluster::RouteTuple(Pending p) {
+  const size_t partition = PartitionOf(p.tuple.cell(0));
+  // Partitions mid-move buffer at the exchange (the Flux state-movement
+  // protocol's pause phase) and drain to the new owner on completion.
+  if (auto it = move_buffer_.find(partition); it != move_buffer_.end()) {
+    it->second.push_back(std::move(p));
+    return;
+  }
+  const size_t node = owner_[partition];
+  if (!nodes_[node].alive) {
+    // No live owner (unrecovered failure): the update is lost.
+    ++dropped_no_owner_;
+    in_flight_.erase(p.id);
+    return;
+  }
+  in_flight_.emplace(p.id, p.tuple);
+  nodes_[node].queue.push_back(std::move(p));
+}
+
+void FluxCluster::Feed(const TupleVector& batch) {
+  for (const Tuple& t : batch) {
+    TCQ_DCHECK(t.arity() >= 2) << "Flux feed expects (key, value) tuples";
+    RouteTuple(Pending{t, next_id_++});
+  }
+}
+
+void FluxCluster::Apply(Node* node, size_t partition, const Tuple& t) {
+  const Value& key = t.cell(0);
+  KeyState& ks = node->state[partition][key];
+  ks.count += 1;
+  ks.sum += t.cell(1).AsDouble();
+  if (options_.enable_replication) {
+    const size_t rn = ReplicaNodeOf(partition);
+    if (nodes_[rn].alive && &nodes_[rn] != node) {
+      KeyState& rs = nodes_[rn].replicas[partition][key];
+      rs.count += 1;
+      rs.sum += t.cell(1).AsDouble();
+    }
+  }
+}
+
+size_t FluxCluster::Tick() {
+  ++ticks_;
+  size_t processed_total = 0;
+  for (Node& node : nodes_) {
+    if (!node.alive) continue;
+    // Mirrored updates consume extra capacity: the replication QoS knob.
+    size_t budget = options_.capacity_per_tick;
+    if (options_.enable_replication) {
+      budget = static_cast<size_t>(static_cast<double>(budget) /
+                                   (1.0 + options_.replication_cost));
+      if (budget == 0) budget = 1;
+    }
+    while (budget > 0 && !node.queue.empty()) {
+      Pending p = std::move(node.queue.front());
+      node.queue.pop_front();
+      const size_t partition = PartitionOf(p.tuple.cell(0));
+      Apply(&node, partition, p.tuple);
+      in_flight_.erase(p.id);
+      ++node.processed;
+      ++processed_total;
+      --budget;
+    }
+  }
+  AdvanceMove();
+  Controller();
+  return processed_total;
+}
+
+size_t FluxCluster::Run(size_t max_ticks) {
+  size_t t = 0;
+  while (t < max_ticks) {
+    ++t;
+    Tick();
+    if (total_backlog() == 0 && active_move_ == nullptr &&
+        move_buffer_.empty()) {
+      break;
+    }
+  }
+  return t;
+}
+
+void FluxCluster::Controller() {
+  if (!options_.enable_repartitioning || active_move_ != nullptr) return;
+  if (ticks_ < cooldown_until_) return;
+
+  // Compute backlog distribution over live nodes.
+  size_t alive = 0;
+  size_t total = 0;
+  size_t max_backlog = 0, max_node = 0;
+  size_t min_backlog = SIZE_MAX, min_node = 0;
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    if (!nodes_[n].alive) continue;
+    ++alive;
+    const size_t b = nodes_[n].queue.size();
+    total += b;
+    if (b > max_backlog) {
+      max_backlog = b;
+      max_node = n;
+    }
+    if (b < min_backlog) {
+      min_backlog = b;
+      min_node = n;
+    }
+  }
+  if (alive < 2 || max_backlog < options_.min_backlog_for_move) return;
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(alive);
+  if (static_cast<double>(max_backlog) <
+      options_.imbalance_threshold * std::max(avg, 1.0)) {
+    return;
+  }
+
+  // Pick the overloaded node's hottest partition by queued share, but not
+  // one responsible for (almost) all its load if it owns only that one —
+  // moving the sole hot partition to the idlest node still helps.
+  std::map<size_t, size_t> queued_per_partition;
+  for (const Pending& p : nodes_[max_node].queue) {
+    ++queued_per_partition[PartitionOf(p.tuple.cell(0))];
+  }
+  size_t best_partition = SIZE_MAX, best_count = 0;
+  for (const auto& [partition, count] : queued_per_partition) {
+    if (owner_[partition] == max_node && count > best_count) {
+      best_count = count;
+      best_partition = partition;
+    }
+  }
+  if (best_partition == SIZE_MAX) return;
+  StartMove(best_partition, max_node, min_node);
+}
+
+void FluxCluster::StartMove(size_t partition, size_t from, size_t to) {
+  TCQ_DCHECK(owner_[partition] == from);
+  move_buffer_.emplace(partition, std::deque<Pending>());
+  Node& src = nodes_[from];
+  // Pull this partition's queued-but-unprocessed tuples into the buffer so
+  // they are applied by the new owner after the state lands.
+  std::deque<Pending> keep;
+  for (Pending& p : src.queue) {
+    if (PartitionOf(p.tuple.cell(0)) == partition) {
+      move_buffer_[partition].push_back(std::move(p));
+    } else {
+      keep.push_back(std::move(p));
+    }
+  }
+  src.queue = std::move(keep);
+
+  const size_t entries = src.state.count(partition) != 0
+                             ? src.state[partition].size()
+                             : 0;
+  active_move_ =
+      std::make_unique<Move>(Move{partition, from, to, entries});
+}
+
+void FluxCluster::AdvanceMove() {
+  if (active_move_ == nullptr) return;
+  Move& mv = *active_move_;
+  // Transfer proceeds at transfer_rate entries per tick.
+  mv.entries_left -= std::min(mv.entries_left, options_.transfer_rate);
+  if (mv.entries_left > 0) return;
+
+  // Completion: install the state at the new owner, flip the routing
+  // table, re-home the standby copy, and release buffered tuples.
+  Node& src = nodes_[mv.from];
+  Node& dst = nodes_[mv.to];
+  if (src.alive && src.state.count(mv.partition) != 0) {
+    moved_entries_ += src.state[mv.partition].size();
+    dst.state[mv.partition] = std::move(src.state[mv.partition]);
+    src.state.erase(mv.partition);
+  }
+  owner_[mv.partition] = mv.to;
+  ++moves_;
+  if (options_.enable_replication) {
+    // Re-home the standby: drop the old copy, mirror the fresh primary.
+    for (Node& n : nodes_) n.replicas.erase(mv.partition);
+    const size_t rn = ReplicaNodeOf(mv.partition);
+    if (nodes_[rn].alive && rn != mv.to &&
+        dst.state.count(mv.partition) != 0) {
+      nodes_[rn].replicas[mv.partition] = dst.state[mv.partition];
+    }
+  }
+
+  std::deque<Pending> buffered = std::move(move_buffer_[mv.partition]);
+  move_buffer_.erase(mv.partition);
+  active_move_ = nullptr;
+  cooldown_until_ = ticks_ + options_.move_cooldown_ticks;
+  for (Pending& p : buffered) {
+    in_flight_.erase(p.id);  // RouteTuple re-registers.
+    RouteTuple(std::move(p));
+  }
+}
+
+Status FluxCluster::KillNode(size_t node) {
+  if (node >= nodes_.size()) return Status::OutOfRange("no such node");
+  Node& victim = nodes_[node];
+  if (!victim.alive) return Status::FailedPrecondition("node already dead");
+  victim.alive = false;
+
+  // A move touching the victim aborts; its buffered tuples reroute after
+  // failover below.
+  std::deque<Pending> stranded;
+  if (active_move_ != nullptr &&
+      (active_move_->from == node || active_move_->to == node)) {
+    stranded = std::move(move_buffer_[active_move_->partition]);
+    move_buffer_.erase(active_move_->partition);
+    active_move_ = nullptr;
+  }
+
+  FailoverNode(node);
+
+  // Replay: the victim's queued (unprocessed) tuples are still in the
+  // exchange's in-flight store; reroute them to the new owners.
+  std::deque<Pending> queued = std::move(victim.queue);
+  victim.queue.clear();
+  for (Pending& p : queued) {
+    ++replayed_;
+    in_flight_.erase(p.id);
+    RouteTuple(std::move(p));
+  }
+  for (Pending& p : stranded) {
+    in_flight_.erase(p.id);
+    RouteTuple(std::move(p));
+  }
+  return Status::OK();
+}
+
+void FluxCluster::FailoverNode(size_t node) {
+  // Choose new owners for every partition the victim owned.
+  for (size_t p = 0; p < owner_.size(); ++p) {
+    if (owner_[p] != node) continue;
+    const size_t standby = (node + 1) % nodes_.size();
+
+    if (options_.enable_replication && nodes_[standby].alive &&
+        nodes_[standby].replicas.count(p) != 0) {
+      // Promote the standby copy: no state loss.
+      nodes_[standby].state[p] = std::move(nodes_[standby].replicas[p]);
+      nodes_[standby].replicas.erase(p);
+      owner_[p] = standby;
+    } else {
+      // No replica: the partition restarts empty on some live node.
+      size_t chosen = SIZE_MAX;
+      for (size_t n = 1; n < nodes_.size(); ++n) {
+        const size_t cand = (node + n) % nodes_.size();
+        if (nodes_[cand].alive) {
+          chosen = cand;
+          break;
+        }
+      }
+      if (nodes_[node].state.count(p) != 0) {
+        for (const auto& [key, ks] : nodes_[node].state[p]) {
+          lost_updates_ += static_cast<uint64_t>(ks.count);
+        }
+      }
+      if (chosen != SIZE_MAX) owner_[p] = chosen;
+    }
+    nodes_[node].state.erase(p);
+  }
+  // Standby copies the victim held for other primaries are gone; re-mirror
+  // them from the live primaries.
+  nodes_[node].replicas.clear();
+  if (options_.enable_replication) {
+    for (size_t p = 0; p < owner_.size(); ++p) {
+      const size_t rn = ReplicaNodeOf(p);
+      Node& owner_node = nodes_[owner_[p]];
+      if (rn != owner_[p] && nodes_[rn].alive &&
+          nodes_[rn].replicas.count(p) == 0 &&
+          owner_node.state.count(p) != 0) {
+        nodes_[rn].replicas[p] = owner_node.state[p];
+      }
+    }
+  }
+}
+
+std::map<Value, FluxCluster::KeyState> FluxCluster::Snapshot() const {
+  std::map<Value, KeyState> merged;
+  for (const Node& node : nodes_) {
+    if (!node.alive) continue;
+    for (const auto& [partition, keys] : node.state) {
+      if (owner_[partition] != static_cast<size_t>(&node - nodes_.data())) {
+        continue;  // Stale copy (shouldn't happen; defensive).
+      }
+      for (const auto& [key, ks] : keys) {
+        KeyState& m = merged[key];
+        m.count += ks.count;
+        m.sum += ks.sum;
+      }
+    }
+  }
+  return merged;
+}
+
+FluxCluster::NodeStats FluxCluster::node_stats(size_t node) const {
+  NodeStats s;
+  const Node& n = nodes_[node];
+  s.alive = n.alive;
+  s.backlog = n.queue.size();
+  s.processed = n.processed;
+  for (size_t p = 0; p < owner_.size(); ++p) {
+    if (owner_[p] == node) ++s.partitions_owned;
+  }
+  return s;
+}
+
+size_t FluxCluster::max_backlog() const {
+  size_t m = 0;
+  for (const Node& n : nodes_) m = std::max(m, n.queue.size());
+  return m;
+}
+
+size_t FluxCluster::total_backlog() const {
+  size_t t = 0;
+  for (const Node& n : nodes_) t += n.queue.size();
+  return t;
+}
+
+}  // namespace tcq

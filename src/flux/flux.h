@@ -1,0 +1,168 @@
+#ifndef TCQ_FLUX_FLUX_H_
+#define TCQ_FLUX_FLUX_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "tuple/tuple.h"
+#include "tuple/value.h"
+
+namespace tcq {
+
+/// Flux (§2.4, [SHCF03]): a fault-tolerant, load-balancing exchange for
+/// partitioned continuous dataflows, reproduced on a simulated
+/// shared-nothing cluster. Each "node" is a simulated machine with an
+/// input queue, bounded per-tick processing capacity, and the partition
+/// state of a keyed streaming aggregate (the canonical stateful consumer).
+///
+/// The simulation advances in discrete ticks (deterministic):
+///   * Feed() routes tuples through the exchange to nodes by the
+///     partition routing table (in-flight copies are retained until the
+///     owning node processes them, enabling replay after a failure);
+///   * Tick() lets every live node drain up to `capacity` tuples, then
+///     runs the Flux controller, which (a) detects load imbalance and
+///     repartitions online — moving a partition's state with a
+///     pause/buffer/resume protocol that costs transfer ticks — and
+///     (b) applies replica maintenance for fault tolerance;
+///   * KillNode() injects a machine fault. Replicated partitions fail
+///     over to their standby copy and in-flight tuples are replayed;
+///     unreplicated state is lost (observable in the final aggregate).
+class FluxCluster {
+ public:
+  struct Options {
+    size_t num_nodes = 4;
+    size_t num_partitions = 64;
+    /// Tuples each node can process per tick.
+    size_t capacity_per_tick = 128;
+    /// State entries transferable per tick during a partition move.
+    size_t transfer_rate = 256;
+    bool enable_repartitioning = true;
+    /// Trigger a move when max node backlog exceeds threshold * average.
+    double imbalance_threshold = 1.75;
+    /// Minimum backlog before imbalance is even considered.
+    size_t min_backlog_for_move = 64;
+    /// Ticks to wait after a move completes before considering another —
+    /// gives the new owner time to drain, preventing move ping-pong.
+    size_t move_cooldown_ticks = 8;
+    /// Process-pair replication: each partition keeps a standby copy on
+    /// the next node; updates are mirrored (costing capacity).
+    bool enable_replication = false;
+    /// Capacity cost multiplier for mirrored updates.
+    double replication_cost = 0.5;
+    /// Initial partition -> node routing table; empty = round-robin
+    /// (partition p on node p % num_nodes). Experiments use this to start
+    /// from a deliberately bad partitioning.
+    std::vector<size_t> initial_owner;
+  };
+
+  /// The aggregate each node maintains per key: COUNT and SUM of cell 1,
+  /// grouped by cell 0 of the fed tuples.
+  struct KeyState {
+    int64_t count = 0;
+    double sum = 0.0;
+  };
+
+  FluxCluster();
+  explicit FluxCluster(Options options);
+
+  FluxCluster(const FluxCluster&) = delete;
+  FluxCluster& operator=(const FluxCluster&) = delete;
+
+  /// Routes a batch into the cluster (cell 0 = group key, cell 1 = value).
+  void Feed(const TupleVector& batch);
+
+  /// Advances simulated time by one tick. Returns tuples processed.
+  size_t Tick();
+
+  /// Runs ticks until all queues drain (or `max_ticks`). Returns ticks run.
+  size_t Run(size_t max_ticks = 1u << 20);
+
+  /// Injects a machine fault at the next tick boundary.
+  Status KillNode(size_t node);
+
+  /// Merged aggregate across all live partition state (for verification).
+  std::map<Value, KeyState> Snapshot() const;
+
+  // -- Introspection ------------------------------------------------------
+  struct NodeStats {
+    bool alive = true;
+    size_t backlog = 0;          ///< Queued tuples right now.
+    uint64_t processed = 0;      ///< Total tuples applied.
+    size_t partitions_owned = 0;
+  };
+  NodeStats node_stats(size_t node) const;
+  size_t num_nodes() const { return nodes_.size(); }
+
+  uint64_t ticks() const { return ticks_; }
+  uint64_t moves() const { return moves_; }          ///< Partition moves.
+  uint64_t moved_entries() const { return moved_entries_; }
+  uint64_t replayed() const { return replayed_; }    ///< Tuples replayed.
+  uint64_t lost_updates() const { return lost_updates_; }
+  uint64_t dropped_no_owner() const { return dropped_no_owner_; }
+  /// Max over nodes of backlog, and total backlog.
+  size_t max_backlog() const;
+  size_t total_backlog() const;
+
+ private:
+  struct Pending {
+    Tuple tuple;
+    uint64_t id;
+  };
+
+  struct Node {
+    bool alive = true;
+    std::deque<Pending> queue;
+    uint64_t processed = 0;
+    /// partition -> key -> state (primary copies).
+    std::map<size_t, std::unordered_map<Value, KeyState, ValueHash>> state;
+    /// partition -> standby copies mirrored from the primary owner.
+    std::map<size_t, std::unordered_map<Value, KeyState, ValueHash>> replicas;
+  };
+
+  struct Move {
+    size_t partition;
+    size_t from;
+    size_t to;
+    size_t entries_left;
+  };
+
+  size_t PartitionOf(const Value& key) const;
+  void RouteTuple(Pending p);
+  void Apply(Node* node, size_t partition, const Tuple& t);
+  void Controller();
+  void StartMove(size_t partition, size_t from, size_t to);
+  void AdvanceMove();
+  void FailoverNode(size_t node);
+  size_t ReplicaNodeOf(size_t partition) const;
+
+  Options options_;
+  std::vector<Node> nodes_;
+  std::vector<size_t> owner_;  ///< partition -> node routing table.
+  /// Tuples buffered while their partition is mid-move.
+  std::map<size_t, std::deque<Pending>> move_buffer_;
+  std::unique_ptr<Move> active_move_;
+
+  /// Exchange-side in-flight retention: id -> tuple copies not yet
+  /// processed by their owner (replayed on failover).
+  std::unordered_map<uint64_t, Tuple> in_flight_;
+  uint64_t next_id_ = 1;
+
+  uint64_t ticks_ = 0;
+  uint64_t moves_ = 0;
+  uint64_t cooldown_until_ = 0;
+  uint64_t moved_entries_ = 0;
+  uint64_t replayed_ = 0;
+  uint64_t lost_updates_ = 0;
+  uint64_t dropped_no_owner_ = 0;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_FLUX_FLUX_H_

@@ -1,0 +1,185 @@
+#include "ingress/sources.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace tcq {
+
+// ----------------------------------------------------------- StockTicker
+
+StockTickerSource::StockTickerSource() : StockTickerSource(Options()) {}
+
+StockTickerSource::StockTickerSource(Options options)
+    : options_(options),
+      schema_(MakeSchema()),
+      rng_(options.seed),
+      prices_(options.num_symbols, options.start_price) {
+  TCQ_CHECK(options_.num_symbols > 0);
+}
+
+SchemaPtr StockTickerSource::MakeSchema() {
+  return Schema::Make({{"timestamp", ValueType::kInt64, ""},
+                       {"stockSymbol", ValueType::kString, ""},
+                       {"closingPrice", ValueType::kDouble, ""}});
+}
+
+std::string StockTickerSource::SymbolName(size_t i) {
+  if (i == 0) return "MSFT";  // The paper's favourite.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "S%03zu", i);
+  return buf;
+}
+
+std::optional<Tuple> StockTickerSource::Next() {
+  if (options_.num_days >= 0 && day_ > options_.num_days) return std::nullopt;
+  const size_t sym = next_symbol_;
+  // Random walk, floored at 1.0 so prices stay positive.
+  double& price = prices_[sym];
+  price += (rng_.NextDouble() - 0.5) * 2.0 * options_.daily_volatility;
+  if (price < 1.0) price = 1.0;
+
+  Tuple t = Tuple::Make({Value::Int64(day_), Value::String(SymbolName(sym)),
+                         Value::Double(price)},
+                        day_);
+  ++next_symbol_;
+  if (next_symbol_ >= options_.num_symbols) {
+    next_symbol_ = 0;
+    ++day_;
+  }
+  return t;
+}
+
+// ------------------------------------------------------------- Packets
+
+PacketSource::PacketSource() : PacketSource(Options()) {}
+
+PacketSource::PacketSource(Options options)
+    : options_(options), schema_(MakeSchema()), rng_(options.seed) {}
+
+SchemaPtr PacketSource::MakeSchema() {
+  return Schema::Make({{"timestamp", ValueType::kInt64, ""},
+                       {"srcAddr", ValueType::kInt64, ""},
+                       {"dstAddr", ValueType::kInt64, ""},
+                       {"dstPort", ValueType::kInt64, ""},
+                       {"bytes", ValueType::kInt64, ""}});
+}
+
+std::optional<Tuple> PacketSource::Next() {
+  if (options_.num_packets >= 0 && seq_ > options_.num_packets) {
+    return std::nullopt;
+  }
+  const int64_t src = static_cast<int64_t>(
+      rng_.NextZipf(options_.num_hosts, options_.host_skew));
+  const int64_t dst = static_cast<int64_t>(
+      rng_.NextZipf(options_.num_hosts, options_.host_skew));
+  const int64_t port =
+      static_cast<int64_t>(rng_.NextZipf(options_.num_ports, 0.8));
+  const int64_t bytes = rng_.NextInt(40, 1500);
+  Tuple t = Tuple::Make({Value::Int64(seq_), Value::Int64(src),
+                         Value::Int64(dst), Value::Int64(port),
+                         Value::Int64(bytes)},
+                        seq_);
+  ++seq_;
+  return t;
+}
+
+// ------------------------------------------------------------- Sensors
+
+SensorSource::SensorSource() : SensorSource(Options()) {}
+
+SensorSource::SensorSource(Options options)
+    : options_(options),
+      schema_(MakeSchema()),
+      rng_(options.seed),
+      temps_(options.num_sensors, 20.0) {}
+
+SchemaPtr SensorSource::MakeSchema() {
+  return Schema::Make({{"timestamp", ValueType::kInt64, ""},
+                       {"sensorId", ValueType::kInt64, ""},
+                       {"temperature", ValueType::kDouble, ""},
+                       {"voltage", ValueType::kDouble, ""}});
+}
+
+std::optional<Tuple> SensorSource::Next() {
+  while (true) {
+    if (options_.num_readings >= 0 && seq_ > options_.num_readings) {
+      return std::nullopt;
+    }
+    const int64_t ts = seq_++;
+    const size_t sensor = rng_.NextBounded(options_.num_sensors);
+    if (rng_.NextBool(options_.dropout)) continue;  // Disconnected sample.
+    double& temp = temps_[sensor];
+    temp += (rng_.NextDouble() - 0.5) * 0.8;
+    const double voltage = 2.4 + rng_.NextDouble() * 0.6;
+    return Tuple::Make(
+        {Value::Int64(ts), Value::Int64(static_cast<int64_t>(sensor)),
+         Value::Double(temp), Value::Double(voltage)},
+        ts);
+  }
+}
+
+// -------------------------------------------------------------- CSV file
+
+CsvFileSource::CsvFileSource(std::vector<Tuple> rows, SchemaPtr schema)
+    : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+Result<std::unique_ptr<CsvFileSource>> CsvFileSource::Create(
+    const std::string& path, SchemaPtr schema, int timestamp_field) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::vector<Tuple> rows;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<Value> cells;
+    std::stringstream ss(line);
+    std::string cell;
+    size_t col = 0;
+    while (std::getline(ss, cell, ',')) {
+      if (col >= schema->num_fields()) break;
+      switch (schema->field(col).type) {
+        case ValueType::kInt64:
+          cells.push_back(Value::Int64(std::strtoll(cell.c_str(),
+                                                    nullptr, 10)));
+          break;
+        case ValueType::kDouble:
+          cells.push_back(Value::Double(std::strtod(cell.c_str(), nullptr)));
+          break;
+        case ValueType::kBool:
+          cells.push_back(Value::Bool(cell == "true" || cell == "1"));
+          break;
+        default:
+          cells.push_back(Value::String(cell));
+          break;
+      }
+      ++col;
+    }
+    if (col != schema->num_fields()) {
+      return Status::ParseError("CSV line " + std::to_string(line_no) +
+                                " has " + std::to_string(col) +
+                                " columns, schema needs " +
+                                std::to_string(schema->num_fields()));
+    }
+    Timestamp ts = static_cast<Timestamp>(line_no);
+    if (timestamp_field >= 0) {
+      ts = cells[static_cast<size_t>(timestamp_field)].int64_value();
+    }
+    rows.push_back(Tuple::Make(std::move(cells), ts));
+  }
+  return std::unique_ptr<CsvFileSource>(
+      new CsvFileSource(std::move(rows), std::move(schema)));
+}
+
+std::optional<Tuple> CsvFileSource::Next() {
+  if (next_ >= rows_.size()) return std::nullopt;
+  return rows_[next_++];
+}
+
+}  // namespace tcq

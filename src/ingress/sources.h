@@ -1,0 +1,137 @@
+#ifndef TCQ_INGRESS_SOURCES_H_
+#define TCQ_INGRESS_SOURCES_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+/// A pull-style data producer — the engine-facing face of an ingress
+/// wrapper (§4.2.3). The synthetic generators below substitute for the
+/// paper's remote web sources, screen scrapers and sensor networks: the
+/// engine sees the identical API while the workload's rate, skew, and
+/// drift stay controllable and reproducible (seeded).
+class TupleSource {
+ public:
+  virtual ~TupleSource() = default;
+  virtual const SchemaPtr& schema() const = 0;
+  /// Produces the next tuple, or nullopt when the source is exhausted.
+  virtual std::optional<Tuple> Next() = 0;
+};
+
+/// Daily closing prices — the paper's running example stream:
+///   ClosingStockPrices(timestamp, stockSymbol, closingPrice)
+/// One entry per trading day per symbol; logical timestamps start at 1 and
+/// advance per day. Prices follow a per-symbol random walk.
+class StockTickerSource : public TupleSource {
+ public:
+  struct Options {
+    size_t num_symbols = 16;
+    int64_t num_days = 1000;  ///< -1 = unbounded.
+    double start_price = 50.0;
+    double daily_volatility = 1.0;
+    uint64_t seed = 2003;
+  };
+
+  StockTickerSource();
+  explicit StockTickerSource(Options options);
+
+  static SchemaPtr MakeSchema();
+  /// Symbol for index i: "S000", "S001", ... ("MSFT" is symbol 0's alias).
+  static std::string SymbolName(size_t i);
+
+  const SchemaPtr& schema() const override { return schema_; }
+  std::optional<Tuple> Next() override;
+
+ private:
+  Options options_;
+  SchemaPtr schema_;
+  Rng rng_;
+  int64_t day_ = 1;
+  size_t next_symbol_ = 0;
+  std::vector<double> prices_;
+};
+
+/// Network-monitor packets with Zipf-skewed endpoints:
+///   Packets(timestamp, srcAddr, dstAddr, dstPort, bytes)
+class PacketSource : public TupleSource {
+ public:
+  struct Options {
+    size_t num_hosts = 256;
+    size_t num_ports = 64;
+    double host_skew = 1.1;  ///< Zipf skew of address popularity.
+    int64_t num_packets = -1;
+    uint64_t seed = 4096;
+  };
+
+  PacketSource();
+  explicit PacketSource(Options options);
+
+  static SchemaPtr MakeSchema();
+
+  const SchemaPtr& schema() const override { return schema_; }
+  std::optional<Tuple> Next() override;
+
+ private:
+  Options options_;
+  SchemaPtr schema_;
+  Rng rng_;
+  int64_t seq_ = 1;
+};
+
+/// Sensor readings with value drift and intermittent dropouts:
+///   Sensors(timestamp, sensorId, temperature, voltage)
+class SensorSource : public TupleSource {
+ public:
+  struct Options {
+    size_t num_sensors = 32;
+    int64_t num_readings = -1;
+    /// Probability a sensor silently skips its reading (disconnection).
+    double dropout = 0.05;
+    uint64_t seed = 77;
+  };
+
+  SensorSource();
+  explicit SensorSource(Options options);
+
+  static SchemaPtr MakeSchema();
+
+  const SchemaPtr& schema() const override { return schema_; }
+  std::optional<Tuple> Next() override;
+
+ private:
+  Options options_;
+  SchemaPtr schema_;
+  Rng rng_;
+  int64_t seq_ = 1;
+  std::vector<double> temps_;
+};
+
+/// Replays a CSV file (no quoting; ',' separator) against a schema.
+/// Column i parses per schema field i; a column named per
+/// `timestamp_field` also stamps the tuple timestamp.
+class CsvFileSource : public TupleSource {
+ public:
+  /// Fails (returned via Create) if the file cannot be read.
+  static Result<std::unique_ptr<CsvFileSource>> Create(
+      const std::string& path, SchemaPtr schema, int timestamp_field = -1);
+
+  const SchemaPtr& schema() const override { return schema_; }
+  std::optional<Tuple> Next() override;
+
+ private:
+  CsvFileSource(std::vector<Tuple> rows, SchemaPtr schema);
+  SchemaPtr schema_;
+  std::vector<Tuple> rows_;
+  size_t next_ = 0;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_INGRESS_SOURCES_H_

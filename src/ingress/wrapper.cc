@@ -1,0 +1,101 @@
+#include "ingress/wrapper.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcq {
+
+SourceModule::SourceModule(std::string name,
+                           std::unique_ptr<TupleSource> source,
+                           TupleQueuePtr out)
+    : SourceModule(std::move(name), std::move(source), std::move(out),
+                   Options()) {}
+
+SourceModule::SourceModule(std::string name,
+                           std::unique_ptr<TupleSource> source,
+                           TupleQueuePtr out, Options options)
+    : FjordModule(std::move(name)),
+      source_(std::move(source)),
+      out_(std::move(out)),
+      options_(options) {
+  TCQ_CHECK(source_ != nullptr && out_ != nullptr);
+}
+
+FjordModule::StepResult SourceModule::Step(size_t max_tuples) {
+  if (exhausted_) return StepResult::kDone;
+  if (stall_remaining_ > 0) {
+    --stall_remaining_;
+    return StepResult::kIdle;  // Mid-stall: remote source is silent.
+  }
+  const size_t budget = std::min(max_tuples, options_.tuples_per_step);
+  size_t produced = 0;
+  while (produced < budget) {
+    auto t = source_->Next();
+    if (!t.has_value()) {
+      out_->Close();
+      exhausted_ = true;
+      return produced > 0 ? StepResult::kDidWork : StepResult::kDone;
+    }
+    if (!out_->Enqueue(std::move(*t))) {
+      // Output full (non-blocking edge): yield, retry next quantum. The
+      // produced tuple is lost only if the queue was closed downstream.
+      break;
+    }
+    ++produced;
+    ++produced_;
+  }
+  if (options_.stall_every > 0) {
+    if (++steps_since_stall_ >= options_.stall_every) {
+      steps_since_stall_ = 0;
+      stall_remaining_ = options_.stall_for;
+    }
+  }
+  return produced > 0 ? StepResult::kDidWork : StepResult::kIdle;
+}
+
+Archive::Archive(Timestamp retention_span)
+    : retention_span_(retention_span) {
+  TCQ_CHECK(retention_span_ > 0);
+}
+
+void Archive::Append(const Tuple& t) {
+  TCQ_CHECK(tuples_.empty() || t.timestamp() >= tuples_.back().timestamp())
+      << "archive requires timestamp-ordered appends";
+  tuples_.push_back(t);
+  if (t.timestamp() > max_ts_) max_ts_ = t.timestamp();
+  if (retention_span_ != kMaxTimestamp) {
+    const Timestamp cutoff = max_ts_ - retention_span_ + 1;
+    while (!tuples_.empty() && tuples_.front().timestamp() < cutoff) {
+      tuples_.pop_front();
+    }
+  }
+}
+
+std::deque<Tuple>::const_iterator Archive::LowerBound(Timestamp lo) const {
+  return std::lower_bound(
+      tuples_.begin(), tuples_.end(), lo,
+      [](const Tuple& t, Timestamp ts) { return t.timestamp() < ts; });
+}
+
+TupleVector Archive::Scan(Timestamp lo, Timestamp hi) const {
+  TupleVector out;
+  ScanApply(lo, hi, [&](const Tuple& t) { out.push_back(t); });
+  return out;
+}
+
+void Archive::EvictBefore(Timestamp ts) {
+  while (!tuples_.empty() && tuples_.front().timestamp() < ts) {
+    tuples_.pop_front();
+  }
+}
+
+Timestamp Archive::min_timestamp() const {
+  return tuples_.empty() ? kMaxTimestamp : tuples_.front().timestamp();
+}
+
+Timestamp Archive::max_timestamp() const {
+  return tuples_.empty() ? kMinTimestamp : tuples_.back().timestamp();
+}
+
+}  // namespace tcq

@@ -1,0 +1,88 @@
+#ifndef TCQ_INGRESS_WRAPPER_H_
+#define TCQ_INGRESS_WRAPPER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "fjords/module.h"
+#include "ingress/sources.h"
+
+namespace tcq {
+
+/// A streamer (§4.2.3): adapts a pull-style TupleSource into a Fjord
+/// dataflow by producing into an output queue under scheduler control.
+/// Stall behaviour models bursty or intermittently disconnected remote
+/// sources — during a stall the module produces nothing, which is exactly
+/// the situation Fjords' non-blocking queues must tolerate downstream.
+class SourceModule : public FjordModule {
+ public:
+  struct Options {
+    /// Max tuples produced per scheduling quantum (rate knob).
+    size_t tuples_per_step = 64;
+    /// After this many productive steps, stall... (0 = never stall).
+    size_t stall_every = 0;
+    /// ...for this many steps.
+    size_t stall_for = 0;
+  };
+
+  SourceModule(std::string name, std::unique_ptr<TupleSource> source,
+               TupleQueuePtr out);
+  SourceModule(std::string name, std::unique_ptr<TupleSource> source,
+               TupleQueuePtr out, Options options);
+
+  StepResult Step(size_t max_tuples) override;
+
+  uint64_t produced() const { return produced_; }
+
+ private:
+  std::unique_ptr<TupleSource> source_;
+  TupleQueuePtr out_;
+  Options options_;
+  uint64_t produced_ = 0;
+  size_t steps_since_stall_ = 0;
+  size_t stall_remaining_ = 0;
+  bool exhausted_ = false;
+};
+
+/// The stream archive: retained history that has conceptually been
+/// "spooled to disk in the background" (§1.1). Holds tuples in timestamp
+/// order and serves window-driven scans — the "scanner operator driven by
+/// window descriptors" of §4.2.3. Bounded by a retention span.
+class Archive {
+ public:
+  explicit Archive(Timestamp retention_span = kMaxTimestamp);
+
+  void Append(const Tuple& t);
+
+  /// All retained tuples with timestamp in [lo, hi], in order.
+  TupleVector Scan(Timestamp lo, Timestamp hi) const;
+
+  /// Applies fn to retained tuples with timestamp in [lo, hi].
+  template <typename Fn>
+  void ScanApply(Timestamp lo, Timestamp hi, Fn&& fn) const {
+    for (auto it = LowerBound(lo); it != tuples_.end(); ++it) {
+      if (it->timestamp() > hi) break;
+      fn(*it);
+    }
+  }
+
+  void EvictBefore(Timestamp ts);
+
+  size_t size() const { return tuples_.size(); }
+  Timestamp min_timestamp() const;
+  Timestamp max_timestamp() const;
+
+ private:
+  std::deque<Tuple>::const_iterator LowerBound(Timestamp lo) const;
+
+  Timestamp retention_span_;
+  std::deque<Tuple> tuples_;  ///< Timestamp-ordered (enforced on Append).
+  Timestamp max_ts_ = kMinTimestamp;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_INGRESS_WRAPPER_H_

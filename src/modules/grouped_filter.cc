@@ -1,0 +1,182 @@
+#include "modules/grouped_filter.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcq {
+
+void GroupedFilter::EnsureQuery(QueryId q) {
+  if (q >= totals_.size()) {
+    totals_.resize(q + 1, 0);
+    ne_counts_.resize(q + 1, 0);
+    has_pred_.Resize(q + 1);
+    ne_default_.Resize(q + 1);
+    scratch_count_.resize(q + 1, 0);
+    scratch_stamp_.resize(q + 1, 0);
+    pass_scratch_.Resize(q + 1);
+  }
+}
+
+void GroupedFilter::AddPredicate(QueryId q, BinaryOp op, Value constant) {
+  EnsureQuery(q);
+  switch (op) {
+    case BinaryOp::kEq:
+      eq_[constant].push_back(q);
+      break;
+    case BinaryOp::kNe:
+      ne_[constant].push_back(q);
+      ++ne_counts_[q];
+      break;
+    case BinaryOp::kGt: {
+      BoundEntry e{std::move(constant), q};
+      auto it = std::lower_bound(
+          gt_.begin(), gt_.end(), e,
+          [](const BoundEntry& a, const BoundEntry& b) {
+            return a.constant < b.constant;
+          });
+      gt_.insert(it, std::move(e));
+      break;
+    }
+    case BinaryOp::kGe: {
+      BoundEntry e{std::move(constant), q};
+      auto it = std::lower_bound(
+          ge_.begin(), ge_.end(), e,
+          [](const BoundEntry& a, const BoundEntry& b) {
+            return a.constant < b.constant;
+          });
+      ge_.insert(it, std::move(e));
+      break;
+    }
+    case BinaryOp::kLt: {
+      BoundEntry e{std::move(constant), q};
+      auto it = std::lower_bound(
+          lt_.begin(), lt_.end(), e,
+          [](const BoundEntry& a, const BoundEntry& b) {
+            return a.constant > b.constant;
+          });
+      lt_.insert(it, std::move(e));
+      break;
+    }
+    case BinaryOp::kLe: {
+      BoundEntry e{std::move(constant), q};
+      auto it = std::lower_bound(
+          le_.begin(), le_.end(), e,
+          [](const BoundEntry& a, const BoundEntry& b) {
+            return a.constant > b.constant;
+          });
+      le_.insert(it, std::move(e));
+      break;
+    }
+    default:
+      TCQ_CHECK(false) << "unsupported grouped-filter op";
+  }
+  ++totals_[q];
+  ++num_predicates_;
+  has_pred_.Set(q);
+  if (totals_[q] == ne_counts_[q]) {
+    ne_default_.Set(q);
+  } else {
+    ne_default_.Clear(q);
+  }
+}
+
+void GroupedFilter::RemoveQuery(QueryId q) {
+  if (q >= totals_.size() || totals_[q] == 0) return;
+  num_predicates_ -= totals_[q];
+  totals_[q] = 0;
+  ne_counts_[q] = 0;
+  has_pred_.Clear(q);
+  ne_default_.Clear(q);
+
+  auto scrub_map = [q](auto* m) {
+    for (auto it = m->begin(); it != m->end();) {
+      auto& vec = it->second;
+      vec.erase(std::remove(vec.begin(), vec.end(), q), vec.end());
+      it = vec.empty() ? m->erase(it) : std::next(it);
+    }
+  };
+  scrub_map(&eq_);
+  scrub_map(&ne_);
+  auto scrub_vec = [q](std::vector<BoundEntry>* v) {
+    v->erase(std::remove_if(v->begin(), v->end(),
+                            [q](const BoundEntry& e) { return e.query == q; }),
+             v->end());
+  };
+  scrub_vec(&gt_);
+  scrub_vec(&ge_);
+  scrub_vec(&lt_);
+  scrub_vec(&le_);
+}
+
+void GroupedFilter::Apply(const Value& v, SmallBitset* candidates) const {
+  if (num_predicates_ == 0) return;
+  TCQ_DCHECK(candidates->size_bits() >= totals_.size());
+
+  ++stamp_;
+  touched_.clear();
+  auto touch = [&](QueryId q, int delta) {
+    if (scratch_stamp_[q] != stamp_) {
+      scratch_stamp_[q] = stamp_;
+      scratch_count_[q] = 0;
+      touched_.push_back(q);
+    }
+    scratch_count_[q] += delta;
+  };
+
+  if (auto it = eq_.find(v); it != eq_.end()) {
+    for (QueryId q : it->second) touch(q, +1);
+  }
+  if (auto it = ne_.find(v); it != ne_.end()) {
+    for (QueryId q : it->second) touch(q, -1);
+  }
+  // attr > c passes when c < v: ascending prefix.
+  for (const BoundEntry& e : gt_) {
+    if (!(e.constant < v)) break;
+    touch(e.query, +1);
+  }
+  // attr >= c passes when c <= v.
+  for (const BoundEntry& e : ge_) {
+    if (!(e.constant <= v)) break;
+    touch(e.query, +1);
+  }
+  // attr < c passes when c > v: descending prefix.
+  for (const BoundEntry& e : lt_) {
+    if (!(e.constant > v)) break;
+    touch(e.query, +1);
+  }
+  // attr <= c passes when c >= v.
+  for (const BoundEntry& e : le_) {
+    if (!(e.constant >= v)) break;
+    touch(e.query, +1);
+  }
+
+  // pass = ne_default, corrected by every touched query's exact count.
+  pass_scratch_ = ne_default_;
+  for (QueryId q : touched_) {
+    const int32_t satisfied =
+        static_cast<int32_t>(ne_counts_[q]) + scratch_count_[q];
+    if (satisfied == static_cast<int32_t>(totals_[q])) {
+      pass_scratch_.Set(q);
+    } else {
+      pass_scratch_.Clear(q);
+    }
+  }
+
+  // fail = has_pred − pass; candidates −= fail.
+  SmallBitset fail = has_pred_;
+  fail -= pass_scratch_;
+  if (fail.size_bits() < candidates->size_bits()) {
+    fail.Resize(candidates->size_bits());
+  }
+  *candidates -= fail;
+}
+
+SmallBitset GroupedFilter::Matching(const Value& v) const {
+  SmallBitset all(totals_.size());
+  all.SetAll();
+  Apply(v, &all);
+  return all;
+}
+
+}  // namespace tcq

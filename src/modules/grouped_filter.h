@@ -1,0 +1,84 @@
+#ifndef TCQ_MODULES_GROUPED_FILTER_H_
+#define TCQ_MODULES_GROUPED_FILTER_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "expr/ast.h"
+#include "tuple/value.h"
+
+namespace tcq {
+
+using QueryId = uint32_t;
+
+/// A grouped filter (CACQ, §3.1): an index over the single-variable boolean
+/// factors that many continuous queries place on ONE attribute. Instead of
+/// evaluating every query's predicate against every tuple (O(#queries)),
+/// the index finds the satisfied predicates in O(log n + matches):
+///   * equality factors live in a hash map keyed by constant,
+///   * inequality factors live in sorted arrays probed by binary search,
+///   * != factors pass by default and fail on a hash hit.
+///
+/// Queries may register several factors on the same attribute (e.g. the
+/// range 10 < x AND x < 20); a query survives only if all of them hold.
+class GroupedFilter {
+ public:
+  GroupedFilter() = default;
+
+  /// Registers one boolean factor `attr op constant` for query q.
+  /// Supported ops: =, !=, <, <=, >, >=.
+  void AddPredicate(QueryId q, BinaryOp op, Value constant);
+
+  /// Drops every factor owned by query q (the query left the system).
+  void RemoveQuery(QueryId q);
+
+  /// Narrows `candidates` (bit per query) to those whose factors on this
+  /// attribute all accept `v`. Queries with no factors here are untouched.
+  /// `candidates` must be sized to at least num_queries() bits.
+  void Apply(const Value& v, SmallBitset* candidates) const;
+
+  /// Convenience: the full pass-set for value v over all known queries.
+  SmallBitset Matching(const Value& v) const;
+
+  size_t num_queries() const { return totals_.size(); }
+  size_t num_predicates() const { return num_predicates_; }
+  bool empty() const { return num_predicates_ == 0; }
+
+ private:
+  struct BoundEntry {
+    Value constant;
+    QueryId query;
+  };
+
+  void EnsureQuery(QueryId q);
+
+  // Per-query factor counts on this attribute.
+  std::vector<uint32_t> totals_;    ///< All factors of query q here.
+  std::vector<uint32_t> ne_counts_; ///< Of which != factors.
+  SmallBitset has_pred_;            ///< Queries with >=1 factor here.
+  SmallBitset ne_default_;          ///< Queries whose factors are all !=.
+
+  // Index structures. Sorted arrays are maintained sorted by constant.
+  std::unordered_map<Value, std::vector<QueryId>, ValueHash> eq_;
+  std::unordered_map<Value, std::vector<QueryId>, ValueHash> ne_;
+  std::vector<BoundEntry> gt_;  ///< attr > c, ascending by c.
+  std::vector<BoundEntry> ge_;  ///< attr >= c, ascending by c.
+  std::vector<BoundEntry> lt_;  ///< attr < c, descending by c.
+  std::vector<BoundEntry> le_;  ///< attr <= c, descending by c.
+
+  size_t num_predicates_ = 0;
+
+  // Scratch for Apply (version-stamped to avoid O(#queries) clearing).
+  mutable std::vector<int32_t> scratch_count_;
+  mutable std::vector<uint64_t> scratch_stamp_;
+  mutable std::vector<QueryId> touched_;
+  mutable uint64_t stamp_ = 0;
+  mutable SmallBitset pass_scratch_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_MODULES_GROUPED_FILTER_H_

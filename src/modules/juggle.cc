@@ -1,0 +1,58 @@
+#include "modules/juggle.h"
+
+#include "common/logging.h"
+
+namespace tcq {
+
+JuggleModule::JuggleModule(std::string name, TupleQueuePtr in,
+                           TupleQueuePtr out, PriorityFn priority,
+                           size_t buffer_capacity)
+    : FjordModule(std::move(name)),
+      in_(std::move(in)),
+      out_(std::move(out)),
+      priority_(std::move(priority)),
+      capacity_(buffer_capacity) {
+  TCQ_CHECK(in_ != nullptr && out_ != nullptr && priority_ != nullptr);
+  TCQ_CHECK(capacity_ > 0);
+}
+
+bool JuggleModule::Emit() {
+  // priority_queue is a max-heap: top() is the best tuple to release.
+  // Backpressure: if the output is full the entry stays buffered.
+  if (!out_->Enqueue(heap_.top().tuple)) return false;
+  heap_.pop();
+  return true;
+}
+
+FjordModule::StepResult JuggleModule::Step(size_t max_tuples) {
+  size_t work = 0;
+  while (work < max_tuples) {
+    auto t = in_->Dequeue();
+    if (!t.has_value()) {
+      if (in_->Exhausted()) {
+        // Input done: drain the buffer best-first.
+        while (!heap_.empty() && work < max_tuples) {
+          if (!Emit()) break;
+          ++work;
+        }
+        if (heap_.empty()) {
+          out_->Close();
+          return StepResult::kDone;
+        }
+        return StepResult::kDidWork;
+      }
+      // Input momentarily dry: opportunistically release the current best
+      // so downstream always has the most interesting data available.
+      if (!heap_.empty() && Emit()) {
+        ++work;
+      }
+      return work > 0 ? StepResult::kDidWork : StepResult::kIdle;
+    }
+    ++work;
+    heap_.push(Entry{priority_(*t), arrivals_++, std::move(*t)});
+    if (heap_.size() > capacity_) Emit();  // Best-effort spill downstream.
+  }
+  return StepResult::kDidWork;
+}
+
+}  // namespace tcq

@@ -1,0 +1,54 @@
+#ifndef TCQ_MODULES_JUGGLE_H_
+#define TCQ_MODULES_JUGGLE_H_
+
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "fjords/module.h"
+
+namespace tcq {
+
+/// Juggle [RRH99]: online reordering. Buffers its input and emits the
+/// highest-priority tuples first, so records the user cares about surface
+/// early in a long-running dataflow. Priority is a user function of the
+/// tuple (larger = sooner). The buffer is bounded: at capacity, the lowest-
+/// priority buffered tuple is emitted (spilled downstream) to make room —
+/// reordering is best-effort, never lossy.
+class JuggleModule : public FjordModule {
+ public:
+  using PriorityFn = std::function<double(const Tuple&)>;
+
+  JuggleModule(std::string name, TupleQueuePtr in, TupleQueuePtr out,
+               PriorityFn priority, size_t buffer_capacity = 1024);
+
+  StepResult Step(size_t max_tuples) override;
+
+  size_t buffered() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    double priority;
+    uint64_t tie;  ///< Arrival order; earlier wins ties (stable-ish).
+    Tuple tuple;
+    bool operator<(const Entry& other) const {
+      if (priority != other.priority) return priority < other.priority;
+      return tie > other.tie;
+    }
+  };
+
+  /// Releases the best buffered tuple; false if the output is full.
+  bool Emit();
+
+  TupleQueuePtr in_;
+  TupleQueuePtr out_;
+  PriorityFn priority_;
+  size_t capacity_;
+  std::priority_queue<Entry> heap_;
+  uint64_t arrivals_ = 0;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_MODULES_JUGGLE_H_

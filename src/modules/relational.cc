@@ -1,0 +1,172 @@
+#include "modules/relational.h"
+
+#include "common/logging.h"
+
+namespace tcq {
+
+FilterModule::FilterModule(std::string name, TupleQueuePtr in,
+                           TupleQueuePtr out, ExprPtr bound_predicate)
+    : FjordModule(std::move(name)),
+      in_(std::move(in)),
+      out_(std::move(out)),
+      predicate_(std::move(bound_predicate)) {
+  TCQ_CHECK(in_ != nullptr && out_ != nullptr && predicate_ != nullptr);
+}
+
+FjordModule::StepResult FilterModule::Step(size_t max_tuples) {
+  size_t work = 0;
+  // Flush a tuple stalled by downstream backpressure first.
+  if (pending_.has_value()) {
+    if (!out_->Enqueue(*pending_)) return StepResult::kIdle;
+    pending_.reset();
+    ++out_count_;
+    ++work;
+  }
+  while (work < max_tuples) {
+    auto t = in_->Dequeue();
+    if (!t.has_value()) {
+      if (work > 0) return StepResult::kDidWork;
+      if (in_->Exhausted()) {
+        out_->Close();
+        return StepResult::kDone;
+      }
+      return StepResult::kIdle;
+    }
+    ++in_count_;
+    ++work;
+    const Value keep = predicate_->Eval(*t);
+    if (!keep.is_null() && keep.bool_value()) {
+      if (!out_->Enqueue(*t)) {
+        pending_ = std::move(*t);  // Retry next quantum.
+        return StepResult::kDidWork;
+      }
+      ++out_count_;
+    }
+  }
+  return StepResult::kDidWork;
+}
+
+ProjectModule::ProjectModule(std::string name, TupleQueuePtr in,
+                             TupleQueuePtr out, std::vector<size_t> indexes)
+    : FjordModule(std::move(name)),
+      in_(std::move(in)),
+      out_(std::move(out)),
+      indexes_(std::move(indexes)) {
+  TCQ_CHECK(in_ != nullptr && out_ != nullptr);
+}
+
+FjordModule::StepResult ProjectModule::Step(size_t max_tuples) {
+  size_t work = 0;
+  if (pending_.has_value()) {
+    if (!out_->Enqueue(*pending_)) return StepResult::kIdle;
+    pending_.reset();
+    ++work;
+  }
+  while (work < max_tuples) {
+    auto t = in_->Dequeue();
+    if (!t.has_value()) {
+      if (work > 0) return StepResult::kDidWork;
+      if (in_->Exhausted()) {
+        out_->Close();
+        return StepResult::kDone;
+      }
+      return StepResult::kIdle;
+    }
+    ++work;
+    Tuple projected = t->Project(indexes_);
+    if (!out_->Enqueue(projected)) {
+      pending_ = std::move(projected);
+      return StepResult::kDidWork;
+    }
+  }
+  return StepResult::kDidWork;
+}
+
+UnionModule::UnionModule(std::string name, std::vector<TupleQueuePtr> ins,
+                         TupleQueuePtr out)
+    : FjordModule(std::move(name)), ins_(std::move(ins)), out_(std::move(out)) {
+  TCQ_CHECK(!ins_.empty() && out_ != nullptr);
+}
+
+FjordModule::StepResult UnionModule::Step(size_t max_tuples) {
+  size_t work = 0;
+  if (pending_.has_value()) {
+    if (!out_->Enqueue(*pending_)) return StepResult::kIdle;
+    pending_.reset();
+    ++forwarded_;
+    ++work;
+  }
+  // Round-robin over inputs so a stalled source never blocks the others.
+  for (size_t scanned = 0; scanned < ins_.size() && work < max_tuples;) {
+    TupleQueuePtr& in = ins_[next_input_];
+    auto t = in->Dequeue();
+    if (t.has_value()) {
+      if (!out_->Enqueue(*t)) {
+        pending_ = std::move(*t);
+        return StepResult::kDidWork;
+      }
+      ++forwarded_;
+      ++work;
+      scanned = 0;  // This input is live; keep the scan window fresh.
+      continue;
+    }
+    ++scanned;
+    next_input_ = (next_input_ + 1) % ins_.size();
+  }
+  if (work > 0) return StepResult::kDidWork;
+  // All inputs dry: done only when every input is exhausted.
+  size_t exhausted = 0;
+  for (const TupleQueuePtr& in : ins_) {
+    if (in->Exhausted()) ++exhausted;
+  }
+  if (exhausted == ins_.size()) {
+    out_->Close();
+    return StepResult::kDone;
+  }
+  return StepResult::kIdle;
+}
+
+DupElimModule::DupElimModule(std::string name, TupleQueuePtr in,
+                             TupleQueuePtr out)
+    : FjordModule(std::move(name)), in_(std::move(in)), out_(std::move(out)) {
+  TCQ_CHECK(in_ != nullptr && out_ != nullptr);
+}
+
+size_t DupElimModule::CellsHash::operator()(
+    const std::vector<Value>& cells) const {
+  size_t h = 0x9E3779B9u;
+  for (const Value& v : cells) {
+    h ^= v.Hash() + 0x9E3779B9u + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+FjordModule::StepResult DupElimModule::Step(size_t max_tuples) {
+  size_t work = 0;
+  if (pending_.has_value()) {
+    if (!out_->Enqueue(*pending_)) return StepResult::kIdle;
+    pending_.reset();
+    ++work;
+  }
+  while (work < max_tuples) {
+    auto t = in_->Dequeue();
+    if (!t.has_value()) {
+      if (work > 0) return StepResult::kDidWork;
+      if (in_->Exhausted()) {
+        out_->Close();
+        return StepResult::kDone;
+      }
+      return StepResult::kIdle;
+    }
+    ++work;
+    if (seen_.insert(t->cells()).second) {
+      if (!out_->Enqueue(*t)) {
+        pending_ = std::move(*t);
+        return StepResult::kDidWork;
+      }
+    }
+  }
+  return StepResult::kDidWork;
+}
+
+}  // namespace tcq

@@ -1,0 +1,93 @@
+#ifndef TCQ_MODULES_RELATIONAL_H_
+#define TCQ_MODULES_RELATIONAL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "expr/ast.h"
+#include "fjords/module.h"
+
+namespace tcq {
+
+/// Queue-connected selection: forwards tuples satisfying a bound predicate.
+/// These queue-based modules form standalone Fjord dataflows (§2.3); inside
+/// an Eddy the operator variants in eddy/operators.h are used instead.
+class FilterModule : public FjordModule {
+ public:
+  FilterModule(std::string name, TupleQueuePtr in, TupleQueuePtr out,
+               ExprPtr bound_predicate);
+
+  StepResult Step(size_t max_tuples) override;
+
+  uint64_t in_count() const { return in_count_; }
+  uint64_t out_count() const { return out_count_; }
+
+ private:
+  TupleQueuePtr in_;
+  TupleQueuePtr out_;
+  ExprPtr predicate_;
+  std::optional<Tuple> pending_;  ///< Output stalled by backpressure.
+  uint64_t in_count_ = 0;
+  uint64_t out_count_ = 0;
+};
+
+/// Queue-connected projection by cell indexes.
+class ProjectModule : public FjordModule {
+ public:
+  ProjectModule(std::string name, TupleQueuePtr in, TupleQueuePtr out,
+                std::vector<size_t> indexes);
+
+  StepResult Step(size_t max_tuples) override;
+
+ private:
+  TupleQueuePtr in_;
+  TupleQueuePtr out_;
+  std::vector<size_t> indexes_;
+  std::optional<Tuple> pending_;
+};
+
+/// Merges several input queues into one output, taking whatever is
+/// available from any input — the non-blocking discipline that lets a plan
+/// keep draining live sources while another source stalls (§2.3).
+class UnionModule : public FjordModule {
+ public:
+  UnionModule(std::string name, std::vector<TupleQueuePtr> ins,
+              TupleQueuePtr out);
+
+  StepResult Step(size_t max_tuples) override;
+
+  uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  std::vector<TupleQueuePtr> ins_;
+  TupleQueuePtr out_;
+  std::optional<Tuple> pending_;
+  uint64_t forwarded_ = 0;
+  size_t next_input_ = 0;  ///< Round-robin fairness cursor.
+};
+
+/// Duplicate elimination on the projected cell values (timestamps ignored).
+class DupElimModule : public FjordModule {
+ public:
+  DupElimModule(std::string name, TupleQueuePtr in, TupleQueuePtr out);
+
+  StepResult Step(size_t max_tuples) override;
+
+  size_t distinct_count() const { return seen_.size(); }
+
+ private:
+  struct CellsHash {
+    size_t operator()(const std::vector<Value>& cells) const;
+  };
+  TupleQueuePtr in_;
+  TupleQueuePtr out_;
+  std::optional<Tuple> pending_;
+  std::unordered_set<std::vector<Value>, CellsHash> seen_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_MODULES_RELATIONAL_H_

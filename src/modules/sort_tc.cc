@@ -1,0 +1,144 @@
+#include "modules/sort_tc.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcq {
+
+// ------------------------------------------------------------- SortModule
+
+SortModule::SortModule(std::string name, TupleQueuePtr in, TupleQueuePtr out,
+                       ExprPtr key, Timestamp window_span)
+    : FjordModule(std::move(name)),
+      in_(std::move(in)),
+      out_(std::move(out)),
+      key_(std::move(key)),
+      window_span_(window_span) {
+  TCQ_CHECK(in_ != nullptr && out_ != nullptr && key_ != nullptr);
+  TCQ_CHECK(window_span_ > 0);
+}
+
+void SortModule::FlushWindow(Timestamp upto) {
+  // Move buffered tuples with timestamp < upto into the emit queue,
+  // sorted by key (stable, so equal keys keep arrival order).
+  std::vector<Tuple> keep;
+  std::vector<Tuple> flush;
+  for (Tuple& t : buffer_) {
+    (t.timestamp() < upto ? flush : keep).push_back(std::move(t));
+  }
+  buffer_ = std::move(keep);
+  std::stable_sort(flush.begin(), flush.end(),
+                   [this](const Tuple& a, const Tuple& b) {
+                     return key_->Eval(a) < key_->Eval(b);
+                   });
+  for (Tuple& t : flush) emit_queue_.push_back(std::move(t));
+}
+
+FjordModule::StepResult SortModule::Step(size_t max_tuples) {
+  size_t work = 0;
+  // Drain the emit queue first (respect backpressure).
+  while (emit_pos_ < emit_queue_.size() && work < max_tuples) {
+    if (!out_->Enqueue(emit_queue_[emit_pos_])) {
+      return work > 0 ? StepResult::kDidWork : StepResult::kIdle;
+    }
+    ++emit_pos_;
+    ++work;
+  }
+  if (emit_pos_ == emit_queue_.size() && emit_pos_ > 0) {
+    emit_queue_.clear();
+    emit_pos_ = 0;
+  }
+
+  while (work < max_tuples) {
+    auto t = in_->Dequeue();
+    if (!t.has_value()) {
+      if (in_->Exhausted()) {
+        // End of stream: flush everything.
+        FlushWindow(kMaxTimestamp);
+        if (emit_pos_ == emit_queue_.size()) {
+          out_->Close();
+          return StepResult::kDone;
+        }
+        return StepResult::kDidWork;  // Emit next quantum.
+      }
+      return work > 0 ? StepResult::kDidWork : StepResult::kIdle;
+    }
+    ++work;
+    if (window_start_ == kMinTimestamp) window_start_ = t->timestamp();
+    // Timestamp advanced past the window: flush the completed window.
+    // (Subtraction form avoids overflow when window_span_ is kMaxTimestamp.)
+    if (t->timestamp() - window_start_ >= window_span_) {
+      FlushWindow(window_start_ + window_span_);
+      window_start_ += window_span_ *
+                       ((t->timestamp() - window_start_) / window_span_);
+    }
+    buffer_.push_back(std::move(*t));
+  }
+  return StepResult::kDidWork;
+}
+
+// ------------------------------------------------- TransitiveClosureModule
+
+TransitiveClosureModule::TransitiveClosureModule(std::string name,
+                                                 TupleQueuePtr in,
+                                                 TupleQueuePtr out)
+    : FjordModule(std::move(name)), in_(std::move(in)), out_(std::move(out)) {
+  TCQ_CHECK(in_ != nullptr && out_ != nullptr);
+}
+
+void TransitiveClosureModule::AddEdge(const Value& a, const Value& b,
+                                      Timestamp ts) {
+  // Semi-naive: new pairs are {pred(a) ∪ a} × {succ(b) ∪ b} minus what
+  // is already in the closure.
+  std::vector<Value> froms{a};
+  if (auto it = inverse_.find(a); it != inverse_.end()) {
+    froms.insert(froms.end(), it->second.begin(), it->second.end());
+  }
+  std::vector<Value> tos{b};
+  if (auto it = reachable_.find(b); it != reachable_.end()) {
+    tos.insert(tos.end(), it->second.begin(), it->second.end());
+  }
+  for (const Value& f : froms) {
+    for (const Value& t : tos) {
+      if (f == t) continue;  // Reflexive pairs are not derived.
+      auto [iter, inserted] = reachable_[f].insert(t);
+      if (!inserted) continue;
+      inverse_[t].insert(f);
+      ++closure_pairs_;
+      emit_queue_.push_back(Tuple::Make({f, t}, ts));
+    }
+  }
+}
+
+FjordModule::StepResult TransitiveClosureModule::Step(size_t max_tuples) {
+  size_t work = 0;
+  while (emit_pos_ < emit_queue_.size() && work < max_tuples) {
+    if (!out_->Enqueue(emit_queue_[emit_pos_])) {
+      return work > 0 ? StepResult::kDidWork : StepResult::kIdle;
+    }
+    ++emit_pos_;
+    ++work;
+  }
+  if (emit_pos_ == emit_queue_.size() && emit_pos_ > 0) {
+    emit_queue_.clear();
+    emit_pos_ = 0;
+  }
+
+  while (work < max_tuples) {
+    auto t = in_->Dequeue();
+    if (!t.has_value()) {
+      if (in_->Exhausted() && emit_pos_ == emit_queue_.size()) {
+        out_->Close();
+        return StepResult::kDone;
+      }
+      return work > 0 ? StepResult::kDidWork : StepResult::kIdle;
+    }
+    TCQ_DCHECK(t->arity() >= 2) << "edges are (from, to) tuples";
+    ++work;
+    AddEdge(t->cell(0), t->cell(1), t->timestamp());
+  }
+  return StepResult::kDidWork;
+}
+
+}  // namespace tcq

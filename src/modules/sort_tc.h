@@ -1,0 +1,70 @@
+#ifndef TCQ_MODULES_SORT_TC_H_
+#define TCQ_MODULES_SORT_TC_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "expr/ast.h"
+#include "fjords/module.h"
+
+namespace tcq {
+
+/// Sort (Figure 1): a blocking-by-nature operator made stream-friendly by
+/// sorting *per punctuation window*: tuples buffer until the input's
+/// timestamp advances past the current window, then the window's tuples
+/// are emitted in key order. With window_span = max, it degenerates into
+/// a classic full sort at end-of-stream.
+class SortModule : public FjordModule {
+ public:
+  /// `key` is a bound expression; ascending order by Value::Compare.
+  SortModule(std::string name, TupleQueuePtr in, TupleQueuePtr out,
+             ExprPtr key, Timestamp window_span);
+
+  StepResult Step(size_t max_tuples) override;
+
+ private:
+  void FlushWindow(Timestamp upto);
+
+  TupleQueuePtr in_;
+  TupleQueuePtr out_;
+  ExprPtr key_;
+  Timestamp window_span_;
+  Timestamp window_start_ = kMinTimestamp;
+  std::vector<Tuple> buffer_;
+  std::vector<Tuple> emit_queue_;
+  size_t emit_pos_ = 0;
+};
+
+/// Transitive closure (Figure 1): consumes edge tuples (from, to) and
+/// emits every NEWLY derivable reachability pair, incrementally
+/// (semi-naive evaluation). Each derived pair is emitted exactly once;
+/// self-pairs are not derived unless the input contains a cycle edge.
+class TransitiveClosureModule : public FjordModule {
+ public:
+  TransitiveClosureModule(std::string name, TupleQueuePtr in,
+                          TupleQueuePtr out);
+
+  StepResult Step(size_t max_tuples) override;
+
+  size_t closure_size() const { return closure_pairs_; }
+
+ private:
+  /// Inserts (a, b); returns newly derived pairs to emit.
+  void AddEdge(const Value& a, const Value& b, Timestamp ts);
+
+  TupleQueuePtr in_;
+  TupleQueuePtr out_;
+  // reachable_[a] = set of nodes reachable from a (closure rows).
+  std::map<Value, std::set<Value>> reachable_;
+  // inverse_[b] = set of nodes that reach b.
+  std::map<Value, std::set<Value>> inverse_;
+  std::vector<Tuple> emit_queue_;
+  size_t emit_pos_ = 0;
+  size_t closure_pairs_ = 0;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_MODULES_SORT_TC_H_

@@ -1,0 +1,205 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tcq {
+
+bool Token::IsKeyword(const char* keyword) const {
+  if (kind != TokenKind::kIdent) return false;
+  const char* p = keyword;
+  size_t i = 0;
+  for (; *p != '\0' && i < text.size(); ++p, ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(*p))) {
+      return false;
+    }
+  }
+  return *p == '\0' && i == text.size();
+}
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto push = [&](TokenKind kind, size_t start, size_t len) {
+    Token t;
+    t.kind = kind;
+    t.text = input.substr(start, len);
+    t.offset = start;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      push(TokenKind::kIdent, start, i - start);
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i + 1 < n && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      Token t;
+      t.offset = start;
+      t.text = input.substr(start, i - start);
+      if (is_float) {
+        t.kind = TokenKind::kFloat;
+        t.float_value = std::strtod(t.text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInt;
+        t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // String literal.
+    if (c == '\'') {
+      size_t start = ++i;
+      std::string value;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // Escaped quote.
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        value += input[i++];
+      }
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start - 1));
+      }
+      ++i;  // Closing quote.
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(value);
+      t.offset = start - 1;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Operators and punctuation.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && input[i + 1] == b;
+    };
+    if (two('=', '=')) {
+      push(TokenKind::kEq, i, 2);
+      i += 2;
+    } else if (two('!', '=')) {
+      push(TokenKind::kNe, i, 2);
+      i += 2;
+    } else if (two('<', '>')) {
+      push(TokenKind::kNe, i, 2);
+      i += 2;
+    } else if (two('<', '=')) {
+      push(TokenKind::kLe, i, 2);
+      i += 2;
+    } else if (two('>', '=')) {
+      push(TokenKind::kGe, i, 2);
+      i += 2;
+    } else if (two('+', '=')) {
+      push(TokenKind::kPlusEq, i, 2);
+      i += 2;
+    } else if (two('-', '=')) {
+      push(TokenKind::kMinusEq, i, 2);
+      i += 2;
+    } else if (two('+', '+')) {
+      push(TokenKind::kPlusPlus, i, 2);
+      i += 2;
+    } else if (two('-', '-')) {
+      push(TokenKind::kMinusMinus, i, 2);
+      i += 2;
+    } else {
+      TokenKind kind;
+      switch (c) {
+        case '(':
+          kind = TokenKind::kLParen;
+          break;
+        case ')':
+          kind = TokenKind::kRParen;
+          break;
+        case '{':
+          kind = TokenKind::kLBrace;
+          break;
+        case '}':
+          kind = TokenKind::kRBrace;
+          break;
+        case ',':
+          kind = TokenKind::kComma;
+          break;
+        case ';':
+          kind = TokenKind::kSemicolon;
+          break;
+        case '.':
+          kind = TokenKind::kDot;
+          break;
+        case '*':
+          kind = TokenKind::kStar;
+          break;
+        case '+':
+          kind = TokenKind::kPlus;
+          break;
+        case '-':
+          kind = TokenKind::kMinus;
+          break;
+        case '/':
+          kind = TokenKind::kSlash;
+          break;
+        case '%':
+          kind = TokenKind::kPercent;
+          break;
+        case '=':
+          kind = TokenKind::kEq;
+          break;
+        case '<':
+          kind = TokenKind::kLt;
+          break;
+        case '>':
+          kind = TokenKind::kGt;
+          break;
+        case '!':
+          return Status::ParseError("stray '!' at offset " +
+                                    std::to_string(i));
+        default:
+          return Status::ParseError(std::string("unexpected character '") +
+                                    c + "' at offset " + std::to_string(i));
+      }
+      push(kind, i, 1);
+      ++i;
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace tcq

@@ -1,0 +1,60 @@
+#ifndef TCQ_PARSER_LEXER_H_
+#define TCQ_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcq {
+
+enum class TokenKind : uint8_t {
+  kEnd,
+  kIdent,      ///< Bare identifier (may be a keyword; parser decides).
+  kInt,        ///< Integer literal.
+  kFloat,      ///< Floating literal.
+  kString,     ///< 'single quoted'.
+  // Punctuation / operators.
+  kLParen,     // (
+  kRParen,     // )
+  kLBrace,     // {
+  kRBrace,     // }
+  kComma,      // ,
+  kSemicolon,  // ;
+  kDot,        // .
+  kStar,       // *
+  kPlus,       // +
+  kMinus,      // -
+  kSlash,      // /
+  kPercent,    // %
+  kEq,         // = or ==
+  kNe,         // != or <>
+  kLt,         // <
+  kLe,         // <=
+  kGt,         // >
+  kGe,         // >=
+  kPlusEq,     // +=
+  kMinusEq,    // -=
+  kPlusPlus,   // ++
+  kMinusMinus, // --
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     ///< Raw text (identifier/operator spelling).
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t offset = 0;    ///< Byte offset in the input, for error messages.
+
+  /// Case-insensitive keyword check for identifier tokens.
+  bool IsKeyword(const char* keyword) const;
+};
+
+/// Tokenizes a TelegraphCQ query string (SQL plus the for-loop/WindowIs
+/// window construct of §4.1.1). Comments (`-- ...`) run to end of line.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace tcq
+
+#endif  // TCQ_PARSER_LEXER_H_

@@ -1,0 +1,52 @@
+#ifndef TCQ_PARSER_PARSER_H_
+#define TCQ_PARSER_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/ast.h"
+#include "window/window.h"
+
+namespace tcq {
+
+/// One SELECT-list entry. Either a star (optionally qualified, as in the
+/// paper's `SELECT c2.*`) or an expression with an optional alias.
+struct SelectItem {
+  bool star = false;
+  std::string star_qualifier;  ///< "c2" for `c2.*`; "" for bare `*`.
+  ExprPtr expr;                ///< Null when star.
+  std::string alias;           ///< Output column name; "" = derive.
+};
+
+/// A FROM-clause source with optional alias:
+/// `ClosingStockPrices as c1`.
+struct TableRef {
+  std::string name;
+  std::string alias;  ///< Defaults to name when empty.
+
+  const std::string& EffectiveAlias() const {
+    return alias.empty() ? name : alias;
+  }
+};
+
+/// The parsed form of a TelegraphCQ query: standard SELECT-FROM-WHERE plus
+/// the optional for-loop window clause of §4.1.1.
+struct ParsedQuery {
+  std::vector<SelectItem> select;
+  std::vector<TableRef> from;
+  ExprPtr where;  ///< Null when absent.
+  std::vector<ExprPtr> group_by;
+  std::optional<ForLoopSpec> window;
+
+  std::string ToString() const;
+};
+
+/// Parses one query. Identifiers inside the for-loop are loop variables
+/// (`t`, `ST`); identifiers elsewhere are column references. Keywords are
+/// case-insensitive. Comparison accepts both `=` and `==`.
+Result<ParsedQuery> ParseQuery(const std::string& input);
+
+}  // namespace tcq
+
+#endif  // TCQ_PARSER_PARSER_H_

@@ -1,0 +1,160 @@
+#include "psoup/psoup.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "expr/predicates.h"
+
+namespace tcq {
+
+PSoup::PSoup(SchemaPtr schema) : PSoup(std::move(schema), Options()) {}
+
+PSoup::PSoup(SchemaPtr schema, Options options)
+    : schema_(std::move(schema)), options_(options) {
+  TCQ_CHECK(schema_ != nullptr);
+}
+
+Result<QueryId> PSoup::Register(const ExprPtr& predicate,
+                                Timestamp window_width) {
+  if (window_width <= 0) {
+    return Status::InvalidArgument("window width must be positive");
+  }
+  const QueryId qid = static_cast<QueryId>(queries_.size());
+
+  QueryState state;
+  state.window_width = window_width;
+
+  // Decompose the predicate into indexable factors and residual work, but
+  // register nothing until everything validates (atomic registration).
+  struct FilterReg {
+    size_t column;
+    BinaryOp op;
+    Value constant;
+  };
+  std::vector<FilterReg> filter_regs;
+  std::vector<ExprPtr> residual_factors;
+  if (predicate != nullptr) {
+    TCQ_ASSIGN_OR_RETURN(state.bound_predicate, predicate->Bind(*schema_));
+    for (const ExprPtr& factor : ExtractConjuncts(predicate)) {
+      if (auto sp = MatchSimplePredicate(factor)) {
+        auto idx = schema_->IndexOf(sp->column);
+        if (idx.ok()) {
+          filter_regs.push_back({*idx, sp->op, std::move(sp->constant)});
+          continue;
+        }
+      }
+      TCQ_ASSIGN_OR_RETURN(ExprPtr bound, factor->Bind(*schema_));
+      residual_factors.push_back(std::move(bound));
+    }
+  }
+
+  for (FilterReg& r : filter_regs) {
+    filter_index_[r.column].AddPredicate(qid, r.op, std::move(r.constant));
+  }
+  for (ExprPtr& r : residual_factors) {
+    residuals_.emplace_back(qid, std::move(r));
+  }
+
+  // "New query probes old data": seed the Results Structure from history.
+  for (const Tuple& t : history_) {
+    if (state.bound_predicate != nullptr) {
+      const Value keep = state.bound_predicate->Eval(t);
+      if (keep.is_null() || !keep.bool_value()) continue;
+    }
+    state.results.push_back(t);
+  }
+
+  state.active = true;
+  queries_.push_back(std::move(state));
+  active_bits_.Resize(queries_.size());
+  active_bits_.Set(qid);
+  ++active_;
+  return qid;
+}
+
+Status PSoup::Unregister(QueryId q) {
+  if (q >= queries_.size() || !queries_[q].active) {
+    return Status::NotFound("no such active query");
+  }
+  queries_[q].active = false;
+  queries_[q].results.clear();
+  active_bits_.Clear(q);
+  --active_;
+  for (auto& [col, gf] : filter_index_) gf.RemoveQuery(q);
+  residuals_.erase(std::remove_if(residuals_.begin(), residuals_.end(),
+                                  [q](const auto& r) { return r.first == q; }),
+                   residuals_.end());
+  return Status::OK();
+}
+
+SmallBitset PSoup::MatchQueries(const Tuple& t) const {
+  SmallBitset candidates = active_bits_;
+  for (const auto& [col, gf] : filter_index_) {
+    if (candidates.size_bits() < gf.num_queries()) {
+      candidates.Resize(gf.num_queries());
+    }
+    gf.Apply(t.cell(col), &candidates);
+    if (candidates.None()) return candidates;
+  }
+  for (const auto& [q, expr] : residuals_) {
+    if (q >= candidates.size_bits() || !candidates.Test(q)) continue;
+    const Value keep = expr->Eval(t);
+    if (keep.is_null() || !keep.bool_value()) candidates.Clear(q);
+  }
+  return candidates;
+}
+
+void PSoup::OnData(const Tuple& tuple) {
+  // Build into the Data SteM.
+  history_.push_back(tuple);
+  if (tuple.timestamp() > max_ts_) max_ts_ = tuple.timestamp();
+  if (options_.history_span != kMaxTimestamp) {
+    const Timestamp cutoff = max_ts_ - options_.history_span + 1;
+    while (!history_.empty() && history_.front().timestamp() < cutoff) {
+      history_.pop_front();
+    }
+  }
+  // Probe the Query SteM; materialize into each match's results.
+  SmallBitset matches = MatchQueries(tuple);
+  matches.ForEachSet([&](size_t q) {
+    if (q < queries_.size() && queries_[q].active) {
+      queries_[q].results.push_back(tuple);
+    }
+  });
+}
+
+Result<TupleVector> PSoup::Invoke(QueryId q, Timestamp now) const {
+  if (q >= queries_.size() || !queries_[q].active) {
+    return Status::NotFound("no such active query");
+  }
+  const QueryState& state = queries_[q];
+  const Timestamp lo = now - state.window_width + 1;
+  // Results are timestamp-ordered: binary-search the window.
+  const auto begin = std::lower_bound(
+      state.results.begin(), state.results.end(), lo,
+      [](const Tuple& t, Timestamp ts) { return t.timestamp() < ts; });
+  const auto end = std::upper_bound(
+      begin, state.results.end(), now,
+      [](Timestamp ts, const Tuple& t) { return ts < t.timestamp(); });
+  return TupleVector(begin, end);
+}
+
+void PSoup::EvictBefore(Timestamp ts) {
+  while (!history_.empty() && history_.front().timestamp() < ts) {
+    history_.pop_front();
+  }
+  for (QueryState& state : queries_) {
+    while (!state.results.empty() &&
+           state.results.front().timestamp() < ts) {
+      state.results.pop_front();
+    }
+  }
+}
+
+size_t PSoup::materialized_results() const {
+  size_t n = 0;
+  for (const QueryState& s : queries_) n += s.results.size();
+  return n;
+}
+
+}  // namespace tcq

@@ -1,0 +1,104 @@
+#ifndef TCQ_PSOUP_PSOUP_H_
+#define TCQ_PSOUP_PSOUP_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "expr/ast.h"
+#include "modules/grouped_filter.h"
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+/// PSoup (§3.2, [CF02]): treats data and queries symmetrically.
+///
+///  * Data arrives  -> built into the Data SteM, then *probes the Query
+///    SteM*: the set of standing queries it satisfies is computed (via a
+///    grouped-filter index over query predicates — the paper calls the
+///    Query SteM "a generalization of the notion of a grouped filter"),
+///    and the tuple is appended to each matching query's Results Structure.
+///  * A query arrives -> built into the Query SteM, then *probes the Data
+///    SteM*: previously arrived data is evaluated against it, seeding its
+///    Results Structure. This is how new queries run over history.
+///
+/// Results are thus continuously materialized. Clients may disconnect;
+/// when one returns and *invokes* a query, its time window [now-width, now]
+/// is imposed on the materialized Results Structure — an O(log n + answer)
+/// retrieval instead of a recomputation.
+class PSoup {
+ public:
+  struct Options {
+    /// How much stream history the Data SteM retains, as a timestamp span;
+    /// bounds both history joins of new queries and memory.
+    Timestamp history_span = kMaxTimestamp;
+  };
+
+  explicit PSoup(SchemaPtr schema);
+  PSoup(SchemaPtr schema, Options options);
+
+  PSoup(const PSoup&) = delete;
+  PSoup& operator=(const PSoup&) = delete;
+
+  /// Registers a standing query: a predicate over the stream schema plus a
+  /// time-based window width imposed at invocation. The query is
+  /// immediately applied to retained history.
+  Result<QueryId> Register(const ExprPtr& predicate, Timestamp window_width);
+
+  Status Unregister(QueryId q);
+
+  /// Feeds one stream tuple: stores it, matches it against all standing
+  /// queries, and materializes it into their Results Structures.
+  void OnData(const Tuple& tuple);
+
+  /// Client invocation at time `now`: the query's window [now-width+1, now]
+  /// imposed on its materialized results. Clients may have been
+  /// disconnected arbitrarily long; no recomputation happens here.
+  Result<TupleVector> Invoke(QueryId q, Timestamp now) const;
+
+  /// Reclaims history and per-query results older than `ts` (results older
+  /// than any invocable window are dead weight).
+  void EvictBefore(Timestamp ts);
+
+  size_t history_size() const { return history_.size(); }
+  size_t num_active_queries() const { return active_; }
+  /// Total materialized result entries across queries.
+  size_t materialized_results() const;
+
+ private:
+  struct QueryState {
+    bool active = false;
+    ExprPtr bound_predicate;  ///< Null = match everything.
+    Timestamp window_width = 0;
+    /// Materialized matches ordered by timestamp (stream order).
+    std::deque<Tuple> results;
+  };
+
+  /// Data-side probe of the Query SteM: all active queries matching t.
+  SmallBitset MatchQueries(const Tuple& t) const;
+
+  const SchemaPtr schema_;
+  const Options options_;
+
+  // Data SteM: retained history in arrival order.
+  std::deque<Tuple> history_;
+  Timestamp max_ts_ = kMinTimestamp;
+
+  // Query SteM: per-column grouped-filter indexes over the queries'
+  // single-column factors, plus per-query residual predicates.
+  std::map<size_t, GroupedFilter> filter_index_;
+  std::vector<QueryState> queries_;
+  std::vector<std::pair<QueryId, ExprPtr>> residuals_;
+  SmallBitset active_bits_;
+  size_t active_ = 0;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_PSOUP_PSOUP_H_

@@ -1,0 +1,36 @@
+#include "stem/remote_index.h"
+
+#include "common/logging.h"
+
+namespace tcq {
+
+RemoteIndex::RemoteIndex(std::string name, SchemaPtr schema, int key_field,
+                         TupleVector data, Options options)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      key_field_(key_field),
+      options_(options) {
+  TCQ_CHECK(schema_ != nullptr);
+  TCQ_CHECK(key_field_ >= 0 &&
+            key_field_ < static_cast<int>(schema_->num_fields()));
+  for (Tuple& t : data) {
+    Value key = t.cell(static_cast<size_t>(key_field_));
+    rows_.emplace(std::move(key), std::move(t));
+  }
+}
+
+TupleVector RemoteIndex::Lookup(const Value& key) const {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  cost_.fetch_add(options_.latency_cost, std::memory_order_relaxed);
+  if (options_.sleep.count() > 0) {
+    std::this_thread::sleep_for(options_.sleep);
+  }
+  TupleVector out;
+  auto [lo, hi] = rows_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->first == key) out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace tcq

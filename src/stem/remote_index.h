@@ -1,0 +1,58 @@
+#ifndef TCQ_STEM_REMOTE_INDEX_H_
+#define TCQ_STEM_REMOTE_INDEX_H_
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+#include "tuple/value.h"
+
+namespace tcq {
+
+/// A simulated remote index access method — the paper's "web lookup form
+/// wrapped by TeSS" (§2.2). Lookups are expensive: each one charges an
+/// abstract latency cost (deterministic, for tests and cost-model benches)
+/// and optionally sleeps (for wall-clock benches). An Eddy that caches
+/// lookup results in a SteM implements [HN96]-style caching, and combined
+/// with build SteMs yields the paper's hybrid join.
+class RemoteIndex {
+ public:
+  struct Options {
+    /// Abstract work units charged per Lookup (compared against the ~1 unit
+    /// a SteM hash probe costs).
+    uint64_t latency_cost = 1000;
+    /// Optional real latency per lookup, for wall-clock benchmarks.
+    std::chrono::microseconds sleep{0};
+  };
+
+  RemoteIndex(std::string name, SchemaPtr schema, int key_field,
+              TupleVector data, Options options);
+
+  const std::string& name() const { return name_; }
+  const SchemaPtr& schema() const { return schema_; }
+  int key_field() const { return key_field_; }
+
+  /// Fetches all rows whose key equals `key`. Charges latency.
+  TupleVector Lookup(const Value& key) const;
+
+  uint64_t lookups() const { return lookups_.load(); }
+  uint64_t total_cost() const { return cost_.load(); }
+
+ private:
+  const std::string name_;
+  const SchemaPtr schema_;
+  const int key_field_;
+  const Options options_;
+  std::unordered_multimap<Value, Tuple, ValueHash> rows_;
+  mutable std::atomic<uint64_t> lookups_{0};
+  mutable std::atomic<uint64_t> cost_{0};
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_STEM_REMOTE_INDEX_H_

@@ -1,0 +1,153 @@
+#include "stem/stem.h"
+
+#include "common/logging.h"
+
+namespace tcq {
+
+SteM::SteM(std::string name, SchemaPtr schema, Options options)
+    : name_(std::move(name)), schema_(std::move(schema)), options_(options) {
+  TCQ_CHECK(schema_ != nullptr);
+  TCQ_CHECK(options_.key_field < static_cast<int>(schema_->num_fields()));
+  TCQ_CHECK(options_.max_tuples > 0);
+}
+
+void SteM::Insert(const Tuple& tuple) {
+  TCQ_DCHECK(tuple.arity() == schema_->num_fields())
+      << name_ << ": arity mismatch";
+  if (live_count_ >= options_.max_tuples) {
+    // FIFO capacity eviction: drop the oldest live tuple.
+    for (size_t i = 0; i < dead_.size(); ++i) {
+      if (!dead_[i]) {
+        EvictAt(i);
+        break;
+      }
+    }
+    CompactFront();
+  }
+  const uint64_t id = base_id_ + tuples_.size();
+  tuples_.push_back(tuple);
+  dead_.push_back(false);
+  ++live_count_;
+  if (options_.key_field >= 0) {
+    index_.emplace(tuple.cell(static_cast<size_t>(options_.key_field)), id);
+  }
+  ++stats_.inserts;
+}
+
+TupleVector SteM::Probe(const Tuple& probe, int probe_key_field,
+                        bool probe_on_left, const ExprPtr& residual) const {
+  return ProbeImpl(probe, probe_key_field, probe_on_left, residual,
+                   kMinTimestamp, kMaxTimestamp);
+}
+
+TupleVector SteM::ProbeWindow(const Tuple& probe, int probe_key_field,
+                              bool probe_on_left, const ExprPtr& residual,
+                              Timestamp window_lo,
+                              Timestamp window_hi) const {
+  return ProbeImpl(probe, probe_key_field, probe_on_left, residual, window_lo,
+                   window_hi);
+}
+
+TupleVector SteM::ProbeImpl(const Tuple& probe, int probe_key_field,
+                            bool probe_on_left, const ExprPtr& residual,
+                            Timestamp window_lo, Timestamp window_hi) const {
+  ++stats_.probes;
+  TupleVector out;
+
+  auto consider = [&](const Tuple& stored) {
+    ++stats_.scanned;
+    if (stored.timestamp() < window_lo || stored.timestamp() > window_hi) {
+      return;
+    }
+    Tuple joined = probe_on_left ? Tuple::Concat(probe, stored)
+                                 : Tuple::Concat(stored, probe);
+    if (residual != nullptr) {
+      const Value keep = residual->Eval(joined);
+      if (keep.is_null() || !keep.bool_value()) return;
+    }
+    ++stats_.matches;
+    out.push_back(std::move(joined));
+  };
+
+  const bool indexed = options_.key_field >= 0 && probe_key_field >= 0;
+  if (indexed) {
+    const Value& key = probe.cell(static_cast<size_t>(probe_key_field));
+    auto [lo, hi] = index_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      const uint64_t id = it->second;
+      if (id < base_id_) continue;  // Compacted away.
+      const size_t pos = static_cast<size_t>(id - base_id_);
+      if (pos >= tuples_.size() || dead_[pos]) continue;
+      // equal_range is hash-based: confirm true key equality.
+      if (tuples_[pos].cell(static_cast<size_t>(options_.key_field)) != key) {
+        continue;
+      }
+      consider(tuples_[pos]);
+    }
+  } else {
+    for (size_t i = 0; i < tuples_.size(); ++i) {
+      if (!dead_[i]) consider(tuples_[i]);
+    }
+  }
+  return out;
+}
+
+void SteM::EvictAt(size_t pos) {
+  if (dead_[pos]) return;
+  dead_[pos] = true;
+  --live_count_;
+  ++stats_.evictions;
+}
+
+void SteM::CompactFront() {
+  while (!dead_.empty() && dead_.front()) {
+    // Remove the matching index entries for the departing id.
+    if (options_.key_field >= 0) {
+      const Value& key =
+          tuples_.front().cell(static_cast<size_t>(options_.key_field));
+      auto [lo, hi] = index_.equal_range(key);
+      for (auto it = lo; it != hi;) {
+        it = (it->second == base_id_) ? index_.erase(it) : std::next(it);
+      }
+    }
+    tuples_.pop_front();
+    dead_.pop_front();
+    ++base_id_;
+  }
+}
+
+size_t SteM::EvictBefore(Timestamp ts) {
+  size_t n = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (!dead_[i] && tuples_[i].timestamp() < ts) {
+      EvictAt(i);
+      ++n;
+    }
+  }
+  CompactFront();
+  return n;
+}
+
+size_t SteM::EvictOutside(Timestamp lo, Timestamp hi) {
+  size_t n = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (dead_[i]) continue;
+    const Timestamp ts = tuples_[i].timestamp();
+    if (ts < lo || ts > hi) {
+      EvictAt(i);
+      ++n;
+    }
+  }
+  CompactFront();
+  return n;
+}
+
+void SteM::Clear() {
+  tuples_.clear();
+  dead_.clear();
+  index_.clear();
+  base_id_ = 0;
+  live_count_ = 0;
+}
+
+}  // namespace tcq

@@ -1,0 +1,63 @@
+#ifndef TCQ_TUPLE_CATALOG_H_
+#define TCQ_TUPLE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+/// Metadata for one named data source. A source is either a stream (tuples
+/// arrive over time; queries must window it) or a static table (finite,
+/// fully available; the paper treats inputs without a WindowIs clause as
+/// static tables).
+struct StreamDef {
+  std::string name;
+  SchemaPtr schema;
+  TimeDomain domain = TimeDomain::kLogical;
+  /// Index of the column that carries the application timestamp the window
+  /// for-loop ranges over, or -1 to use arrival sequence numbers.
+  int timestamp_field = -1;
+  bool is_table = false;
+};
+
+/// The system catalog: named streams, static tables, and table contents.
+/// Thread-safe; the FrontEnd registers sources while the Executor reads.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a stream. Fails with AlreadyExists on duplicate names.
+  Status RegisterStream(StreamDef def);
+
+  /// Registers a static table together with its rows.
+  Status RegisterTable(StreamDef def, TupleVector rows);
+
+  /// Looks up a stream or table definition by name.
+  Result<StreamDef> GetStream(const std::string& name) const;
+
+  /// Returns the rows of a static table.
+  Result<TupleVector> GetTableRows(const std::string& name) const;
+
+  bool Exists(const std::string& name) const;
+
+  std::vector<std::string> ListSources() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, StreamDef> defs_;
+  std::map<std::string, TupleVector> table_rows_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_TUPLE_CATALOG_H_

@@ -1,0 +1,59 @@
+#include "tuple/schema.h"
+
+#include <sstream>
+
+namespace tcq {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  // Split an optional "qualifier." prefix.
+  std::string qualifier;
+  std::string column = name;
+  const size_t dot = name.find('.');
+  if (dot != std::string::npos) {
+    qualifier = name.substr(0, dot);
+    column = name.substr(dot + 1);
+  }
+
+  size_t found = fields_.size();
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const Field& f = fields_[i];
+    if (f.name != column) continue;
+    if (!qualifier.empty() && f.qualifier != qualifier) continue;
+    if (found != fields_.size()) {
+      return Status::InvalidArgument("ambiguous column reference: " + name);
+    }
+    found = i;
+  }
+  if (found == fields_.size()) {
+    return Status::NotFound("no such column: " + name);
+  }
+  return found;
+}
+
+std::shared_ptr<const Schema> Schema::Concat(const Schema& left,
+                                             const Schema& right) {
+  std::vector<Field> fields = left.fields_;
+  fields.insert(fields.end(), right.fields_.begin(), right.fields_.end());
+  return Make(std::move(fields));
+}
+
+std::shared_ptr<const Schema> Schema::WithQualifier(
+    const std::string& q) const {
+  std::vector<Field> fields = fields_;
+  for (Field& f : fields) f.qualifier = q;
+  return Make(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields_[i].QualifiedName() << " "
+       << ValueTypeToString(fields_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace tcq

@@ -1,0 +1,63 @@
+#ifndef TCQ_TUPLE_SCHEMA_H_
+#define TCQ_TUPLE_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tuple/value.h"
+
+namespace tcq {
+
+/// One column of a stream or intermediate result.
+struct Field {
+  std::string name;       ///< Column name, e.g. "closingPrice".
+  ValueType type;         ///< Declared type.
+  std::string qualifier;  ///< Stream/alias it came from, e.g. "c1". May be "".
+
+  /// "qualifier.name", or just "name" when unqualified.
+  std::string QualifiedName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// An ordered list of fields. Schemas are immutable once built and shared
+/// via shared_ptr; join outputs build concatenated schemas.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  static std::shared_ptr<const Schema> Make(std::vector<Field> fields) {
+    return std::make_shared<const Schema>(std::move(fields));
+  }
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Resolves a possibly-qualified column reference to a field index.
+  /// "c1.price" matches only qualifier c1; bare "price" matches any field
+  /// named price but errors if the name is ambiguous across qualifiers.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// Concatenation for join outputs: fields of `left` then fields of
+  /// `right`, qualifiers preserved.
+  static std::shared_ptr<const Schema> Concat(const Schema& left,
+                                              const Schema& right);
+
+  /// Returns a copy of this schema with every field's qualifier replaced.
+  std::shared_ptr<const Schema> WithQualifier(const std::string& q) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace tcq
+
+#endif  // TCQ_TUPLE_SCHEMA_H_

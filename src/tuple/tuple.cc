@@ -1,0 +1,25 @@
+#include "tuple/tuple.h"
+
+#include <sstream>
+
+namespace tcq {
+
+const std::shared_ptr<const std::vector<Value>>& Tuple::EmptyCells() {
+  static const auto& empty =
+      *new std::shared_ptr<const std::vector<Value>>(
+          std::make_shared<const std::vector<Value>>());
+  return empty;
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < arity(); ++i) {
+    if (i > 0) os << ", ";
+    os << cell(i).ToString();
+  }
+  os << " @" << ts_ << "]";
+  return os.str();
+}
+
+}  // namespace tcq

@@ -1,0 +1,95 @@
+#ifndef TCQ_TUPLE_TUPLE_H_
+#define TCQ_TUPLE_TUPLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "tuple/schema.h"
+#include "tuple/value.h"
+
+namespace tcq {
+
+/// A row flowing through the dataflow. The cell payload is immutable and
+/// shared (joins concatenate payloads into fresh tuples; copies of a Tuple
+/// alias the same cells), while the timestamp rides along by value.
+///
+/// Besides the application timestamp, a tuple carries an engine-assigned
+/// arrival sequence number (`seq`). Symmetric joins use it for duplicate
+/// avoidance: a probe may only match stored tuples that arrived strictly
+/// earlier, so each join result is produced by exactly one arrival order.
+/// Per §4.2.2 of the paper, intermediate tuples inside an Eddy carry extra
+/// routing state ("enhanced surrogate objects"); that state lives in
+/// eddy::RoutedTuple, keeping this type a plain data carrier.
+class Tuple {
+ public:
+  /// An empty (zero-arity) tuple with timestamp 0.
+  Tuple() : cells_(EmptyCells()), ts_(0) {}
+
+  Tuple(std::vector<Value> cells, Timestamp ts)
+      : cells_(std::make_shared<const std::vector<Value>>(std::move(cells))),
+        ts_(ts) {}
+
+  static Tuple Make(std::vector<Value> cells, Timestamp ts = 0) {
+    return Tuple(std::move(cells), ts);
+  }
+
+  size_t arity() const { return cells_->size(); }
+  const Value& cell(size_t i) const {
+    TCQ_DCHECK(i < cells_->size());
+    return (*cells_)[i];
+  }
+  const std::vector<Value>& cells() const { return *cells_; }
+
+  Timestamp timestamp() const { return ts_; }
+  void set_timestamp(Timestamp ts) { ts_ = ts; }
+
+  /// Arrival sequence number; 0 = never stamped by an engine.
+  int64_t seq() const { return seq_; }
+  void set_seq(int64_t seq) { seq_ = seq; }
+
+  /// Concatenates the cells of `left` then `right`. The result's timestamp
+  /// and seq are the max of the two (the join output is "complete" only
+  /// once its youngest constituent has arrived).
+  static Tuple Concat(const Tuple& left, const Tuple& right) {
+    std::vector<Value> cells;
+    cells.reserve(left.arity() + right.arity());
+    cells.insert(cells.end(), left.cells().begin(), left.cells().end());
+    cells.insert(cells.end(), right.cells().begin(), right.cells().end());
+    Tuple out(std::move(cells),
+              left.ts_ > right.ts_ ? left.ts_ : right.ts_);
+    out.seq_ = left.seq_ > right.seq_ ? left.seq_ : right.seq_;
+    return out;
+  }
+
+  /// Projects the given cell indexes into a new tuple (same timestamp/seq).
+  Tuple Project(const std::vector<size_t>& indexes) const {
+    std::vector<Value> cells;
+    cells.reserve(indexes.size());
+    for (size_t i : indexes) cells.push_back(cell(i));
+    Tuple out(std::move(cells), ts_);
+    out.seq_ = seq_;
+    return out;
+  }
+
+  bool operator==(const Tuple& other) const {
+    return ts_ == other.ts_ && *cells_ == *other.cells_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  static const std::shared_ptr<const std::vector<Value>>& EmptyCells();
+
+  std::shared_ptr<const std::vector<Value>> cells_;
+  Timestamp ts_;
+  int64_t seq_ = 0;
+};
+
+using TupleVector = std::vector<Tuple>;
+
+}  // namespace tcq
+
+#endif  // TCQ_TUPLE_TUPLE_H_

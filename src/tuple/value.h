@@ -1,0 +1,110 @@
+#ifndef TCQ_TUPLE_VALUE_H_
+#define TCQ_TUPLE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace tcq {
+
+/// Column types supported by the engine. kInt64 doubles as the carrier for
+/// timestamps (the paper's `long timestamp`); kString covers char(N)
+/// columns such as stockSymbol.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// A single typed cell. Value is a regular value type: copyable, comparable,
+/// hashable; strings are the only heap-owning alternative.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Data(std::in_place_index<1>, v)); }
+  static Value Int64(int64_t v) {
+    return Value(Data(std::in_place_index<2>, v));
+  }
+  static Value Double(double v) {
+    return Value(Data(std::in_place_index<3>, v));
+  }
+  static Value String(std::string v) {
+    return Value(Data(std::in_place_index<4>, std::move(v)));
+  }
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kBool;
+      case 2:
+        return ValueType::kInt64;
+      case 3:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return data_.index() == 0; }
+  bool bool_value() const { return std::get<1>(data_); }
+  int64_t int64_value() const { return std::get<2>(data_); }
+  double double_value() const { return std::get<3>(data_); }
+  const std::string& string_value() const { return std::get<4>(data_); }
+
+  /// Numeric view: int64 and double both read as double. Asserts on
+  /// non-numeric types.
+  double AsDouble() const {
+    return type() == ValueType::kInt64 ? static_cast<double>(int64_value())
+                                       : double_value();
+  }
+
+  bool is_numeric() const {
+    return type() == ValueType::kInt64 || type() == ValueType::kDouble;
+  }
+
+  /// Three-way comparison. Numeric types compare cross-type (1 == 1.0).
+  /// NULL sorts before everything and equals only NULL. Comparing a string
+  /// with a non-string is a caller bug caught by the type checker upstream;
+  /// here it falls back to type-tag ordering.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Hash consistent with Compare for same-type values; numerics hash by
+  /// their double image so 1 and 1.0 collide (as they compare equal).
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  using Data =
+      std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_TUPLE_VALUE_H_

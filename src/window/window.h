@@ -1,0 +1,133 @@
+#ifndef TCQ_WINDOW_WINDOW_H_
+#define TCQ_WINDOW_WINDOW_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "expr/ast.h"
+
+namespace tcq {
+
+/// One `WindowIs(Stream, left(t), right(t))` clause from the paper's
+/// for-loop construct (§4.1.1). The bound expressions may reference the
+/// loop variable and `ST` (query start time); ends are inclusive.
+struct WindowIsClause {
+  std::string stream;  ///< Stream name or alias within the query.
+  ExprPtr left_end;
+  ExprPtr right_end;
+};
+
+/// The paper's low-level window mechanism:
+///
+///   for (t = init; continue_condition(t); t = change(t)) {
+///     WindowIs(StreamA, left_end(t), right_end(t));
+///     ...
+///   }
+///
+/// `init`, `condition` and `step` are expressions over the loop variable
+/// and ST. A missing init means t starts at 0 (the paper's snapshot
+/// example `for (; t==0; t = -1)` relies on this).
+struct ForLoopSpec {
+  std::string var = "t";
+  ExprPtr init;       ///< Initial value of var; nullptr = 0.
+  ExprPtr condition;  ///< Loop continues while this is true; nullptr = once.
+  ExprPtr step;       ///< Next value of var, e.g. `t + 5`; nullptr = t + 1.
+  std::vector<WindowIsClause> windows;
+
+  /// True when the loop never terminates on its own (a standing CQ whose
+  /// condition is always true is legal; the client cancels it).
+  bool has_condition() const { return condition != nullptr; }
+};
+
+/// Concrete bounds of one stream's window at one loop iteration.
+struct WindowBounds {
+  std::string stream;
+  Timestamp left;   ///< Inclusive.
+  Timestamp right;  ///< Inclusive.
+
+  bool Contains(Timestamp ts) const { return ts >= left && ts <= right; }
+  /// Number of timestamps covered; 0 for an empty (inverted) window.
+  int64_t Width() const { return right >= left ? right - left + 1 : 0; }
+  bool operator==(const WindowBounds& o) const {
+    return stream == o.stream && left == o.left && right == o.right;
+  }
+};
+
+/// Enumerates the window sequence a ForLoopSpec defines: each Next() call
+/// produces the loop variable's value plus the bounds of every WindowIs
+/// clause at that iteration, until the continue-condition fails.
+class WindowSequence {
+ public:
+  struct Step {
+    Timestamp t;
+    std::vector<WindowBounds> bounds;  ///< One per WindowIs clause, in order.
+  };
+
+  /// `st` is the query start time, bound to variable "ST".
+  WindowSequence(const ForLoopSpec* spec, Timestamp st);
+
+  /// Advances the loop. Returns nullopt once the condition is false.
+  std::optional<Step> Next();
+
+  /// Loop variable value the *next* Next() will evaluate at.
+  Timestamp current_t() const { return t_; }
+  bool done() const { return done_; }
+
+ private:
+  const ForLoopSpec* spec_;
+  VarEnv env_;
+  Timestamp t_ = 0;
+  bool done_ = false;
+};
+
+/// Window shape taxonomy from §4.1/§4.1.2. Determined by probing the first
+/// iterations of the sequence.
+enum class WindowClass {
+  kSnapshot,  ///< Exactly one iteration.
+  kLandmark,  ///< Fixed left end, right end moves forward.
+  kSliding,   ///< Both ends move forward; constant width.
+  kHopping,   ///< Sliding whose hop exceeds 1 (may skip data if hop>width).
+  kReverse,   ///< Ends move backward in time.
+  kGeneral,   ///< Anything else (variable width, on-demand, ...).
+};
+
+const char* WindowClassToString(WindowClass c);
+
+/// Probed properties of one WindowIs clause's window sequence.
+struct WindowShape {
+  WindowClass window_class = WindowClass::kGeneral;
+  int64_t width = 0;  ///< Width at the first iteration.
+  int64_t hop = 0;    ///< Right-end movement per iteration (0 = static).
+  /// True when consecutive windows can skip stream portions (hop > width).
+  bool skips_data = false;
+  /// §4.1.2: an aggregate like MAX over this window needs the whole window
+  /// retained (sliding), vs O(1) incremental state (landmark/snapshot).
+  bool requires_full_window_state = false;
+};
+
+/// Classifies clause `clause_index` of `spec` by enumerating up to
+/// `probe_steps` iterations starting at start time `st`.
+Result<WindowShape> ClassifyWindow(const ForLoopSpec& spec,
+                                   size_t clause_index, Timestamp st,
+                                   size_t probe_steps = 8);
+
+/// Validates that every bound expression only references the loop variable
+/// and ST, and that the clause list is non-empty for stream queries.
+Status ValidateForLoop(const ForLoopSpec& spec);
+
+/// Convenience builders for the common window shapes (used by tests,
+/// benches and the programmatic API; SQL queries go through the parser).
+ForLoopSpec MakeSnapshotWindow(const std::string& stream, Timestamp left,
+                               Timestamp right);
+ForLoopSpec MakeLandmarkWindow(const std::string& stream, Timestamp left,
+                               Timestamp start_t, Timestamp end_t);
+ForLoopSpec MakeSlidingWindow(const std::string& stream, int64_t width,
+                              int64_t hop, Timestamp start_t,
+                              std::optional<Timestamp> end_t);
+
+}  // namespace tcq
+
+#endif  // TCQ_WINDOW_WINDOW_H_

@@ -1,0 +1,92 @@
+#include "tuple/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace tcq {
+namespace {
+
+StreamDef StockStream() {
+  StreamDef def;
+  def.name = "ClosingStockPrices";
+  def.schema = Schema::Make({{"timestamp", ValueType::kInt64, ""},
+                             {"stockSymbol", ValueType::kString, ""},
+                             {"closingPrice", ValueType::kDouble, ""}});
+  def.timestamp_field = 0;
+  return def;
+}
+
+TEST(CatalogTest, RegisterAndLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterStream(StockStream()).ok());
+  auto def = catalog.GetStream("ClosingStockPrices");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->schema->num_fields(), 3u);
+  EXPECT_FALSE(def->is_table);
+  EXPECT_TRUE(catalog.Exists("ClosingStockPrices"));
+}
+
+TEST(CatalogTest, DuplicateRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterStream(StockStream()).ok());
+  EXPECT_EQ(catalog.RegisterStream(StockStream()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, MissingLookupFails) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.GetStream("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(catalog.Exists("nope"));
+}
+
+TEST(CatalogTest, NullSchemaRejected) {
+  Catalog catalog;
+  StreamDef def;
+  def.name = "bad";
+  EXPECT_EQ(catalog.RegisterStream(def).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, TimestampFieldRangeChecked) {
+  Catalog catalog;
+  StreamDef def = StockStream();
+  def.timestamp_field = 7;
+  EXPECT_EQ(catalog.RegisterStream(def).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, TablesCarryRows) {
+  Catalog catalog;
+  StreamDef def = StockStream();
+  def.name = "HistoricalPrices";
+  TupleVector rows;
+  rows.push_back(Tuple::Make(
+      {Value::Int64(1), Value::String("MSFT"), Value::Double(50.0)}, 1));
+  ASSERT_TRUE(catalog.RegisterTable(def, rows).ok());
+
+  auto fetched = catalog.GetTableRows("HistoricalPrices");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->size(), 1u);
+  EXPECT_TRUE(catalog.GetStream("HistoricalPrices")->is_table);
+}
+
+TEST(CatalogTest, StreamHasNoTableRows) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterStream(StockStream()).ok());
+  EXPECT_EQ(catalog.GetTableRows("ClosingStockPrices").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, ListSourcesSorted) {
+  Catalog catalog;
+  StreamDef a = StockStream();
+  a.name = "b_stream";
+  StreamDef b = StockStream();
+  b.name = "a_stream";
+  ASSERT_TRUE(catalog.RegisterStream(a).ok());
+  ASSERT_TRUE(catalog.RegisterStream(b).ok());
+  const auto names = catalog.ListSources();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a_stream");
+  EXPECT_EQ(names[1], "b_stream");
+}
+
+}  // namespace
+}  // namespace tcq

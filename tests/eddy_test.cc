@@ -1,0 +1,227 @@
+#include "eddy/eddy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eddy/operators.h"
+
+namespace tcq {
+namespace {
+
+SchemaPtr KV() {
+  return Schema::Make(
+      {{"k", ValueType::kInt64, ""}, {"v", ValueType::kInt64, ""}});
+}
+
+Tuple KVTuple(int64_t k, int64_t v, Timestamp ts = 0) {
+  return Tuple::Make({Value::Int64(k), Value::Int64(v)}, ts);
+}
+
+/// Layout with a single source "s".
+struct SingleSourceFixture {
+  SourceLayout layout;
+  size_t s;
+
+  SingleSourceFixture() { s = layout.AddSource("s", KV()); }
+
+  SmallBitset SourceSet() const {
+    SmallBitset b(layout.num_sources());
+    b.Set(s);
+    return b;
+  }
+
+  ExprPtr BindOrDie(ExprPtr e) const {
+    auto bound = e->Bind(*layout.full_schema());
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    return *bound;
+  }
+};
+
+TEST(EddyTest, SingleFilterPassesAndDrops) {
+  SingleSourceFixture fx;
+  Eddy eddy(&fx.layout, std::make_unique<FixedPolicy>(std::vector<size_t>{}));
+  ExprPtr pred = fx.BindOrDie(Expr::Binary(
+      BinaryOp::kGt, Expr::Column("k"), Expr::Literal(Value::Int64(5))));
+  eddy.AddOperator(
+      std::make_shared<FilterOp>("k>5", pred, fx.SourceSet()));
+
+  TupleVector out;
+  eddy.SetSink([&](RoutedTuple&& rt) { out.push_back(rt.tuple); });
+  for (int64_t k = 0; k < 10; ++k) eddy.Inject(fx.s, KVTuple(k, k));
+  eddy.Drain();
+  ASSERT_EQ(out.size(), 4u);  // k = 6..9.
+  for (const Tuple& t : out) EXPECT_GT(t.cell(0).int64_value(), 5);
+}
+
+TEST(EddyTest, TupleVisitsEveryFilterExactlyOnce) {
+  SingleSourceFixture fx;
+  Eddy eddy(&fx.layout, std::make_unique<RandomPolicy>(3));
+  // Two always-true filters: every tuple must pass both exactly once.
+  ExprPtr truth = Expr::Literal(Value::Bool(true));
+  eddy.AddOperator(std::make_shared<FilterOp>("f1", truth, fx.SourceSet()));
+  eddy.AddOperator(std::make_shared<FilterOp>("f2", truth, fx.SourceSet()));
+
+  size_t emitted = 0;
+  eddy.SetSink([&](RoutedTuple&&) { ++emitted; });
+  for (int64_t k = 0; k < 100; ++k) eddy.Inject(fx.s, KVTuple(k, k));
+  eddy.Drain();
+  EXPECT_EQ(emitted, 100u);
+  EXPECT_EQ(eddy.op_stats()[0].routed, 100u);
+  EXPECT_EQ(eddy.op_stats()[1].routed, 100u);
+  EXPECT_EQ(eddy.visits(), 200u);
+}
+
+TEST(EddyTest, ConjunctionOrderInvariant) {
+  // Whatever order the policy picks, output = AND of the predicates.
+  for (const char* policy_name : {"fixed", "random", "lottery"}) {
+    SingleSourceFixture fx;
+    Eddy eddy(&fx.layout, MakePolicy(policy_name, 99));
+    ExprPtr p1 = fx.BindOrDie(Expr::Binary(
+        BinaryOp::kGt, Expr::Column("k"), Expr::Literal(Value::Int64(10))));
+    ExprPtr p2 = fx.BindOrDie(Expr::Binary(
+        BinaryOp::kLt, Expr::Column("k"), Expr::Literal(Value::Int64(20))));
+    ExprPtr p3 = fx.BindOrDie(Expr::Binary(
+        BinaryOp::kEq,
+        Expr::Binary(BinaryOp::kMod, Expr::Column("k"),
+                     Expr::Literal(Value::Int64(2))),
+        Expr::Literal(Value::Int64(0))));
+    eddy.AddOperator(std::make_shared<FilterOp>("p1", p1, fx.SourceSet()));
+    eddy.AddOperator(std::make_shared<FilterOp>("p2", p2, fx.SourceSet()));
+    eddy.AddOperator(std::make_shared<FilterOp>("p3", p3, fx.SourceSet()));
+
+    std::vector<int64_t> out;
+    eddy.SetSink(
+        [&](RoutedTuple&& rt) { out.push_back(rt.tuple.cell(0).int64_value()); });
+    for (int64_t k = 0; k < 50; ++k) eddy.Inject(fx.s, KVTuple(k, k));
+    eddy.Drain();
+    std::sort(out.begin(), out.end());
+    EXPECT_EQ(out, (std::vector<int64_t>{12, 14, 16, 18})) << policy_name;
+  }
+}
+
+TEST(EddyTest, LotteryLearnsSelectiveOperatorFirst) {
+  // One filter drops 90%, the other 10%. After convergence the selective
+  // filter should receive (nearly) every tuple while the weak filter sees
+  // only survivors, so its routed count collapses toward the join rate.
+  SingleSourceFixture fx;
+  Eddy eddy(&fx.layout, std::make_unique<LotteryPolicy>(17));
+  auto selective = std::make_shared<SyntheticFilterOp>(
+      "selective", fx.SourceSet(), [](uint64_t) { return 0.1; }, 1.0, 5);
+  auto weak = std::make_shared<SyntheticFilterOp>(
+      "weak", fx.SourceSet(), [](uint64_t) { return 0.9; }, 1.0, 6);
+  const size_t weak_idx = eddy.AddOperator(weak);
+  const size_t sel_idx = eddy.AddOperator(selective);
+
+  for (int64_t k = 0; k < 5000; ++k) eddy.Inject(fx.s, KVTuple(k, k));
+  eddy.Drain();
+
+  const auto& stats = eddy.op_stats();
+  // The selective op must end up routed-first for most tuples: the weak op
+  // then sees only ~10% of the stream.
+  EXPECT_GT(stats[sel_idx].routed, stats[weak_idx].routed);
+  EXPECT_LT(static_cast<double>(stats[weak_idx].routed),
+            0.6 * static_cast<double>(stats[sel_idx].routed));
+}
+
+TEST(EddyTest, BatchingReducesDecisions) {
+  auto run = [](size_t batch) {
+    SingleSourceFixture fx;
+    Eddy::Options opts;
+    opts.batch_size = batch;
+    Eddy eddy(&fx.layout, std::make_unique<LotteryPolicy>(3), opts);
+    ExprPtr truth = Expr::Literal(Value::Bool(true));
+    eddy.AddOperator(std::make_shared<FilterOp>("f1", truth, fx.SourceSet()));
+    eddy.AddOperator(std::make_shared<FilterOp>("f2", truth, fx.SourceSet()));
+    for (int64_t k = 0; k < 1000; ++k) eddy.Inject(fx.s, KVTuple(k, k));
+    eddy.Drain();
+    return eddy.decisions();
+  };
+  const uint64_t d1 = run(1);
+  const uint64_t d64 = run(64);
+  EXPECT_GT(d1, d64 * 10);  // Decision count collapses with batching.
+}
+
+TEST(EddyTest, FixedSequenceReducesDecisions) {
+  auto run = [](size_t seq_len) {
+    SingleSourceFixture fx;
+    Eddy::Options opts;
+    opts.fixed_sequence_length = seq_len;
+    Eddy eddy(&fx.layout, std::make_unique<LotteryPolicy>(3), opts);
+    ExprPtr truth = Expr::Literal(Value::Bool(true));
+    for (int i = 0; i < 4; ++i) {
+      eddy.AddOperator(std::make_shared<FilterOp>("f" + std::to_string(i),
+                                                  truth, fx.SourceSet()));
+    }
+    for (int64_t k = 0; k < 500; ++k) eddy.Inject(fx.s, KVTuple(k, k));
+    eddy.Drain();
+    EXPECT_EQ(eddy.emitted(), 500u);  // Correctness unaffected.
+    return eddy.decisions();
+  };
+  EXPECT_GT(run(1), run(4) * 3);
+}
+
+TEST(EddyTest, DynamicOperatorAddition) {
+  SingleSourceFixture fx;
+  Eddy eddy(&fx.layout, std::make_unique<FixedPolicy>(std::vector<size_t>{}));
+  ExprPtr p1 = fx.BindOrDie(Expr::Binary(
+      BinaryOp::kGe, Expr::Column("k"), Expr::Literal(Value::Int64(0))));
+  eddy.AddOperator(std::make_shared<FilterOp>("p1", p1, fx.SourceSet()));
+
+  size_t emitted = 0;
+  eddy.SetSink([&](RoutedTuple&&) { ++emitted; });
+  for (int64_t k = 0; k < 10; ++k) eddy.Inject(fx.s, KVTuple(k, k));
+  eddy.Drain();
+  EXPECT_EQ(emitted, 10u);
+
+  // Fold in a second, selective filter; subsequent tuples face both.
+  ExprPtr p2 = fx.BindOrDie(Expr::Binary(
+      BinaryOp::kLt, Expr::Column("k"), Expr::Literal(Value::Int64(5))));
+  eddy.AddOperator(std::make_shared<FilterOp>("p2", p2, fx.SourceSet()));
+  emitted = 0;
+  for (int64_t k = 0; k < 10; ++k) eddy.Inject(fx.s, KVTuple(k, k));
+  eddy.Drain();
+  EXPECT_EQ(emitted, 5u);
+}
+
+// Property: under any policy and knob setting, no tuples are lost or
+// duplicated by the routing machinery itself.
+struct KnobParam {
+  const char* policy;
+  size_t batch;
+  size_t seq;
+};
+
+class EddyRoutingPropertyTest : public ::testing::TestWithParam<KnobParam> {};
+
+TEST_P(EddyRoutingPropertyTest, NoLossNoDuplication) {
+  const KnobParam param = GetParam();
+  SingleSourceFixture fx;
+  Eddy::Options opts;
+  opts.batch_size = param.batch;
+  opts.fixed_sequence_length = param.seq;
+  Eddy eddy(&fx.layout, MakePolicy(param.policy, 12345), opts);
+  ExprPtr truth = Expr::Literal(Value::Bool(true));
+  for (int i = 0; i < 5; ++i) {
+    eddy.AddOperator(std::make_shared<FilterOp>("f" + std::to_string(i),
+                                                truth, fx.SourceSet()));
+  }
+  std::vector<int64_t> seen;
+  eddy.SetSink(
+      [&](RoutedTuple&& rt) { seen.push_back(rt.tuple.cell(0).int64_value()); });
+  const int64_t n = 777;
+  for (int64_t k = 0; k < n; ++k) eddy.Inject(fx.s, KVTuple(k, k));
+  eddy.Drain();
+  ASSERT_EQ(seen.size(), static_cast<size_t>(n));
+  std::sort(seen.begin(), seen.end());
+  for (int64_t k = 0; k < n; ++k) EXPECT_EQ(seen[static_cast<size_t>(k)], k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyKnobMatrix, EddyRoutingPropertyTest,
+    ::testing::Values(KnobParam{"fixed", 1, 1}, KnobParam{"random", 1, 1},
+                      KnobParam{"lottery", 1, 1}, KnobParam{"lottery", 16, 1},
+                      KnobParam{"lottery", 1, 3}, KnobParam{"lottery", 16, 3},
+                      KnobParam{"random", 8, 2}, KnobParam{"fixed", 4, 5}));
+
+}  // namespace
+}  // namespace tcq

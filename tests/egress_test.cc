@@ -1,0 +1,160 @@
+#include "core/egress.h"
+
+#include <gtest/gtest.h>
+
+#include "fjords/scheduler.h"
+#include "ingress/sources.h"
+#include "ingress/wrapper.h"
+
+namespace tcq {
+namespace {
+
+Tuple Stock(int64_t day, const std::string& sym, double price) {
+  return Tuple::Make(
+      {Value::Int64(day), Value::String(sym), Value::Double(price)}, day);
+}
+
+class EgressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(server_
+                    .DefineStream("ClosingStockPrices",
+                                  StockTickerSource::MakeSchema(), 0)
+                    .ok());
+    auto q = server_.Submit(
+        "SELECT closingPrice FROM ClosingStockPrices "
+        "WHERE stockSymbol = 'MSFT'");
+    ASSERT_TRUE(q.ok());
+    query_ = *q;
+  }
+
+  void Feed(int64_t from, int64_t to) {
+    for (int64_t d = from; d <= to; ++d) {
+      ASSERT_TRUE(
+          server_.Push("ClosingStockPrices", Stock(d, "MSFT", 40.0 + d))
+              .ok());
+    }
+  }
+
+  Server server_;
+  QueryId query_ = 0;
+};
+
+TEST_F(EgressTest, PullModeSpoolsWhileDisconnected) {
+  auto egress = EgressOperator::Attach(&server_, query_);
+  ASSERT_TRUE(egress.ok());
+  Feed(1, 10);
+  EXPECT_EQ((*egress)->spooled(), 10u);
+  auto sets = (*egress)->Fetch();
+  EXPECT_EQ(sets.size(), 10u);
+  EXPECT_EQ((*egress)->spooled(), 0u);
+  EXPECT_EQ((*egress)->delivered(), 10u);
+}
+
+TEST_F(EgressTest, FetchInBatches) {
+  auto egress = EgressOperator::Attach(&server_, query_);
+  ASSERT_TRUE(egress.ok());
+  Feed(1, 10);
+  EXPECT_EQ((*egress)->Fetch(3).size(), 3u);
+  EXPECT_EQ((*egress)->Fetch(3).size(), 3u);
+  EXPECT_EQ((*egress)->Fetch(100).size(), 4u);
+  EXPECT_TRUE((*egress)->Fetch().empty());
+}
+
+TEST_F(EgressTest, ConnectFlushesSpoolThenStreamsLive) {
+  auto egress = EgressOperator::Attach(&server_, query_);
+  ASSERT_TRUE(egress.ok());
+  Feed(1, 5);  // Spooled while disconnected.
+  std::vector<Timestamp> seen;
+  (*egress)->Connect(
+      [&](const ResultSet& rs) { seen.push_back(rs.t); });
+  EXPECT_EQ(seen.size(), 5u);  // Backlog flushed in order.
+  Feed(6, 8);                  // Live streaming.
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_EQ((*egress)->spooled(), 0u);
+}
+
+TEST_F(EgressTest, DisconnectResumesSpooling) {
+  auto egress = EgressOperator::Attach(&server_, query_);
+  ASSERT_TRUE(egress.ok());
+  int live = 0;
+  (*egress)->Connect([&](const ResultSet&) { ++live; });
+  Feed(1, 3);
+  EXPECT_EQ(live, 3);
+  (*egress)->Disconnect();
+  Feed(4, 6);
+  EXPECT_EQ(live, 3);
+  EXPECT_EQ((*egress)->spooled(), 3u);
+}
+
+TEST_F(EgressTest, SpoolBoundShedsOldest) {
+  EgressOperator::Options opts;
+  opts.spool_capacity = 5;
+  auto egress = EgressOperator::Attach(&server_, query_, opts);
+  ASSERT_TRUE(egress.ok());
+  Feed(1, 12);
+  EXPECT_EQ((*egress)->spooled(), 5u);
+  EXPECT_EQ((*egress)->shed(), 7u);
+  // The freshest results survive (days 8..12).
+  auto sets = (*egress)->Fetch();
+  ASSERT_EQ(sets.size(), 5u);
+  EXPECT_EQ(sets.front().t, 8);
+  EXPECT_EQ(sets.back().t, 12);
+}
+
+TEST_F(EgressTest, AttachToUnknownQueryFails) {
+  EXPECT_FALSE(EgressOperator::Attach(&server_, 999).ok());
+}
+
+TEST_F(EgressTest, StreamPumpDrainsQueueIntoServer) {
+  auto q = std::make_shared<TupleQueue>(PushQueueOptions(1024));
+  StreamPumpModule pump("pump", &server_, "ClosingStockPrices", q);
+  for (int64_t d = 1; d <= 20; ++d) {
+    ASSERT_TRUE(q->Enqueue(Stock(d, "MSFT", 50.0)));
+  }
+  q->Close();
+  while (pump.Step(8) != FjordModule::StepResult::kDone) {
+  }
+  EXPECT_EQ(pump.pumped(), 20u);
+  EXPECT_EQ(pump.rejected(), 0u);
+  EXPECT_EQ(server_.PollAll(query_).size(), 20u);
+}
+
+TEST_F(EgressTest, StreamPumpCountsRejects) {
+  auto q = std::make_shared<TupleQueue>(PushQueueOptions(16));
+  StreamPumpModule pump("pump", &server_, "ClosingStockPrices", q);
+  ASSERT_TRUE(q->Enqueue(Stock(5, "MSFT", 50.0)));
+  ASSERT_TRUE(q->Enqueue(Stock(3, "MSFT", 50.0)));  // Out of order.
+  ASSERT_TRUE(q->Enqueue(Stock(6, "MSFT", 50.0)));
+  q->Close();
+  while (pump.Step(8) != FjordModule::StepResult::kDone) {
+  }
+  EXPECT_EQ(pump.pumped(), 2u);
+  EXPECT_EQ(pump.rejected(), 1u);
+}
+
+TEST_F(EgressTest, EndToEndWrapperPipelineUnderScheduler) {
+  // SourceModule -> queue -> StreamPump -> Server -> EgressOperator:
+  // the full Figure-5 path (Wrapper process -> Executor -> client).
+  auto egress = EgressOperator::Attach(&server_, query_);
+  ASSERT_TRUE(egress.ok());
+
+  StockTickerSource::Options sopts;
+  sopts.num_symbols = 2;  // MSFT + one other.
+  sopts.num_days = 50;
+  auto wire = std::make_shared<TupleQueue>(PushQueueOptions(64));
+
+  ExecutionObject eo("wrapper");
+  eo.AddModule(std::make_shared<SourceModule>(
+      "ticker", std::make_unique<StockTickerSource>(sopts), wire));
+  eo.AddModule(std::make_shared<StreamPumpModule>(
+      "pump", &server_, "ClosingStockPrices", wire));
+  eo.Start();
+  eo.Join();
+
+  auto sets = (*egress)->Fetch();
+  EXPECT_EQ(sets.size(), 50u);  // One MSFT row per day.
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,254 @@
+#include "flux/flux.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tcq {
+namespace {
+
+Tuple KV(int64_t k, double v) {
+  return Tuple::Make({Value::Int64(k), Value::Double(v)}, 0);
+}
+
+/// Uniform batch over `keys` distinct keys.
+TupleVector UniformBatch(size_t n, uint64_t keys, Rng* rng) {
+  TupleVector batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(KV(static_cast<int64_t>(rng->NextBounded(keys)), 1.0));
+  }
+  return batch;
+}
+
+/// Heavily skewed batch (zipf over keys).
+TupleVector SkewedBatch(size_t n, uint64_t keys, double skew, Rng* rng) {
+  TupleVector batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(
+        KV(static_cast<int64_t>(rng->NextZipf(keys, skew)), 1.0));
+  }
+  return batch;
+}
+
+std::map<Value, FluxCluster::KeyState> Reference(const TupleVector& data) {
+  std::map<Value, FluxCluster::KeyState> ref;
+  for (const Tuple& t : data) {
+    auto& ks = ref[t.cell(0)];
+    ks.count += 1;
+    ks.sum += t.cell(1).AsDouble();
+  }
+  return ref;
+}
+
+void ExpectSnapshotEquals(const FluxCluster& cluster,
+                          const std::map<Value, FluxCluster::KeyState>& ref) {
+  auto snap = cluster.Snapshot();
+  ASSERT_EQ(snap.size(), ref.size());
+  for (const auto& [key, ks] : ref) {
+    auto it = snap.find(key);
+    ASSERT_NE(it, snap.end()) << key.ToString();
+    EXPECT_EQ(it->second.count, ks.count) << key.ToString();
+    EXPECT_DOUBLE_EQ(it->second.sum, ks.sum) << key.ToString();
+  }
+}
+
+TEST(FluxTest, AggregatesMatchReferenceNoFaults) {
+  Rng rng(1);
+  FluxCluster::Options opts;
+  opts.num_nodes = 4;
+  opts.enable_repartitioning = false;
+  FluxCluster cluster(opts);
+  TupleVector data = UniformBatch(5000, 64, &rng);
+  cluster.Feed(data);
+  cluster.Run();
+  EXPECT_EQ(cluster.total_backlog(), 0u);
+  ExpectSnapshotEquals(cluster, Reference(data));
+}
+
+TEST(FluxTest, RepartitioningPreservesCorrectness) {
+  Rng rng(2);
+  FluxCluster::Options opts;
+  opts.num_nodes = 4;
+  opts.enable_repartitioning = true;
+  opts.min_backlog_for_move = 16;
+  FluxCluster cluster(opts);
+  TupleVector data = SkewedBatch(20000, 128, 1.2, &rng);
+  // Feed in chunks, ticking between, so imbalance develops and moves fire.
+  size_t fed = 0;
+  while (fed < data.size()) {
+    const size_t n = std::min<size_t>(2000, data.size() - fed);
+    cluster.Feed(TupleVector(data.begin() + fed, data.begin() + fed + n));
+    fed += n;
+    cluster.Tick();
+  }
+  cluster.Run();
+  EXPECT_GT(cluster.moves(), 0u) << "skew should trigger repartitioning";
+  ExpectSnapshotEquals(cluster, Reference(data));
+}
+
+TEST(FluxTest, RepartitioningImprovesDrainTimeUnderSkew) {
+  // Start from a deliberately bad partitioning: node 0 owns everything
+  // (e.g. after upstream data characteristics shifted). Online
+  // repartitioning must spread the load; without it node 0 is the
+  // bottleneck for the whole drain.
+  auto drain_ticks = [](bool repartition) {
+    Rng rng(3);
+    FluxCluster::Options opts;
+    opts.num_nodes = 8;
+    opts.capacity_per_tick = 64;
+    opts.enable_repartitioning = repartition;
+    opts.min_backlog_for_move = 32;
+    opts.move_cooldown_ticks = 2;
+    opts.initial_owner.assign(opts.num_partitions, 0);
+    FluxCluster cluster(opts);
+    TupleVector data = UniformBatch(40000, 64, &rng);
+    cluster.Feed(data);
+    return cluster.Run();
+  };
+  const size_t without = drain_ticks(false);
+  const size_t with = drain_ticks(true);
+  EXPECT_LT(with * 2, without) << "moves should shorten the drain a lot";
+}
+
+TEST(FluxTest, FailoverWithReplicationLosesNothing) {
+  Rng rng(4);
+  FluxCluster::Options opts;
+  opts.num_nodes = 4;
+  opts.enable_replication = true;
+  opts.enable_repartitioning = false;
+  FluxCluster cluster(opts);
+  TupleVector data = UniformBatch(8000, 64, &rng);
+
+  // Feed half, process, kill a node, feed the rest.
+  TupleVector first(data.begin(), data.begin() + 4000);
+  TupleVector second(data.begin() + 4000, data.end());
+  cluster.Feed(first);
+  cluster.Run();
+  ASSERT_TRUE(cluster.KillNode(1).ok());
+  cluster.Feed(second);
+  cluster.Run();
+
+  EXPECT_EQ(cluster.lost_updates(), 0u);
+  ExpectSnapshotEquals(cluster, Reference(data));
+}
+
+TEST(FluxTest, FailoverMidStreamReplaysInFlight) {
+  Rng rng(5);
+  FluxCluster::Options opts;
+  opts.num_nodes = 4;
+  opts.capacity_per_tick = 32;  // Slow: failure hits with queued work.
+  opts.enable_replication = true;
+  opts.enable_repartitioning = false;
+  FluxCluster cluster(opts);
+  TupleVector data = UniformBatch(6000, 32, &rng);
+  cluster.Feed(data);
+  cluster.Tick();  // Some processed, plenty still queued.
+  ASSERT_TRUE(cluster.KillNode(2).ok());
+  EXPECT_GT(cluster.replayed(), 0u);
+  cluster.Run();
+  EXPECT_EQ(cluster.lost_updates(), 0u);
+  ExpectSnapshotEquals(cluster, Reference(data));
+}
+
+TEST(FluxTest, FailureWithoutReplicationLosesState) {
+  Rng rng(6);
+  FluxCluster::Options opts;
+  opts.num_nodes = 4;
+  opts.enable_replication = false;
+  opts.enable_repartitioning = false;
+  FluxCluster cluster(opts);
+  cluster.Feed(UniformBatch(4000, 64, &rng));
+  cluster.Run();
+  ASSERT_TRUE(cluster.KillNode(0).ok());
+  EXPECT_GT(cluster.lost_updates(), 0u);
+  // The cluster keeps running for new data.
+  TupleVector more = UniformBatch(100, 4, &rng);
+  cluster.Feed(more);
+  cluster.Run();
+  EXPECT_EQ(cluster.total_backlog(), 0u);
+}
+
+TEST(FluxTest, SuccessiveFailuresDownToOneNode) {
+  Rng rng(7);
+  FluxCluster::Options opts;
+  opts.num_nodes = 3;
+  opts.enable_replication = true;
+  FluxCluster cluster(opts);
+  TupleVector data = UniformBatch(3000, 32, &rng);
+  cluster.Feed(data);
+  cluster.Run();
+  ASSERT_TRUE(cluster.KillNode(0).ok());
+  cluster.Run();
+  ASSERT_TRUE(cluster.KillNode(1).ok());
+  cluster.Run();
+  // One node left; snapshot may have lost partitions whose primary AND
+  // standby both died across the two failures, but the cluster survives.
+  TupleVector more = UniformBatch(50, 8, &rng);
+  cluster.Feed(more);
+  cluster.Run();
+  EXPECT_EQ(cluster.total_backlog(), 0u);
+  EXPECT_FALSE(cluster.node_stats(0).alive);
+  EXPECT_FALSE(cluster.node_stats(1).alive);
+  EXPECT_TRUE(cluster.node_stats(2).alive);
+}
+
+TEST(FluxTest, KillValidation) {
+  FluxCluster cluster;
+  EXPECT_FALSE(cluster.KillNode(99).ok());
+  ASSERT_TRUE(cluster.KillNode(0).ok());
+  EXPECT_FALSE(cluster.KillNode(0).ok());  // Already dead.
+}
+
+TEST(FluxTest, NodeStatsReflectWork) {
+  Rng rng(8);
+  FluxCluster::Options opts;
+  opts.num_nodes = 2;
+  FluxCluster cluster(opts);
+  cluster.Feed(UniformBatch(1000, 16, &rng));
+  cluster.Run();
+  uint64_t total = 0;
+  for (size_t n = 0; n < cluster.num_nodes(); ++n) {
+    total += cluster.node_stats(n).processed;
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+// Property: any interleaving of feeds, ticks, moves and replicated
+// failures yields the reference aggregate.
+class FluxPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FluxPropertyTest, ChaosWithReplicationIsExact) {
+  Rng rng(GetParam());
+  FluxCluster::Options opts;
+  opts.num_nodes = 5;
+  opts.capacity_per_tick = 64;
+  opts.enable_repartitioning = true;
+  opts.enable_replication = true;
+  opts.min_backlog_for_move = 16;
+  FluxCluster cluster(opts);
+
+  TupleVector all;
+  size_t kills = 0;
+  for (int step = 0; step < 60; ++step) {
+    TupleVector batch = SkewedBatch(400, 32, 1.0, &rng);
+    all.insert(all.end(), batch.begin(), batch.end());
+    cluster.Feed(batch);
+    cluster.Tick();
+    // At most one failure, never the last two nodes.
+    if (kills < 1 && step == 30) {
+      ASSERT_TRUE(cluster.KillNode(rng.NextBounded(3)).ok());
+      ++kills;
+    }
+  }
+  cluster.Run();
+  EXPECT_EQ(cluster.lost_updates(), 0u);
+  ExpectSnapshotEquals(cluster, Reference(all));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluxPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,186 @@
+#include "modules/grouped_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tcq {
+namespace {
+
+SmallBitset AllOf(size_t n) {
+  SmallBitset b(n);
+  b.SetAll();
+  return b;
+}
+
+TEST(GroupedFilterTest, EqualityPredicates) {
+  GroupedFilter gf;
+  gf.AddPredicate(0, BinaryOp::kEq, Value::String("MSFT"));
+  gf.AddPredicate(1, BinaryOp::kEq, Value::String("IBM"));
+  gf.AddPredicate(2, BinaryOp::kEq, Value::String("MSFT"));
+
+  SmallBitset m = gf.Matching(Value::String("MSFT"));
+  EXPECT_TRUE(m.Test(0));
+  EXPECT_FALSE(m.Test(1));
+  EXPECT_TRUE(m.Test(2));
+
+  m = gf.Matching(Value::String("ORCL"));
+  EXPECT_TRUE(m.None());
+}
+
+TEST(GroupedFilterTest, RangePredicates) {
+  GroupedFilter gf;
+  gf.AddPredicate(0, BinaryOp::kGt, Value::Double(50.0));
+  gf.AddPredicate(1, BinaryOp::kGe, Value::Double(60.0));
+  gf.AddPredicate(2, BinaryOp::kLt, Value::Double(55.0));
+  gf.AddPredicate(3, BinaryOp::kLe, Value::Double(60.0));
+
+  SmallBitset m = gf.Matching(Value::Double(60.0));
+  EXPECT_TRUE(m.Test(0));   // 60 > 50.
+  EXPECT_TRUE(m.Test(1));   // 60 >= 60.
+  EXPECT_FALSE(m.Test(2));  // !(60 < 55).
+  EXPECT_TRUE(m.Test(3));   // 60 <= 60.
+
+  m = gf.Matching(Value::Double(50.0));
+  EXPECT_FALSE(m.Test(0));  // Strict.
+  EXPECT_FALSE(m.Test(1));
+  EXPECT_TRUE(m.Test(2));
+  EXPECT_TRUE(m.Test(3));
+}
+
+TEST(GroupedFilterTest, NotEqualDefaultsToPass) {
+  GroupedFilter gf;
+  gf.AddPredicate(0, BinaryOp::kNe, Value::Int64(7));
+  EXPECT_TRUE(gf.Matching(Value::Int64(3)).Test(0));
+  EXPECT_FALSE(gf.Matching(Value::Int64(7)).Test(0));
+}
+
+TEST(GroupedFilterTest, MultiFactorRangeQuery) {
+  // Query 0: 10 < x AND x < 20 (both factors on the same attribute).
+  GroupedFilter gf;
+  gf.AddPredicate(0, BinaryOp::kGt, Value::Int64(10));
+  gf.AddPredicate(0, BinaryOp::kLt, Value::Int64(20));
+  EXPECT_FALSE(gf.Matching(Value::Int64(10)).Test(0));
+  EXPECT_TRUE(gf.Matching(Value::Int64(15)).Test(0));
+  EXPECT_FALSE(gf.Matching(Value::Int64(20)).Test(0));
+}
+
+TEST(GroupedFilterTest, MixedEqAndNe) {
+  // Query 0: x != 5 AND x != 6; query 1: x = 5.
+  GroupedFilter gf;
+  gf.AddPredicate(0, BinaryOp::kNe, Value::Int64(5));
+  gf.AddPredicate(0, BinaryOp::kNe, Value::Int64(6));
+  gf.AddPredicate(1, BinaryOp::kEq, Value::Int64(5));
+  EXPECT_FALSE(gf.Matching(Value::Int64(5)).Test(0));
+  EXPECT_FALSE(gf.Matching(Value::Int64(6)).Test(0));
+  EXPECT_TRUE(gf.Matching(Value::Int64(7)).Test(0));
+  EXPECT_TRUE(gf.Matching(Value::Int64(5)).Test(1));
+}
+
+TEST(GroupedFilterTest, ApplyOnlyNarrowsCandidates) {
+  GroupedFilter gf;
+  gf.AddPredicate(1, BinaryOp::kEq, Value::Int64(1));
+  // Query 0 has no predicate here; query 1 fails. Start with only bit 0.
+  SmallBitset candidates(2);
+  candidates.Set(0);
+  gf.Apply(Value::Int64(99), &candidates);
+  EXPECT_TRUE(candidates.Test(0));   // Untouched.
+  EXPECT_FALSE(candidates.Test(1));  // Was not a candidate anyway.
+}
+
+TEST(GroupedFilterTest, RemoveQuery) {
+  GroupedFilter gf;
+  gf.AddPredicate(0, BinaryOp::kGt, Value::Int64(5));
+  gf.AddPredicate(1, BinaryOp::kGt, Value::Int64(5));
+  gf.RemoveQuery(0);
+  EXPECT_EQ(gf.num_predicates(), 1u);
+  SmallBitset m = gf.Matching(Value::Int64(10));
+  // A removed query simply has no predicates left: the filter no longer
+  // constrains it (callers gate delivery by their active-query set).
+  EXPECT_TRUE(m.Test(0));
+  EXPECT_TRUE(m.Test(1));
+  // Its old predicate must be gone: a value it used to reject now passes.
+  EXPECT_TRUE(gf.Matching(Value::Int64(0)).Test(0));
+  EXPECT_FALSE(gf.Matching(Value::Int64(0)).Test(1));
+}
+
+TEST(GroupedFilterTest, EmptyFilterTouchesNothing) {
+  GroupedFilter gf;
+  SmallBitset candidates(4);
+  candidates.SetAll();
+  gf.Apply(Value::Int64(1), &candidates);
+  EXPECT_EQ(candidates.Count(), 4u);
+}
+
+// Property: grouped filter == naive per-query evaluation on random
+// predicate sets and probe values.
+class GroupedFilterPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(GroupedFilterPropertyTest, MatchesNaiveEvaluation) {
+  Rng rng(GetParam());
+  const size_t num_queries = 1 + rng.NextBounded(60);
+  GroupedFilter gf;
+
+  struct Pred {
+    QueryId q;
+    BinaryOp op;
+    int64_t c;
+  };
+  std::vector<Pred> preds;
+  const BinaryOp ops[] = {BinaryOp::kEq, BinaryOp::kNe, BinaryOp::kLt,
+                          BinaryOp::kLe, BinaryOp::kGt, BinaryOp::kGe};
+  for (QueryId q = 0; q < num_queries; ++q) {
+    const size_t n = 1 + rng.NextBounded(3);
+    for (size_t i = 0; i < n; ++i) {
+      Pred p{q, ops[rng.NextBounded(6)], rng.NextInt(-20, 20)};
+      preds.push_back(p);
+      gf.AddPredicate(p.q, p.op, Value::Int64(p.c));
+    }
+  }
+
+  auto naive = [&](int64_t v, QueryId q) {
+    for (const Pred& p : preds) {
+      if (p.q != q) continue;
+      bool pass = false;
+      switch (p.op) {
+        case BinaryOp::kEq:
+          pass = v == p.c;
+          break;
+        case BinaryOp::kNe:
+          pass = v != p.c;
+          break;
+        case BinaryOp::kLt:
+          pass = v < p.c;
+          break;
+        case BinaryOp::kLe:
+          pass = v <= p.c;
+          break;
+        case BinaryOp::kGt:
+          pass = v > p.c;
+          break;
+        default:
+          pass = v >= p.c;
+          break;
+      }
+      if (!pass) return false;
+    }
+    return true;
+  };
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const int64_t v = rng.NextInt(-25, 25);
+    SmallBitset m = AllOf(num_queries);
+    gf.Apply(Value::Int64(v), &m);
+    for (QueryId q = 0; q < num_queries; ++q) {
+      ASSERT_EQ(m.Test(q), naive(v, q))
+          << "value " << v << " query " << q << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupedFilterPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace tcq

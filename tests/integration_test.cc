@@ -1,0 +1,184 @@
+// Cross-module integration: multiple streams, joins between distinct
+// streams, mixed standing/windowed query populations, and egress — the
+// paths a downstream user exercises together.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "core/egress.h"
+#include "core/server.h"
+#include "ingress/sources.h"
+
+namespace tcq {
+namespace {
+
+SchemaPtr TradeSchema() {
+  return Schema::Make({{"ts", ValueType::kInt64, ""},
+                       {"symbol", ValueType::kString, ""},
+                       {"shares", ValueType::kInt64, ""}});
+}
+
+SchemaPtr QuoteSchema() {
+  return Schema::Make({{"ts", ValueType::kInt64, ""},
+                       {"symbol", ValueType::kString, ""},
+                       {"price", ValueType::kDouble, ""}});
+}
+
+Tuple Trade(int64_t ts, const std::string& sym, int64_t shares) {
+  return Tuple::Make(
+      {Value::Int64(ts), Value::String(sym), Value::Int64(shares)}, ts);
+}
+
+Tuple Quote(int64_t ts, const std::string& sym, double price) {
+  return Tuple::Make(
+      {Value::Int64(ts), Value::String(sym), Value::Double(price)}, ts);
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(server_.DefineStream("Trades", TradeSchema(), 0).ok());
+    ASSERT_TRUE(server_.DefineStream("Quotes", QuoteSchema(), 0).ok());
+  }
+  Server server_;
+};
+
+TEST_F(IntegrationTest, TwoStreamWindowedEquiJoin) {
+  // Join trades with same-timestamp quotes for the same symbol.
+  auto q = server_.Submit(
+      "SELECT t.symbol, t.shares, qt.price "
+      "FROM Trades AS t, Quotes AS qt "
+      "WHERE t.symbol = qt.symbol AND t.ts = qt.ts "
+      "for (u = 1; u <= 5; u = u + 1) { "
+      "  WindowIs(t, u, u); WindowIs(qt, u, u); }");
+  ASSERT_TRUE(q.ok()) << q.status();
+
+  for (int64_t ts = 1; ts <= 6; ++ts) {
+    ASSERT_TRUE(server_.Push("Trades", Trade(ts, "MSFT", 100 * ts)).ok());
+    ASSERT_TRUE(server_.Push("Trades", Trade(ts, "IBM", 10)).ok());
+    ASSERT_TRUE(
+        server_.Push("Quotes", Quote(ts, "MSFT", 50.0 + ts)).ok());
+    // IBM quotes only on even timestamps.
+    if (ts % 2 == 0) {
+      ASSERT_TRUE(server_.Push("Quotes", Quote(ts, "IBM", 90.0)).ok());
+    }
+  }
+  auto sets = server_.PollAll(*q);
+  ASSERT_EQ(sets.size(), 5u);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    const int64_t ts = static_cast<int64_t>(i) + 1;
+    // MSFT joins every day; IBM only on even days.
+    const size_t expected = ts % 2 == 0 ? 2u : 1u;
+    ASSERT_EQ(sets[i].rows.size(), expected) << "window " << ts;
+    for (const Tuple& row : sets[i].rows) {
+      if (row.cell(0).string_value() == "MSFT") {
+        EXPECT_EQ(row.cell(1).int64_value(), 100 * ts);
+        EXPECT_DOUBLE_EQ(row.cell(2).double_value(), 50.0 + ts);
+      } else {
+        EXPECT_DOUBLE_EQ(row.cell(2).double_value(), 90.0);
+      }
+    }
+  }
+}
+
+TEST_F(IntegrationTest, JoinAgainstReferenceOnRandomData) {
+  auto q = server_.Submit(
+      "SELECT t.shares, qt.price FROM Trades AS t, Quotes AS qt "
+      "WHERE t.symbol = qt.symbol "
+      "for (u = 10; u <= 10; u = u + 1) { "
+      "  WindowIs(t, 1, 10); WindowIs(qt, 1, 10); }");
+  ASSERT_TRUE(q.ok()) << q.status();
+
+  Rng rng(77);
+  const char* symbols[] = {"A", "B", "C", "D"};
+  std::map<std::string, int> trades_per_symbol, quotes_per_symbol;
+  for (int64_t ts = 1; ts <= 11; ++ts) {
+    const std::string tsym = symbols[rng.NextBounded(4)];
+    const std::string qsym = symbols[rng.NextBounded(4)];
+    if (ts <= 10) {
+      ++trades_per_symbol[tsym];
+      ++quotes_per_symbol[qsym];
+    }
+    ASSERT_TRUE(server_.Push("Trades", Trade(ts, tsym, 1)).ok());
+    ASSERT_TRUE(server_.Push("Quotes", Quote(ts, qsym, 1.0)).ok());
+  }
+  size_t expected = 0;
+  for (const auto& [sym, n] : trades_per_symbol) {
+    auto it = quotes_per_symbol.find(sym);
+    if (it != quotes_per_symbol.end()) {
+      expected += static_cast<size_t>(n) * static_cast<size_t>(it->second);
+    }
+  }
+  auto sets = server_.PollAll(*q);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].rows.size(), expected);
+}
+
+TEST_F(IntegrationTest, MixedPopulationOverTwoStreams) {
+  // Standing filters on both streams + a windowed aggregate, all live.
+  auto big_trades = server_.Submit(
+      "SELECT shares FROM Trades WHERE shares >= 500");
+  auto msft_quotes = server_.Submit(
+      "SELECT price FROM Quotes WHERE symbol = 'MSFT'");
+  auto volume = server_.Submit(
+      "SELECT SUM(shares) FROM Trades "
+      "for (u = 1; true; u = u + 5) { WindowIs(Trades, u, u + 4); }");
+  ASSERT_TRUE(big_trades.ok() && msft_quotes.ok() && volume.ok());
+
+  for (int64_t ts = 1; ts <= 11; ++ts) {
+    ASSERT_TRUE(server_.Push("Trades", Trade(ts, "MSFT", ts * 100)).ok());
+    ASSERT_TRUE(server_.Push(
+                            "Quotes",
+                            Quote(ts, ts % 2 == 0 ? "MSFT" : "IBM", 50.0))
+                    .ok());
+  }
+
+  // big trades: shares >= 500 means ts >= 5 -> 7 matches.
+  EXPECT_EQ(server_.PollAll(*big_trades).size(), 7u);
+  // MSFT quotes: even ts -> 5 matches.
+  EXPECT_EQ(server_.PollAll(*msft_quotes).size(), 5u);
+  // Volume windows [1,5] and [6,10] fired (11 punctuates the second).
+  auto vsets = server_.PollAll(*volume);
+  ASSERT_EQ(vsets.size(), 2u);
+  EXPECT_EQ(vsets[0].rows[0].cell(0).int64_value(), 100 * (1 + 2 + 3 + 4 + 5));
+  EXPECT_EQ(vsets[1].rows[0].cell(0).int64_value(),
+            100 * (6 + 7 + 8 + 9 + 10));
+}
+
+TEST_F(IntegrationTest, EgressOverJoinQuery) {
+  auto q = server_.Submit(
+      "SELECT t.shares, qt.price FROM Trades AS t, Quotes AS qt "
+      "WHERE t.symbol = qt.symbol AND t.ts = qt.ts "
+      "for (u = 1; u <= 3; u = u + 1) { "
+      "  WindowIs(t, u, u); WindowIs(qt, u, u); }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto egress = EgressOperator::Attach(&server_, *q);
+  ASSERT_TRUE(egress.ok());
+
+  for (int64_t ts = 1; ts <= 4; ++ts) {
+    ASSERT_TRUE(server_.Push("Trades", Trade(ts, "MSFT", 1)).ok());
+    ASSERT_TRUE(server_.Push("Quotes", Quote(ts, "MSFT", 2.0)).ok());
+  }
+  // Disconnected client reconnects: three windows spooled.
+  auto sets = (*egress)->Fetch();
+  ASSERT_EQ(sets.size(), 3u);
+  for (const auto& rs : sets) EXPECT_EQ(rs.rows.size(), 1u);
+}
+
+TEST_F(IntegrationTest, WindowVariableNameOtherThanT) {
+  // The for-loop variable is user-chosen ("u" above, "day" here).
+  auto q = server_.Submit(
+      "SELECT shares FROM Trades "
+      "for (day = 1; day <= 2; day = day + 1) { "
+      "  WindowIs(Trades, day, day); }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  for (int64_t ts = 1; ts <= 3; ++ts) {
+    ASSERT_TRUE(server_.Push("Trades", Trade(ts, "X", ts)).ok());
+  }
+  EXPECT_EQ(server_.PollAll(*q).size(), 2u);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,100 @@
+#include "expr/predicates.h"
+
+#include <gtest/gtest.h>
+
+namespace tcq {
+namespace {
+
+TEST(PredicatesTest, MatchSimpleColumnOpLiteral) {
+  ExprPtr e = Expr::Binary(BinaryOp::kGt, Expr::Column("price"),
+                           Expr::Literal(Value::Double(50)));
+  auto m = MatchSimplePredicate(e);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->column, "price");
+  EXPECT_EQ(m->op, BinaryOp::kGt);
+  EXPECT_DOUBLE_EQ(m->constant.double_value(), 50.0);
+}
+
+TEST(PredicatesTest, MatchFlipsLiteralOpColumn) {
+  // 50 < price  ==>  price > 50.
+  ExprPtr e = Expr::Binary(BinaryOp::kLt, Expr::Literal(Value::Double(50)),
+                           Expr::Column("price"));
+  auto m = MatchSimplePredicate(e);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->column, "price");
+  EXPECT_EQ(m->op, BinaryOp::kGt);
+}
+
+TEST(PredicatesTest, EqualityIsSymmetricUnderFlip) {
+  ExprPtr e = Expr::Binary(BinaryOp::kEq, Expr::Literal(Value::String("M")),
+                           Expr::Column("sym"));
+  auto m = MatchSimplePredicate(e);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->op, BinaryOp::kEq);
+}
+
+TEST(PredicatesTest, RejectsNonSimpleShapes) {
+  // col op col.
+  EXPECT_FALSE(MatchSimplePredicate(Expr::Binary(BinaryOp::kEq,
+                                                 Expr::Column("a"),
+                                                 Expr::Column("b")))
+                   .has_value());
+  // arithmetic.
+  EXPECT_FALSE(MatchSimplePredicate(Expr::Binary(BinaryOp::kAdd,
+                                                 Expr::Column("a"),
+                                                 Expr::Literal(Value::Int64(1))))
+                   .has_value());
+  // AND node.
+  ExprPtr cmp = Expr::Binary(BinaryOp::kGt, Expr::Column("a"),
+                             Expr::Literal(Value::Int64(1)));
+  EXPECT_FALSE(
+      MatchSimplePredicate(Expr::Binary(BinaryOp::kAnd, cmp, cmp)).has_value());
+  // nullptr.
+  EXPECT_FALSE(MatchSimplePredicate(nullptr).has_value());
+}
+
+TEST(PredicatesTest, MatchEquiJoin) {
+  ExprPtr e = Expr::Binary(BinaryOp::kEq, Expr::Column("c1.timestamp"),
+                           Expr::Column("c2.timestamp"));
+  auto m = MatchEquiJoin(e);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->left_column, "c1.timestamp");
+  EXPECT_EQ(m->right_column, "c2.timestamp");
+}
+
+TEST(PredicatesTest, EquiJoinRequiresEquality) {
+  ExprPtr e = Expr::Binary(BinaryOp::kGt, Expr::Column("a"),
+                           Expr::Column("b"));
+  EXPECT_FALSE(MatchEquiJoin(e).has_value());
+}
+
+TEST(PredicatesTest, FlipComparisonTable) {
+  EXPECT_EQ(FlipComparison(BinaryOp::kLt), BinaryOp::kGt);
+  EXPECT_EQ(FlipComparison(BinaryOp::kLe), BinaryOp::kGe);
+  EXPECT_EQ(FlipComparison(BinaryOp::kGt), BinaryOp::kLt);
+  EXPECT_EQ(FlipComparison(BinaryOp::kGe), BinaryOp::kLe);
+  EXPECT_EQ(FlipComparison(BinaryOp::kEq), BinaryOp::kEq);
+  EXPECT_EQ(FlipComparison(BinaryOp::kNe), BinaryOp::kNe);
+}
+
+TEST(PredicatesTest, QualifierOf) {
+  EXPECT_EQ(QualifierOf("c1.price"), "c1");
+  EXPECT_EQ(QualifierOf("price"), "");
+}
+
+TEST(PredicatesTest, CollectQualifiers) {
+  ExprPtr e = Expr::Binary(
+      BinaryOp::kAnd,
+      Expr::Binary(BinaryOp::kEq, Expr::Column("c1.sym"),
+                   Expr::Column("c2.sym")),
+      Expr::Binary(BinaryOp::kGt, Expr::Column("price"),
+                   Expr::Literal(Value::Int64(0))));
+  auto quals = CollectQualifiers(e);
+  EXPECT_EQ(quals.size(), 3u);
+  EXPECT_TRUE(quals.count("c1"));
+  EXPECT_TRUE(quals.count("c2"));
+  EXPECT_TRUE(quals.count(""));
+}
+
+}  // namespace
+}  // namespace tcq

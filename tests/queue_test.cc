@@ -1,0 +1,144 @@
+#include "fjords/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace tcq {
+namespace {
+
+TEST(FjordQueueTest, FifoOrder) {
+  FjordQueue<int> q(PullQueueOptions(16));
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.Enqueue(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.Dequeue();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(FjordQueueTest, PushQueueNonBlockingDequeueOnEmpty) {
+  FjordQueue<int> q(PushQueueOptions(4));
+  EXPECT_FALSE(q.Dequeue().has_value());  // Returns control immediately.
+}
+
+TEST(FjordQueueTest, PushQueueNonBlockingEnqueueOnFull) {
+  FjordQueue<int> q(PushQueueOptions(2));
+  EXPECT_TRUE(q.Enqueue(1));
+  EXPECT_TRUE(q.Enqueue(2));
+  EXPECT_FALSE(q.Enqueue(3));  // Full, non-blocking: rejected.
+  EXPECT_EQ(q.Size(), 2u);
+}
+
+TEST(FjordQueueTest, DropOldestPolicy) {
+  QueueOptions opts = PushQueueOptions(2);
+  opts.drop_oldest_when_full = true;
+  FjordQueue<int> q(opts);
+  EXPECT_TRUE(q.Enqueue(1));
+  EXPECT_TRUE(q.Enqueue(2));
+  EXPECT_TRUE(q.Enqueue(3));  // Drops 1.
+  EXPECT_EQ(q.DroppedCount(), 1u);
+  EXPECT_EQ(*q.Dequeue(), 2);
+  EXPECT_EQ(*q.Dequeue(), 3);
+}
+
+TEST(FjordQueueTest, CloseWakesBlockedConsumer) {
+  FjordQueue<int> q(PullQueueOptions(4));
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    auto v = q.Dequeue();  // Blocks until close.
+    EXPECT_FALSE(v.has_value());
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(FjordQueueTest, CloseDrainsRemainingItems) {
+  FjordQueue<int> q(PullQueueOptions(4));
+  q.Enqueue(1);
+  q.Enqueue(2);
+  q.Close();
+  EXPECT_FALSE(q.Enqueue(3));  // No enqueue after close.
+  EXPECT_EQ(*q.Dequeue(), 1);
+  EXPECT_EQ(*q.Dequeue(), 2);
+  EXPECT_FALSE(q.Dequeue().has_value());
+  EXPECT_TRUE(q.Exhausted());
+}
+
+TEST(FjordQueueTest, BlockingEnqueueWaitsForSpace) {
+  FjordQueue<int> q(PullQueueOptions(1));
+  ASSERT_TRUE(q.Enqueue(1));
+  std::atomic<bool> enqueued{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Enqueue(2));  // Blocks until space.
+    enqueued.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(enqueued.load());
+  EXPECT_EQ(*q.Dequeue(), 1);
+  producer.join();
+  EXPECT_TRUE(enqueued.load());
+  EXPECT_EQ(*q.Dequeue(), 2);
+}
+
+TEST(FjordQueueTest, ExchangeSemantics) {
+  // Exchange [Graf93]: producer never blocks (non-blocking enqueue),
+  // consumer blocks for data.
+  FjordQueue<int> q(ExchangeQueueOptions(2));
+  EXPECT_TRUE(q.Enqueue(1));
+  EXPECT_TRUE(q.Enqueue(2));
+  EXPECT_FALSE(q.Enqueue(3));  // Full: rejected, not blocked.
+  EXPECT_EQ(*q.Dequeue(), 1);
+}
+
+TEST(FjordQueueTest, ConcurrentProducersConsumersDeliverAll) {
+  FjordQueue<int> q(PullQueueOptions(64));
+  constexpr int kPerProducer = 2000;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.Enqueue(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Dequeue()) {
+        sum.fetch_add(*v);
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), total);
+  EXPECT_EQ(sum.load(), int64_t{total} * (total - 1) / 2);
+}
+
+TEST(FjordQueueTest, SizeTracksContents) {
+  FjordQueue<int> q(PullQueueOptions(8));
+  EXPECT_TRUE(q.Empty());
+  q.Enqueue(1);
+  EXPECT_EQ(q.Size(), 1u);
+  q.Dequeue();
+  EXPECT_TRUE(q.Empty());
+}
+
+}  // namespace
+}  // namespace tcq

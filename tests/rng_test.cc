@@ -1,0 +1,97 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tcq {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean of uniform [0,1) ~ 0.5.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ZipfSkewConcentratesOnLowRanks) {
+  Rng rng(5);
+  const uint64_t n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.NextZipf(n, 1.2)];
+  // Rank 0 must dominate the tail under heavy skew.
+  EXPECT_GT(counts[0], counts[50] * 5);
+  // All samples in range (counts vector indexing would have thrown).
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(total, 20000);
+}
+
+TEST(RngTest, ZipfZeroSkewIsRoughlyUniform) {
+  Rng rng(5);
+  const uint64_t n = 10;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.NextZipf(n, 0.0)];
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(counts[i] / 20000.0, 0.1, 0.03);
+  }
+}
+
+TEST(RngTest, SeedResetsStream) {
+  Rng rng(9);
+  const uint64_t first = rng.Next();
+  rng.Next();
+  rng.Seed(9);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,77 @@
+#include "tuple/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace tcq {
+namespace {
+
+SchemaPtr StockSchema(const std::string& qualifier = "") {
+  return Schema::Make({{"timestamp", ValueType::kInt64, qualifier},
+                       {"stockSymbol", ValueType::kString, qualifier},
+                       {"closingPrice", ValueType::kDouble, qualifier}});
+}
+
+TEST(SchemaTest, BasicAccessors) {
+  SchemaPtr s = StockSchema();
+  EXPECT_EQ(s->num_fields(), 3u);
+  EXPECT_EQ(s->field(1).name, "stockSymbol");
+  EXPECT_EQ(s->field(2).type, ValueType::kDouble);
+}
+
+TEST(SchemaTest, IndexOfBareName) {
+  SchemaPtr s = StockSchema();
+  ASSERT_TRUE(s->IndexOf("closingPrice").ok());
+  EXPECT_EQ(s->IndexOf("closingPrice").value(), 2u);
+}
+
+TEST(SchemaTest, IndexOfMissingName) {
+  SchemaPtr s = StockSchema();
+  EXPECT_EQ(s->IndexOf("volume").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, QualifiedLookup) {
+  SchemaPtr s = StockSchema("c1");
+  EXPECT_EQ(s->IndexOf("c1.closingPrice").value(), 2u);
+  EXPECT_EQ(s->IndexOf("c2.closingPrice").status().code(),
+            StatusCode::kNotFound);
+  // Bare lookup still works when unambiguous.
+  EXPECT_EQ(s->IndexOf("closingPrice").value(), 2u);
+}
+
+TEST(SchemaTest, AmbiguousBareNameRejected) {
+  SchemaPtr joined = Schema::Concat(*StockSchema("c1"), *StockSchema("c2"));
+  EXPECT_EQ(joined->IndexOf("closingPrice").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(joined->IndexOf("c1.closingPrice").value(), 2u);
+  EXPECT_EQ(joined->IndexOf("c2.closingPrice").value(), 5u);
+}
+
+TEST(SchemaTest, ConcatPreservesOrderAndQualifiers) {
+  SchemaPtr joined = Schema::Concat(*StockSchema("c1"), *StockSchema("c2"));
+  EXPECT_EQ(joined->num_fields(), 6u);
+  EXPECT_EQ(joined->field(0).qualifier, "c1");
+  EXPECT_EQ(joined->field(3).qualifier, "c2");
+  EXPECT_EQ(joined->field(3).name, "timestamp");
+}
+
+TEST(SchemaTest, WithQualifierRewritesAll) {
+  SchemaPtr s = StockSchema()->WithQualifier("x");
+  for (const Field& f : s->fields()) EXPECT_EQ(f.qualifier, "x");
+  EXPECT_EQ(s->IndexOf("x.timestamp").value(), 0u);
+}
+
+TEST(SchemaTest, QualifiedNameFormatting) {
+  Field f{"price", ValueType::kDouble, "s"};
+  EXPECT_EQ(f.QualifiedName(), "s.price");
+  Field bare{"price", ValueType::kDouble, ""};
+  EXPECT_EQ(bare.QualifiedName(), "price");
+}
+
+TEST(SchemaTest, ToStringMentionsFieldsAndTypes) {
+  const std::string str = StockSchema("q")->ToString();
+  EXPECT_NE(str.find("q.stockSymbol"), std::string::npos);
+  EXPECT_NE(str.find("STRING"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,330 @@
+#include "core/server.h"
+
+#include <gtest/gtest.h>
+
+#include "ingress/sources.h"
+
+namespace tcq {
+namespace {
+
+SchemaPtr StockSchema() { return StockTickerSource::MakeSchema(); }
+
+Tuple Stock(int64_t day, const std::string& sym, double price) {
+  return Tuple::Make(
+      {Value::Int64(day), Value::String(sym), Value::Double(price)}, day);
+}
+
+/// A deterministic price series for MSFT: price(day) = 40 + day.
+/// Day d has closing price 40 + d, so price > 50 from day 11 on.
+void FeedMsft(Server* server, int64_t days) {
+  for (int64_t d = 1; d <= days; ++d) {
+    ASSERT_TRUE(server->Push("ClosingStockPrices",
+                             Stock(d, "MSFT", 40.0 + d))
+                    .ok());
+  }
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(server_
+                    .DefineStream("ClosingStockPrices", StockSchema(),
+                                  /*timestamp_field=*/0)
+                    .ok());
+  }
+  Server server_;
+};
+
+// ---- The four §4.1.1 example queries, end to end. -------------------------
+
+TEST_F(ServerTest, PaperExample1SnapshotQuery) {
+  // "closing prices for MSFT on the first five days of trading".
+  auto q = server_.Submit(
+      "SELECT closingPrice, timestamp FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' "
+      "for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 5); }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  FeedMsft(&server_, 10);
+  auto sets = server_.PollAll(*q);
+  ASSERT_EQ(sets.size(), 1u);  // Snapshot: exactly one result set.
+  ASSERT_EQ(sets[0].rows.size(), 5u);
+  for (int64_t d = 1; d <= 5; ++d) {
+    EXPECT_DOUBLE_EQ(sets[0].rows[static_cast<size_t>(d - 1)]
+                         .cell(0)
+                         .double_value(),
+                     40.0 + d);
+    EXPECT_EQ(sets[0].rows[static_cast<size_t>(d - 1)].cell(1).int64_value(),
+              d);
+  }
+  // No further sets ever.
+  FeedMsft(&server_, 0);
+  EXPECT_FALSE(server_.Poll(*q).has_value());
+}
+
+TEST_F(ServerTest, PaperExample2LandmarkQuery) {
+  // "all days after the hundredth trading day with price > 50, standing
+  //  for 1000 days" — scaled down: after day 10, standing to day 30.
+  auto q = server_.Submit(
+      "SELECT closingPrice, timestamp FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' and closingPrice > 50.00 "
+      "for (t = 10; t <= 30; t++) { WindowIs(ClosingStockPrices, 10, t); }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  FeedMsft(&server_, 31);  // One day past the last window (punctuation).
+  auto sets = server_.PollAll(*q);
+  ASSERT_EQ(sets.size(), 21u);  // One per t in [10, 30].
+  // Window [10, 10]: price 50 is not > 50 — empty.
+  EXPECT_TRUE(sets[0].rows.empty());
+  // Window [10, 30]: days 11..30 qualify.
+  EXPECT_EQ(sets[20].rows.size(), 20u);
+  // The landmark keeps *all* qualifying days, not a sliding suffix.
+  EXPECT_EQ(sets[20].rows.front().cell(1).int64_value(), 11);
+}
+
+TEST_F(ServerTest, PaperExample3SlidingAvg) {
+  // "every fifth day, average closing price of the five most recent days".
+  auto q = server_.Submit(
+      "Select AVG(closingPrice) From ClosingStockPrices "
+      "Where stockSymbol = 'MSFT' "
+      "for (t = ST; t < ST + 50; t += 5) { "
+      "WindowIs(ClosingStockPrices, t - 4, t); }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  // ST resolves to 1 (no data yet when submitted).
+  FeedMsft(&server_, 55);
+  auto sets = server_.PollAll(*q);
+  ASSERT_EQ(sets.size(), 10u);
+  // First window [ -3, 1 ] holds only day 1: avg = 41.
+  ASSERT_EQ(sets[0].rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(sets[0].rows[0].cell(0).double_value(), 41.0);
+  // Second window [2, 6]: prices 42..46, avg 44.
+  EXPECT_DOUBLE_EQ(sets[1].rows[0].cell(0).double_value(), 44.0);
+  // Last window [42, 46]: avg 84+...: prices 82..86 -> 84.
+  EXPECT_DOUBLE_EQ(sets[9].rows[0].cell(0).double_value(), 84.0);
+}
+
+TEST_F(ServerTest, PaperExample4TemporalBandJoin) {
+  // "stocks that closed higher than MSFT on the same day".
+  auto q = server_.Submit(
+      "Select c2.* FROM ClosingStockPrices as c1, "
+      "ClosingStockPrices as c2 "
+      "WHERE c1.stockSymbol = 'MSFT' and c2.stockSymbol != 'MSFT' and "
+      "c2.closingPrice > c1.closingPrice and "
+      "c2.timestamp = c1.timestamp "
+      "for (t = ST; t < ST + 5; t++) { "
+      "WindowIs(c1, t - 4, t); WindowIs(c2, t - 4, t); }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  // Each day: MSFT at 50, IBM above at 60, ORCL below at 40. Day 6 is
+  // fed as punctuation so the t=5 window (right end 5) can fire.
+  for (int64_t d = 1; d <= 6; ++d) {
+    ASSERT_TRUE(
+        server_.Push("ClosingStockPrices", Stock(d, "MSFT", 50)).ok());
+    ASSERT_TRUE(
+        server_.Push("ClosingStockPrices", Stock(d, "IBM", 60)).ok());
+    ASSERT_TRUE(
+        server_.Push("ClosingStockPrices", Stock(d, "ORCL", 40)).ok());
+  }
+  auto sets = server_.PollAll(*q);
+  ASSERT_EQ(sets.size(), 5u);
+  // Window t covers days [t-4, t]: t days exist, IBM beats MSFT each day.
+  for (size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_EQ(sets[i].rows.size(), i + 1) << "window t=" << sets[i].t;
+    for (const Tuple& row : sets[i].rows) {
+      EXPECT_EQ(row.cell(1).string_value(), "IBM");
+      EXPECT_DOUBLE_EQ(row.cell(2).double_value(), 60.0);
+    }
+  }
+}
+
+// ---- Other server behaviours. ------------------------------------------------
+
+TEST_F(ServerTest, StandingFilterUsesCacqPath) {
+  auto q1 = server_.Submit(
+      "SELECT closingPrice FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT'");
+  auto q2 = server_.Submit(
+      "SELECT closingPrice FROM ClosingStockPrices "
+      "WHERE closingPrice > 45");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  FeedMsft(&server_, 10);  // Prices 41..50.
+  EXPECT_EQ(server_.PollAll(*q1).size(), 10u);  // All MSFT.
+  EXPECT_EQ(server_.PollAll(*q2).size(), 5u);   // 46..50.
+}
+
+TEST_F(ServerTest, CallbackDelivery) {
+  auto q = server_.Submit(
+      "SELECT closingPrice FROM ClosingStockPrices "
+      "WHERE closingPrice > 45");
+  ASSERT_TRUE(q.ok());
+  int called = 0;
+  ASSERT_TRUE(server_
+                  .SetCallback(*q,
+                               [&](const ResultSet& rs) {
+                                 called += static_cast<int>(rs.rows.size());
+                               })
+                  .ok());
+  FeedMsft(&server_, 10);
+  EXPECT_EQ(called, 5);
+  EXPECT_FALSE(server_.Poll(*q).has_value());  // Callback consumed them.
+}
+
+TEST_F(ServerTest, CancelStopsDelivery) {
+  auto q = server_.Submit(
+      "SELECT closingPrice FROM ClosingStockPrices "
+      "WHERE closingPrice > 0");
+  ASSERT_TRUE(q.ok());
+  FeedMsft(&server_, 3);
+  ASSERT_TRUE(server_.Cancel(*q).ok());
+  FeedMsft(&server_, 0);
+  ASSERT_TRUE(
+      server_.Push("ClosingStockPrices", Stock(4, "MSFT", 44)).ok());
+  EXPECT_TRUE(server_.PollAll(*q).empty());
+  EXPECT_EQ(server_.num_active_queries(), 0u);
+  EXPECT_FALSE(server_.Cancel(*q).ok());
+}
+
+TEST_F(ServerTest, LateQuerySeesOnlyNewData) {
+  FeedMsft(&server_, 10);
+  auto q = server_.Submit(
+      "SELECT closingPrice FROM ClosingStockPrices "
+      "WHERE closingPrice > 0");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(
+      server_.Push("ClosingStockPrices", Stock(11, "MSFT", 51)).ok());
+  auto sets = server_.PollAll(*q);
+  ASSERT_EQ(sets.size(), 1u);  // Only the post-registration tuple.
+}
+
+TEST_F(ServerTest, WindowedQueryStartsAtSubmissionTime) {
+  FeedMsft(&server_, 10);
+  // ST should resolve to 11 (watermark + 1).
+  auto q = server_.Submit(
+      "SELECT AVG(closingPrice) FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' "
+      "for (t = ST; t < ST + 2; t++) { "
+      "WindowIs(ClosingStockPrices, t, t); }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  for (int64_t d = 11; d <= 13; ++d) {  // Day 13 punctuates window [12,12].
+    ASSERT_TRUE(server_.Push("ClosingStockPrices",
+                             Stock(d, "MSFT", 40.0 + d))
+                    .ok());
+  }
+  auto sets = server_.PollAll(*q);
+  // Windows [11,11] and [12,12]: prices 51, 52.
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_DOUBLE_EQ(sets[0].rows[0].cell(0).double_value(), 51.0);
+  EXPECT_DOUBLE_EQ(sets[1].rows[0].cell(0).double_value(), 52.0);
+}
+
+TEST_F(ServerTest, TableSnapshotAnswersImmediately) {
+  SchemaPtr cschema = Schema::Make({{"symbol", ValueType::kString, ""},
+                                    {"sector", ValueType::kString, ""}});
+  TupleVector rows;
+  rows.push_back(
+      Tuple::Make({Value::String("MSFT"), Value::String("tech")}, 0));
+  rows.push_back(
+      Tuple::Make({Value::String("XOM"), Value::String("energy")}, 0));
+  ASSERT_TRUE(server_.DefineTable("Companies", cschema, rows).ok());
+  auto q = server_.Submit(
+      "SELECT symbol FROM Companies WHERE sector = 'tech'");
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto sets = server_.PollAll(*q);
+  ASSERT_EQ(sets.size(), 1u);
+  ASSERT_EQ(sets[0].rows.size(), 1u);
+  EXPECT_EQ(sets[0].rows[0].cell(0).string_value(), "MSFT");
+}
+
+TEST_F(ServerTest, StreamTableJoin) {
+  SchemaPtr cschema = Schema::Make({{"symbol", ValueType::kString, ""},
+                                    {"sector", ValueType::kString, ""}});
+  TupleVector rows;
+  rows.push_back(
+      Tuple::Make({Value::String("MSFT"), Value::String("tech")}, 0));
+  ASSERT_TRUE(server_.DefineTable("Companies", cschema, rows).ok());
+  auto q = server_.Submit(
+      "SELECT s.closingPrice, c.sector "
+      "FROM ClosingStockPrices as s, Companies as c "
+      "WHERE s.stockSymbol = c.symbol "
+      "for (t = 1; t <= 3; t++) { WindowIs(s, t, t); }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  for (int64_t d = 1; d <= 4; ++d) {  // Day 4 punctuates window [3,3].
+    ASSERT_TRUE(
+        server_.Push("ClosingStockPrices", Stock(d, "MSFT", 50 + d)).ok());
+    ASSERT_TRUE(
+        server_.Push("ClosingStockPrices", Stock(d, "XOM", 80)).ok());
+  }
+  auto sets = server_.PollAll(*q);
+  ASSERT_EQ(sets.size(), 3u);
+  for (const auto& rs : sets) {
+    ASSERT_EQ(rs.rows.size(), 1u);  // Only MSFT joins Companies.
+    EXPECT_EQ(rs.rows[0].cell(1).string_value(), "tech");
+  }
+}
+
+TEST_F(ServerTest, GroupByAggregateOverWindows) {
+  auto q = server_.Submit(
+      "SELECT stockSymbol, COUNT(*) FROM ClosingStockPrices "
+      "GROUP BY stockSymbol "
+      "for (t = 1; t <= 9; t += 3) { "
+      "WindowIs(ClosingStockPrices, t, t + 2); }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  for (int64_t d = 1; d <= 10; ++d) {  // Day 10 punctuates window [7,9].
+    ASSERT_TRUE(
+        server_.Push("ClosingStockPrices", Stock(d, "MSFT", 50)).ok());
+    if (d % 3 == 0) {
+      ASSERT_TRUE(
+          server_.Push("ClosingStockPrices", Stock(d, "IBM", 90)).ok());
+    }
+  }
+  auto sets = server_.PollAll(*q);
+  ASSERT_EQ(sets.size(), 3u);
+  for (const auto& rs : sets) {
+    ASSERT_EQ(rs.rows.size(), 2u);
+    EXPECT_EQ(rs.rows[0].cell(0).string_value(), "IBM");
+    EXPECT_EQ(rs.rows[0].cell(1).int64_value(), 1);
+    EXPECT_EQ(rs.rows[1].cell(0).string_value(), "MSFT");
+    EXPECT_EQ(rs.rows[1].cell(1).int64_value(), 3);
+  }
+}
+
+TEST_F(ServerTest, ErrorPaths) {
+  EXPECT_FALSE(server_.Push("NoSuchStream", Stock(1, "A", 1)).ok());
+  EXPECT_FALSE(server_.Submit("SELECT FROM").ok());
+  EXPECT_FALSE(server_.Submit("SELECT x FROM NoSuchStream").ok());
+  // Arity mismatch.
+  EXPECT_FALSE(
+      server_.Push("ClosingStockPrices", Tuple::Make({Value::Int64(1)}, 1))
+          .ok());
+  // Out-of-order timestamps rejected.
+  ASSERT_TRUE(
+      server_.Push("ClosingStockPrices", Stock(5, "MSFT", 1)).ok());
+  EXPECT_FALSE(
+      server_.Push("ClosingStockPrices", Stock(3, "MSFT", 1)).ok());
+  // Poll on bogus id.
+  EXPECT_FALSE(server_.Poll(42).has_value());
+}
+
+TEST_F(ServerTest, PushAllFromGenerator) {
+  auto q = server_.Submit(
+      "SELECT closingPrice FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT'");
+  ASSERT_TRUE(q.ok());
+  StockTickerSource::Options opts;
+  opts.num_symbols = 4;
+  opts.num_days = 25;
+  StockTickerSource src(opts);
+  ASSERT_TRUE(server_.PushAll("ClosingStockPrices", &src).ok());
+  EXPECT_EQ(server_.PollAll(*q).size(), 25u);  // One MSFT row per day.
+}
+
+TEST_F(ServerTest, OutputSchemaReflectsSelectList) {
+  auto q = server_.Submit(
+      "SELECT closingPrice AS px FROM ClosingStockPrices "
+      "WHERE closingPrice > 0");
+  ASSERT_TRUE(q.ok());
+  auto schema = server_.OutputSchema(*q);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ((*schema)->field(0).name, "px");
+  EXPECT_EQ((*schema)->field(0).type, ValueType::kDouble);
+}
+
+}  // namespace
+}  // namespace tcq

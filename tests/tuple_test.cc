@@ -1,0 +1,68 @@
+#include "tuple/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace tcq {
+namespace {
+
+Tuple StockTuple(int64_t ts, const std::string& sym, double price) {
+  return Tuple::Make(
+      {Value::Int64(ts), Value::String(sym), Value::Double(price)}, ts);
+}
+
+TEST(TupleTest, EmptyTuple) {
+  Tuple t;
+  EXPECT_EQ(t.arity(), 0u);
+  EXPECT_EQ(t.timestamp(), 0);
+}
+
+TEST(TupleTest, CellsAndTimestamp) {
+  Tuple t = StockTuple(5, "MSFT", 51.5);
+  EXPECT_EQ(t.arity(), 3u);
+  EXPECT_EQ(t.cell(0).int64_value(), 5);
+  EXPECT_EQ(t.cell(1).string_value(), "MSFT");
+  EXPECT_DOUBLE_EQ(t.cell(2).double_value(), 51.5);
+  EXPECT_EQ(t.timestamp(), 5);
+}
+
+TEST(TupleTest, CopiesShareCells) {
+  Tuple a = StockTuple(1, "A", 1.0);
+  Tuple b = a;
+  EXPECT_EQ(&a.cells(), &b.cells());
+  b.set_timestamp(99);
+  EXPECT_EQ(a.timestamp(), 1);  // Timestamp is per-instance.
+}
+
+TEST(TupleTest, ConcatAppendsAndTakesMaxTimestamp) {
+  Tuple a = StockTuple(3, "A", 1.0);
+  Tuple b = StockTuple(7, "B", 2.0);
+  Tuple c = Tuple::Concat(a, b);
+  EXPECT_EQ(c.arity(), 6u);
+  EXPECT_EQ(c.cell(1).string_value(), "A");
+  EXPECT_EQ(c.cell(4).string_value(), "B");
+  EXPECT_EQ(c.timestamp(), 7);
+}
+
+TEST(TupleTest, ProjectSelectsAndReorders) {
+  Tuple t = StockTuple(2, "MSFT", 60.0);
+  Tuple p = t.Project({2, 0});
+  EXPECT_EQ(p.arity(), 2u);
+  EXPECT_DOUBLE_EQ(p.cell(0).double_value(), 60.0);
+  EXPECT_EQ(p.cell(1).int64_value(), 2);
+  EXPECT_EQ(p.timestamp(), 2);
+}
+
+TEST(TupleTest, EqualityComparesCellsAndTimestamp) {
+  EXPECT_EQ(StockTuple(1, "A", 1.0), StockTuple(1, "A", 1.0));
+  EXPECT_FALSE(StockTuple(1, "A", 1.0) == StockTuple(2, "A", 1.0));
+  EXPECT_FALSE(StockTuple(1, "A", 1.0) == StockTuple(1, "B", 1.0));
+}
+
+TEST(TupleTest, ToStringShowsCellsAndTimestamp) {
+  const std::string s = StockTuple(4, "IBM", 10.0).ToString();
+  EXPECT_NE(s.find("'IBM'"), std::string::npos);
+  EXPECT_NE(s.find("@4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,241 @@
+#include "window/window.h"
+
+#include <gtest/gtest.h>
+
+namespace tcq {
+namespace {
+
+// --- The four worked examples of §4.1.1 ------------------------------------
+
+TEST(WindowTest, PaperSnapshotQueryWindow) {
+  // "first five days of trading": WindowIs(S, 1, 5), executed once.
+  ForLoopSpec spec = MakeSnapshotWindow("ClosingStockPrices", 1, 5);
+  WindowSequence seq(&spec, /*st=*/100);
+  auto step = seq.Next();
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(step->bounds[0].left, 1);
+  EXPECT_EQ(step->bounds[0].right, 5);
+  EXPECT_FALSE(seq.Next().has_value());  // Exactly one iteration.
+}
+
+TEST(WindowTest, PaperLandmarkQueryWindow) {
+  // for (t = 101; t <= 1000; t++) WindowIs(S, 101, t).
+  ForLoopSpec spec = MakeLandmarkWindow("S", 101, 101, 1000);
+  WindowSequence seq(&spec, 0);
+  auto first = seq.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->t, 101);
+  EXPECT_EQ(first->bounds[0].left, 101);
+  EXPECT_EQ(first->bounds[0].right, 101);
+  size_t count = 1;
+  Timestamp last_right = first->bounds[0].right;
+  while (auto s = seq.Next()) {
+    EXPECT_EQ(s->bounds[0].left, 101);  // Fixed landmark.
+    EXPECT_EQ(s->bounds[0].right, last_right + 1);
+    last_right = s->bounds[0].right;
+    ++count;
+  }
+  EXPECT_EQ(count, 900u);
+  EXPECT_EQ(last_right, 1000);
+}
+
+TEST(WindowTest, PaperSlidingQueryWindow) {
+  // for (t = ST; t < ST + 50; t += 5) WindowIs(S, t - 4, t).
+  const Timestamp st = 200;
+  ForLoopSpec spec = MakeSlidingWindow("S", /*width=*/5, /*hop=*/5, st,
+                                       st + 50);
+  WindowSequence seq(&spec, st);
+  size_t count = 0;
+  Timestamp expected_t = st;
+  while (auto s = seq.Next()) {
+    EXPECT_EQ(s->t, expected_t);
+    EXPECT_EQ(s->bounds[0].left, expected_t - 4);
+    EXPECT_EQ(s->bounds[0].right, expected_t);
+    EXPECT_EQ(s->bounds[0].Width(), 5);
+    expected_t += 5;
+    ++count;
+  }
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(WindowTest, PaperBandJoinWindows) {
+  // for (t = ST; t < ST + 20; t++) { WindowIs(c1, t-4, t); WindowIs(c2, t-4, t); }
+  ForLoopSpec spec;
+  spec.init = Expr::Variable("ST");
+  spec.condition = Expr::Binary(
+      BinaryOp::kLt, Expr::Variable("t"),
+      Expr::Binary(BinaryOp::kAdd, Expr::Variable("ST"),
+                   Expr::Literal(Value::Int64(20))));
+  spec.step = Expr::Binary(BinaryOp::kAdd, Expr::Variable("t"),
+                           Expr::Literal(Value::Int64(1)));
+  auto left = Expr::Binary(BinaryOp::kSub, Expr::Variable("t"),
+                           Expr::Literal(Value::Int64(4)));
+  spec.windows.push_back({"c1", left, Expr::Variable("t")});
+  spec.windows.push_back({"c2", left, Expr::Variable("t")});
+
+  WindowSequence seq(&spec, /*st=*/50);
+  size_t count = 0;
+  while (auto s = seq.Next()) {
+    ASSERT_EQ(s->bounds.size(), 2u);
+    EXPECT_EQ(s->bounds[0].left, s->bounds[1].left);
+    EXPECT_EQ(s->bounds[0].right, s->bounds[1].right);
+    ++count;
+  }
+  EXPECT_EQ(count, 20u);
+}
+
+// --- Window mechanics --------------------------------------------------------
+
+TEST(WindowTest, ReverseWindowMovesBackward) {
+  // Browsing history backwards: for (t = ST; t > ST - 30; t -= 10).
+  ForLoopSpec spec;
+  spec.init = Expr::Variable("ST");
+  spec.condition = Expr::Binary(
+      BinaryOp::kGt, Expr::Variable("t"),
+      Expr::Binary(BinaryOp::kSub, Expr::Variable("ST"),
+                   Expr::Literal(Value::Int64(30))));
+  spec.step = Expr::Binary(BinaryOp::kSub, Expr::Variable("t"),
+                           Expr::Literal(Value::Int64(10)));
+  spec.windows.push_back(
+      {"S",
+       Expr::Binary(BinaryOp::kSub, Expr::Variable("t"),
+                    Expr::Literal(Value::Int64(9))),
+       Expr::Variable("t")});
+  WindowSequence seq(&spec, 100);
+  std::vector<Timestamp> rights;
+  while (auto s = seq.Next()) rights.push_back(s->bounds[0].right);
+  ASSERT_EQ(rights.size(), 3u);
+  EXPECT_EQ(rights[0], 100);
+  EXPECT_EQ(rights[1], 90);
+  EXPECT_EQ(rights[2], 80);
+}
+
+TEST(WindowTest, WindowBoundsHelpers) {
+  WindowBounds b{"S", 10, 14};
+  EXPECT_TRUE(b.Contains(10));
+  EXPECT_TRUE(b.Contains(14));
+  EXPECT_FALSE(b.Contains(9));
+  EXPECT_FALSE(b.Contains(15));
+  EXPECT_EQ(b.Width(), 5);
+  WindowBounds empty{"S", 5, 4};
+  EXPECT_EQ(empty.Width(), 0);
+}
+
+TEST(WindowTest, StandingQueryWithoutEndRunsOn) {
+  ForLoopSpec spec = MakeSlidingWindow("S", 10, 1, 1, std::nullopt);
+  WindowSequence seq(&spec, 1);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(seq.Next().has_value());
+  }
+  EXPECT_FALSE(seq.done());
+}
+
+// --- Classification (§4.1.2) -------------------------------------------------
+
+TEST(WindowClassifyTest, Snapshot) {
+  ForLoopSpec spec = MakeSnapshotWindow("S", 1, 5);
+  auto shape = ClassifyWindow(spec, 0, 0);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->window_class, WindowClass::kSnapshot);
+  EXPECT_EQ(shape->width, 5);
+  EXPECT_FALSE(shape->requires_full_window_state);
+}
+
+TEST(WindowClassifyTest, Landmark) {
+  ForLoopSpec spec = MakeLandmarkWindow("S", 101, 101, 1000);
+  auto shape = ClassifyWindow(spec, 0, 0);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->window_class, WindowClass::kLandmark);
+  // Landmark MAX is computable with O(1) state (§4.1.2).
+  EXPECT_FALSE(shape->requires_full_window_state);
+}
+
+TEST(WindowClassifyTest, Sliding) {
+  ForLoopSpec spec = MakeSlidingWindow("S", 5, 1, 10, 100);
+  auto shape = ClassifyWindow(spec, 0, 0);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->window_class, WindowClass::kSliding);
+  EXPECT_EQ(shape->hop, 1);
+  EXPECT_EQ(shape->width, 5);
+  // Sliding MAX needs the whole window retained (§4.1.2).
+  EXPECT_TRUE(shape->requires_full_window_state);
+}
+
+TEST(WindowClassifyTest, HoppingAndSkipsData) {
+  // Width 5, hop 7: some stream portions never participate (§4.1.2).
+  ForLoopSpec spec = MakeSlidingWindow("S", 5, 7, 10, 100);
+  auto shape = ClassifyWindow(spec, 0, 0);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->window_class, WindowClass::kHopping);
+  EXPECT_EQ(shape->hop, 7);
+  EXPECT_TRUE(shape->skips_data);
+}
+
+TEST(WindowClassifyTest, HoppingWithoutSkip) {
+  ForLoopSpec spec = MakeSlidingWindow("S", 10, 5, 10, 100);
+  auto shape = ClassifyWindow(spec, 0, 0);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->window_class, WindowClass::kHopping);
+  EXPECT_FALSE(shape->skips_data);
+}
+
+TEST(WindowClassifyTest, Reverse) {
+  ForLoopSpec spec;
+  spec.init = Expr::Variable("ST");
+  spec.condition = Expr::Binary(BinaryOp::kGt, Expr::Variable("t"),
+                                Expr::Literal(Value::Int64(0)));
+  spec.step = Expr::Binary(BinaryOp::kSub, Expr::Variable("t"),
+                           Expr::Literal(Value::Int64(5)));
+  spec.windows.push_back(
+      {"S",
+       Expr::Binary(BinaryOp::kSub, Expr::Variable("t"),
+                    Expr::Literal(Value::Int64(4))),
+       Expr::Variable("t")});
+  auto shape = ClassifyWindow(spec, 0, 100);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->window_class, WindowClass::kReverse);
+}
+
+TEST(WindowClassifyTest, OutOfRangeClause) {
+  ForLoopSpec spec = MakeSnapshotWindow("S", 1, 5);
+  EXPECT_EQ(ClassifyWindow(spec, 3, 0).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+// --- Validation ---------------------------------------------------------------
+
+TEST(WindowValidateTest, RejectsColumnsInBounds) {
+  ForLoopSpec spec;
+  spec.condition = Expr::Literal(Value::Bool(true));
+  spec.windows.push_back(
+      {"S", Expr::Column("price"), Expr::Variable("t")});
+  EXPECT_EQ(ValidateForLoop(spec).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WindowValidateTest, RejectsUnknownVariables) {
+  ForLoopSpec spec;
+  spec.condition = Expr::Binary(BinaryOp::kLt, Expr::Variable("u"),
+                                Expr::Literal(Value::Int64(5)));
+  EXPECT_EQ(ValidateForLoop(spec).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WindowValidateTest, RejectsMissingEnds) {
+  ForLoopSpec spec;
+  spec.windows.push_back({"S", nullptr, Expr::Variable("t")});
+  EXPECT_EQ(ValidateForLoop(spec).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WindowValidateTest, AcceptsPaperExamples) {
+  EXPECT_TRUE(ValidateForLoop(MakeSnapshotWindow("S", 1, 5)).ok());
+  EXPECT_TRUE(ValidateForLoop(MakeLandmarkWindow("S", 101, 101, 1000)).ok());
+  EXPECT_TRUE(
+      ValidateForLoop(MakeSlidingWindow("S", 5, 5, 0, std::nullopt)).ok());
+}
+
+TEST(WindowTest, ClassNames) {
+  EXPECT_STREQ(WindowClassToString(WindowClass::kSnapshot), "snapshot");
+  EXPECT_STREQ(WindowClassToString(WindowClass::kSliding), "sliding");
+}
+
+}  // namespace
+}  // namespace tcq
