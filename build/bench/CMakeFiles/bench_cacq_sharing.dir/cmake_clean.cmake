@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cacq_sharing.dir/bench_cacq_sharing.cc.o"
+  "CMakeFiles/bench_cacq_sharing.dir/bench_cacq_sharing.cc.o.d"
+  "bench_cacq_sharing"
+  "bench_cacq_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cacq_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

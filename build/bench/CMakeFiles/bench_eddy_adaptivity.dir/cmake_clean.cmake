@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eddy_adaptivity.dir/bench_eddy_adaptivity.cc.o"
+  "CMakeFiles/bench_eddy_adaptivity.dir/bench_eddy_adaptivity.cc.o.d"
+  "bench_eddy_adaptivity"
+  "bench_eddy_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eddy_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

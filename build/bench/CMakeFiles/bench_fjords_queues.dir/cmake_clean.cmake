@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fjords_queues.dir/bench_fjords_queues.cc.o"
+  "CMakeFiles/bench_fjords_queues.dir/bench_fjords_queues.cc.o.d"
+  "bench_fjords_queues"
+  "bench_fjords_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fjords_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

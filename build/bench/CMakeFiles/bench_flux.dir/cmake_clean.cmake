@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flux.dir/bench_flux.cc.o"
+  "CMakeFiles/bench_flux.dir/bench_flux.cc.o.d"
+  "bench_flux"
+  "bench_flux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

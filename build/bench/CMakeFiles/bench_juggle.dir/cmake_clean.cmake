@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_juggle.dir/bench_juggle.cc.o"
+  "CMakeFiles/bench_juggle.dir/bench_juggle.cc.o.d"
+  "bench_juggle"
+  "bench_juggle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_juggle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_psoup.dir/bench_psoup.cc.o"
+  "CMakeFiles/bench_psoup.dir/bench_psoup.cc.o.d"
+  "bench_psoup"
+  "bench_psoup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_psoup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stem_hybrid_join.dir/bench_stem_hybrid_join.cc.o"
+  "CMakeFiles/bench_stem_hybrid_join.dir/bench_stem_hybrid_join.cc.o.d"
+  "bench_stem_hybrid_join"
+  "bench_stem_hybrid_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stem_hybrid_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_windows.cc" "bench/CMakeFiles/bench_windows.dir/bench_windows.cc.o" "gcc" "bench/CMakeFiles/bench_windows.dir/bench_windows.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tcq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ingress/CMakeFiles/tcq_ingress.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/tcq_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/cacq/CMakeFiles/tcq_cacq.dir/DependInfo.cmake"
+  "/root/repo/build/src/psoup/CMakeFiles/tcq_psoup.dir/DependInfo.cmake"
+  "/root/repo/build/src/eddy/CMakeFiles/tcq_eddy.dir/DependInfo.cmake"
+  "/root/repo/build/src/stem/CMakeFiles/tcq_stem.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/tcq_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/fjords/CMakeFiles/tcq_fjords.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/tcq_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/tcq_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/tcq_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_flux.dir/cluster_flux.cc.o"
+  "CMakeFiles/cluster_flux.dir/cluster_flux.cc.o.d"
+  "cluster_flux"
+  "cluster_flux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_flux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

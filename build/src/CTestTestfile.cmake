@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tuple")
+subdirs("fjords")
+subdirs("expr")
+subdirs("parser")
+subdirs("window")
+subdirs("stem")
+subdirs("modules")
+subdirs("eddy")
+subdirs("cacq")
+subdirs("psoup")
+subdirs("flux")
+subdirs("ingress")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcq_cacq.dir/engine.cc.o"
+  "CMakeFiles/tcq_cacq.dir/engine.cc.o.d"
+  "CMakeFiles/tcq_cacq.dir/shared_ops.cc.o"
+  "CMakeFiles/tcq_cacq.dir/shared_ops.cc.o.d"
+  "CMakeFiles/tcq_cacq.dir/shared_stem.cc.o"
+  "CMakeFiles/tcq_cacq.dir/shared_stem.cc.o.d"
+  "libtcq_cacq.a"
+  "libtcq_cacq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcq_cacq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tcq_cacq.
+# This may be replaced when dependencies are built.

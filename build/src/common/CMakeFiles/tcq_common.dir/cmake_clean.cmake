@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcq_common.dir/logging.cc.o"
+  "CMakeFiles/tcq_common.dir/logging.cc.o.d"
+  "CMakeFiles/tcq_common.dir/rng.cc.o"
+  "CMakeFiles/tcq_common.dir/rng.cc.o.d"
+  "CMakeFiles/tcq_common.dir/status.cc.o"
+  "CMakeFiles/tcq_common.dir/status.cc.o.d"
+  "libtcq_common.a"
+  "libtcq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

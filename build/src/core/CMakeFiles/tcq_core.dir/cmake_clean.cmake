@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcq_core.dir/analyzer.cc.o"
+  "CMakeFiles/tcq_core.dir/analyzer.cc.o.d"
+  "CMakeFiles/tcq_core.dir/egress.cc.o"
+  "CMakeFiles/tcq_core.dir/egress.cc.o.d"
+  "CMakeFiles/tcq_core.dir/runner.cc.o"
+  "CMakeFiles/tcq_core.dir/runner.cc.o.d"
+  "CMakeFiles/tcq_core.dir/server.cc.o"
+  "CMakeFiles/tcq_core.dir/server.cc.o.d"
+  "libtcq_core.a"
+  "libtcq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eddy/eddy.cc" "src/eddy/CMakeFiles/tcq_eddy.dir/eddy.cc.o" "gcc" "src/eddy/CMakeFiles/tcq_eddy.dir/eddy.cc.o.d"
+  "/root/repo/src/eddy/knob_controller.cc" "src/eddy/CMakeFiles/tcq_eddy.dir/knob_controller.cc.o" "gcc" "src/eddy/CMakeFiles/tcq_eddy.dir/knob_controller.cc.o.d"
+  "/root/repo/src/eddy/operators.cc" "src/eddy/CMakeFiles/tcq_eddy.dir/operators.cc.o" "gcc" "src/eddy/CMakeFiles/tcq_eddy.dir/operators.cc.o.d"
+  "/root/repo/src/eddy/policy.cc" "src/eddy/CMakeFiles/tcq_eddy.dir/policy.cc.o" "gcc" "src/eddy/CMakeFiles/tcq_eddy.dir/policy.cc.o.d"
+  "/root/repo/src/eddy/routed_tuple.cc" "src/eddy/CMakeFiles/tcq_eddy.dir/routed_tuple.cc.o" "gcc" "src/eddy/CMakeFiles/tcq_eddy.dir/routed_tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stem/CMakeFiles/tcq_stem.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/tcq_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/tcq_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

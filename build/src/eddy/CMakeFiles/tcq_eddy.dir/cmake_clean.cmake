@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcq_eddy.dir/eddy.cc.o"
+  "CMakeFiles/tcq_eddy.dir/eddy.cc.o.d"
+  "CMakeFiles/tcq_eddy.dir/knob_controller.cc.o"
+  "CMakeFiles/tcq_eddy.dir/knob_controller.cc.o.d"
+  "CMakeFiles/tcq_eddy.dir/operators.cc.o"
+  "CMakeFiles/tcq_eddy.dir/operators.cc.o.d"
+  "CMakeFiles/tcq_eddy.dir/policy.cc.o"
+  "CMakeFiles/tcq_eddy.dir/policy.cc.o.d"
+  "CMakeFiles/tcq_eddy.dir/routed_tuple.cc.o"
+  "CMakeFiles/tcq_eddy.dir/routed_tuple.cc.o.d"
+  "libtcq_eddy.a"
+  "libtcq_eddy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcq_eddy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcq_expr.dir/ast.cc.o"
+  "CMakeFiles/tcq_expr.dir/ast.cc.o.d"
+  "CMakeFiles/tcq_expr.dir/predicates.cc.o"
+  "CMakeFiles/tcq_expr.dir/predicates.cc.o.d"
+  "libtcq_expr.a"
+  "libtcq_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcq_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

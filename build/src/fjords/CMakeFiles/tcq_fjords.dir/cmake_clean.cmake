@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcq_fjords.dir/scheduler.cc.o"
+  "CMakeFiles/tcq_fjords.dir/scheduler.cc.o.d"
+  "libtcq_fjords.a"
+  "libtcq_fjords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcq_fjords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcq_fjords.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcq_flux.dir/flux.cc.o"
+  "CMakeFiles/tcq_flux.dir/flux.cc.o.d"
+  "libtcq_flux.a"
+  "libtcq_flux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcq_flux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcq_ingress.dir/sources.cc.o"
+  "CMakeFiles/tcq_ingress.dir/sources.cc.o.d"
+  "CMakeFiles/tcq_ingress.dir/wrapper.cc.o"
+  "CMakeFiles/tcq_ingress.dir/wrapper.cc.o.d"
+  "libtcq_ingress.a"
+  "libtcq_ingress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcq_ingress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

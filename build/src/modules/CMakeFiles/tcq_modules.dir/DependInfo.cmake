@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modules/aggregate.cc" "src/modules/CMakeFiles/tcq_modules.dir/aggregate.cc.o" "gcc" "src/modules/CMakeFiles/tcq_modules.dir/aggregate.cc.o.d"
+  "/root/repo/src/modules/grouped_filter.cc" "src/modules/CMakeFiles/tcq_modules.dir/grouped_filter.cc.o" "gcc" "src/modules/CMakeFiles/tcq_modules.dir/grouped_filter.cc.o.d"
+  "/root/repo/src/modules/juggle.cc" "src/modules/CMakeFiles/tcq_modules.dir/juggle.cc.o" "gcc" "src/modules/CMakeFiles/tcq_modules.dir/juggle.cc.o.d"
+  "/root/repo/src/modules/relational.cc" "src/modules/CMakeFiles/tcq_modules.dir/relational.cc.o" "gcc" "src/modules/CMakeFiles/tcq_modules.dir/relational.cc.o.d"
+  "/root/repo/src/modules/sort_tc.cc" "src/modules/CMakeFiles/tcq_modules.dir/sort_tc.cc.o" "gcc" "src/modules/CMakeFiles/tcq_modules.dir/sort_tc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fjords/CMakeFiles/tcq_fjords.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/tcq_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/tcq_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

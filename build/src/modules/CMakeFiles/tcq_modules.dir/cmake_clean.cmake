@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcq_modules.dir/aggregate.cc.o"
+  "CMakeFiles/tcq_modules.dir/aggregate.cc.o.d"
+  "CMakeFiles/tcq_modules.dir/grouped_filter.cc.o"
+  "CMakeFiles/tcq_modules.dir/grouped_filter.cc.o.d"
+  "CMakeFiles/tcq_modules.dir/juggle.cc.o"
+  "CMakeFiles/tcq_modules.dir/juggle.cc.o.d"
+  "CMakeFiles/tcq_modules.dir/relational.cc.o"
+  "CMakeFiles/tcq_modules.dir/relational.cc.o.d"
+  "CMakeFiles/tcq_modules.dir/sort_tc.cc.o"
+  "CMakeFiles/tcq_modules.dir/sort_tc.cc.o.d"
+  "libtcq_modules.a"
+  "libtcq_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcq_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcq_parser.dir/lexer.cc.o"
+  "CMakeFiles/tcq_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/tcq_parser.dir/parser.cc.o"
+  "CMakeFiles/tcq_parser.dir/parser.cc.o.d"
+  "libtcq_parser.a"
+  "libtcq_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcq_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

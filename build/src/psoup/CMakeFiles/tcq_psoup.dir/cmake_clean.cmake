@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcq_psoup.dir/psoup.cc.o"
+  "CMakeFiles/tcq_psoup.dir/psoup.cc.o.d"
+  "libtcq_psoup.a"
+  "libtcq_psoup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcq_psoup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcq_stem.dir/remote_index.cc.o"
+  "CMakeFiles/tcq_stem.dir/remote_index.cc.o.d"
+  "CMakeFiles/tcq_stem.dir/stem.cc.o"
+  "CMakeFiles/tcq_stem.dir/stem.cc.o.d"
+  "libtcq_stem.a"
+  "libtcq_stem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcq_stem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tcq_stem.
+# This may be replaced when dependencies are built.

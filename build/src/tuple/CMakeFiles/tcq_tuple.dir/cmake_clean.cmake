@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcq_tuple.dir/catalog.cc.o"
+  "CMakeFiles/tcq_tuple.dir/catalog.cc.o.d"
+  "CMakeFiles/tcq_tuple.dir/schema.cc.o"
+  "CMakeFiles/tcq_tuple.dir/schema.cc.o.d"
+  "CMakeFiles/tcq_tuple.dir/tuple.cc.o"
+  "CMakeFiles/tcq_tuple.dir/tuple.cc.o.d"
+  "CMakeFiles/tcq_tuple.dir/value.cc.o"
+  "CMakeFiles/tcq_tuple.dir/value.cc.o.d"
+  "libtcq_tuple.a"
+  "libtcq_tuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcq_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

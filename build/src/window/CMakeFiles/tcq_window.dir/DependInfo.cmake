@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/window/window.cc" "src/window/CMakeFiles/tcq_window.dir/window.cc.o" "gcc" "src/window/CMakeFiles/tcq_window.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/tcq_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/tcq_tuple.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

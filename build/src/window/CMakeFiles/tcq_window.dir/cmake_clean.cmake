@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcq_window.dir/window.cc.o"
+  "CMakeFiles/tcq_window.dir/window.cc.o.d"
+  "libtcq_window.a"
+  "libtcq_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcq_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

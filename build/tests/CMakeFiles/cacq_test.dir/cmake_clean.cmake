@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cacq_test.dir/cacq_test.cc.o"
+  "CMakeFiles/cacq_test.dir/cacq_test.cc.o.d"
+  "cacq_test"
+  "cacq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cacq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddy_join_test.dir/eddy_join_test.cc.o"
+  "CMakeFiles/eddy_join_test.dir/eddy_join_test.cc.o.d"
+  "eddy_join_test"
+  "eddy_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddy_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

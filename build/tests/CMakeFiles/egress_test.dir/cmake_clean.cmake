@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egress_test.dir/egress_test.cc.o"
+  "CMakeFiles/egress_test.dir/egress_test.cc.o.d"
+  "egress_test"
+  "egress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_test.dir/flux_test.cc.o"
+  "CMakeFiles/flux_test.dir/flux_test.cc.o.d"
+  "flux_test"
+  "flux_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

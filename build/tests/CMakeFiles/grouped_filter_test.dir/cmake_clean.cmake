@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouped_filter_test.dir/grouped_filter_test.cc.o"
+  "CMakeFiles/grouped_filter_test.dir/grouped_filter_test.cc.o.d"
+  "grouped_filter_test"
+  "grouped_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouped_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

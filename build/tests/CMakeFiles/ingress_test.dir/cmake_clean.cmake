@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingress_test.dir/ingress_test.cc.o"
+  "CMakeFiles/ingress_test.dir/ingress_test.cc.o.d"
+  "ingress_test"
+  "ingress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

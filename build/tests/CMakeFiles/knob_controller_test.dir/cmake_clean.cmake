@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knob_controller_test.dir/knob_controller_test.cc.o"
+  "CMakeFiles/knob_controller_test.dir/knob_controller_test.cc.o.d"
+  "knob_controller_test"
+  "knob_controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knob_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psoup_test.dir/psoup_test.cc.o"
+  "CMakeFiles/psoup_test.dir/psoup_test.cc.o.d"
+  "psoup_test"
+  "psoup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psoup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

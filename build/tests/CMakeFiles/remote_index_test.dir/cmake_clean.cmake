@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_index_test.dir/remote_index_test.cc.o"
+  "CMakeFiles/remote_index_test.dir/remote_index_test.cc.o.d"
+  "remote_index_test"
+  "remote_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_stem_test.dir/shared_stem_test.cc.o"
+  "CMakeFiles/shared_stem_test.dir/shared_stem_test.cc.o.d"
+  "shared_stem_test"
+  "shared_stem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_stem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

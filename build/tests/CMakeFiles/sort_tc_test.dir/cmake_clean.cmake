@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_tc_test.dir/sort_tc_test.cc.o"
+  "CMakeFiles/sort_tc_test.dir/sort_tc_test.cc.o.d"
+  "sort_tc_test"
+  "sort_tc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_tc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stem_test.dir/stem_test.cc.o"
+  "CMakeFiles/stem_test.dir/stem_test.cc.o.d"
+  "stem_test"
+  "stem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
