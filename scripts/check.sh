@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification: tier-1 (fast unit suite) plus the fault-injection /
+# concurrency stress suite under ThreadSanitizer and ASan+UBSan.
+#
+# Usage:
+#   scripts/check.sh            # tier-1 + one stress pass per sanitizer
+#   STRESS_REPEAT=30 scripts/check.sh   # acceptance-grade soak
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+STRESS_REPEAT="${STRESS_REPEAT:-1}"
+
+echo "==> tier-1: plain build + full ctest"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" >/dev/null
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+for SAN in thread address; do
+  DIR="build-${SAN}san"
+  echo "==> sanitizer=${SAN}: stress suite x${STRESS_REPEAT} (${DIR})"
+  cmake -B "$DIR" -S . -DTCQ_SANITIZE="$SAN" >/dev/null
+  cmake --build "$DIR" -j "$JOBS" >/dev/null
+  (cd "$DIR" && ctest -L stress --output-on-failure \
+      --repeat until-fail:"$STRESS_REPEAT")
+done
+
+echo "==> all checks passed"

@@ -46,11 +46,32 @@ inline Timestamp PhysicalNowMicros() {
 
 /// A virtual clock that the simulation advances explicitly. Lets physical-
 /// time windows be tested deterministically.
+///
+/// The clock is monotonic: like real time, it never runs backwards.
+/// AdvanceTo with a timestamp at or behind Now() is a no-op (returns
+/// false), so racing advancers cannot rewind observers — watermarks and
+/// window bounds derived from the clock stay valid.
 class VirtualClock {
  public:
   Timestamp Now() const { return now_.load(std::memory_order_acquire); }
-  void AdvanceTo(Timestamp t) { now_.store(t, std::memory_order_release); }
+
+  /// Advances to `t` if it is ahead of the current time. Returns whether
+  /// the clock moved; a backwards (or equal) target is rejected.
+  bool AdvanceTo(Timestamp t) {
+    Timestamp cur = now_.load(std::memory_order_relaxed);
+    while (t > cur) {
+      if (now_.compare_exchange_weak(cur, t, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Advances by a non-negative delta. Negative deltas are clamped to 0
+  /// (monotonicity again; callers wanting a rewind must build a new clock).
   void AdvanceBy(Timestamp delta) {
+    if (delta <= 0) return;
     now_.fetch_add(delta, std::memory_order_acq_rel);
   }
 

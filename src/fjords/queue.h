@@ -4,6 +4,8 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 
@@ -15,6 +17,36 @@ namespace tcq {
 enum class QueueEnd {
   kBlocking,     ///< The call waits (producer for space, consumer for data).
   kNonBlocking,  ///< The call returns immediately, reporting failure.
+};
+
+/// One fault decision for a single queue operation, drawn by a fault hook
+/// (see QueueFaultHooks). Production queues never see these; the testing
+/// FaultInjector uses them to emulate an uncertain world at either end of
+/// a Fjord edge — lossy wrappers, slow consumers, reordering transports.
+struct QueueFaultDecision {
+  enum class Action {
+    kNone,     ///< Operation proceeds normally.
+    kDrop,     ///< Enqueue: element silently discarded (caller sees success).
+               ///< Dequeue: element discarded; the next one is returned.
+    kDelay,    ///< Enqueue: element held back and released after `arg`
+               ///< later enqueue operations (Close releases all).
+               ///< Dequeue (non-blocking only): pretend the queue is empty.
+    kReorder,  ///< Enqueue: insert at offset `arg` instead of the back.
+               ///< Dequeue: remove from offset `arg` instead of the front.
+  };
+  Action action = Action::kNone;
+  /// kReorder: position offset (taken modulo the legal range).
+  /// kDelay on enqueue: number of later enqueues to hold the element back.
+  size_t arg = 0;
+};
+
+/// Fault hooks consulted under the queue lock, once per operation that
+/// would otherwise succeed. Unset hooks mean no faults. Hooks must be
+/// cheap and thread-safe: concurrent producers/consumers reach them while
+/// holding the queue mutex, but distinct queues may share one hook object.
+struct QueueFaultHooks {
+  std::function<QueueFaultDecision()> on_enqueue;
+  std::function<QueueFaultDecision()> on_dequeue;
 };
 
 /// Configuration of a Fjord queue. The paper's three named flavors:
@@ -29,6 +61,8 @@ struct QueueOptions {
   /// element instead of failing — a simple load-shedding knob for QoS
   /// experiments (§4.3 "deciding what work to drop").
   bool drop_oldest_when_full = false;
+  /// Optional fault injection (testing only; see QueueFaultHooks).
+  std::shared_ptr<QueueFaultHooks> faults;
 };
 
 /// A bounded MPMC queue connecting a producer module to a consumer module.
@@ -52,6 +86,13 @@ class FjordQueue {
   /// Inserts an element according to the configured enqueue mode.
   /// Returns false only when the element was not inserted: the queue is
   /// closed, or it is full in non-blocking mode (without drop_oldest).
+  ///
+  /// Racing Close(): the two calls serialize on the queue mutex. An
+  /// Enqueue that wins the race inserts normally (consumers drain it);
+  /// one that loses — including a blocking producer woken by Close —
+  /// returns false with the element NOT inserted. Elements are never
+  /// silently dropped by this race: a true return means the element is
+  /// (or was) observable by consumers, a false return means it never was.
   bool Enqueue(T item) {
     std::unique_lock<std::mutex> lock(mu_);
     if (closed_) return false;
@@ -67,9 +108,52 @@ class FjordQueue {
         if (closed_) return false;
       }
     }
-    items_.push_back(std::move(item));
+    size_t added = 0;
+    // Age the held-back elements first — "held for N later enqueues"
+    // counts THIS enqueue, so an element delayed now must survive at
+    // least until the next one. Expired elements release at the back.
+    // (Releases ignore capacity: a transient overshoot by the number of
+    // delayed elements is an accepted injection artifact.)
+    for (auto it = delayed_.begin(); it != delayed_.end();) {
+      if (--it->countdown == 0) {
+        items_.push_back(std::move(it->item));
+        ++added;
+        it = delayed_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    QueueFaultDecision fault;
+    if (options_.faults != nullptr && options_.faults->on_enqueue) {
+      fault = options_.faults->on_enqueue();
+    }
+    switch (fault.action) {
+      case QueueFaultDecision::Action::kDrop:
+        // The producer believes the element was delivered.
+        ++fault_drops_;
+        break;
+      case QueueFaultDecision::Action::kDelay:
+        delayed_.push_back(
+            Delayed{std::move(item), fault.arg == 0 ? 1 : fault.arg});
+        break;
+      case QueueFaultDecision::Action::kReorder:
+        items_.insert(items_.begin() +
+                          static_cast<ptrdiff_t>(fault.arg %
+                                                 (items_.size() + 1)),
+                      std::move(item));
+        ++added;
+        break;
+      case QueueFaultDecision::Action::kNone:
+        items_.push_back(std::move(item));
+        ++added;
+        break;
+    }
     lock.unlock();
-    not_empty_.notify_one();
+    if (added > 1) {
+      not_empty_.notify_all();
+    } else if (added == 1) {
+      not_empty_.notify_one();
+    }
     return true;
   }
 
@@ -78,17 +162,41 @@ class FjordQueue {
   /// non-blocking mode, or closed and fully drained in blocking mode.
   std::optional<T> Dequeue() {
     std::unique_lock<std::mutex> lock(mu_);
-    if (options_.dequeue == QueueEnd::kNonBlocking) {
-      if (items_.empty()) return std::nullopt;
-    } else {
-      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-      if (items_.empty()) return std::nullopt;  // Closed and drained.
+    std::optional<T> out;
+    size_t removed = 0;
+    for (;;) {
+      if (items_.empty()) {
+        if (options_.dequeue == QueueEnd::kNonBlocking) break;
+        not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+        if (items_.empty()) break;  // Closed and drained.
+      }
+      QueueFaultDecision fault;
+      if (options_.faults != nullptr && options_.faults->on_dequeue) {
+        fault = options_.faults->on_dequeue();
+      }
+      if (fault.action == QueueFaultDecision::Action::kDrop) {
+        items_.pop_front();
+        ++fault_drops_;
+        ++removed;
+        continue;  // The consumer transparently gets the next element.
+      }
+      if (fault.action == QueueFaultDecision::Action::kDelay &&
+          options_.dequeue == QueueEnd::kNonBlocking) {
+        break;  // Pretend empty. (Blocking mode ignores dequeue delays:
+                // the contract promises an element once one is present.)
+      }
+      size_t idx = 0;
+      if (fault.action == QueueFaultDecision::Action::kReorder) {
+        idx = fault.arg % items_.size();
+      }
+      out = std::move(items_[idx]);
+      items_.erase(items_.begin() + static_cast<ptrdiff_t>(idx));
+      ++removed;
+      break;
     }
-    T item = std::move(items_.front());
-    items_.pop_front();
     lock.unlock();
-    not_full_.notify_one();
-    return item;
+    for (; removed > 0; --removed) not_full_.notify_one();
+    return out;
   }
 
   /// Non-blocking peek at emptiness (racy by nature; for scheduling hints).
@@ -108,10 +216,26 @@ class FjordQueue {
     return dropped_;
   }
 
+  /// Elements discarded by injected kDrop faults (either end).
+  size_t FaultDrops() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fault_drops_;
+  }
+
+  /// Elements currently held back by injected kDelay faults.
+  size_t DelayedCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return delayed_.size();
+  }
+
   /// Marks end-of-stream. Wakes all blocked producers and consumers.
+  /// Releases every delayed element first, so an injected delay is a
+  /// delay — never a loss — over the life of the stream.
   void Close() {
     {
       std::lock_guard<std::mutex> lock(mu_);
+      for (Delayed& d : delayed_) items_.push_back(std::move(d.item));
+      delayed_.clear();
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -130,27 +254,34 @@ class FjordQueue {
   }
 
  private:
+  struct Delayed {
+    T item;
+    size_t countdown;  ///< Enqueue operations left before release.
+  };
+
   const QueueOptions options_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
+  std::deque<Delayed> delayed_;
   size_t dropped_ = 0;
+  size_t fault_drops_ = 0;
   bool closed_ = false;
 };
 
 /// Convenience constructors for the paper's three queue flavors.
 inline QueueOptions PullQueueOptions(size_t capacity = 1024) {
   return QueueOptions{capacity, QueueEnd::kBlocking, QueueEnd::kBlocking,
-                      false};
+                      false, nullptr};
 }
 inline QueueOptions PushQueueOptions(size_t capacity = 1024) {
   return QueueOptions{capacity, QueueEnd::kNonBlocking,
-                      QueueEnd::kNonBlocking, false};
+                      QueueEnd::kNonBlocking, false, nullptr};
 }
 inline QueueOptions ExchangeQueueOptions(size_t capacity = 1024) {
   return QueueOptions{capacity, QueueEnd::kNonBlocking, QueueEnd::kBlocking,
-                      false};
+                      false, nullptr};
 }
 
 }  // namespace tcq

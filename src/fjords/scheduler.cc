@@ -17,6 +17,11 @@ ExecutionObject::~ExecutionObject() { Stop(); }
 void ExecutionObject::AddModule(FjordModulePtr module) {
   TCQ_CHECK(module != nullptr);
   std::lock_guard<std::mutex> lock(pending_mu_);
+  // Count BEFORE publishing: any completion check that still reads the
+  // old count also cannot see (and skip) this module.
+  incomplete_.fetch_add(1, std::memory_order_release);
+  total_added_.fetch_add(1, std::memory_order_release);
+  all_done_.store(false, std::memory_order_release);
   pending_.push_back(std::move(module));
 }
 
@@ -32,29 +37,27 @@ void ExecutionObject::DrainPending() {
 bool ExecutionObject::RunRound(bool* all_done) {
   DrainPending();
   bool any_work = false;
-  bool everyone_done = !modules_.empty();
   for (size_t i = 0; i < modules_.size(); ++i) {
     if (done_[i]) continue;
     const FjordModule::StepResult r = modules_[i]->Step(options_.quantum);
     switch (r) {
       case FjordModule::StepResult::kDidWork:
         any_work = true;
-        everyone_done = false;
         work_quanta_.fetch_add(1, std::memory_order_relaxed);
         break;
       case FjordModule::StepResult::kIdle:
-        everyone_done = false;
         break;
       case FjordModule::StepResult::kDone:
         done_[i] = true;
+        incomplete_.fetch_sub(1, std::memory_order_release);
         break;
     }
   }
-  // A module marked done during this round still counts toward completion.
-  if (everyone_done) {
-    for (bool d : done_) everyone_done = everyone_done && d;
-  }
-  *all_done = everyone_done && !modules_.empty();
+  // incomplete_ counts pending modules too, so a concurrent AddModule
+  // can never be missed by this check (it raises the count before the
+  // module becomes visible). Modules marked done this round count.
+  *all_done = !modules_.empty() &&
+              incomplete_.load(std::memory_order_acquire) == 0;
   return any_work;
 }
 
@@ -62,20 +65,9 @@ void ExecutionObject::ThreadMain() {
   while (!stop_requested_.load(std::memory_order_acquire)) {
     bool all_done = false;
     const bool any_work = RunRound(&all_done);
-    if (all_done) {
-      // Re-check for dynamically added modules before declaring completion.
-      DrainPending();
-      bool still_done = true;
-      for (bool d : done_) still_done = still_done && d;
-      if (still_done && done_.size() == modules_.size()) {
-        all_done_.store(true, std::memory_order_release);
-        // Stay alive: new queries may still be folded in. Sleep politely.
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(options_.idle_sleep_micros));
-        continue;
-      }
-    }
     all_done_.store(all_done, std::memory_order_release);
+    // Stay alive even when all modules are done: new queries may still be
+    // folded in dynamically. Sleep politely whenever idle.
     if (!any_work) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(options_.idle_sleep_micros));
@@ -85,20 +77,29 @@ void ExecutionObject::ThreadMain() {
 }
 
 void ExecutionObject::Start() {
-  TCQ_CHECK(!running_.load()) << "EO " << name_ << " already started";
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  TCQ_CHECK(!thread_.joinable()) << "EO " << name_ << " already started";
   stop_requested_.store(false);
+  all_done_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { ThreadMain(); });
 }
 
 void ExecutionObject::Stop() {
   stop_requested_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (thread_.joinable()) thread_.join();
+  thread_ = std::thread();
   running_.store(false, std::memory_order_release);
 }
 
 void ExecutionObject::Join() {
-  while (running() && !all_done_.load(std::memory_order_acquire)) {
+  // Checks incomplete_ directly rather than all_done_: the cached flag
+  // can be momentarily stale-true right after an AddModule, and stopping
+  // on it would strand the freshly added module.
+  while (running() &&
+         (total_added_.load(std::memory_order_acquire) == 0 ||
+          incomplete_.load(std::memory_order_acquire) != 0)) {
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
   Stop();

@@ -35,13 +35,17 @@ class ExecutionObject {
 
   const std::string& name() const { return name_; }
 
-  /// Registers a module. Safe to call before Start() or while running.
+  /// Registers a module. Safe to call before Start() or while running,
+  /// from any thread.
   void AddModule(FjordModulePtr module);
 
-  /// Launches the scheduling thread.
+  /// Launches the scheduling thread. Checks that the EO is not already
+  /// running. Start/Stop/Join serialize on an internal lifecycle mutex,
+  /// so concurrent callers see a consistent thread state.
   void Start();
 
-  /// Requests shutdown and joins the thread. Idempotent.
+  /// Requests shutdown and joins the thread. Idempotent and safe to call
+  /// concurrently from multiple threads.
   void Stop();
 
   /// Blocks until every registered module reports kDone, then stops.
@@ -74,11 +78,17 @@ class ExecutionObject {
   std::vector<FjordModulePtr> modules_;  // Owned by the scheduler thread.
   std::vector<bool> done_;
 
+  std::mutex lifecycle_mu_;  ///< Serializes Start/Stop (guards thread_).
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> all_done_{false};
   std::atomic<uint64_t> work_quanta_{0};
+  /// Modules registered but not yet kDone — includes still-pending ones,
+  /// so completion checks cannot race a concurrent AddModule: the count
+  /// rises in AddModule before the module is visible anywhere else.
+  std::atomic<uint64_t> incomplete_{0};
+  std::atomic<uint64_t> total_added_{0};
 };
 
 }  // namespace tcq

@@ -32,8 +32,17 @@ size_t FluxCluster::PartitionOf(const Value& key) const {
 }
 
 size_t FluxCluster::ReplicaNodeOf(size_t partition) const {
-  // Standby lives one node past the primary (process-pair style).
-  return (owner_[partition] + 1) % nodes_.size();
+  // Standby lives at the first LIVE node past the primary (process-pair
+  // style). Skipping dead nodes keeps every partition replicated as long
+  // as two nodes survive; without the skip, a partition whose designated
+  // standby slot is a corpse silently runs unreplicated and a later
+  // primary failure loses acked state.
+  const size_t owner = owner_[partition];
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    const size_t cand = (owner + i) % nodes_.size();
+    if (nodes_[cand].alive) return cand;
+  }
+  return owner;  // Sole survivor: replication degenerates to none.
 }
 
 void FluxCluster::RouteTuple(Pending p) {
@@ -266,10 +275,12 @@ void FluxCluster::FailoverNode(size_t node) {
   // Choose new owners for every partition the victim owned.
   for (size_t p = 0; p < owner_.size(); ++p) {
     if (owner_[p] != node) continue;
-    const size_t standby = (node + 1) % nodes_.size();
+    // The standby, if any, lives where ReplicaNodeOf placed it: the first
+    // live node past the (now dead) primary.
+    const size_t standby = ReplicaNodeOf(p);
 
-    if (options_.enable_replication && nodes_[standby].alive &&
-        nodes_[standby].replicas.count(p) != 0) {
+    if (options_.enable_replication && standby != node &&
+        nodes_[standby].alive && nodes_[standby].replicas.count(p) != 0) {
       // Promote the standby copy: no state loss.
       nodes_[standby].state[p] = std::move(nodes_[standby].replicas[p]);
       nodes_[standby].replicas.erase(p);

@@ -52,7 +52,7 @@ class FluxCluster {
     /// gives the new owner time to drain, preventing move ping-pong.
     size_t move_cooldown_ticks = 8;
     /// Process-pair replication: each partition keeps a standby copy on
-    /// the next node; updates are mirrored (costing capacity).
+    /// the next live node; updates are mirrored (costing capacity).
     bool enable_replication = false;
     /// Capacity cost multiplier for mirrored updates.
     double replication_cost = 0.5;

@@ -104,9 +104,28 @@ SmallBitset PSoup::MatchQueries(const Tuple& t) const {
   return candidates;
 }
 
+namespace {
+
+/// Inserts `t` keeping `dq` sorted by timestamp. In-order arrivals hit the
+/// O(1) push_back fast path; a late tuple pays an ordered insert so that
+/// Invoke's binary search and front-eviction stay correct — duplicated and
+/// out-of-order delivery must not corrupt materialized results.
+void InsertByTimestamp(std::deque<Tuple>* dq, const Tuple& t) {
+  if (dq->empty() || dq->back().timestamp() <= t.timestamp()) {
+    dq->push_back(t);
+    return;
+  }
+  const auto pos = std::upper_bound(
+      dq->begin(), dq->end(), t.timestamp(),
+      [](Timestamp ts, const Tuple& u) { return ts < u.timestamp(); });
+  dq->insert(pos, t);
+}
+
+}  // namespace
+
 void PSoup::OnData(const Tuple& tuple) {
   // Build into the Data SteM.
-  history_.push_back(tuple);
+  InsertByTimestamp(&history_, tuple);
   if (tuple.timestamp() > max_ts_) max_ts_ = tuple.timestamp();
   if (options_.history_span != kMaxTimestamp) {
     const Timestamp cutoff = max_ts_ - options_.history_span + 1;
@@ -118,7 +137,7 @@ void PSoup::OnData(const Tuple& tuple) {
   SmallBitset matches = MatchQueries(tuple);
   matches.ForEachSet([&](size_t q) {
     if (q < queries_.size() && queries_[q].active) {
-      queries_[q].results.push_back(tuple);
+      InsertByTimestamp(&queries_[q].results, tuple);
     }
   });
 }

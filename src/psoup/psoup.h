@@ -54,7 +54,10 @@ class PSoup {
   Status Unregister(QueryId q);
 
   /// Feeds one stream tuple: stores it, matches it against all standing
-  /// queries, and materializes it into their Results Structures.
+  /// queries, and materializes it into their Results Structures. Late
+  /// (out-of-timestamp-order) tuples are inserted in timestamp order so
+  /// Invoke stays correct; duplicated delivery materializes duplicates
+  /// (PSoup is at-least-once downstream of an at-least-once source).
   void OnData(const Tuple& tuple);
 
   /// Client invocation at time `now`: the query's window [now-width+1, now]

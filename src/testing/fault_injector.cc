@@ -1,0 +1,208 @@
+#include "testing/fault_injector.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace tcq {
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::Record(std::string event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.push_back(std::move(event));
+}
+
+std::vector<std::string> FaultInjector::Trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+size_t FaultInjector::TraceSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_.size();
+}
+
+// One MakeQueueHooks call's shared state: a child Rng plus its own lock so
+// that concurrent queue operations serialize their draws (the decision
+// sequence is seed-deterministic; assignment to operations follows thread
+// interleaving).
+struct FaultInjector::HookState {
+  std::mutex mu;
+  Rng rng{0};
+  QueueFaultProfile enq;
+  QueueFaultProfile deq;
+  FaultInjector* owner = nullptr;
+};
+
+namespace {
+
+QueueFaultDecision DrawQueueFault(
+    Rng* rng, const FaultInjector::QueueFaultProfile& p) {
+  QueueFaultDecision d;
+  // One uniform draw partitions [0,1) into drop|delay|reorder|none bands,
+  // a second draw supplies the argument. Two draws per decision keeps the
+  // trace alignment stable across profile changes.
+  const double u = rng->NextDouble();
+  const uint64_t arg = rng->Next();
+  if (u < p.drop) {
+    d.action = QueueFaultDecision::Action::kDrop;
+  } else if (u < p.drop + p.delay) {
+    d.action = QueueFaultDecision::Action::kDelay;
+    d.arg = p.max_delay == 0 ? 1 : 1 + arg % p.max_delay;
+  } else if (u < p.drop + p.delay + p.reorder) {
+    d.action = QueueFaultDecision::Action::kReorder;
+    d.arg = arg;
+  }
+  return d;
+}
+
+const char* ActionCode(QueueFaultDecision::Action a) {
+  switch (a) {
+    case QueueFaultDecision::Action::kNone:
+      return "none";
+    case QueueFaultDecision::Action::kDrop:
+      return "drop";
+    case QueueFaultDecision::Action::kDelay:
+      return "delay";
+    case QueueFaultDecision::Action::kReorder:
+      return "reorder";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::shared_ptr<QueueFaultHooks> FaultInjector::MakeQueueHooks(
+    const QueueFaultProfile& enqueue, const QueueFaultProfile& dequeue) {
+  auto state = std::make_shared<HookState>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state->rng.Seed(rng_.Next());
+    hooks_.push_back(state);
+  }
+  state->enq = enqueue;
+  state->deq = dequeue;
+  state->owner = this;
+
+  auto hooks = std::make_shared<QueueFaultHooks>();
+  hooks->on_enqueue = [state] {
+    QueueFaultDecision d;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      d = DrawQueueFault(&state->rng, state->enq);
+    }
+    if (d.action != QueueFaultDecision::Action::kNone) {
+      state->owner->Record(std::string("enq:") + ActionCode(d.action));
+    }
+    return d;
+  };
+  hooks->on_dequeue = [state] {
+    QueueFaultDecision d;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      d = DrawQueueFault(&state->rng, state->deq);
+    }
+    if (d.action != QueueFaultDecision::Action::kNone) {
+      state->owner->Record(std::string("deq:") + ActionCode(d.action));
+    }
+    return d;
+  };
+  return hooks;
+}
+
+std::vector<FaultInjector::NodeKill> FaultInjector::MakeKillSchedule(
+    size_t kills, size_t num_nodes, uint64_t horizon) {
+  TCQ_CHECK(kills <= num_nodes)
+      << "cannot kill more distinct nodes than exist";
+  TCQ_CHECK(kills <= horizon) << "need one tick per kill";
+  std::vector<NodeKill> schedule;
+  std::unordered_set<uint64_t> used_ticks;
+  std::unordered_set<size_t> used_nodes;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (schedule.size() < kills) {
+    const uint64_t tick = 1 + rng_.Next() % horizon;
+    const size_t node = static_cast<size_t>(rng_.Next() % num_nodes);
+    if (!used_ticks.insert(tick).second) continue;
+    if (!used_nodes.insert(node).second) {
+      used_ticks.erase(tick);
+      continue;
+    }
+    schedule.push_back(NodeKill{tick, node});
+    trace_.push_back("kill:t=" + std::to_string(tick) +
+                     ",n=" + std::to_string(node));
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const NodeKill& a, const NodeKill& b) {
+              return a.tick < b.tick;
+            });
+  return schedule;
+}
+
+TupleVector FaultInjector::Perturb(const TupleVector& input,
+                                   const StreamFaultProfile& profile,
+                                   int ts_field) {
+  TupleVector out;
+  out.reserve(input.size() + input.size() / 4);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < input.size(); ++i) {
+    Tuple t = input[i];
+    const double u = rng_.NextDouble();
+    if (u < profile.duplicate) {
+      trace_.push_back("stream:dup@" + std::to_string(i));
+      out.push_back(t);
+      out.push_back(t);
+    } else if (u < profile.duplicate + profile.late) {
+      trace_.push_back("stream:late@" + std::to_string(i));
+      const Timestamp ts = t.timestamp() - profile.late_by;
+      t.set_timestamp(ts);
+      if (ts_field >= 0) {
+        std::vector<Value> cells;
+        cells.reserve(t.arity());
+        for (size_t c = 0; c < t.arity(); ++c) cells.push_back(t.cell(c));
+        cells[static_cast<size_t>(ts_field)] = Value::Int64(ts);
+        t = Tuple::Make(std::move(cells), ts);
+      }
+      out.push_back(std::move(t));
+    } else if (u < profile.duplicate + profile.late + profile.swap &&
+               i + 1 < input.size()) {
+      trace_.push_back("stream:swap@" + std::to_string(i));
+      out.push_back(input[i + 1]);
+      out.push_back(std::move(t));
+      ++i;  // The successor was consumed by the swap.
+    } else {
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+size_t RunScriptedFaults(FluxCluster* cluster,
+                         const std::vector<FaultInjector::NodeKill>& script,
+                         const std::function<TupleVector(uint64_t)>& feed,
+                         uint64_t horizon) {
+  size_t processed = 0;
+  size_t next_kill = 0;
+  for (uint64_t tick = 1; tick <= horizon; ++tick) {
+    while (next_kill < script.size() && script[next_kill].tick <= tick) {
+      const Status s = cluster->KillNode(script[next_kill].node);
+      TCQ_CHECK(s.ok()) << "scripted kill failed: " << s;
+      ++next_kill;
+    }
+    if (feed) {
+      const TupleVector batch = feed(tick);
+      if (!batch.empty()) cluster->Feed(batch);
+    }
+    processed += cluster->Tick();
+  }
+  // Late-scheduled kills (past the feed horizon) still fire, then drain.
+  for (; next_kill < script.size(); ++next_kill) {
+    const Status s = cluster->KillNode(script[next_kill].node);
+    TCQ_CHECK(s.ok()) << "scripted kill failed: " << s;
+  }
+  cluster->Run();
+  return processed;
+}
+
+}  // namespace tcq

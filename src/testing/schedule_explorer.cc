@@ -1,0 +1,63 @@
+#include "testing/schedule_explorer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace tcq {
+
+ScheduleExplorer::ScheduleExplorer(uint64_t seed)
+    : ScheduleExplorer(seed, Options()) {}
+
+ScheduleExplorer::ScheduleExplorer(uint64_t seed, Options options)
+    : rng_(seed), options_(std::move(options)) {
+  TCQ_CHECK(!options_.quanta.empty());
+  TCQ_CHECK(options_.trials > 0);
+}
+
+std::string ScheduleExplorer::Describe(const Schedule& s) {
+  std::string out = "order=[";
+  for (size_t i = 0; i < s.order.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(s.order[i]);
+  }
+  out += "] quantum=" + std::to_string(s.quantum) +
+         " trial_seed=" + std::to_string(s.trial_seed);
+  return out;
+}
+
+Result<std::string> ScheduleExplorer::Explore(size_t num_modules,
+                                              const TrialFn& fn) {
+  TCQ_CHECK(num_modules > 0);
+  schedules_.clear();
+  schedules_.reserve(options_.trials);
+
+  std::string reference;
+  for (size_t trial = 0; trial < options_.trials; ++trial) {
+    Schedule s;
+    s.order.resize(num_modules);
+    std::iota(s.order.begin(), s.order.end(), 0u);
+    if (trial > 0) {
+      // Trial 0 runs the identity schedule as the reference.
+      std::shuffle(s.order.begin(), s.order.end(), rng_);
+    }
+    s.quantum = options_.quanta[rng_.NextBounded(options_.quanta.size())];
+    s.trial_seed = rng_.Next();
+    schedules_.push_back(s);
+
+    const std::string fingerprint = fn(s);
+    if (trial == 0) {
+      reference = fingerprint;
+    } else if (fingerprint != reference) {
+      return Status::Internal(
+          "schedule-dependent result: trial " + std::to_string(trial) +
+          " {" + Describe(s) + "} produced \"" + fingerprint +
+          "\" but reference {" + Describe(schedules_[0]) +
+          "} produced \"" + reference + "\"");
+    }
+  }
+  return reference;
+}
+
+}  // namespace tcq

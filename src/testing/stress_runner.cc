@@ -1,0 +1,77 @@
+#include "testing/stress_runner.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tcq {
+
+namespace {
+
+/// Minimal reusable start barrier (std::barrier needs libstdc++ 11's
+/// <barrier>; this keeps the dependency surface small).
+class StartGate {
+ public:
+  explicit StartGate(size_t parties) : waiting_for_(parties) {}
+
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--waiting_for_ == 0) {
+      lock.unlock();
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return waiting_for_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t waiting_for_;
+};
+
+}  // namespace
+
+uint64_t StressRunner::Run(const std::function<void(size_t, Rng&)>& body) {
+  TCQ_CHECK(options_.num_threads > 0);
+  StartGate gate(options_.num_threads);
+  std::atomic<uint64_t> iterations{0};
+  std::atomic<bool> expired{false};
+  std::vector<std::thread> threads;
+  threads.reserve(options_.num_threads);
+  for (size_t i = 0; i < options_.num_threads; ++i) {
+    threads.emplace_back([&, i] {
+      Rng rng(options_.seed * 0x9E3779B97F4A7C15ULL + i);
+      gate.ArriveAndWait();
+      while (!expired.load(std::memory_order_acquire)) {
+        body(i, rng);
+        iterations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(options_.budget);
+  expired.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  return iterations.load();
+}
+
+void StressRunner::RunOnce(const std::function<void(size_t, Rng&)>& body) {
+  TCQ_CHECK(options_.num_threads > 0);
+  StartGate gate(options_.num_threads);
+  std::vector<std::thread> threads;
+  threads.reserve(options_.num_threads);
+  for (size_t i = 0; i < options_.num_threads; ++i) {
+    threads.emplace_back([&, i] {
+      Rng rng(options_.seed * 0x9E3779B97F4A7C15ULL + i);
+      gate.ArriveAndWait();
+      body(i, rng);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace tcq

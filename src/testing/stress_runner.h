@@ -1,0 +1,52 @@
+#ifndef TCQ_TESTING_STRESS_RUNNER_H_
+#define TCQ_TESTING_STRESS_RUNNER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+
+namespace tcq {
+
+/// Runs a body concurrently on real threads under a wall-clock budget —
+/// the harness behind the stress_* suite's interleaving tests. Threads
+/// start together (barrier), each owns a child Rng seeded from the parent
+/// seed and its thread index (so per-thread decision streams are
+/// reproducible even though cross-thread interleaving is not), and each
+/// re-invokes the body until the budget expires.
+///
+/// The body runs under ThreadSanitizer in the stress CI configuration;
+/// any lock-discipline violation in the code under test surfaces as a
+/// TSan report rather than a flaky assertion.
+class StressRunner {
+ public:
+  struct Options {
+    size_t num_threads = 4;
+    std::chrono::milliseconds budget{200};
+    uint64_t seed = 1;
+  };
+
+  explicit StressRunner(Options options) : options_(options) {}
+
+  StressRunner(const StressRunner&) = delete;
+  StressRunner& operator=(const StressRunner&) = delete;
+
+  /// `body(thread_index, rng)` is called repeatedly on every thread until
+  /// the budget expires. Returns total body invocations across threads.
+  /// Exceptions escaping the body are not handled (they abort the test,
+  /// which is the desired failure mode).
+  uint64_t Run(const std::function<void(size_t, Rng&)>& body);
+
+  /// One-shot convenience: each thread runs `body(thread_index, rng)`
+  /// exactly once (for scenarios that loop internally). Returns when all
+  /// threads have finished; the budget is not enforced here.
+  void RunOnce(const std::function<void(size_t, Rng&)>& body);
+
+ private:
+  const Options options_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_TESTING_STRESS_RUNNER_H_

@@ -1,0 +1,106 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace tcq {
+namespace {
+
+TEST(LogicalClockTest, ConsecutiveFromStart) {
+  LogicalClock clock;  // Paper: sequence numbers start at 1.
+  EXPECT_EQ(clock.Peek(), 1);
+  EXPECT_EQ(clock.Tick(), 1);
+  EXPECT_EQ(clock.Tick(), 2);
+  EXPECT_EQ(clock.Tick(), 3);
+  EXPECT_EQ(clock.Peek(), 4);
+}
+
+TEST(LogicalClockTest, CustomStart) {
+  LogicalClock clock(100);
+  EXPECT_EQ(clock.Tick(), 100);
+  EXPECT_EQ(clock.Tick(), 101);
+}
+
+TEST(LogicalClockTest, ConcurrentTicksAreUniqueAndGapless) {
+  LogicalClock clock;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::vector<Timestamp>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&clock, &seen, i] {
+      seen[i].reserve(kPerThread);
+      for (int j = 0; j < kPerThread; ++j) seen[i].push_back(clock.Tick());
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<Timestamp> all;
+  for (auto& v : seen) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], static_cast<Timestamp>(i + 1));  // Unique, no gaps.
+  }
+}
+
+TEST(VirtualClockTest, StartsAtZeroAndAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.Now(), 0);
+  EXPECT_TRUE(clock.AdvanceTo(50));
+  EXPECT_EQ(clock.Now(), 50);
+  clock.AdvanceBy(25);
+  EXPECT_EQ(clock.Now(), 75);
+}
+
+TEST(VirtualClockTest, BackwardsAdvanceToIsRejected) {
+  VirtualClock clock;
+  ASSERT_TRUE(clock.AdvanceTo(100));
+  EXPECT_FALSE(clock.AdvanceTo(40));   // Behind: rejected, clock unmoved.
+  EXPECT_EQ(clock.Now(), 100);
+  EXPECT_FALSE(clock.AdvanceTo(100));  // Equal: no-op.
+  EXPECT_EQ(clock.Now(), 100);
+  EXPECT_TRUE(clock.AdvanceTo(101));
+  EXPECT_EQ(clock.Now(), 101);
+}
+
+TEST(VirtualClockTest, NegativeAdvanceByIsClamped) {
+  VirtualClock clock;
+  clock.AdvanceBy(10);
+  clock.AdvanceBy(-7);  // Monotonicity: rewinds are ignored.
+  EXPECT_EQ(clock.Now(), 10);
+  clock.AdvanceBy(0);
+  EXPECT_EQ(clock.Now(), 10);
+}
+
+TEST(VirtualClockTest, ConcurrentAdvanceToIsMonotonic) {
+  VirtualClock clock;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&clock, i] {
+      for (Timestamp t = i; t < 4000; t += kThreads) {
+        clock.AdvanceTo(t);
+        // An observer never sees time at least briefly reached recede.
+        EXPECT_GE(clock.Now(), t);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(clock.Now(), 3999);
+}
+
+TEST(PhysicalClockTest, NonDecreasing) {
+  Timestamp prev = PhysicalNowMicros();
+  for (int i = 0; i < 1000; ++i) {
+    const Timestamp now = PhysicalNowMicros();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace tcq

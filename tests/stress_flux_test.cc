@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "flux/flux.h"
+#include "testing/fault_injector.h"
+
+namespace tcq {
+namespace {
+
+Tuple KV(int64_t key, double value) {
+  return Tuple::Make({Value::Int64(key), Value::Double(value)});
+}
+
+/// Deterministic workload: `per_tick` tuples per tick over `keys` keys
+/// (zipf-skewed so repartitioning moves are provoked), value == 1.0 so the
+/// reference aggregate is a per-key count.
+std::function<TupleVector(uint64_t)> MakeFeeder(uint64_t seed, size_t per_tick,
+                                                uint64_t keys,
+                                                std::map<int64_t, int64_t>* fed,
+                                                uint64_t horizon) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng, per_tick, keys, fed, horizon](uint64_t tick) {
+    TupleVector batch;
+    if (tick > horizon) return batch;  // Feed only inside the horizon.
+    batch.reserve(per_tick);
+    for (size_t i = 0; i < per_tick; ++i) {
+      const int64_t key = static_cast<int64_t>(rng->NextZipf(keys, 0.8));
+      batch.push_back(KV(key, 1.0));
+      ++(*fed)[key];
+    }
+    return batch;
+  };
+}
+
+std::string SnapshotFingerprint(const FluxCluster& cluster) {
+  std::string fp;
+  for (const auto& [key, ks] : cluster.Snapshot()) {
+    fp += key.ToString() + ":" + std::to_string(ks.count) + ";";
+  }
+  return fp;
+}
+
+// -- Tentpole: failover mid-stream loses no acked tuples ------------------
+
+TEST(StressFluxTest, ReplicatedFailoverLosesNoAckedTuplesAcross3Kills) {
+  // Acceptance: >= 3 scripted node kills mid-stream with process-pair
+  // replication on; every tuple the cluster accepted must survive into
+  // the final merged aggregate — acked state fails over, queued tuples
+  // replay, nothing is lost and nothing is double-applied.
+  constexpr uint64_t kHorizon = 60;
+  FluxCluster::Options opts;
+  opts.num_nodes = 6;
+  opts.num_partitions = 48;
+  opts.capacity_per_tick = 8;  // Deliberately tight: backlogs persist, so
+                               // kills always catch in-flight tuples.
+  opts.enable_replication = true;
+  opts.enable_repartitioning = true;
+  opts.min_backlog_for_move = 32;
+
+  FaultInjector injector(2026);
+  const auto script = injector.MakeKillSchedule(3, opts.num_nodes, kHorizon);
+  ASSERT_EQ(script.size(), 3u);
+
+  FluxCluster cluster(opts);
+  std::map<int64_t, int64_t> fed;
+  RunScriptedFaults(&cluster, script,
+                    MakeFeeder(555, 96, 40, &fed, kHorizon), kHorizon);
+
+  EXPECT_EQ(cluster.lost_updates(), 0u) << "acked state was lost";
+  EXPECT_EQ(cluster.dropped_no_owner(), 0u)
+      << "tuples were dropped though live owners existed";
+  EXPECT_EQ(cluster.total_backlog(), 0u);
+
+  const auto snapshot = cluster.Snapshot();
+  int64_t fed_total = 0, snap_total = 0;
+  for (const auto& [key, count] : fed) {
+    fed_total += count;
+    const auto it = snapshot.find(Value::Int64(key));
+    ASSERT_NE(it, snapshot.end()) << "key " << key << " vanished entirely";
+    EXPECT_EQ(it->second.count, count) << "key " << key;
+    EXPECT_DOUBLE_EQ(it->second.sum, static_cast<double>(count));
+    snap_total += it->second.count;
+  }
+  EXPECT_EQ(snap_total, fed_total);
+  EXPECT_GT(cluster.replayed(), 0u);  // Kills really hit live queues.
+}
+
+TEST(StressFluxTest, FaultScheduleAndOutcomeReproducible) {
+  // Acceptance: same seed -> identical fault schedule AND identical final
+  // state, run-to-run.
+  auto run = [] {
+    FluxCluster::Options opts;
+    opts.num_nodes = 5;
+    opts.num_partitions = 32;
+    opts.capacity_per_tick = 48;
+    opts.enable_replication = true;
+    FaultInjector injector(91);
+    const auto script = injector.MakeKillSchedule(3, opts.num_nodes, 40);
+    FluxCluster cluster(opts);
+    std::map<int64_t, int64_t> fed;
+    RunScriptedFaults(&cluster, script, MakeFeeder(7, 64, 24, &fed, 40), 40);
+    return SnapshotFingerprint(cluster) +
+           "|lost=" + std::to_string(cluster.lost_updates()) +
+           "|replayed=" + std::to_string(cluster.replayed()) +
+           "|moves=" + std::to_string(cluster.moves()) +
+           "|ticks=" + std::to_string(cluster.ticks());
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("lost=0"), std::string::npos);
+}
+
+TEST(StressFluxTest, UnreplicatedKillsSatisfyConservationIdentity) {
+  // Without replication a kill legitimately loses the dead node's acked
+  // state — but the books must still balance exactly:
+  //   fed == surviving + lost_updates + dropped_no_owner.
+  FluxCluster::Options opts;
+  opts.num_nodes = 4;
+  opts.num_partitions = 16;
+  opts.capacity_per_tick = 32;
+  opts.enable_replication = false;
+
+  FaultInjector injector(31337);
+  const auto script = injector.MakeKillSchedule(2, opts.num_nodes, 30);
+  FluxCluster cluster(opts);
+  std::map<int64_t, int64_t> fed;
+  RunScriptedFaults(&cluster, script, MakeFeeder(3, 48, 16, &fed, 30), 30);
+
+  int64_t fed_total = 0, snap_total = 0;
+  for (const auto& [key, count] : fed) fed_total += count;
+  for (const auto& [key, ks] : cluster.Snapshot()) snap_total += ks.count;
+  EXPECT_GT(cluster.lost_updates(), 0u);  // The kill really cost state.
+  EXPECT_EQ(static_cast<uint64_t>(fed_total),
+            static_cast<uint64_t>(snap_total) + cluster.lost_updates() +
+                cluster.dropped_no_owner());
+}
+
+// -- Satellite: dropped_no_owner_ accounting ------------------------------
+
+TEST(StressFluxTest, TupleForDeadUnreplicatedPartitionCountsExactlyOnce) {
+  // With every node dead there is no failover target: each arriving tuple
+  // increments dropped_no_owner exactly once and is never applied.
+  FluxCluster::Options opts;
+  opts.num_nodes = 2;
+  opts.num_partitions = 8;
+  opts.enable_replication = false;
+  FluxCluster cluster(opts);
+
+  ASSERT_TRUE(cluster.KillNode(0).ok());
+  ASSERT_TRUE(cluster.KillNode(1).ok());
+  EXPECT_FALSE(cluster.KillNode(1).ok());  // Already dead: rejected.
+
+  constexpr size_t kTuples = 37;
+  TupleVector batch;
+  for (size_t i = 0; i < kTuples; ++i) {
+    batch.push_back(KV(static_cast<int64_t>(i), 1.0));
+  }
+  cluster.Feed(batch);
+  EXPECT_EQ(cluster.dropped_no_owner(), kTuples);  // Once per tuple...
+  cluster.Run(8);
+  EXPECT_EQ(cluster.dropped_no_owner(), kTuples);  // ...and never again.
+  EXPECT_TRUE(cluster.Snapshot().empty());
+  EXPECT_EQ(cluster.total_backlog(), 0u);
+}
+
+TEST(StressFluxTest, DroppedTuplesNotCountedWhileOwnersLive) {
+  FluxCluster::Options opts;
+  opts.num_nodes = 3;
+  opts.num_partitions = 12;
+  opts.enable_replication = false;
+  FluxCluster cluster(opts);
+  ASSERT_TRUE(cluster.KillNode(1).ok());  // Failover to live nodes.
+  TupleVector batch;
+  for (int64_t i = 0; i < 50; ++i) batch.push_back(KV(i, 1.0));
+  cluster.Feed(batch);
+  cluster.Run();
+  // Live owners absorbed everything: the no-owner counter stays zero.
+  EXPECT_EQ(cluster.dropped_no_owner(), 0u);
+  int64_t total = 0;
+  for (const auto& [key, ks] : cluster.Snapshot()) total += ks.count;
+  EXPECT_EQ(total, 50);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/server.h"
+#include "psoup/psoup.h"
+#include "testing/fault_injector.h"
+#include "testing/stress_runner.h"
+
+namespace tcq {
+namespace {
+
+SchemaPtr StreamSchema() {
+  return Schema::Make(
+      {{"ts", ValueType::kInt64, ""}, {"v", ValueType::kDouble, ""}});
+}
+
+Tuple Reading(int64_t ts, double v) {
+  return Tuple::Make({Value::Int64(ts), Value::Double(v)}, ts);
+}
+
+ExprPtr VGt(double bound) {
+  return Expr::Binary(BinaryOp::kGt, Expr::Column("v"),
+                      Expr::Literal(Value::Double(bound)));
+}
+
+// -- PSoup under an at-least-once, out-of-order source --------------------
+
+/// Brute-force reference: the timestamps (with multiplicity — duplicates
+/// materialize) of every delivered tuple matching `v > bound` inside the
+/// invocation window [now - width + 1, now], sorted.
+std::vector<Timestamp> ReferenceAnswer(const TupleVector& delivered,
+                                       double bound, Timestamp width,
+                                       Timestamp now) {
+  std::vector<Timestamp> expect;
+  for (const Tuple& t : delivered) {
+    if (t.cell(1).double_value() > bound && t.timestamp() > now - width &&
+        t.timestamp() <= now) {
+      expect.push_back(t.timestamp());
+    }
+  }
+  std::sort(expect.begin(), expect.end());
+  return expect;
+}
+
+TEST(StressServerTest, PSoupInvokeCorrectUnderDuplicatedAndLateInput) {
+  // Acceptance: PSoup Poll/Invoke correctness with duplicated and late
+  // input. The injector perturbs a clean stream (dups, late timestamps,
+  // adjacent swaps); Invoke at many window positions must equal a
+  // brute-force evaluation over the *delivered* multiset.
+  TupleVector clean;
+  for (int64_t ts = 1; ts <= 300; ++ts) {
+    clean.push_back(Reading(ts, static_cast<double>(ts % 50)));
+  }
+  FaultInjector injector(424242);
+  FaultInjector::StreamFaultProfile profile;
+  profile.duplicate = 0.08;
+  profile.late = 0.12;
+  profile.swap = 0.08;
+  profile.late_by = 7;
+  const TupleVector delivered = injector.Perturb(clean, profile, /*ts_field=*/0);
+  ASSERT_GT(delivered.size(), clean.size());  // Duplicates really fired.
+
+  constexpr double kBound = 25.0;
+  constexpr Timestamp kWidth = 40;
+  PSoup psoup(StreamSchema());
+  auto q = psoup.Register(VGt(kBound), kWidth);
+  ASSERT_TRUE(q.ok());
+  for (const Tuple& t : delivered) psoup.OnData(t);
+
+  for (Timestamp now = 10; now <= 320; now += 13) {
+    const auto got = psoup.Invoke(*q, now);
+    ASSERT_TRUE(got.ok());
+    const auto expect = ReferenceAnswer(delivered, kBound, kWidth, now);
+    ASSERT_EQ(got->size(), expect.size()) << "now=" << now;
+    for (size_t i = 0; i < expect.size(); ++i) {
+      // Invoke returns the window in timestamp order.
+      EXPECT_EQ((*got)[i].timestamp(), expect[i]) << "now=" << now;
+    }
+  }
+}
+
+TEST(StressServerTest, PerturbedPSoupOutcomeReproducible) {
+  // Same seed -> same perturbation -> identical materialized answers.
+  auto run = [] {
+    TupleVector clean;
+    for (int64_t ts = 1; ts <= 200; ++ts) {
+      clean.push_back(Reading(ts, static_cast<double>(ts % 20)));
+    }
+    FaultInjector injector(7);
+    FaultInjector::StreamFaultProfile profile{0.1, 0.1, 0.1, 5};
+    const TupleVector delivered = injector.Perturb(clean, profile, 0);
+    PSoup psoup(StreamSchema());
+    auto q = psoup.Register(VGt(9.0), 50);
+    EXPECT_TRUE(q.ok());
+    for (const Tuple& t : delivered) psoup.OnData(t);
+    std::string fp;
+    for (Timestamp now = 25; now <= 200; now += 25) {
+      const auto r = psoup.Invoke(*q, now);
+      EXPECT_TRUE(r.ok());
+      fp += std::to_string(r->size()) + ":";
+      for (const Tuple& t : *r) fp += std::to_string(t.timestamp()) + ",";
+      fp += ";";
+    }
+    return fp;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// -- Server ingress under faults ------------------------------------------
+
+TEST(StressServerTest, OutOfOrderPushRejectedWithoutCorruptingState) {
+  Server server;
+  ASSERT_TRUE(
+      server.DefineStream("S", StreamSchema(), /*timestamp_field=*/0).ok());
+  auto q = server.Submit("SELECT v FROM S WHERE v > 10");
+  ASSERT_TRUE(q.ok()) << q.status();
+
+  ASSERT_TRUE(server.Push("S", Reading(5, 20)).ok());
+  const Status late = server.Push("S", Reading(3, 30));  // Out of order.
+  EXPECT_FALSE(late.ok());
+  EXPECT_NE(late.message().find("out-of-order"), std::string::npos);
+
+  // The rejection left the stream usable: in-order pushes still flow and
+  // the rejected tuple contributed nothing.
+  ASSERT_TRUE(server.Push("S", Reading(6, 4)).ok());    // No match.
+  ASSERT_TRUE(server.Push("S", Reading(7, 11)).ok());   // Match.
+  const auto sets = server.PollAll(*q);
+  size_t rows = 0;
+  for (const auto& rs : sets) rows += rs.rows.size();
+  EXPECT_EQ(rows, 2u);  // ts=5 and ts=7 only; ts=3 never materialized.
+}
+
+TEST(StressServerTest, ConcurrentPushPollSubmitCancel) {
+  // Real multi-threaded interleavings against one Server: each thread owns
+  // a stream (per-stream timestamps stay monotonic) and its own standing
+  // CACQ filter; thread 0 additionally churns Submit/Cancel to race query
+  // (de)registration against ingress. Every accepted tuple must surface
+  // exactly once through its owner's Poll.
+  constexpr size_t kThreads = 4;
+  Server server;
+  std::vector<QueryId> queries(kThreads);
+  for (size_t i = 0; i < kThreads; ++i) {
+    const std::string stream = "S" + std::to_string(i);
+    ASSERT_TRUE(server.DefineStream(stream, StreamSchema(), 0).ok());
+    auto q = server.Submit("SELECT v FROM " + stream + " WHERE v > -1");
+    ASSERT_TRUE(q.ok()) << q.status();
+    queries[i] = *q;
+  }
+
+  std::vector<int64_t> pushed(kThreads, 0);
+  std::vector<std::atomic<uint64_t>> polled(kThreads);
+  StressRunner runner({/*num_threads=*/kThreads,
+                       /*budget=*/std::chrono::milliseconds(200),
+                       /*seed=*/11});
+  runner.Run([&](size_t thread, Rng& rng) {
+    const std::string stream = "S" + std::to_string(thread);
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {
+        const int64_t ts = ++pushed[thread];
+        ASSERT_TRUE(
+            server.Push(stream, Reading(ts, static_cast<double>(thread)))
+                .ok());
+        break;
+      }
+      case 2: {
+        if (auto rs = server.Poll(queries[thread])) {
+          polled[thread].fetch_add(rs->rows.size());
+        }
+        break;
+      }
+      default: {
+        if (thread == 0) {
+          // Race registration against everyone else's ingress.
+          auto q = server.Submit("SELECT v FROM S1 WHERE v > 100");
+          ASSERT_TRUE(q.ok());
+          ASSERT_TRUE(server.Cancel(*q).ok());
+        } else {
+          server.num_active_queries();
+        }
+        break;
+      }
+    }
+  });
+
+  for (size_t i = 0; i < kThreads; ++i) {
+    uint64_t rows = polled[i].load();
+    for (const auto& rs : server.PollAll(queries[i])) rows += rs.rows.size();
+    EXPECT_EQ(rows, static_cast<uint64_t>(pushed[i]))
+        << "thread " << i << ": accepted pushes and delivered results differ";
+  }
+}
+
+TEST(StressServerTest, ConcurrentPushersOnDistinctStreamsConserveResults) {
+  // Pure ingress bandwidth race: no polling until the end.
+  constexpr size_t kThreads = 4;
+  constexpr int64_t kPerThread = 400;
+  Server server;
+  std::vector<QueryId> queries(kThreads);
+  for (size_t i = 0; i < kThreads; ++i) {
+    const std::string stream = "T" + std::to_string(i);
+    ASSERT_TRUE(server.DefineStream(stream, StreamSchema(), 0).ok());
+    auto q = server.Submit("SELECT ts FROM " + stream + " WHERE v > 0.5");
+    ASSERT_TRUE(q.ok()) << q.status();
+    queries[i] = *q;
+  }
+  StressRunner runner({kThreads, std::chrono::milliseconds(0), /*seed=*/3});
+  runner.RunOnce([&](size_t thread, Rng&) {
+    const std::string stream = "T" + std::to_string(thread);
+    for (int64_t ts = 1; ts <= kPerThread; ++ts) {
+      // Odd timestamps carry v=1 (match), even carry v=0 (no match).
+      ASSERT_TRUE(
+          server.Push(stream, Reading(ts, static_cast<double>(ts % 2))).ok());
+    }
+  });
+  for (size_t i = 0; i < kThreads; ++i) {
+    uint64_t rows = 0;
+    for (const auto& rs : server.PollAll(queries[i])) rows += rs.rows.size();
+    EXPECT_EQ(rows, static_cast<uint64_t>(kPerThread / 2));
+  }
+}
+
+}  // namespace
+}  // namespace tcq
