@@ -39,16 +39,24 @@ void BM_PushThroughputFilters(benchmark::State& state) {
     benchmark::DoNotOptimize(
         server.SetCallback(*q, [](const ResultSet&) {}));
   }
+  // Ingest through the batch fast path: one lock acquisition, one shared
+  // eddy drain and one windowed advance per kIngestBatch tuples.
+  constexpr size_t kIngestBatch = 64;
   int64_t day = 1;
   size_t sym = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(server.Push(
-        "ClosingStockPrices",
-        Stock(day, StockTickerSource::SymbolName(sym), 50.0)));
-    if (++sym == 16) {
-      sym = 0;
-      ++day;
+  std::vector<Tuple> batch;
+  while (state.KeepRunningBatch(kIngestBatch)) {
+    batch.reserve(kIngestBatch);
+    for (size_t i = 0; i < kIngestBatch; ++i) {
+      batch.push_back(Stock(day, StockTickerSource::SymbolName(sym), 50.0));
+      if (++sym == 16) {
+        sym = 0;
+        ++day;
+      }
     }
+    benchmark::DoNotOptimize(
+        server.PushBatch("ClosingStockPrices", std::move(batch)));
+    batch.clear();
   }
   state.counters["tuples_per_sec"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
@@ -76,16 +84,22 @@ void BM_PushThroughputWindowed(benchmark::State& state) {
     benchmark::DoNotOptimize(
         server.SetCallback(*q, [](const ResultSet&) {}));
   }
+  constexpr size_t kIngestBatch = 64;
   int64_t day = 1;
   size_t sym = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(server.Push(
-        "ClosingStockPrices",
-        Stock(day, StockTickerSource::SymbolName(sym), 50.0)));
-    if (++sym == 16) {
-      sym = 0;
-      ++day;
+  std::vector<Tuple> batch;
+  while (state.KeepRunningBatch(kIngestBatch)) {
+    batch.reserve(kIngestBatch);
+    for (size_t i = 0; i < kIngestBatch; ++i) {
+      batch.push_back(Stock(day, StockTickerSource::SymbolName(sym), 50.0));
+      if (++sym == 16) {
+        sym = 0;
+        ++day;
+      }
     }
+    benchmark::DoNotOptimize(
+        server.PushBatch("ClosingStockPrices", std::move(batch)));
+    batch.clear();
   }
   state.counters["tuples_per_sec"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);

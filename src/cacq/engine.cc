@@ -235,6 +235,30 @@ Status CacqEngine::Inject(const std::string& stream, const Tuple& tuple) {
   return Status::OK();
 }
 
+Status CacqEngine::InjectBatch(const std::string& stream,
+                               const std::vector<Tuple>& batch) {
+  const size_t s = layout_.SourceIndexOf(stream);
+  if (s == layout_.num_sources()) {
+    return Status::NotFound("unknown stream: " + stream);
+  }
+  SmallBitset interested = interested_[s];
+  interested.Resize(queries_.size());
+  if (interested.None() || batch.empty()) return Status::OK();
+  std::vector<RoutedTuple> rts;
+  rts.reserve(batch.size());
+  for (const Tuple& tuple : batch) {
+    RoutedTuple rt;
+    rt.tuple = layout_.Widen(s, tuple);
+    rt.sources.Resize(layout_.num_sources());
+    rt.sources.Set(s);
+    rt.queries = interested;
+    rts.push_back(std::move(rt));
+  }
+  eddy_->InjectRoutedBatch(std::move(rts));
+  eddy_->Drain();
+  return Status::OK();
+}
+
 void CacqEngine::EvictBefore(Timestamp ts) {
   for (auto& [jk, stem] : stems_) stem->EvictBefore(ts);
 }

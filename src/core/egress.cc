@@ -88,33 +88,45 @@ uint64_t EgressOperator::shed() const {
 
 StreamPumpModule::StreamPumpModule(std::string name, Server* server,
                                    std::string stream, TupleQueuePtr in)
-    : FjordModule(std::move(name)),
+    : BatchInputModule(std::move(name), std::move(in)),
       server_(server),
-      stream_(std::move(stream)),
-      in_(std::move(in)) {
-  TCQ_CHECK(server_ != nullptr && in_ != nullptr);
+      stream_(std::move(stream)) {
+  TCQ_CHECK(server_ != nullptr && input() != nullptr);
 }
 
-FjordModule::StepResult StreamPumpModule::Step(size_t max_tuples) {
-  size_t work = 0;
-  while (work < max_tuples) {
-    auto t = in_->Dequeue();
-    if (!t.has_value()) {
-      if (work > 0) return StepResult::kDidWork;
-      return in_->Exhausted() ? StepResult::kDone : StepResult::kIdle;
-    }
-    ++work;
-    const Status st = server_->Push(stream_, *t);
-    if (st.ok()) {
-      ++pumped_;
-    } else {
-      // Out-of-order or malformed input: count and continue — a bad
-      // tuple must not wedge the wrapper (§4.2.3).
-      ++rejected_;
-      TCQ_LOG(Debug) << name() << ": " << st;
-    }
+bool StreamPumpModule::ProcessBatch(std::vector<Tuple>* batch, size_t* pos) {
+  const size_t n = batch->size() - *pos;
+  std::vector<Tuple> chunk(
+      std::make_move_iterator(batch->begin() + static_cast<ptrdiff_t>(*pos)),
+      std::make_move_iterator(batch->end()));
+  *pos = batch->size();
+  size_t rejected = 0;
+  const Status st = server_->PushBatch(stream_, std::move(chunk), &rejected);
+  if (!st.ok()) {
+    // Unknown stream: nothing was ingested, but the tuples are consumed —
+    // a misrouted wrapper must not wedge the scheduler (§4.2.3).
+    rejected_ += n;
+    TCQ_LOG(Debug) << name() << ": " << st;
+    return true;
   }
-  return StepResult::kDidWork;
+  pumped_ += n - rejected;
+  if (rejected > 0) {
+    // Out-of-order or malformed input: count and continue.
+    rejected_ += rejected;
+    TCQ_LOG(Debug) << name() << ": rejected " << rejected << " of " << n;
+  }
+  return true;
+}
+
+bool StreamPumpModule::ProcessOne(Tuple& t) {
+  const Status st = server_->Push(stream_, t);
+  if (st.ok()) {
+    ++pumped_;
+  } else {
+    ++rejected_;
+    TCQ_LOG(Debug) << name() << ": " << st;
+  }
+  return true;
 }
 
 }  // namespace tcq

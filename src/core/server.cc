@@ -203,46 +203,36 @@ Status Server::Push(const std::string& stream, const Tuple& tuple) {
   return PushLocked(stream, tuple);
 }
 
-Status Server::PushLocked(const std::string& stream, const Tuple& tuple) {
-  auto it = streams_.find(stream);
-  if (it == streams_.end()) {
-    return Status::NotFound("unknown stream: " + stream);
+Status Server::StampLocked(StreamState* ss, Tuple* tuple) {
+  if (tuple->arity() != ss->def.schema->num_fields()) {
+    return Status::InvalidArgument("tuple arity mismatch for " +
+                                   ss->def.name);
   }
-  StreamState& ss = it->second;
-  if (tuple.arity() != ss.def.schema->num_fields()) {
-    return Status::InvalidArgument("tuple arity mismatch for " + stream);
-  }
-
   // Stamp the engine timestamp: declared column or arrival order.
-  Tuple stamped = tuple;
-  ++ss.arrivals;
+  ++ss->arrivals;
   Timestamp ts;
-  if (ss.def.timestamp_field >= 0) {
+  if (ss->def.timestamp_field >= 0) {
     const Value& v =
-        tuple.cell(static_cast<size_t>(ss.def.timestamp_field));
+        tuple->cell(static_cast<size_t>(ss->def.timestamp_field));
     if (v.type() != ValueType::kInt64) {
       return Status::TypeError("timestamp column must be INT64");
     }
     ts = v.int64_value();
   } else {
-    ts = ss.arrivals;
+    ts = ss->arrivals;
   }
-  if (ts < ss.watermark) {
+  if (ts < ss->watermark) {
     return Status::InvalidArgument(
-        "out-of-order timestamp on " + stream + ": " + std::to_string(ts) +
-        " < watermark " + std::to_string(ss.watermark));
+        "out-of-order timestamp on " + ss->def.name + ": " +
+        std::to_string(ts) + " < watermark " +
+        std::to_string(ss->watermark));
   }
-  stamped.set_timestamp(ts);
-  ss.watermark = std::max(ss.watermark, ts);
+  tuple->set_timestamp(ts);
+  ss->watermark = std::max(ss->watermark, ts);
+  return Status::OK();
+}
 
-  // Spool into the archive that serves window scans.
-  ss.archive->Append(stamped);
-
-  // Shared standing filters see the tuple immediately.
-  if (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0) {
-    TCQ_RETURN_NOT_OK(ss.cacq->Inject(stream, stamped));
-  }
-
+void Server::AdvanceQueriesLocked(const std::string& stream) {
   // Advance every windowed query whose footprint includes this stream.
   for (auto& qptr : queries_) {
     QueryState* qs = qptr.get();
@@ -259,7 +249,67 @@ Status Server::PushLocked(const std::string& stream, const Tuple& tuple) {
     qs->runner->Advance(hwm, &sets);
     if (!sets.empty()) DeliverResults(qs, std::move(sets));
   }
+}
+
+Status Server::PushLocked(const std::string& stream, const Tuple& tuple) {
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream: " + stream);
+  }
+  StreamState& ss = it->second;
+  Tuple stamped = tuple;
+  TCQ_RETURN_NOT_OK(StampLocked(&ss, &stamped));
+
+  // Spool into the archive that serves window scans.
+  ss.archive->Append(stamped);
+
+  // Shared standing filters see the tuple immediately.
+  if (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0) {
+    TCQ_RETURN_NOT_OK(ss.cacq->Inject(stream, stamped));
+  }
+
+  AdvanceQueriesLocked(stream);
   return Status::OK();
+}
+
+Status Server::PushBatch(const std::string& stream, std::vector<Tuple> batch,
+                         size_t* rejected) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rejected != nullptr) *rejected = 0;
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream: " + stream);
+  }
+  StreamState& ss = it->second;
+
+  // Stamp and spool the whole batch in one pass, compacting the valid
+  // tuples to the front so the shared eddy sees one contiguous batch.
+  Status first_error = Status::OK();
+  size_t kept = 0;
+  for (Tuple& tuple : batch) {
+    Status st = StampLocked(&ss, &tuple);
+    if (!st.ok()) {
+      if (rejected == nullptr) {
+        first_error = std::move(st);
+        break;  // Ingest the valid prefix, then report, like a Push loop.
+      }
+      ++*rejected;
+      continue;
+    }
+    ss.archive->Append(tuple);
+    if (&batch[kept] != &tuple) batch[kept] = std::move(tuple);
+    ++kept;
+  }
+  batch.resize(kept);
+
+  // One shared-eddy injection and one windowed advance for the batch.
+  if (kept > 0) {
+    if (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0) {
+      TCQ_RETURN_NOT_OK(ss.cacq->InjectBatch(stream, batch));
+    }
+    AdvanceQueriesLocked(stream);
+  }
+  return first_error;
 }
 
 Status Server::PushAll(const std::string& stream, TupleSource* source) {

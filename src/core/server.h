@@ -79,6 +79,19 @@ class Server {
   /// advances.
   Status Push(const std::string& stream, const Tuple& tuple);
 
+  /// Ingests a whole batch under ONE lock acquisition, with one archive
+  /// spool pass, one shared-eddy injection (one Drain) and one windowed
+  /// advance for the entire batch. Results are identical to pushing each
+  /// tuple individually; only per-tuple overhead is amortized.
+  ///
+  /// Invalid tuples (arity mismatch, bad or out-of-order timestamp) are
+  /// skipped: when `rejected` is non-null their count is reported there
+  /// and the valid remainder still flows (returns OK); when null, the
+  /// first error is returned after the preceding valid prefix has been
+  /// ingested — the same partial-ingest semantics as a Push loop.
+  Status PushBatch(const std::string& stream, std::vector<Tuple> batch,
+                   size_t* rejected = nullptr);
+
   /// Convenience: drain a pull source into a stream.
   Status PushAll(const std::string& stream, TupleSource* source);
 
@@ -113,6 +126,11 @@ class Server {
 
   void DeliverResults(QueryState* qs, std::vector<ResultSet>&& sets);
   Status PushLocked(const std::string& stream, const Tuple& tuple);
+  /// Validates `tuple` against `ss` and stamps its engine timestamp
+  /// (declared column or arrival order), advancing the watermark.
+  Status StampLocked(StreamState* ss, Tuple* tuple);
+  /// Advances every windowed query whose footprint includes `stream`.
+  void AdvanceQueriesLocked(const std::string& stream);
 
   mutable std::mutex mu_;
   Options options_;

@@ -55,31 +55,49 @@ void Eddy::Inject(size_t source, const Tuple& narrow) {
   queue_.push_back(std::move(rt));
 }
 
+void Eddy::InjectBatch(size_t source, const std::vector<Tuple>& batch) {
+  SmallBitset sources(layout_->num_sources());
+  sources.Set(source);
+  for (const Tuple& narrow : batch) {
+    RoutedTuple rt(layout_->Widen(source, narrow), sources, ops_.size());
+    rt.tuple.set_seq(next_seq_++);
+    queue_.push_back(std::move(rt));
+  }
+  if (batch.size() > batch_hint_) batch_hint_ = batch.size();
+}
+
 void Eddy::InjectRouted(RoutedTuple rt) {
   if (rt.done.size_bits() < ops_.size()) rt.done.Resize(ops_.size());
   if (rt.tuple.seq() == 0) rt.tuple.set_seq(next_seq_++);
   queue_.push_back(std::move(rt));
 }
 
-void Eddy::EligibleOps(const RoutedTuple& rt,
-                       std::vector<size_t>* out) const {
+void Eddy::InjectRoutedBatch(std::vector<RoutedTuple>&& batch) {
+  const size_t n = batch.size();
+  for (RoutedTuple& rt : batch) InjectRouted(std::move(rt));
+  batch.clear();
+  if (n > batch_hint_) batch_hint_ = n;
+}
+
+void Eddy::EligibleOps(const RoutedTuple& rt, std::vector<size_t>* out) {
+  const size_t cap_before = out->capacity();
   out->clear();
   for (size_t i = 0; i < ops_.size(); ++i) {
     if (!rt.done.Test(i) && ops_[i]->Eligible(rt.sources)) {
       out->push_back(i);
     }
   }
+  if (out->capacity() != cap_before) ++scratch_allocs_;
 }
 
-std::vector<size_t> Eddy::SnapshotRanking() const {
-  std::vector<size_t> ranking(ops_.size());
-  for (size_t i = 0; i < ops_.size(); ++i) ranking[i] = i;
-  std::stable_sort(ranking.begin(), ranking.end(), [&](size_t a, size_t b) {
+void Eddy::SnapshotRanking(std::vector<size_t>* out) const {
+  out->resize(ops_.size());
+  for (size_t i = 0; i < ops_.size(); ++i) (*out)[i] = i;
+  std::stable_sort(out->begin(), out->end(), [&](size_t a, size_t b) {
     const double wa = stats_[a].tickets / std::max(cost_hints_[a], 1e-9);
     const double wb = stats_[b].tickets / std::max(cost_hints_[b], 1e-9);
     return wa > wb;
   });
-  return ranking;
 }
 
 void Eddy::Complete(RoutedTuple&& rt) {
@@ -102,7 +120,7 @@ void Eddy::Complete(RoutedTuple&& rt) {
 void Eddy::RouteOne(RoutedTuple rt) {
   if (rt.done.size_bits() < ops_.size()) rt.done.Resize(ops_.size());
 
-  std::vector<size_t> eligible;
+  std::vector<size_t>& eligible = eligible_scratch_;
   EligibleOps(rt, &eligible);
   if (eligible.empty()) {
     Complete(std::move(rt));
@@ -110,9 +128,12 @@ void Eddy::RouteOne(RoutedTuple rt) {
   }
 
   // --- One routing decision (possibly served from the batch cache). ---
+  // The cache engages for the configured batch_size knob AND for an
+  // in-flight injected batch (batch_hint_), which amortizes one decision
+  // over the whole batch at each routing stage.
+  const size_t reuse_span = std::max(options_.batch_size, batch_hint_);
   size_t chosen;
-  bool consulted = false;
-  if (options_.batch_size > 1) {
+  if (reuse_span > 1) {
     const uint64_t key = StageKey(rt);
     auto it = decision_cache_.find(key);
     if (it != decision_cache_.end() && it->second.remaining > 0 &&
@@ -123,18 +144,16 @@ void Eddy::RouteOne(RoutedTuple rt) {
     } else {
       chosen = policy_->Choose(eligible, stats_, cost_hints_);
       ++decisions_;
-      consulted = true;
-      decision_cache_[key] = {chosen, options_.batch_size - 1};
+      decision_cache_[key] = {chosen, reuse_span - 1};
     }
   } else {
     chosen = policy_->Choose(eligible, stats_, cost_hints_);
     ++decisions_;
-    consulted = true;
   }
-  (void)consulted;
 
   // --- Apply the chosen operator, then (optionally) a fixed sequence. ---
-  std::vector<size_t> ranking;
+  std::vector<size_t>& ranking = ranking_scratch_;
+  bool ranking_built = false;
   size_t applied = 0;
   size_t next_op = chosen;
   while (true) {
@@ -183,7 +202,12 @@ void Eddy::RouteOne(RoutedTuple rt) {
 
     // Continue the fixed sequence: highest-ranked eligible operator under
     // the decision-time snapshot, without consulting the policy again.
-    if (ranking.empty()) ranking = SnapshotRanking();
+    if (!ranking_built) {
+      const size_t cap_before = ranking.capacity();
+      SnapshotRanking(&ranking);
+      if (ranking.capacity() != cap_before) ++scratch_allocs_;
+      ranking_built = true;
+    }
     bool found = false;
     for (size_t candidate : ranking) {
       if (std::find(eligible.begin(), eligible.end(), candidate) !=
@@ -206,6 +230,12 @@ void Eddy::Drain() {
     RoutedTuple rt = std::move(queue_.front());
     queue_.pop_front();
     RouteOne(std::move(rt));
+  }
+  // The injected batch (if any) has fully routed: retire its amortization
+  // so later single-tuple injections make fresh decisions.
+  if (batch_hint_ > 0) {
+    batch_hint_ = 0;
+    decision_cache_.clear();
   }
 }
 

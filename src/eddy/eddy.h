@@ -71,8 +71,22 @@ class Eddy {
   /// Injects a narrow source tuple: widened, stamped, routed on Drain().
   void Inject(size_t source, const Tuple& narrow);
 
+  /// Injects a whole same-source batch at once (§4.3 "batching tuples to
+  /// amortize per-tuple overhead"): widens and stamps each tuple, and
+  /// marks the batch as ONE routing unit — tuples of the batch at the
+  /// same routing stage reuse a single policy decision during the next
+  /// Drain(), even when batch_size is 1, exactly as if batch_size had
+  /// been raised to the batch length for this batch only. Result sets
+  /// are routing-invariant (§2.2), so batch and single injection yield
+  /// identical answers; only decision count and routing order differ.
+  void InjectBatch(size_t source, const std::vector<Tuple>& batch);
+
   /// Injects a pre-built routed tuple (shared mode sets `queries` first).
   void InjectRouted(RoutedTuple rt);
+
+  /// Batch counterpart of InjectRouted: enqueues all tuples and applies
+  /// the same one-decision-per-batch amortization as InjectBatch.
+  void InjectRoutedBatch(std::vector<RoutedTuple>&& batch);
 
   /// Routes until the internal queue is empty.
   void Drain();
@@ -99,11 +113,17 @@ class Eddy {
   uint64_t decisions() const { return decisions_; }
   uint64_t visits() const { return visits_; }
   uint64_t emitted() const { return emitted_; }
+  /// Times the reusable eligibility/ranking scratch buffers had to grow
+  /// (heap-allocate). visits() / scratch_allocs() is the amortization
+  /// factor of the per-hop buffer reuse: it climbs without bound on a
+  /// steady operator set, where the old code allocated once per hop.
+  uint64_t scratch_allocs() const { return scratch_allocs_; }
   const SourceLayout& layout() const { return *layout_; }
 
  private:
   /// Collects indexes of operators eligible for `rt` and not yet done.
-  void EligibleOps(const RoutedTuple& rt, std::vector<size_t>* out) const;
+  /// Tracks scratch growth when `out` is one of the member buffers.
+  void EligibleOps(const RoutedTuple& rt, std::vector<size_t>* out);
 
   /// Routes one tuple one hop; re-enqueues it and its outputs as needed.
   void RouteOne(RoutedTuple rt);
@@ -112,8 +132,8 @@ class Eddy {
   void Complete(RoutedTuple&& rt);
 
   /// Decision-time ranking used to fix operator sequences: ops sorted by
-  /// tickets/cost descending.
-  std::vector<size_t> SnapshotRanking() const;
+  /// tickets/cost descending, written into the reusable `*out` scratch.
+  void SnapshotRanking(std::vector<size_t>* out) const;
 
   const SourceLayout* layout_;
   std::unique_ptr<RoutingPolicy> policy_;
@@ -136,10 +156,22 @@ class Eddy {
     size_t remaining = 0;
   };
   std::unordered_map<uint64_t, CachedDecision> decision_cache_;
+  /// When > 1, an injected batch of this many tuples is in flight: new
+  /// cached decisions get at least batch_hint_ - 1 reuses, so the whole
+  /// batch routes through one decision per stage. Reset (and the cache
+  /// cleared) when Drain() empties the queue, so batch amortization never
+  /// leaks into subsequent single-tuple injections.
+  size_t batch_hint_ = 0;
+
+  /// Reusable per-hop scratch (safe: routing is single-threaded and
+  /// non-reentrant). Avoids one-to-three vector allocations per hop.
+  std::vector<size_t> eligible_scratch_;
+  std::vector<size_t> ranking_scratch_;
 
   uint64_t decisions_ = 0;
   uint64_t visits_ = 0;
   uint64_t emitted_ = 0;
+  uint64_t scratch_allocs_ = 0;
 };
 
 }  // namespace tcq

@@ -41,25 +41,27 @@ Tuple SourceLayout::Widen(size_t source, const Tuple& narrow) const {
   TCQ_DCHECK(source < num_sources());
   TCQ_DCHECK(narrow.arity() == arity(source))
       << "source " << aliases_[source] << " arity mismatch";
-  std::vector<Value> cells(total_arity_);  // All NULL.
   const size_t base = offsets_[source];
-  for (size_t i = 0; i < narrow.arity(); ++i) {
-    cells[base + i] = narrow.cell(i);
-  }
-  Tuple wide(std::move(cells), narrow.timestamp());
+  Tuple wide =
+      Tuple::Build(total_arity_, narrow.timestamp(), [&](Value* cells) {
+        // Cells outside the source stay NULL (value-initialized).
+        for (size_t i = 0; i < narrow.arity(); ++i) {
+          cells[base + i] = narrow.cell(i);
+        }
+      });
   wide.set_seq(narrow.seq());
   return wide;
 }
 
 Tuple SourceLayout::MergeSparse(const Tuple& a, const Tuple& b) const {
   TCQ_DCHECK(a.arity() == total_arity_ && b.arity() == total_arity_);
-  std::vector<Value> cells(total_arity_);
-  for (size_t i = 0; i < total_arity_; ++i) {
-    cells[i] = a.cell(i).is_null() ? b.cell(i) : a.cell(i);
-  }
   const Timestamp ts =
       a.timestamp() > b.timestamp() ? a.timestamp() : b.timestamp();
-  Tuple merged(std::move(cells), ts);
+  Tuple merged = Tuple::Build(total_arity_, ts, [&](Value* cells) {
+    for (size_t i = 0; i < total_arity_; ++i) {
+      cells[i] = a.cell(i).is_null() ? b.cell(i) : a.cell(i);
+    }
+  });
   merged.set_seq(a.seq() > b.seq() ? a.seq() : b.seq());
   return merged;
 }
@@ -67,12 +69,11 @@ Tuple SourceLayout::MergeSparse(const Tuple& a, const Tuple& b) const {
 Tuple SourceLayout::Narrow(size_t source, const Tuple& wide) const {
   TCQ_DCHECK(source < num_sources());
   TCQ_DCHECK(wide.arity() == total_arity_);
-  std::vector<Value> cells;
   const size_t base = offsets_[source];
   const size_t n = arity(source);
-  cells.reserve(n);
-  for (size_t i = 0; i < n; ++i) cells.push_back(wide.cell(base + i));
-  return Tuple(std::move(cells), wide.timestamp());
+  return Tuple::Build(n, wide.timestamp(), [&](Value* cells) {
+    for (size_t i = 0; i < n; ++i) cells[i] = wide.cell(base + i);
+  });
 }
 
 }  // namespace tcq

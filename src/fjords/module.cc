@@ -1,0 +1,51 @@
+#include "fjords/module.h"
+
+#include <algorithm>
+
+namespace tcq {
+
+bool BatchInputModule::ProcessBatch(std::vector<Tuple>* batch, size_t* pos) {
+  while (*pos < batch->size()) {
+    Tuple& t = (*batch)[(*pos)++];
+    if (!ProcessOne(t)) return false;
+  }
+  return true;
+}
+
+FjordModule::StepResult BatchInputModule::Step(size_t max_tuples) {
+  if (done_) return StepResult::kDone;
+  size_t work = 0;
+  switch (FlushPending()) {
+    case FlushResult::kStalled:
+      return StepResult::kIdle;
+    case FlushResult::kFlushed:
+      ++work;
+      break;
+    case FlushResult::kClear:
+      break;
+  }
+  while (work < max_tuples) {
+    if (pos_ >= batch_.size()) {
+      batch_.clear();
+      pos_ = 0;
+      in_->DequeueUpTo(std::min(max_tuples - work, batch_capacity_), &batch_);
+      if (batch_.empty()) break;
+    }
+    const size_t before = pos_;
+    const bool keep_going = ProcessBatch(&batch_, &pos_);
+    work += pos_ - before;
+    if (!keep_going) {
+      return work > 0 ? StepResult::kDidWork : StepResult::kIdle;
+    }
+  }
+  if (work > 0) return StepResult::kDidWork;
+  // Input dry with nothing buffered: finished only once the stream ends.
+  if (in_->Exhausted()) {
+    OnInputExhausted();
+    done_ = true;
+    return StepResult::kDone;
+  }
+  return StepResult::kIdle;
+}
+
+}  // namespace tcq

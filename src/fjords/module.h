@@ -42,6 +42,63 @@ class FjordModule {
   std::string name_;
 };
 
+/// Base for modules that consume one input queue. Drains the input in
+/// batches (one mutex acquisition per DequeueUpTo instead of per tuple)
+/// and hands each batch to ProcessBatch, whose default implementation
+/// loops ProcessOne — so a module only needs per-tuple logic to work,
+/// and overrides ProcessBatch when it can exploit whole batches (e.g.
+/// StreamPumpModule forwarding to Server::PushBatch).
+///
+/// Scheduling contract is unchanged from hand-written Step loops:
+///  * backpressure mid-batch ends the quantum (kDidWork); unconsumed
+///    tuples stay buffered for the next quantum;
+///  * kDone only after the input is exhausted, the buffered batch is
+///    fully consumed and FlushPending reports nothing stalled;
+///  * OnInputExhausted (close outputs there) fires exactly once, right
+///    before the first kDone.
+class BatchInputModule : public FjordModule {
+ public:
+  StepResult Step(size_t max_tuples) final;
+
+ protected:
+  enum class FlushResult {
+    kClear,    ///< Nothing was pending.
+    kFlushed,  ///< Pending work went out (counts as work this quantum).
+    kStalled,  ///< Still blocked on downstream backpressure.
+  };
+
+  BatchInputModule(std::string name, TupleQueuePtr in,
+                   size_t batch_capacity = 256)
+      : FjordModule(std::move(name)),
+        in_(std::move(in)),
+        batch_capacity_(batch_capacity == 0 ? 1 : batch_capacity) {}
+
+  /// Processes tuples of `batch` starting at *pos, advancing *pos past
+  /// each consumed tuple. Returns false to end the quantum early
+  /// (downstream backpressure). Default: loop ProcessOne.
+  virtual bool ProcessBatch(std::vector<Tuple>* batch, size_t* pos);
+
+  /// Processes (and always consumes) one tuple; stash any output that
+  /// would not fit downstream and return false to end the quantum.
+  virtual bool ProcessOne(Tuple& t) = 0;
+
+  /// Retries output stalled by backpressure from an earlier quantum.
+  virtual FlushResult FlushPending() { return FlushResult::kClear; }
+
+  /// The input is exhausted and every buffered tuple was consumed:
+  /// close/flush outputs. Called once, immediately before kDone.
+  virtual void OnInputExhausted() {}
+
+  const TupleQueuePtr& input() const { return in_; }
+
+ private:
+  TupleQueuePtr in_;
+  const size_t batch_capacity_;
+  std::vector<Tuple> batch_;  ///< Buffered input; [pos_, end) unconsumed.
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
 using FjordModulePtr = std::shared_ptr<FjordModule>;
 
 }  // namespace tcq

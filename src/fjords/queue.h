@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -93,68 +94,48 @@ class FjordQueue {
   /// returns false with the element NOT inserted. Elements are never
   /// silently dropped by this race: a true return means the element is
   /// (or was) observable by consumers, a false return means it never was.
+  ///
+  /// Capacity: injected kDelay releases re-enter at the back regardless
+  /// of capacity, so items_.size() may transiently overshoot capacity by
+  /// at most the number of elements held back at release time. The fresh
+  /// element itself is always gated against the POST-release size: a
+  /// blocking producer whose slot was consumed by a release goes back to
+  /// waiting instead of piling on (rechecked in a loop below).
   bool Enqueue(T item) {
     std::unique_lock<std::mutex> lock(mu_);
-    if (closed_) return false;
-    if (items_.size() >= options_.capacity) {
-      if (options_.enqueue == QueueEnd::kNonBlocking) {
-        if (!options_.drop_oldest_when_full) return false;
-        items_.pop_front();
-        ++dropped_;
-      } else {
-        not_full_.wait(lock, [&] {
-          return items_.size() < options_.capacity || closed_;
-        });
-        if (closed_) return false;
-      }
-    }
     size_t added = 0;
-    // Age the held-back elements first — "held for N later enqueues"
-    // counts THIS enqueue, so an element delayed now must survive at
-    // least until the next one. Expired elements release at the back.
-    // (Releases ignore capacity: a transient overshoot by the number of
-    // delayed elements is an accepted injection artifact.)
-    for (auto it = delayed_.begin(); it != delayed_.end();) {
-      if (--it->countdown == 0) {
-        items_.push_back(std::move(it->item));
-        ++added;
-        it = delayed_.erase(it);
-      } else {
-        ++it;
+    const bool ok = EnqueueOneLocked(std::move(item), &lock, &added);
+    lock.unlock();
+    NotifyEnqueued(added);
+    return ok;
+  }
+
+  /// Inserts the elements of `items` in order under a single mutex
+  /// acquisition, amortizing the per-element lock/notify round-trip
+  /// (§4.3 batching at the dataflow edge). Fault hooks are consulted once
+  /// PER element and delay countdowns age once per element — exactly as
+  /// if each element were enqueued individually; only the locking and
+  /// notification granularity changes.
+  ///
+  /// Returns the number of elements accepted — always a prefix of
+  /// `items`, in order. Accepted elements are erased from `items`; a
+  /// non-accepted suffix (queue closed, or full in non-blocking mode
+  /// without drop_oldest) REMAINS in `items` so the producer can retry
+  /// or account for it. Blocking mode waits for space per element and
+  /// accepts everything unless the queue closes mid-batch.
+  size_t EnqueueBatch(std::vector<T>&& items) {
+    size_t accepted = 0;
+    size_t added = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (T& item : items) {
+        if (!EnqueueOneLocked(std::move(item), &lock, &added)) break;
+        ++accepted;
       }
     }
-    QueueFaultDecision fault;
-    if (options_.faults != nullptr && options_.faults->on_enqueue) {
-      fault = options_.faults->on_enqueue();
-    }
-    switch (fault.action) {
-      case QueueFaultDecision::Action::kDrop:
-        // The producer believes the element was delivered.
-        ++fault_drops_;
-        break;
-      case QueueFaultDecision::Action::kDelay:
-        delayed_.push_back(
-            Delayed{std::move(item), fault.arg == 0 ? 1 : fault.arg});
-        break;
-      case QueueFaultDecision::Action::kReorder:
-        items_.insert(items_.begin() +
-                          static_cast<ptrdiff_t>(fault.arg %
-                                                 (items_.size() + 1)),
-                      std::move(item));
-        ++added;
-        break;
-      case QueueFaultDecision::Action::kNone:
-        items_.push_back(std::move(item));
-        ++added;
-        break;
-    }
-    lock.unlock();
-    if (added > 1) {
-      not_empty_.notify_all();
-    } else if (added == 1) {
-      not_empty_.notify_one();
-    }
-    return true;
+    NotifyEnqueued(added);
+    items.erase(items.begin(), items.begin() + static_cast<ptrdiff_t>(accepted));
+    return accepted;
   }
 
   /// Removes the next element according to the configured dequeue mode.
@@ -164,39 +145,50 @@ class FjordQueue {
     std::unique_lock<std::mutex> lock(mu_);
     std::optional<T> out;
     size_t removed = 0;
-    for (;;) {
-      if (items_.empty()) {
-        if (options_.dequeue == QueueEnd::kNonBlocking) break;
-        not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-        if (items_.empty()) break;  // Closed and drained.
-      }
-      QueueFaultDecision fault;
-      if (options_.faults != nullptr && options_.faults->on_dequeue) {
-        fault = options_.faults->on_dequeue();
-      }
-      if (fault.action == QueueFaultDecision::Action::kDrop) {
-        items_.pop_front();
-        ++fault_drops_;
-        ++removed;
-        continue;  // The consumer transparently gets the next element.
-      }
-      if (fault.action == QueueFaultDecision::Action::kDelay &&
-          options_.dequeue == QueueEnd::kNonBlocking) {
-        break;  // Pretend empty. (Blocking mode ignores dequeue delays:
-                // the contract promises an element once one is present.)
-      }
-      size_t idx = 0;
-      if (fault.action == QueueFaultDecision::Action::kReorder) {
-        idx = fault.arg % items_.size();
-      }
-      out = std::move(items_[idx]);
-      items_.erase(items_.begin() + static_cast<ptrdiff_t>(idx));
-      ++removed;
-      break;
+    // Loop: a kDrop fault consumes an element without yielding one, so we
+    // go back to waiting (blocking) or give up (non-blocking, empty).
+    while (WaitForElementLocked(&lock, &removed)) {
+      bool stop = false;
+      out = DequeueOneLocked(&removed, &stop);
+      if (out.has_value() || stop) break;
     }
     lock.unlock();
-    for (; removed > 0; --removed) not_full_.notify_one();
+    NotifyDequeued(removed);
     return out;
+  }
+
+  /// Removes up to `max_elements` elements under a single mutex
+  /// acquisition, appending them to *out in dequeue order. Dequeue fault
+  /// hooks are consulted once per removed element (kDrop discards and
+  /// moves on; kDelay in non-blocking mode ends the batch early,
+  /// pretending the rest of the queue is empty; kReorder removes from
+  /// the faulted offset). In blocking mode the call waits until at least
+  /// ONE element is available (or the queue closes); it never waits to
+  /// fill the batch — whatever is present when it wakes is the batch.
+  /// Returns the number of elements appended; 0 means empty
+  /// (non-blocking), or closed and fully drained.
+  size_t DequeueUpTo(size_t max_elements, std::vector<T>* out) {
+    size_t taken = 0;
+    size_t removed = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      bool stop = false;
+      // Outer loop mirrors Dequeue: if kDrop faults consumed everything
+      // before we took a single element, a blocking consumer goes back
+      // to waiting — the contract promises at least one element or EOS.
+      while (taken == 0 && !stop && WaitForElementLocked(&lock, &removed)) {
+        while (taken < max_elements && !items_.empty()) {
+          std::optional<T> one = DequeueOneLocked(&removed, &stop);
+          if (one.has_value()) {
+            out->push_back(std::move(*one));
+            ++taken;
+          }
+          if (stop) break;
+        }
+      }
+    }
+    NotifyDequeued(removed);
+    return taken;
   }
 
   /// Non-blocking peek at emptiness (racy by nature; for scheduling hints).
@@ -258,6 +250,153 @@ class FjordQueue {
     T item;
     size_t countdown;  ///< Enqueue operations left before release.
   };
+
+  /// Ages the held-back elements — "held for N later enqueues" counts the
+  /// current enqueue, so an element delayed now must survive at least
+  /// until the next one. Expired elements release at the back, ignoring
+  /// capacity (the documented overshoot). Returns the number released.
+  size_t ReleaseExpiredLocked() {
+    size_t added = 0;
+    for (auto it = delayed_.begin(); it != delayed_.end();) {
+      if (--it->countdown == 0) {
+        items_.push_back(std::move(it->item));
+        ++added;
+        it = delayed_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return added;
+  }
+
+  /// Core of Enqueue/EnqueueBatch for one element, called with the lock
+  /// held (may release it while waiting for space). *added accumulates
+  /// the number of elements made visible to consumers, for notification
+  /// after unlock. Returns false when the element was not inserted.
+  bool EnqueueOneLocked(T item, std::unique_lock<std::mutex>* lock,
+                        size_t* added) {
+    if (closed_) return false;
+    // Age countdowns once per element, BEFORE the capacity gate, so the
+    // fresh element is admitted against the post-release size. (An
+    // element rejected below still counts as one enqueue operation for
+    // delay aging: the operation reached the queue.)
+    *added += ReleaseExpiredLocked();
+    // Capacity recheck loop: a blocking producer woken with space must
+    // re-test, since delayed releases — its own aging above, or another
+    // producer's while it waited — may have re-filled the queue.
+    while (items_.size() >= options_.capacity) {
+      if (options_.enqueue == QueueEnd::kNonBlocking) {
+        if (!options_.drop_oldest_when_full) return false;
+        items_.pop_front();
+        ++dropped_;
+      } else {
+        // About to sleep: wake consumers for anything already made
+        // visible (delayed releases, earlier batch elements) — they are
+        // what will free up space. Holding the notifications until the
+        // post-unlock NotifyEnqueued would deadlock a full queue whose
+        // only consumer is blocked on not_empty_.
+        if (*added > 0) {
+          not_empty_.notify_all();
+          *added = 0;
+        }
+        not_full_.wait(*lock, [&] {
+          return items_.size() < options_.capacity || closed_;
+        });
+        if (closed_) return false;
+      }
+    }
+    QueueFaultDecision fault;
+    if (options_.faults != nullptr && options_.faults->on_enqueue) {
+      fault = options_.faults->on_enqueue();
+    }
+    switch (fault.action) {
+      case QueueFaultDecision::Action::kDrop:
+        // The producer believes the element was delivered.
+        ++fault_drops_;
+        break;
+      case QueueFaultDecision::Action::kDelay:
+        delayed_.push_back(
+            Delayed{std::move(item), fault.arg == 0 ? 1 : fault.arg});
+        break;
+      case QueueFaultDecision::Action::kReorder:
+        items_.insert(items_.begin() +
+                          static_cast<ptrdiff_t>(fault.arg %
+                                                 (items_.size() + 1)),
+                      std::move(item));
+        ++(*added);
+        break;
+      case QueueFaultDecision::Action::kNone:
+        items_.push_back(std::move(item));
+        ++(*added);
+        break;
+    }
+    return true;
+  }
+
+  /// Blocks (in blocking-dequeue mode) until an element is present or the
+  /// queue closes. Returns true when at least one element is available.
+  /// Flushes pending not_full_ notifications (from kDrop faults) before
+  /// sleeping: the blocked producers they would wake are what will
+  /// produce the element this consumer is about to wait for.
+  bool WaitForElementLocked(std::unique_lock<std::mutex>* lock,
+                            size_t* removed) {
+    if (!items_.empty()) return true;
+    if (options_.dequeue == QueueEnd::kNonBlocking) return false;
+    if (*removed > 0) {
+      not_full_.notify_all();
+      *removed = 0;
+    }
+    not_empty_.wait(*lock, [&] { return !items_.empty() || closed_; });
+    return !items_.empty();  // Empty here means closed and drained.
+  }
+
+  /// Removes one element under the lock, consulting the dequeue fault
+  /// hook. Returns nullopt with *stop=false when the element was a kDrop
+  /// casualty (caller should try again if it still wants one), and
+  /// nullopt with *stop=true when a kDelay fault says to pretend the
+  /// queue is empty (non-blocking mode only — the blocking contract
+  /// promises an element once one is present).
+  std::optional<T> DequeueOneLocked(size_t* removed, bool* stop) {
+    QueueFaultDecision fault;
+    if (options_.faults != nullptr && options_.faults->on_dequeue) {
+      fault = options_.faults->on_dequeue();
+    }
+    if (fault.action == QueueFaultDecision::Action::kDrop) {
+      items_.pop_front();
+      ++fault_drops_;
+      ++(*removed);
+      return std::nullopt;  // The consumer transparently gets the next one.
+    }
+    if (fault.action == QueueFaultDecision::Action::kDelay &&
+        options_.dequeue == QueueEnd::kNonBlocking) {
+      *stop = true;
+      return std::nullopt;
+    }
+    size_t idx = 0;
+    if (fault.action == QueueFaultDecision::Action::kReorder) {
+      idx = fault.arg % items_.size();
+    }
+    std::optional<T> out = std::move(items_[idx]);
+    items_.erase(items_.begin() + static_cast<ptrdiff_t>(idx));
+    ++(*removed);
+    return out;
+  }
+
+  void NotifyEnqueued(size_t added) {
+    if (added > 1) {
+      not_empty_.notify_all();
+    } else if (added == 1) {
+      not_empty_.notify_one();
+    }
+  }
+
+  void NotifyDequeued(size_t removed) {
+    if (removed > 1) {
+      not_full_.notify_all();
+    } else if (removed == 1) {
+      not_full_.notify_one();
+    }
+  }
 
   const QueueOptions options_;
   mutable std::mutex mu_;

@@ -23,27 +23,36 @@ SourceModule::SourceModule(std::string name,
 }
 
 FjordModule::StepResult SourceModule::Step(size_t max_tuples) {
-  if (exhausted_) return StepResult::kDone;
+  if (done_) return StepResult::kDone;
   if (stall_remaining_ > 0) {
     --stall_remaining_;
     return StepResult::kIdle;  // Mid-stall: remote source is silent.
   }
   const size_t budget = std::min(max_tuples, options_.tuples_per_step);
-  size_t produced = 0;
-  while (produced < budget) {
+  // Pull fresh tuples behind any carried-over backlog, then offer the
+  // whole batch to the output edge in one EnqueueBatch (one lock, one
+  // notification). A rejected suffix (full non-blocking edge) stays in
+  // carry_ and is retried next quantum instead of being dropped.
+  while (!exhausted_ && carry_.size() < budget) {
     auto t = source_->Next();
     if (!t.has_value()) {
-      out_->Close();
       exhausted_ = true;
-      return produced > 0 ? StepResult::kDidWork : StepResult::kDone;
-    }
-    if (!out_->Enqueue(std::move(*t))) {
-      // Output full (non-blocking edge): yield, retry next quantum. The
-      // produced tuple is lost only if the queue was closed downstream.
       break;
     }
-    ++produced;
-    ++produced_;
+    carry_.push_back(std::move(*t));
+  }
+  size_t produced = 0;
+  if (!carry_.empty()) {
+    produced = out_->EnqueueBatch(std::move(carry_));
+    produced_ += produced;
+    if (!carry_.empty() && out_->closed()) {
+      carry_.clear();  // Downstream gave up; the backlog has no taker.
+    }
+  }
+  if (exhausted_ && carry_.empty()) {
+    out_->Close();
+    done_ = true;
+    return produced > 0 ? StepResult::kDidWork : StepResult::kDone;
   }
   if (options_.stall_every > 0) {
     if (++steps_since_stall_ >= options_.stall_every) {

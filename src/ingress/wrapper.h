@@ -41,10 +41,15 @@ class SourceModule : public FjordModule {
   std::unique_ptr<TupleSource> source_;
   TupleQueuePtr out_;
   Options options_;
+  /// Tuples pulled from the source but not yet accepted by the output
+  /// (non-blocking edge was full). Retried next quantum — a burst of
+  /// backpressure delays tuples, it never loses them.
+  std::vector<Tuple> carry_;
   uint64_t produced_ = 0;
   size_t steps_since_stall_ = 0;
   size_t stall_remaining_ = 0;
   bool exhausted_ = false;
+  bool done_ = false;
 };
 
 /// The stream archive: retained history that has conceptually been

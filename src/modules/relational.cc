@@ -6,80 +6,54 @@ namespace tcq {
 
 FilterModule::FilterModule(std::string name, TupleQueuePtr in,
                            TupleQueuePtr out, ExprPtr bound_predicate)
-    : FjordModule(std::move(name)),
-      in_(std::move(in)),
+    : BatchInputModule(std::move(name), std::move(in)),
       out_(std::move(out)),
       predicate_(std::move(bound_predicate)) {
-  TCQ_CHECK(in_ != nullptr && out_ != nullptr && predicate_ != nullptr);
+  TCQ_CHECK(input() != nullptr && out_ != nullptr && predicate_ != nullptr);
 }
 
-FjordModule::StepResult FilterModule::Step(size_t max_tuples) {
-  size_t work = 0;
-  // Flush a tuple stalled by downstream backpressure first.
-  if (pending_.has_value()) {
-    if (!out_->Enqueue(*pending_)) return StepResult::kIdle;
-    pending_.reset();
-    ++out_count_;
-    ++work;
+BatchInputModule::FlushResult FilterModule::FlushPending() {
+  if (!pending_.has_value()) return FlushResult::kClear;
+  if (!out_->Enqueue(*pending_)) return FlushResult::kStalled;
+  pending_.reset();
+  ++out_count_;
+  return FlushResult::kFlushed;
+}
+
+bool FilterModule::ProcessOne(Tuple& t) {
+  ++in_count_;
+  const Value keep = predicate_->Eval(t);
+  if (keep.is_null() || !keep.bool_value()) return true;
+  if (!out_->Enqueue(t)) {
+    pending_ = std::move(t);  // Retry next quantum.
+    return false;
   }
-  while (work < max_tuples) {
-    auto t = in_->Dequeue();
-    if (!t.has_value()) {
-      if (work > 0) return StepResult::kDidWork;
-      if (in_->Exhausted()) {
-        out_->Close();
-        return StepResult::kDone;
-      }
-      return StepResult::kIdle;
-    }
-    ++in_count_;
-    ++work;
-    const Value keep = predicate_->Eval(*t);
-    if (!keep.is_null() && keep.bool_value()) {
-      if (!out_->Enqueue(*t)) {
-        pending_ = std::move(*t);  // Retry next quantum.
-        return StepResult::kDidWork;
-      }
-      ++out_count_;
-    }
-  }
-  return StepResult::kDidWork;
+  ++out_count_;
+  return true;
 }
 
 ProjectModule::ProjectModule(std::string name, TupleQueuePtr in,
                              TupleQueuePtr out, std::vector<size_t> indexes)
-    : FjordModule(std::move(name)),
-      in_(std::move(in)),
+    : BatchInputModule(std::move(name), std::move(in)),
       out_(std::move(out)),
       indexes_(std::move(indexes)) {
-  TCQ_CHECK(in_ != nullptr && out_ != nullptr);
+  TCQ_CHECK(input() != nullptr && out_ != nullptr);
 }
 
-FjordModule::StepResult ProjectModule::Step(size_t max_tuples) {
-  size_t work = 0;
-  if (pending_.has_value()) {
-    if (!out_->Enqueue(*pending_)) return StepResult::kIdle;
-    pending_.reset();
-    ++work;
+BatchInputModule::FlushResult ProjectModule::FlushPending() {
+  if (!pending_.has_value()) return FlushResult::kClear;
+  if (!out_->Enqueue(*pending_)) return FlushResult::kStalled;
+  pending_.reset();
+  return FlushResult::kFlushed;
+}
+
+bool ProjectModule::ProcessOne(Tuple& t) {
+  Tuple projected = t.Project(indexes_);
+  if (!out_->Enqueue(projected)) {
+    pending_ = std::move(projected);
+    return false;
   }
-  while (work < max_tuples) {
-    auto t = in_->Dequeue();
-    if (!t.has_value()) {
-      if (work > 0) return StepResult::kDidWork;
-      if (in_->Exhausted()) {
-        out_->Close();
-        return StepResult::kDone;
-      }
-      return StepResult::kIdle;
-    }
-    ++work;
-    Tuple projected = t->Project(indexes_);
-    if (!out_->Enqueue(projected)) {
-      pending_ = std::move(projected);
-      return StepResult::kDidWork;
-    }
-  }
-  return StepResult::kDidWork;
+  return true;
 }
 
 UnionModule::UnionModule(std::string name, std::vector<TupleQueuePtr> ins,
@@ -128,8 +102,9 @@ FjordModule::StepResult UnionModule::Step(size_t max_tuples) {
 
 DupElimModule::DupElimModule(std::string name, TupleQueuePtr in,
                              TupleQueuePtr out)
-    : FjordModule(std::move(name)), in_(std::move(in)), out_(std::move(out)) {
-  TCQ_CHECK(in_ != nullptr && out_ != nullptr);
+    : BatchInputModule(std::move(name), std::move(in)),
+      out_(std::move(out)) {
+  TCQ_CHECK(input() != nullptr && out_ != nullptr);
 }
 
 size_t DupElimModule::CellsHash::operator()(
@@ -141,32 +116,21 @@ size_t DupElimModule::CellsHash::operator()(
   return h;
 }
 
-FjordModule::StepResult DupElimModule::Step(size_t max_tuples) {
-  size_t work = 0;
-  if (pending_.has_value()) {
-    if (!out_->Enqueue(*pending_)) return StepResult::kIdle;
-    pending_.reset();
-    ++work;
-  }
-  while (work < max_tuples) {
-    auto t = in_->Dequeue();
-    if (!t.has_value()) {
-      if (work > 0) return StepResult::kDidWork;
-      if (in_->Exhausted()) {
-        out_->Close();
-        return StepResult::kDone;
-      }
-      return StepResult::kIdle;
-    }
-    ++work;
-    if (seen_.insert(t->cells()).second) {
-      if (!out_->Enqueue(*t)) {
-        pending_ = std::move(*t);
-        return StepResult::kDidWork;
-      }
+BatchInputModule::FlushResult DupElimModule::FlushPending() {
+  if (!pending_.has_value()) return FlushResult::kClear;
+  if (!out_->Enqueue(*pending_)) return FlushResult::kStalled;
+  pending_.reset();
+  return FlushResult::kFlushed;
+}
+
+bool DupElimModule::ProcessOne(Tuple& t) {
+  if (seen_.emplace(t.cells().begin(), t.cells().end()).second) {
+    if (!out_->Enqueue(t)) {
+      pending_ = std::move(t);
+      return false;
     }
   }
-  return StepResult::kDidWork;
+  return true;
 }
 
 }  // namespace tcq

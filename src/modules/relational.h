@@ -15,18 +15,20 @@ namespace tcq {
 /// Queue-connected selection: forwards tuples satisfying a bound predicate.
 /// These queue-based modules form standalone Fjord dataflows (§2.3); inside
 /// an Eddy the operator variants in eddy/operators.h are used instead.
-class FilterModule : public FjordModule {
+class FilterModule : public BatchInputModule {
  public:
   FilterModule(std::string name, TupleQueuePtr in, TupleQueuePtr out,
                ExprPtr bound_predicate);
 
-  StepResult Step(size_t max_tuples) override;
-
   uint64_t in_count() const { return in_count_; }
   uint64_t out_count() const { return out_count_; }
 
+ protected:
+  bool ProcessOne(Tuple& t) override;
+  FlushResult FlushPending() override;
+  void OnInputExhausted() override { out_->Close(); }
+
  private:
-  TupleQueuePtr in_;
   TupleQueuePtr out_;
   ExprPtr predicate_;
   std::optional<Tuple> pending_;  ///< Output stalled by backpressure.
@@ -35,15 +37,17 @@ class FilterModule : public FjordModule {
 };
 
 /// Queue-connected projection by cell indexes.
-class ProjectModule : public FjordModule {
+class ProjectModule : public BatchInputModule {
  public:
   ProjectModule(std::string name, TupleQueuePtr in, TupleQueuePtr out,
                 std::vector<size_t> indexes);
 
-  StepResult Step(size_t max_tuples) override;
+ protected:
+  bool ProcessOne(Tuple& t) override;
+  FlushResult FlushPending() override;
+  void OnInputExhausted() override { out_->Close(); }
 
  private:
-  TupleQueuePtr in_;
   TupleQueuePtr out_;
   std::vector<size_t> indexes_;
   std::optional<Tuple> pending_;
@@ -70,19 +74,21 @@ class UnionModule : public FjordModule {
 };
 
 /// Duplicate elimination on the projected cell values (timestamps ignored).
-class DupElimModule : public FjordModule {
+class DupElimModule : public BatchInputModule {
  public:
   DupElimModule(std::string name, TupleQueuePtr in, TupleQueuePtr out);
 
-  StepResult Step(size_t max_tuples) override;
-
   size_t distinct_count() const { return seen_.size(); }
+
+ protected:
+  bool ProcessOne(Tuple& t) override;
+  FlushResult FlushPending() override;
+  void OnInputExhausted() override { out_->Close(); }
 
  private:
   struct CellsHash {
     size_t operator()(const std::vector<Value>& cells) const;
   };
-  TupleQueuePtr in_;
   TupleQueuePtr out_;
   std::optional<Tuple> pending_;
   std::unordered_set<std::vector<Value>, CellsHash> seen_;

@@ -4,13 +4,6 @@
 
 namespace tcq {
 
-const std::shared_ptr<const std::vector<Value>>& Tuple::EmptyCells() {
-  static const auto& empty =
-      *new std::shared_ptr<const std::vector<Value>>(
-          std::make_shared<const std::vector<Value>>());
-  return empty;
-}
-
 std::string Tuple::ToString() const {
   std::ostringstream os;
   os << "[";

@@ -2,7 +2,9 @@
 #define TCQ_TUPLE_TUPLE_H_
 
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -16,6 +18,12 @@ namespace tcq {
 /// shared (joins concatenate payloads into fresh tuples; copies of a Tuple
 /// alias the same cells), while the timestamp rides along by value.
 ///
+/// The cells live in ONE refcounted heap block (control block + Value
+/// array allocated together via std::make_shared<Value[]>), so creating,
+/// concatenating or projecting a tuple costs a single allocation — the
+/// dominant per-tuple cost on the ingest hot path once queue and routing
+/// overheads are batched away (§4.3 "adapting adaptivity").
+///
 /// Besides the application timestamp, a tuple carries an engine-assigned
 /// arrival sequence number (`seq`). Symmetric joins use it for duplicate
 /// avoidance: a probe may only match stored tuples that arrived strictly
@@ -26,22 +34,40 @@ namespace tcq {
 class Tuple {
  public:
   /// An empty (zero-arity) tuple with timestamp 0.
-  Tuple() : cells_(EmptyCells()), ts_(0) {}
+  Tuple() : ts_(0) {}
 
   Tuple(std::vector<Value> cells, Timestamp ts)
-      : cells_(std::make_shared<const std::vector<Value>>(std::move(cells))),
-        ts_(ts) {}
+      : ts_(ts) {
+    AllocCells(cells.size());
+    Value* out = MutableCells();
+    for (size_t i = 0; i < cells.size(); ++i) out[i] = std::move(cells[i]);
+  }
 
   static Tuple Make(std::vector<Value> cells, Timestamp ts = 0) {
     return Tuple(std::move(cells), ts);
   }
 
-  size_t arity() const { return cells_->size(); }
-  const Value& cell(size_t i) const {
-    TCQ_DCHECK(i < cells_->size());
-    return (*cells_)[i];
+  /// Single-allocation construction: allocates `n` NULL cells, hands the
+  /// raw array to `fill` for in-place population, and only then shares
+  /// the block. This is the hot-path factory for Concat/Project/Widen —
+  /// no intermediate std::vector<Value>, no copy of the built tuple.
+  template <typename FillFn>
+  static Tuple Build(size_t n, Timestamp ts, FillFn&& fill) {
+    Tuple t;
+    t.ts_ = ts;
+    t.AllocCells(n);
+    if (n > 0) fill(t.MutableCells());
+    return t;
   }
-  const std::vector<Value>& cells() const { return *cells_; }
+
+  size_t arity() const { return size_; }
+  const Value& cell(size_t i) const {
+    TCQ_DCHECK(i < size_);
+    return cells_[i];
+  }
+  /// View of all cells. The underlying block is shared between copies:
+  /// cells().data() is identical for tuples aliasing the same payload.
+  std::span<const Value> cells() const { return {cells_.get(), size_}; }
 
   Timestamp timestamp() const { return ts_; }
   void set_timestamp(Timestamp ts) { ts_ = ts; }
@@ -54,36 +80,56 @@ class Tuple {
   /// and seq are the max of the two (the join output is "complete" only
   /// once its youngest constituent has arrived).
   static Tuple Concat(const Tuple& left, const Tuple& right) {
-    std::vector<Value> cells;
-    cells.reserve(left.arity() + right.arity());
-    cells.insert(cells.end(), left.cells().begin(), left.cells().end());
-    cells.insert(cells.end(), right.cells().begin(), right.cells().end());
-    Tuple out(std::move(cells),
-              left.ts_ > right.ts_ ? left.ts_ : right.ts_);
+    Tuple out = Build(left.size_ + right.size_,
+                      left.ts_ > right.ts_ ? left.ts_ : right.ts_,
+                      [&](Value* cells) {
+                        for (size_t i = 0; i < left.size_; ++i) {
+                          cells[i] = left.cells_[i];
+                        }
+                        for (size_t i = 0; i < right.size_; ++i) {
+                          cells[left.size_ + i] = right.cells_[i];
+                        }
+                      });
     out.seq_ = left.seq_ > right.seq_ ? left.seq_ : right.seq_;
     return out;
   }
 
   /// Projects the given cell indexes into a new tuple (same timestamp/seq).
   Tuple Project(const std::vector<size_t>& indexes) const {
-    std::vector<Value> cells;
-    cells.reserve(indexes.size());
-    for (size_t i : indexes) cells.push_back(cell(i));
-    Tuple out(std::move(cells), ts_);
+    Tuple out = Build(indexes.size(), ts_, [&](Value* cells) {
+      for (size_t i = 0; i < indexes.size(); ++i) {
+        cells[i] = cell(indexes[i]);
+      }
+    });
     out.seq_ = seq_;
     return out;
   }
 
   bool operator==(const Tuple& other) const {
-    return ts_ == other.ts_ && *cells_ == *other.cells_;
+    if (ts_ != other.ts_ || size_ != other.size_) return false;
+    if (cells_.get() == other.cells_.get()) return true;
+    for (size_t i = 0; i < size_; ++i) {
+      if (cells_[i] != other.cells_[i]) return false;
+    }
+    return true;
   }
 
   std::string ToString() const;
 
  private:
-  static const std::shared_ptr<const std::vector<Value>>& EmptyCells();
+  void AllocCells(size_t n) {
+    size_ = n;
+    // One heap block: shared_ptr control block + n value-initialized
+    // (NULL) Values, fused by make_shared's array overload.
+    cells_ = n > 0 ? std::make_shared<Value[]>(n) : nullptr;
+  }
+  /// Only valid between AllocCells and first share of the block.
+  Value* MutableCells() {
+    return const_cast<Value*>(cells_.get());
+  }
 
-  std::shared_ptr<const std::vector<Value>> cells_;
+  std::shared_ptr<const Value[]> cells_;
+  size_t size_ = 0;
   Timestamp ts_;
   int64_t seq_ = 0;
 };

@@ -1,0 +1,267 @@
+// Batch-vs-single equivalence: the batch fast paths (Eddy::InjectBatch,
+// Server::PushBatch) amortize locks, lookups and routing decisions, but the
+// §2.2 routing-invariance obligation says the RESULT SET must be exactly
+// what per-tuple injection produces — whatever the schedule, policy seed or
+// batch boundary. ScheduleExplorer drives the schedule dimensions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/server.h"
+#include "eddy/eddy.h"
+#include "eddy/operators.h"
+#include "ingress/sources.h"
+#include "testing/schedule_explorer.h"
+
+namespace tcq {
+namespace {
+
+// ---- Eddy routing equivalence ---------------------------------------------
+
+SchemaPtr KV() {
+  return Schema::Make(
+      {{"k", ValueType::kInt64, ""}, {"v", ValueType::kInt64, ""}});
+}
+
+Tuple KVTuple(int64_t k, int64_t v) {
+  return Tuple::Make({Value::Int64(k), Value::Int64(v)}, 0);
+}
+
+struct EddyRun {
+  std::string fingerprint;
+  uint64_t decisions = 0;
+  uint64_t visits = 0;
+  uint64_t scratch_allocs = 0;
+};
+
+/// Builds a three-filter eddy with operators registered in `order`, routes
+/// 60 tuples either singly or in `chunk`-sized batches, and fingerprints
+/// the emitted result set (sorted, so routing order is irrelevant).
+EddyRun RunFilterEddy(const ScheduleExplorer::Schedule& schedule,
+                      size_t chunk) {
+  SourceLayout layout;
+  const size_t s = layout.AddSource("s", KV());
+  SmallBitset source_set(layout.num_sources());
+  source_set.Set(s);
+  Eddy eddy(&layout, MakePolicy("lottery", schedule.trial_seed + 1));
+
+  auto bind = [&](ExprPtr e) {
+    auto bound = e->Bind(*layout.full_schema());
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    return *bound;
+  };
+  std::vector<EddyOperatorPtr> filters = {
+      std::make_shared<FilterOp>(
+          "k>10", bind(Expr::Binary(BinaryOp::kGt, Expr::Column("k"),
+                                    Expr::Literal(Value::Int64(10)))),
+          source_set),
+      std::make_shared<FilterOp>(
+          "k<40", bind(Expr::Binary(BinaryOp::kLt, Expr::Column("k"),
+                                    Expr::Literal(Value::Int64(40)))),
+          source_set),
+      std::make_shared<FilterOp>(
+          "k%3", bind(Expr::Binary(
+                     BinaryOp::kEq,
+                     Expr::Binary(BinaryOp::kMod, Expr::Column("k"),
+                                  Expr::Literal(Value::Int64(3))),
+                     Expr::Literal(Value::Int64(0)))),
+          source_set)};
+  for (size_t i : schedule.order) eddy.AddOperator(filters[i]);
+
+  std::vector<std::string> out;
+  eddy.SetSink([&](RoutedTuple&& rt) { out.push_back(rt.tuple.ToString()); });
+
+  std::vector<Tuple> batch;
+  for (int64_t k = 0; k < 60; ++k) {
+    if (chunk <= 1) {
+      eddy.Inject(s, KVTuple(k, k * 7));
+      eddy.Drain();
+      continue;
+    }
+    batch.push_back(KVTuple(k, k * 7));
+    if (batch.size() == chunk) {
+      eddy.InjectBatch(s, batch);
+      eddy.Drain();
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) {
+    eddy.InjectBatch(s, batch);
+    eddy.Drain();
+  }
+
+  std::sort(out.begin(), out.end());
+  std::ostringstream fp;
+  for (const std::string& t : out) fp << t << "\n";
+  return {fp.str(), eddy.decisions(), eddy.visits(), eddy.scratch_allocs()};
+}
+
+TEST(BatchEquivalenceTest, EddyBatchRoutingMatchesSingleAcrossSchedules) {
+  // >= 10 explorer seeds, each exploring several (operator order, quantum,
+  // policy seed) schedules; the quantum doubles as the batch chunk size.
+  uint64_t single_decisions = 0;
+  uint64_t batched_decisions = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    ScheduleExplorer explorer(seed);
+    auto common = explorer.Explore(
+        /*num_modules=*/3, [&](const ScheduleExplorer::Schedule& schedule) {
+          EddyRun single = RunFilterEddy(schedule, /*chunk=*/1);
+          EddyRun batched = RunFilterEddy(schedule, schedule.quantum);
+          // The §2.2 obligation: identical result SETS. Routing paths (and
+          // so visit counts) may legitimately differ between schedules.
+          EXPECT_EQ(single.fingerprint, batched.fingerprint)
+              << "seed " << seed << ", "
+              << ScheduleExplorer::Describe(schedule);
+          single_decisions += single.decisions;
+          batched_decisions += batched.decisions;
+          return batched.fingerprint;
+        });
+    ASSERT_TRUE(common.ok()) << common.status();
+    EXPECT_FALSE(common->empty());
+  }
+  // Across all schedules the batch decision cache must pay for itself.
+  EXPECT_LT(batched_decisions, single_decisions);
+}
+
+TEST(BatchEquivalenceTest, EddyScratchBuffersStopAllocating) {
+  // Satellite: per-hop eligibility/ranking scratch is reused, so buffer
+  // growth is bounded by the operator count, not the tuple count.
+  ScheduleExplorer::Schedule schedule;
+  schedule.order = {0, 1, 2};
+  EddyRun run = RunFilterEddy(schedule, /*chunk=*/8);
+  EXPECT_GT(run.visits, 60u);
+  EXPECT_LE(run.scratch_allocs, 8u)
+      << "per-hop scratch should reach steady state after a few hops";
+}
+
+// ---- Server ingest equivalence --------------------------------------------
+
+Tuple Stock(int64_t day, const std::string& sym, double price) {
+  return Tuple::Make(
+      {Value::Int64(day), Value::String(sym), Value::Double(price)}, day);
+}
+
+/// A server with standing CACQ filters and one windowed aggregate; the mix
+/// exercises both ingest consumers (shared eddy and windowed runners).
+struct ServerFixture {
+  Server server;
+  std::vector<QueryId> queries;
+
+  ServerFixture() {
+    EXPECT_TRUE(server
+                    .DefineStream("ClosingStockPrices",
+                                  StockTickerSource::MakeSchema(),
+                                  /*timestamp_field=*/0)
+                    .ok());
+    auto add = [&](const std::string& sql) {
+      auto q = server.Submit(sql);
+      EXPECT_TRUE(q.ok()) << q.status();
+      queries.push_back(*q);
+    };
+    add("SELECT closingPrice FROM ClosingStockPrices "
+        "WHERE stockSymbol = 'MSFT' AND closingPrice > 45");
+    add("SELECT timestamp FROM ClosingStockPrices WHERE closingPrice < 44");
+    add("SELECT AVG(closingPrice) FROM ClosingStockPrices "
+        "for (t = ST; true; t += 5) { "
+        "WindowIs(ClosingStockPrices, t - 4, t); }");
+  }
+
+  std::string Fingerprint() {
+    std::ostringstream fp;
+    for (QueryId q : queries) {
+      fp << "q" << q << ":";
+      for (const ResultSet& rs : server.PollAll(q)) {
+        for (const Tuple& row : rs.rows) fp << row.ToString() << ";";
+      }
+      fp << "\n";
+    }
+    return fp.str();
+  }
+};
+
+std::vector<Tuple> MakeFeed(int64_t days) {
+  std::vector<Tuple> feed;
+  const char* symbols[] = {"MSFT", "IBM", "ORCL"};
+  for (int64_t d = 1; d <= days; ++d) {
+    for (const char* sym : symbols) {
+      feed.push_back(Stock(d, sym, 40.0 + ((d * 3 + sym[0]) % 10)));
+    }
+  }
+  return feed;
+}
+
+TEST(BatchEquivalenceTest, ServerPushBatchMatchesPushLoop) {
+  const std::vector<Tuple> feed = MakeFeed(/*days=*/30);
+
+  ServerFixture singly;
+  for (const Tuple& t : feed) {
+    ASSERT_TRUE(singly.server.Push("ClosingStockPrices", t).ok());
+  }
+  const std::string expected = singly.Fingerprint();
+  EXPECT_NE(expected.find("q0:"), std::string::npos);
+
+  for (size_t chunk : {size_t{1}, size_t{3}, size_t{16}, size_t{64},
+                       feed.size()}) {
+    ServerFixture batched;
+    for (size_t at = 0; at < feed.size(); at += chunk) {
+      const size_t n = std::min(chunk, feed.size() - at);
+      std::vector<Tuple> batch(feed.begin() + static_cast<ptrdiff_t>(at),
+                               feed.begin() + static_cast<ptrdiff_t>(at + n));
+      size_t rejected = 0;
+      ASSERT_TRUE(batched.server
+                      .PushBatch("ClosingStockPrices", std::move(batch),
+                                 &rejected)
+                      .ok());
+      EXPECT_EQ(rejected, 0u);
+    }
+    EXPECT_EQ(batched.Fingerprint(), expected) << "chunk=" << chunk;
+  }
+}
+
+TEST(BatchEquivalenceTest, PushBatchSkipsAndCountsInvalidTuples) {
+  ServerFixture fx;
+  std::vector<Tuple> batch = {
+      Stock(5, "MSFT", 50.0),
+      Stock(3, "MSFT", 50.0),  // Out of order: rejected, not fatal.
+      Stock(6, "MSFT", 50.0),
+      Tuple::Make({Value::Int64(7)}, 7),  // Arity mismatch: rejected.
+      Stock(8, "MSFT", 50.0),
+  };
+  size_t rejected = 0;
+  ASSERT_TRUE(
+      fx.server.PushBatch("ClosingStockPrices", std::move(batch), &rejected)
+          .ok());
+  EXPECT_EQ(rejected, 2u);
+
+  // Without the rejection sink, the valid prefix lands and the first
+  // error comes back — the same contract as a Push loop that stops there.
+  std::vector<Tuple> tail = {Stock(9, "MSFT", 50.0), Stock(4, "MSFT", 50.0),
+                             Stock(10, "MSFT", 50.0)};
+  EXPECT_FALSE(
+      fx.server.PushBatch("ClosingStockPrices", std::move(tail)).ok());
+  EXPECT_TRUE(
+      fx.server.Push("ClosingStockPrices", Stock(11, "MSFT", 50.0)).ok());
+
+  // Every accepted day (5,6,8,9,11) reached the CACQ filter exactly once.
+  std::ostringstream days;
+  for (const ResultSet& rs : fx.server.PollAll(fx.queries[0])) {
+    for (size_t i = 0; i < rs.rows.size(); ++i) days << rs.t << ",";
+  }
+  EXPECT_EQ(days.str(), "5,6,8,9,11,");
+}
+
+TEST(BatchEquivalenceTest, PushBatchUnknownStreamFails) {
+  ServerFixture fx;
+  size_t rejected = 0;
+  EXPECT_FALSE(
+      fx.server.PushBatch("NoSuchStream", {Stock(1, "MSFT", 1.0)}, &rejected)
+          .ok());
+  EXPECT_EQ(rejected, 0u);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -131,6 +131,122 @@ TEST(FjordQueueTest, ConcurrentProducersConsumersDeliverAll) {
   EXPECT_EQ(sum.load(), int64_t{total} * (total - 1) / 2);
 }
 
+TEST(FjordQueueTest, EnqueueBatchPreservesFifoOrder) {
+  FjordQueue<int> q(PullQueueOptions(16));
+  std::vector<int> batch = {1, 2, 3, 4, 5};
+  EXPECT_EQ(q.EnqueueBatch(std::move(batch)), 5u);
+  EXPECT_TRUE(batch.empty());  // All accepted elements consumed.
+  for (int i = 1; i <= 5; ++i) EXPECT_EQ(*q.Dequeue(), i);
+}
+
+TEST(FjordQueueTest, EnqueueBatchNonBlockingAcceptsPrefix) {
+  FjordQueue<int> q(PushQueueOptions(3));
+  std::vector<int> batch = {1, 2, 3, 4, 5};
+  EXPECT_EQ(q.EnqueueBatch(std::move(batch)), 3u);
+  // The rejected suffix stays with the producer, in order, for retry.
+  EXPECT_EQ(batch, (std::vector<int>{4, 5}));
+  EXPECT_EQ(*q.Dequeue(), 1);
+  EXPECT_EQ(q.EnqueueBatch(std::move(batch)), 1u);
+  EXPECT_EQ(batch, (std::vector<int>{5}));
+}
+
+TEST(FjordQueueTest, EnqueueBatchOnClosedQueueAcceptsNothing) {
+  FjordQueue<int> q(PullQueueOptions(8));
+  q.Close();
+  std::vector<int> batch = {1, 2};
+  EXPECT_EQ(q.EnqueueBatch(std::move(batch)), 0u);
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(FjordQueueTest, DequeueUpToTakesAtMostWhatIsPresent) {
+  FjordQueue<int> q(PushQueueOptions(16));
+  for (int i = 0; i < 5; ++i) q.Enqueue(i);
+  std::vector<int> out;
+  EXPECT_EQ(q.DequeueUpTo(3, &out), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.DequeueUpTo(10, &out), 2u);  // Appends; never waits to fill.
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(q.DequeueUpTo(1, &out), 0u);  // Empty, non-blocking.
+}
+
+TEST(FjordQueueTest, DequeueUpToOnClosedQueueDrainsThenReportsEos) {
+  FjordQueue<int> q(PullQueueOptions(8));
+  q.Enqueue(1);
+  q.Enqueue(2);
+  q.Close();
+  std::vector<int> out;
+  EXPECT_EQ(q.DequeueUpTo(8, &out), 2u);
+  EXPECT_EQ(q.DequeueUpTo(8, &out), 0u);  // Closed and drained: no wait.
+  EXPECT_TRUE(q.Exhausted());
+}
+
+TEST(FjordQueueTest, BlockingDequeueUpToWaitsForFirstElement) {
+  FjordQueue<int> q(PullQueueOptions(8));
+  std::vector<int> out;
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    EXPECT_EQ(q.DequeueUpTo(4, &out), 2u);  // Takes what's there on wake.
+    got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  std::vector<int> batch = {7, 8};
+  q.EnqueueBatch(std::move(batch));
+  consumer.join();
+  EXPECT_EQ(out, (std::vector<int>{7, 8}));
+}
+
+TEST(FjordQueueTest, BlockingEnqueueBatchWaitsPerElementAndCloseUnblocks) {
+  FjordQueue<int> q(PullQueueOptions(2));
+  std::atomic<size_t> accepted{SIZE_MAX};
+  std::thread producer([&] {
+    std::vector<int> batch = {1, 2, 3, 4};
+    accepted.store(q.EnqueueBatch(std::move(batch)));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(accepted.load(), SIZE_MAX);  // Blocked on the third element.
+  EXPECT_EQ(*q.Dequeue(), 1);            // Batch prefix is visible pre-wait.
+  q.Close();                             // Wakes the producer mid-batch.
+  producer.join();
+  const size_t n = accepted.load();
+  EXPECT_GE(n, 2u);  // 1 and 2 were in before the close...
+  EXPECT_LT(n, 4u);  // ...but the close cut the batch short.
+}
+
+TEST(FjordQueueTest, BatchFaultHooksFirePerElement) {
+  // Hooks see one decision per element even when the elements arrive in a
+  // single EnqueueBatch — drop the 2nd, delay the 4th for two enqueues.
+  auto hooks = std::make_shared<QueueFaultHooks>();
+  int enqueue_no = 0;
+  hooks->on_enqueue = [&enqueue_no]() {
+    ++enqueue_no;
+    QueueFaultDecision d;
+    if (enqueue_no == 2) d.action = QueueFaultDecision::Action::kDrop;
+    if (enqueue_no == 4) {
+      d.action = QueueFaultDecision::Action::kDelay;
+      d.arg = 2;
+    }
+    return d;
+  };
+  QueueOptions opts = PushQueueOptions(16);
+  opts.faults = hooks;
+  FjordQueue<int> q(opts);
+  std::vector<int> batch = {1, 2, 3, 4, 5};
+  EXPECT_EQ(q.EnqueueBatch(std::move(batch)), 5u);  // Drop looks accepted.
+  EXPECT_EQ(enqueue_no, 5);
+  EXPECT_EQ(q.FaultDrops(), 1u);
+  EXPECT_EQ(q.DelayedCount(), 1u);  // 4 held back...
+  EXPECT_EQ(q.Size(), 3u);          // ...so only 1, 3, 5 are visible.
+  // Element 5's batch slot already aged the countdown once (2 -> 1); the
+  // next enqueue operation expires it and releases 4 at the back.
+  q.Enqueue(6);
+  EXPECT_EQ(q.DelayedCount(), 0u);
+  q.Enqueue(7);
+  std::vector<int> out;
+  EXPECT_EQ(q.DequeueUpTo(16, &out), 6u);
+  EXPECT_EQ(out, (std::vector<int>{1, 3, 5, 4, 6, 7}));
+}
+
 TEST(FjordQueueTest, SizeTracksContents) {
   FjordQueue<int> q(PullQueueOptions(8));
   EXPECT_TRUE(q.Empty());

@@ -165,6 +165,112 @@ TEST(StressQueueTest, FaultedQueueUnderContentionConservesAccounting) {
   CheckConservation(q, acct);
 }
 
+TEST(StressQueueTest, MixedBatchAndSingleProducersConserve) {
+  // Batch and single-element operations race on both ends of one queue:
+  // EnqueueBatch/DequeueUpTo must honor the same conservation contract as
+  // their per-element forms, under blocking (producers) semantics.
+  FjordQueue<int> q(ExchangeQueueOptions(32));
+  QueueAccounting acct;
+  constexpr int kPerProducer = 20000;
+  std::vector<std::thread> producers, consumers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<int> batch;
+      for (int i = 0; i < kPerProducer; ++i) {
+        if ((p + i) % 3 == 0) {
+          if (q.Enqueue(i)) {
+            acct.accepted.fetch_add(1);
+          } else {
+            acct.rejected.fetch_add(1);
+          }
+          continue;
+        }
+        batch.push_back(i);
+        if (batch.size() == 16) {
+          // Retry the rejected suffix a bounded number of times (it stays
+          // in `batch`), then count whatever never made it as rejected.
+          for (int retry = 0; retry < 4 && !batch.empty(); ++retry) {
+            acct.accepted.fetch_add(q.EnqueueBatch(std::move(batch)));
+          }
+          acct.rejected.fetch_add(batch.size());
+          batch.clear();
+        }
+      }
+      const size_t tail = batch.size();
+      const size_t in = q.EnqueueBatch(std::move(batch));
+      acct.accepted.fetch_add(in);
+      acct.rejected.fetch_add(tail - in);
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&, c] {
+      std::vector<int> out;
+      while (true) {
+        if (c == 0) {
+          out.clear();
+          const size_t n = q.DequeueUpTo(8, &out);
+          if (n == 0) break;  // Closed and drained.
+          acct.dequeued.fetch_add(n);
+        } else {
+          auto v = q.Dequeue();
+          if (!v.has_value()) break;
+          acct.dequeued.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  DrainRemaining(&q, &acct);
+  CheckConservation(q, acct);
+}
+
+TEST(StressQueueTest, FaultedBatchOpsUnderContentionConserve) {
+  // Fault hooks fire per ELEMENT inside batch operations while threads
+  // race — the batch paths must keep the same accounting as singles.
+  FaultInjector fi(99);
+  FaultInjector::QueueFaultProfile profile;
+  profile.drop = 0.05;
+  profile.delay = 0.05;
+  profile.reorder = 0.10;
+  QueueOptions opts = ExchangeQueueOptions(32);
+  opts.faults = fi.MakeQueueHooks(profile, profile);
+  FjordQueue<int> q(opts);
+  QueueAccounting acct;
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&] {
+      std::vector<int> batch;
+      for (int i = 0; i < 20000; ++i) {
+        batch.push_back(i);
+        if (batch.size() == 8) {
+          acct.accepted.fetch_add(q.EnqueueBatch(std::move(batch)));
+          batch.clear();  // Rejected suffix counts as rejected.
+        }
+      }
+      acct.accepted.fetch_add(q.EnqueueBatch(std::move(batch)));
+    });
+  }
+  std::thread consumer([&] {
+    std::vector<int> out;
+    while (true) {
+      out.clear();
+      const size_t n = q.DequeueUpTo(8, &out);
+      if (n == 0) break;
+      acct.dequeued.fetch_add(n);
+    }
+  });
+  for (auto& t : producers) t.join();
+  q.Close();
+  consumer.join();
+  DrainRemaining(&q, &acct);
+  EXPECT_GT(q.FaultDrops(), 0u);
+  EXPECT_EQ(q.DelayedCount(), 0u);  // Close released all delays.
+  CheckConservation(q, acct);
+}
+
 TEST(StressQueueTest, RandomizedMixedOpsInterleavings) {
   // StressRunner drives a random mix of operations against one queue from
   // several threads under a small time budget — a scattershot of

@@ -28,7 +28,7 @@ TEST(TupleTest, CellsAndTimestamp) {
 TEST(TupleTest, CopiesShareCells) {
   Tuple a = StockTuple(1, "A", 1.0);
   Tuple b = a;
-  EXPECT_EQ(&a.cells(), &b.cells());
+  EXPECT_EQ(a.cells().data(), b.cells().data());
   b.set_timestamp(99);
   EXPECT_EQ(a.timestamp(), 1);  // Timestamp is per-instance.
 }
