@@ -231,11 +231,22 @@ void Eddy::Drain() {
     queue_.pop_front();
     RouteOne(std::move(rt));
   }
-  // The injected batch (if any) has fully routed: retire its amortization
-  // so later single-tuple injections make fresh decisions.
+  // The injected batch (if any) has fully routed: retire its amortization.
+  // Entries widened to the batch length are clamped back to the configured
+  // batch_size budget rather than discarded, so the §4.3 knob keeps its
+  // remaining reuses across Drain calls exactly as if no batch had been
+  // injected; with batch_size == 1 no reuse is configured and the cache
+  // only held batch-widened entries, so it empties entirely.
   if (batch_hint_ > 0) {
     batch_hint_ = 0;
-    decision_cache_.clear();
+    if (options_.batch_size > 1) {
+      const size_t cap = options_.batch_size - 1;
+      for (auto& entry : decision_cache_) {
+        if (entry.second.remaining > cap) entry.second.remaining = cap;
+      }
+    } else {
+      decision_cache_.clear();
+    }
   }
 }
 

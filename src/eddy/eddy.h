@@ -158,9 +158,11 @@ class Eddy {
   std::unordered_map<uint64_t, CachedDecision> decision_cache_;
   /// When > 1, an injected batch of this many tuples is in flight: new
   /// cached decisions get at least batch_hint_ - 1 reuses, so the whole
-  /// batch routes through one decision per stage. Reset (and the cache
-  /// cleared) when Drain() empties the queue, so batch amortization never
-  /// leaks into subsequent single-tuple injections.
+  /// batch routes through one decision per stage. Reset when Drain()
+  /// empties the queue, with cache entries clamped back to the
+  /// options_.batch_size budget (cleared when that knob is 1), so batch
+  /// amortization never leaks into subsequent single-tuple injections
+  /// while the configured knob keeps its remaining reuses.
   size_t batch_hint_ = 0;
 
   /// Reusable per-hop scratch (safe: routing is single-threaded and

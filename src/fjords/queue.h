@@ -120,9 +120,10 @@ class FjordQueue {
   /// Returns the number of elements accepted — always a prefix of
   /// `items`, in order. Accepted elements are erased from `items`; a
   /// non-accepted suffix (queue closed, or full in non-blocking mode
-  /// without drop_oldest) REMAINS in `items` so the producer can retry
-  /// or account for it. Blocking mode waits for space per element and
-  /// accepts everything unless the queue closes mid-batch.
+  /// without drop_oldest) REMAINS in `items`, each element intact (never
+  /// moved-from — rejection happens before any move), so the producer
+  /// can retry or account for it. Blocking mode waits for space per
+  /// element and accepts everything unless the queue closes mid-batch.
   size_t EnqueueBatch(std::vector<T>&& items) {
     size_t accepted = 0;
     size_t added = 0;
@@ -273,7 +274,13 @@ class FjordQueue {
   /// held (may release it while waiting for space). *added accumulates
   /// the number of elements made visible to consumers, for notification
   /// after unlock. Returns false when the element was not inserted.
-  bool EnqueueOneLocked(T item, std::unique_lock<std::mutex>* lock,
+  ///
+  /// Takes the element by rvalue reference and only moves from it at the
+  /// actual insertion/delay point, AFTER the closed and capacity gates:
+  /// a rejected element is left intact in the caller, which is what lets
+  /// EnqueueBatch honor its retryable-suffix contract for move-only or
+  /// move-invalidating payloads (e.g. Tuple).
+  bool EnqueueOneLocked(T&& item, std::unique_lock<std::mutex>* lock,
                         size_t* added) {
     if (closed_) return false;
     // Age countdowns once per element, BEFORE the capacity gate, so the

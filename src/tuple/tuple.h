@@ -47,6 +47,27 @@ class Tuple {
     return Tuple(std::move(cells), ts);
   }
 
+  Tuple(const Tuple&) = default;
+  Tuple& operator=(const Tuple&) = default;
+
+  // Explicit move ops: the defaulted ones would null cells_ but leave
+  // size_ behind, so a moved-from tuple's arity() would lie and cell()
+  // would dereference a null block. Keep the moved-from state a valid
+  // empty tuple instead (producers retrying a rejected batch suffix
+  // depend on moved-from == empty, never corrupt).
+  Tuple(Tuple&& other) noexcept
+      : cells_(std::move(other.cells_)),
+        size_(std::exchange(other.size_, 0)),
+        ts_(other.ts_),
+        seq_(other.seq_) {}
+  Tuple& operator=(Tuple&& other) noexcept {
+    cells_ = std::move(other.cells_);
+    size_ = std::exchange(other.size_, 0);
+    ts_ = other.ts_;
+    seq_ = other.seq_;
+    return *this;
+  }
+
   /// Single-allocation construction: allocates `n` NULL cells, hands the
   /// raw array to `fill` for in-place population, and only then shares
   /// the block. This is the hot-path factory for Concat/Project/Widen —

@@ -141,6 +141,43 @@ TEST(EddyTest, BatchingReducesDecisions) {
   EXPECT_GT(d1, d64 * 10);  // Decision count collapses with batching.
 }
 
+TEST(EddyTest, BatchSizeBudgetPersistsAcrossDrains) {
+  // Retiring an injected batch at the end of Drain() must not discard the
+  // remaining reuse budget of the configured batch_size knob: entries are
+  // clamped back to the knob's span, not cleared, so interleaving batch
+  // injections leaves the decision count where single-tuple injections
+  // would have put it. (Result sets are routing-invariant either way.)
+  auto run = [](bool use_batches) {
+    SingleSourceFixture fx;
+    Eddy::Options opts;
+    opts.batch_size = 64;
+    Eddy eddy(&fx.layout, std::make_unique<LotteryPolicy>(3), opts);
+    ExprPtr truth = Expr::Literal(Value::Bool(true));
+    eddy.AddOperator(std::make_shared<FilterOp>("f1", truth, fx.SourceSet()));
+    eddy.AddOperator(std::make_shared<FilterOp>("f2", truth, fx.SourceSet()));
+    int64_t k = 0;
+    for (int chunk = 0; chunk < 100; ++chunk) {
+      if (use_batches) {
+        std::vector<Tuple> batch;
+        for (int i = 0; i < 10; ++i, ++k) batch.push_back(KVTuple(k, k));
+        eddy.InjectBatch(fx.s, batch);
+      } else {
+        for (int i = 0; i < 10; ++i, ++k) eddy.Inject(fx.s, KVTuple(k, k));
+      }
+      eddy.Drain();
+    }
+    EXPECT_EQ(eddy.emitted(), 1000u);
+    return eddy.decisions();
+  };
+  const uint64_t single = run(false);
+  const uint64_t batched = run(true);
+  // 1000 tuples / budget 64 ≈ 16 decisions per routing stage, either way.
+  // The regression being guarded against paid one fresh decision per
+  // stage per Drain (~100 per stage) when batches were in play.
+  EXPECT_LE(batched, single);
+  EXPECT_LT(batched, 100u);
+}
+
 TEST(EddyTest, FixedSequenceReducesDecisions) {
   auto run = [](size_t seq_len) {
     SingleSourceFixture fx;

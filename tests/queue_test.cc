@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "tuple/tuple.h"
+#include "tuple/value.h"
 
 namespace tcq {
 namespace {
@@ -245,6 +249,66 @@ TEST(FjordQueueTest, BatchFaultHooksFirePerElement) {
   std::vector<int> out;
   EXPECT_EQ(q.DequeueUpTo(16, &out), 6u);
   EXPECT_EQ(out, (std::vector<int>{1, 3, 5, 4, 6, 7}));
+}
+
+TEST(FjordQueueTest, EnqueueBatchRejectedSuffixIsNeverMovedFrom) {
+  // Move-only payload: if the queue moved from an element before deciding
+  // to reject it, the suffix would hold nullptrs and the retry would lose
+  // data. `int` payloads cannot catch this — a moved-from int keeps its
+  // value — so this is the integrity check for the retry contract.
+  FjordQueue<std::unique_ptr<int>> q(PushQueueOptions(2));
+  std::vector<std::unique_ptr<int>> batch;
+  for (int i = 1; i <= 5; ++i) batch.push_back(std::make_unique<int>(i));
+  EXPECT_EQ(q.EnqueueBatch(std::move(batch)), 2u);
+  ASSERT_EQ(batch.size(), 3u);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_NE(batch[i], nullptr);
+    EXPECT_EQ(*batch[i], static_cast<int>(i + 3));
+  }
+  // Retry delivers the suffix intact: every element arrives exactly once.
+  EXPECT_EQ(**q.Dequeue(), 1);
+  EXPECT_EQ(**q.Dequeue(), 2);
+  EXPECT_EQ(q.EnqueueBatch(std::move(batch)), 2u);
+  ASSERT_EQ(batch.size(), 1u);
+  ASSERT_NE(batch[0], nullptr);
+  EXPECT_EQ(*batch[0], 5);
+}
+
+TEST(FjordQueueTest, EnqueueBatchOnClosedQueueLeavesElementsIntact) {
+  FjordQueue<std::unique_ptr<int>> q(PullQueueOptions(4));
+  q.Close();
+  std::vector<std::unique_ptr<int>> batch;
+  batch.push_back(std::make_unique<int>(1));
+  batch.push_back(std::make_unique<int>(2));
+  EXPECT_EQ(q.EnqueueBatch(std::move(batch)), 0u);
+  ASSERT_EQ(batch.size(), 2u);
+  ASSERT_NE(batch[0], nullptr);
+  EXPECT_EQ(*batch[0], 1);
+  ASSERT_NE(batch[1], nullptr);
+  EXPECT_EQ(*batch[1], 2);
+}
+
+TEST(FjordQueueTest, EnqueueBatchTupleSuffixStaysValidForRetry) {
+  // The production payload and the exact SourceModule carry_ retry path:
+  // fill a non-blocking edge, batch past capacity, and require every
+  // rejected tuple to still be a readable, correct tuple before retrying.
+  FjordQueue<Tuple> q(PushQueueOptions(2));
+  std::vector<Tuple> batch;
+  for (int i = 1; i <= 5; ++i) {
+    batch.push_back(Tuple::Make({Value::Int64(i)}, /*ts=*/i));
+  }
+  EXPECT_EQ(q.EnqueueBatch(std::move(batch)), 2u);
+  ASSERT_EQ(batch.size(), 3u);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(batch[i].arity(), 1u);
+    EXPECT_EQ(batch[i].cell(0).int64_value(), static_cast<int64_t>(i + 3));
+    EXPECT_EQ(batch[i].timestamp(), static_cast<Timestamp>(i + 3));
+  }
+  q.Dequeue();
+  q.Dequeue();
+  EXPECT_EQ(q.EnqueueBatch(std::move(batch)), 2u);
+  EXPECT_EQ(q.Dequeue()->cell(0).int64_value(), 3);
+  EXPECT_EQ(q.Dequeue()->cell(0).int64_value(), 4);
 }
 
 TEST(FjordQueueTest, SizeTracksContents) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 namespace tcq {
 namespace {
 
@@ -31,6 +33,24 @@ TEST(TupleTest, CopiesShareCells) {
   EXPECT_EQ(a.cells().data(), b.cells().data());
   b.set_timestamp(99);
   EXPECT_EQ(a.timestamp(), 1);  // Timestamp is per-instance.
+}
+
+TEST(TupleTest, MovedFromTupleIsValidEmpty) {
+  // Moved-from tuples must stay safe to read: arity 0, no cells — never
+  // a nonzero size over a null block. Queue/vector shuffles on the hot
+  // path rely on this.
+  Tuple a = StockTuple(4, "A", 2.0);
+  Tuple b = std::move(a);
+  EXPECT_EQ(b.arity(), 3u);
+  EXPECT_EQ(b.cell(1).string_value(), "A");
+  EXPECT_EQ(a.arity(), 0u);  // NOLINT(bugprone-use-after-move): the contract.
+  EXPECT_TRUE(a.cells().empty());
+
+  Tuple c;
+  c = std::move(b);
+  EXPECT_EQ(c.arity(), 3u);
+  EXPECT_EQ(b.arity(), 0u);  // NOLINT(bugprone-use-after-move): the contract.
+  EXPECT_TRUE(b.cells().empty());
 }
 
 TEST(TupleTest, ConcatAppendsAndTakesMaxTimestamp) {
