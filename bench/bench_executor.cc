@@ -15,6 +15,7 @@
 
 #include "core/server.h"
 #include "ingress/sources.h"
+#include "telemetry/metrics.h"
 
 namespace tcq {
 namespace {
@@ -23,6 +24,33 @@ Tuple Stock(int64_t day, const std::string& sym, double price) {
   return Tuple::Make(
       {Value::Int64(day), Value::String(sym), Value::Double(price)}, day);
 }
+
+/// Snapshots one registry counter so a benchmark can report the delta it
+/// caused — routing telemetry rides along in BENCH_<sha>.json baselines.
+class CounterDelta {
+ public:
+  explicit CounterDelta(const char* name)
+#ifndef TCQ_METRICS_DISABLED
+      : counter_(MetricRegistry::Global().GetCounter(name)),
+        start_(counter_->value())
+#endif
+  {
+    (void)name;
+  }
+  double value() const {
+#ifndef TCQ_METRICS_DISABLED
+    return static_cast<double>(counter_->value() - start_);
+#else
+    return 0.0;
+#endif
+  }
+
+ private:
+#ifndef TCQ_METRICS_DISABLED
+  Counter* counter_;
+  uint64_t start_;
+#endif
+};
 
 void BM_PushThroughputFilters(benchmark::State& state) {
   const size_t num_queries = static_cast<size_t>(state.range(0));
@@ -45,6 +73,8 @@ void BM_PushThroughputFilters(benchmark::State& state) {
   int64_t day = 1;
   size_t sym = 0;
   std::vector<Tuple> batch;
+  CounterDelta decisions("tcq.eddy.decisions");
+  CounterDelta cache_hits("tcq.eddy.cache_hits");
   while (state.KeepRunningBatch(kIngestBatch)) {
     batch.reserve(kIngestBatch);
     for (size_t i = 0; i < kIngestBatch; ++i) {
@@ -60,6 +90,12 @@ void BM_PushThroughputFilters(benchmark::State& state) {
   }
   state.counters["tuples_per_sec"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  // Batch-amortized routing: decisions-per-tuple well below 1 is the
+  // decision cache working (tcq.* registry deltas over the timed region).
+  state.counters["eddy_decisions_per_tuple"] =
+      decisions.value() / static_cast<double>(state.iterations());
+  state.counters["eddy_cache_hits_per_tuple"] =
+      cache_hits.value() / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_PushThroughputFilters)
     ->Arg(1)

@@ -56,5 +56,12 @@ int main() {
                   row.cell(0).double_value());
     }
   }
+
+  // 5. The engine observes itself: one JSON document covering the metric
+  // registry plus per-stream, per-query and per-eddy state (DESIGN.md
+  // §10). Continuous queries can also be run over the `tcq.metrics`
+  // stream — see the README's telemetry section.
+  std::printf("\ntelemetry snapshot:\n%s\n",
+              server.SnapshotMetrics().c_str());
   return 0;
 }

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compares two BENCH_<sha>.json files produced by scripts/bench.sh.
+
+Matches benchmarks by (binary, name), reports per-benchmark deltas in
+cpu_time (and tuples_per_sec where present), and exits non-zero when any
+benchmark regressed beyond the threshold — so both local runs and CI can
+gate on it.
+
+Usage:
+  scripts/bench_compare.py BENCH_old.json BENCH_new.json
+  scripts/bench_compare.py --threshold 10 old.json new.json
+  scripts/bench_compare.py --metric tuples_per_sec old.json new.json
+
+Exit codes: 0 = within threshold, 1 = regression, 2 = usage/parse error.
+
+Caveat: numbers are only comparable when both files come from the same
+machine under similar load (see scripts/bench.sh, which CPU-pins runs).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        key = (b.get("binary", ""), b["name"])
+        out[key] = b
+    if not out:
+        print(f"error: no benchmarks in {path}", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two bench.sh result files and gate on regressions.")
+    ap.add_argument("old", help="baseline BENCH_<sha>.json")
+    ap.add_argument("new", help="candidate BENCH_<sha>.json")
+    ap.add_argument("--threshold", type=float, default=5.0,
+                    help="fail when cpu_time regresses more than this "
+                         "percentage (default: %(default)s)")
+    ap.add_argument("--metric", default="cpu_time",
+                    choices=["cpu_time", "real_time", "tuples_per_sec"],
+                    help="metric to gate on (default: %(default)s)")
+    args = ap.parse_args()
+
+    old = load(args.old)
+    new = load(args.new)
+    # For throughput metrics higher is better; for times lower is better.
+    higher_is_better = args.metric == "tuples_per_sec"
+
+    rows = []
+    regressions = []
+    for key in sorted(old.keys() | new.keys()):
+        binary, name = key
+        label = f"{binary}:{name}" if binary else name
+        if key not in old:
+            rows.append((label, None, new[key].get(args.metric), None, "new"))
+            continue
+        if key not in new:
+            rows.append((label, old[key].get(args.metric), None, None,
+                         "removed"))
+            continue
+        a = old[key].get(args.metric)
+        b = new[key].get(args.metric)
+        if a is None or b is None or a == 0:
+            rows.append((label, a, b, None, "no data"))
+            continue
+        delta_pct = (b - a) / a * 100.0
+        regressed = (delta_pct < -args.threshold if higher_is_better
+                     else delta_pct > args.threshold)
+        note = "REGRESSION" if regressed else ""
+        if regressed:
+            regressions.append(label)
+        rows.append((label, a, b, delta_pct, note))
+
+    width = max(len(r[0]) for r in rows)
+    unit = "" if higher_is_better else " (lower is better)"
+    print(f"metric: {args.metric}{unit}, threshold: {args.threshold}%")
+    for label, a, b, delta, note in rows:
+        old_s = f"{a:12.3f}" if a is not None else f"{'-':>12}"
+        new_s = f"{b:12.3f}" if b is not None else f"{'-':>12}"
+        delta_s = f"{delta:+8.2f}%" if delta is not None else f"{'-':>9}"
+        print(f"  {label:<{width}}  {old_s}  {new_s}  {delta_s}  {note}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold}%:", file=sys.stderr)
+        for label in regressions:
+            print(f"  {label}", file=sys.stderr)
+        sys.exit(1)
+    print("\nOK: no regressions beyond threshold")
+
+
+if __name__ == "__main__":
+    main()

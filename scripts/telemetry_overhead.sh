@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Measures the cost of the always-on telemetry layer: runs the tracked
+# hot-path benchmark (BM_PushThroughputFilters/64 by default) once in a
+# default build and once with -DTCQ_DISABLE_METRICS=ON (registry mirrors
+# and trace hooks compiled out), and fails if the instrumented build is
+# more than MAX_OVERHEAD_PCT slower.
+#
+# Usage:
+#   scripts/telemetry_overhead.sh            # full run
+#   scripts/telemetry_overhead.sh --quick    # CI smoke (short min_time)
+#   MAX_OVERHEAD_PCT=10 scripts/telemetry_overhead.sh
+#   BENCH_FILTER='BM_PushThroughputFilters/64$' scripts/telemetry_overhead.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+MAX_OVERHEAD_PCT="${MAX_OVERHEAD_PCT:-5}"
+BENCH_FILTER="${BENCH_FILTER:-BM_PushThroughputFilters/64\$}"
+BENCH_BIN="bench_executor"
+
+EXTRA_ARGS=(--benchmark_filter="$BENCH_FILTER")
+ROUNDS="${ROUNDS:-5}"
+if [[ "${1:-}" == "--quick" ]]; then
+  EXTRA_ARGS+=(--benchmark_min_time=0.05)
+fi
+
+PIN=()
+if command -v taskset >/dev/null 2>&1; then
+  PIN=(taskset -c 0)
+fi
+
+build_config() {  # build_config <build_dir> <extra cmake flags...>
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target "$BENCH_BIN" >/dev/null
+}
+
+echo "==> building: telemetry enabled (default) + compiled out" >&2
+build_config build-telemetry-on
+build_config build-telemetry-off -DTCQ_DISABLE_METRICS=ON
+
+# Alternate the two binaries for ROUNDS rounds and gate on the per-config
+# MINIMUM: frequency/thermal drift and scheduler noise hit both configs
+# alike, and the min is the least-perturbed observation of each.
+TMPDIR_OH="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_OH"' EXIT
+for ((i = 0; i < ROUNDS; ++i)); do
+  echo "==> round $((i + 1))/$ROUNDS" >&2
+  "${PIN[@]}" build-telemetry-on/bench/"$BENCH_BIN" \
+      --benchmark_format=json "${EXTRA_ARGS[@]}" >"$TMPDIR_OH/on.$i.json"
+  "${PIN[@]}" build-telemetry-off/bench/"$BENCH_BIN" \
+      --benchmark_format=json "${EXTRA_ARGS[@]}" >"$TMPDIR_OH/off.$i.json"
+done
+
+python3 - "$MAX_OVERHEAD_PCT" "$ROUNDS" "$TMPDIR_OH" <<'PY'
+import json
+import sys
+
+max_pct, rounds, tmpdir = float(sys.argv[1]), int(sys.argv[2]), sys.argv[3]
+
+def best_cpu(config):
+    best, name = None, None
+    for i in range(rounds):
+        with open(f"{tmpdir}/{config}.{i}.json") as f:
+            doc = json.load(f)
+        for b in doc.get("benchmarks", []):
+            if b.get("run_type") == "aggregate":
+                continue
+            if best is None or b["cpu_time"] < best:
+                best, name = b["cpu_time"], b["name"]
+    if best is None:
+        raise SystemExit(f"error: no benchmark output for config {config}")
+    return best, name
+
+enabled, name = best_cpu("on")
+disabled, _ = best_cpu("off")
+overhead = (enabled - disabled) / disabled * 100.0
+print(f"{name}: enabled={enabled:.3f}us compiled-out={disabled:.3f}us "
+      f"overhead={overhead:+.2f}% (limit {max_pct}%, "
+      f"min over {rounds} alternating rounds)")
+if overhead > max_pct:
+    print(f"FAIL: telemetry overhead {overhead:.2f}% exceeds {max_pct}%",
+          file=sys.stderr)
+    sys.exit(1)
+print("OK: telemetry overhead within limit")
+PY

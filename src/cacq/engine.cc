@@ -263,6 +263,16 @@ void CacqEngine::EvictBefore(Timestamp ts) {
   for (auto& [jk, stem] : stems_) stem->EvictBefore(ts);
 }
 
+std::vector<CacqEngine::StemSnapshot> CacqEngine::stem_snapshots() const {
+  std::vector<StemSnapshot> out;
+  out.reserve(stems_.size());
+  for (const auto& [jk, stem] : stems_) {
+    out.push_back(StemSnapshot{stem->name(), stem->size(), stem->probes(),
+                               stem->scanned()});
+  }
+  return out;
+}
+
 void CacqEngine::Deliver(RoutedTuple&& rt) {
   if (!sink_ || rt.queries.None()) return;
   rt.queries.ForEachSet([&](size_t q) {

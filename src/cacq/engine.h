@@ -83,6 +83,16 @@ class CacqEngine {
   const Eddy& eddy() const { return *eddy_; }
   const SourceLayout& layout() const { return layout_; }
 
+  /// Snapshot of one shared SteM's state for introspection
+  /// (Server::SnapshotMetrics).
+  struct StemSnapshot {
+    std::string name;
+    size_t size = 0;       ///< Live stored tuples.
+    uint64_t probes = 0;
+    uint64_t scanned = 0;
+  };
+  std::vector<StemSnapshot> stem_snapshots() const;
+
  private:
   struct JoinKey {
     size_t target_source;

@@ -18,6 +18,7 @@ void SharedSteM::Insert(const Tuple& tuple, const SmallBitset& queries) {
   }
   entries_.push_back(Entry{tuple, queries, false});
   ++live_;
+  TCQ_METRIC(stem_internal::AggregateMetrics::Get().inserts->Add(1));
 }
 
 size_t SharedSteM::EvictBefore(Timestamp ts) {
@@ -27,6 +28,7 @@ size_t SharedSteM::EvictBefore(Timestamp ts) {
       e.dead = true;
       --live_;
       ++n;
+      TCQ_METRIC(stem_internal::AggregateMetrics::Get().evictions->Add(1));
     }
   }
   CompactFront();

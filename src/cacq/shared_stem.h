@@ -8,6 +8,7 @@
 
 #include "common/bitset.h"
 #include "common/clock.h"
+#include "stem/stem.h"
 #include "tuple/schema.h"
 #include "tuple/tuple.h"
 #include "tuple/value.h"
@@ -37,10 +38,12 @@ class SharedSteM {
   void ProbeCollect(const Value* key, Timestamp lo, Timestamp hi,
                     Fn&& fn) const {
     ++probes_;
+    TCQ_METRIC(stem_internal::AggregateMetrics::Get().probes->Add(1));
     auto consider = [&](size_t pos) {
       const Entry& e = entries_[pos];
       if (e.dead) return;
       ++scanned_;
+      TCQ_METRIC(stem_internal::AggregateMetrics::Get().scanned->Add(1));
       const Timestamp ts = e.tuple.timestamp();
       if (ts < lo || ts > hi) return;
       fn(e.tuple, e.queries);
@@ -90,8 +93,11 @@ class SharedSteM {
   uint64_t base_id_ = 0;
   size_t live_ = 0;
   std::unordered_multimap<Value, uint64_t, ValueHash> index_;
-  mutable uint64_t probes_ = 0;
-  mutable uint64_t scanned_ = 0;
+  // Telemetry counters (relaxed atomics): the probes()/scanned() accessors
+  // are thin views, and the process-wide tcq.stem.* aggregates see every
+  // shared probe too.
+  mutable Counter probes_;
+  mutable Counter scanned_;
 };
 
 using SharedSteMPtr = std::shared_ptr<SharedSteM>;

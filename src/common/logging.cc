@@ -27,12 +27,26 @@ std::mutex& LogMutex() {
   static std::mutex mu;
   return mu;
 }
+
+Logger::Sink& TestSink() {
+  static Logger::Sink sink;
+  return sink;
+}
 }  // namespace
 
 void Logger::Write(LogLevel level, const std::string& msg) {
   if (!Enabled(level) && level != LogLevel::kFatal) return;
   std::lock_guard<std::mutex> lock(LogMutex());
+  if (TestSink()) {
+    TestSink()(level, msg);
+    return;
+  }
   std::cerr << "[" << LevelName(level) << "] " << msg << "\n";
+}
+
+void Logger::SetSinkForTest(Sink sink) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  TestSink() = std::move(sink);
 }
 
 }  // namespace tcq

@@ -2,7 +2,9 @@
 #define TCQ_COMMON_LOGGING_H_
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -31,8 +33,14 @@ class Logger {
   }
   static bool Enabled(LogLevel level) { return level >= threshold(); }
 
-  /// Serializes a formatted line to stderr.
+  /// Serializes a formatted line to stderr (or the test sink).
   static void Write(LogLevel level, const std::string& msg);
+
+  /// Redirects Write() to `sink` instead of stderr (nullptr restores
+  /// stderr). Used by tests asserting on emitted lines; the sink runs
+  /// under the logger's serialization mutex, so keep it cheap.
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+  static void SetSinkForTest(Sink sink);
 
  private:
   static std::atomic<int> threshold_;
@@ -71,6 +79,27 @@ class LogMessageVoidify {
   !::tcq::Logger::Enabled(::tcq::LogLevel::k##severity)              \
       ? (void)0                                                      \
       : ::tcq::internal::LogMessageVoidify() &                       \
+            TCQ_LOG_INTERNAL(::tcq::LogLevel::k##severity)
+
+/// Rate-limited logging for hot-path instrumentation: emits the 1st,
+/// (n+1)th, (2n+1)th, ... *enabled* occurrence at this call site and
+/// swallows the rest, so a per-tuple diagnostic cannot flood stderr.
+/// Each expansion site owns its occurrence counter (the static lives in
+/// the per-site lambda); counting is a relaxed atomic increment, and the
+/// counter only advances while the severity is enabled — flipping the
+/// threshold later starts the site fresh at its next occurrence.
+/// Usable anywhere an expression statement is (unbraced if-arms included).
+#define TCQ_LOG_EVERY_N(severity, n)                                      \
+  !(::tcq::Logger::Enabled(::tcq::LogLevel::k##severity) &&               \
+    []() {                                                                \
+      static ::std::atomic<uint64_t> tcq_log_site_count{0};               \
+      return tcq_log_site_count.fetch_add(                                \
+                 1, ::std::memory_order_relaxed) %                        \
+                 static_cast<uint64_t>(n) ==                              \
+             0;                                                           \
+    }())                                                                  \
+      ? (void)0                                                           \
+      : ::tcq::internal::LogMessageVoidify() &                            \
             TCQ_LOG_INTERNAL(::tcq::LogLevel::k##severity)
 
 /// Invariant check that aborts (with message) in all build modes.

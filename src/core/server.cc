@@ -3,10 +3,36 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "fjords/queue.h"
+#include "stem/stem.h"
+#include "telemetry/metrics.h"
 
 namespace tcq {
 
 namespace {
+
+#ifndef TCQ_METRICS_DISABLED
+/// Process-wide ingest/egress aggregates (DESIGN.md §10); the per-stream
+/// and per-query detail lives on Server state and is composed by
+/// SnapshotMetrics / PumpMetrics.
+struct ServerMetrics {
+  Counter* ingested;
+  Counter* rejected;
+  Counter* delivered_rows;
+
+  static ServerMetrics& Get() {
+    static ServerMetrics* m = [] {
+      MetricRegistry& reg = MetricRegistry::Global();
+      auto* agg = new ServerMetrics();
+      agg->ingested = reg.GetCounter("tcq.server.ingested");
+      agg->rejected = reg.GetCounter("tcq.server.rejected");
+      agg->delivered_rows = reg.GetCounter("tcq.server.delivered_rows");
+      return agg;
+    }();
+    return *m;
+  }
+};
+#endif  // TCQ_METRICS_DISABLED
 
 /// Rewrites every column reference to its bare (unqualified) name. Used on
 /// the CACQ path: the shared engine's layout qualifies columns by stream
@@ -39,7 +65,23 @@ ExprPtr StripQualifiers(const ExprPtr& e) {
 
 Server::Server() : Server(Options()) {}
 
-Server::Server(Options options) : options_(std::move(options)) {}
+Server::Server(Options options) : options_(std::move(options)) {
+  // Reserved introspection stream: continuous queries over engine
+  // telemetry (PumpMetrics publishes snapshots into it).
+  SchemaPtr schema = Schema::Make({{"name", ValueType::kString, ""},
+                                   {"kind", ValueType::kString, ""},
+                                   {"value", ValueType::kDouble, ""}});
+  Status st = DefineStream(kMetricsStream, std::move(schema));
+  TCQ_CHECK(st.ok()) << st;
+#ifndef TCQ_METRICS_DISABLED
+  // Pre-register the spine's metric families (they otherwise appear on
+  // first use), so snapshots and the introspection stream have a stable
+  // name set from the first pump — zero-valued until the path is hit.
+  ServerMetrics::Get();
+  queue_internal::EdgeMetrics::Get();
+  stem_internal::AggregateMetrics::Get();
+#endif
+}
 
 Status Server::DefineStream(const std::string& name, SchemaPtr schema,
                             int timestamp_field) {
@@ -258,7 +300,13 @@ Status Server::PushLocked(const std::string& stream, const Tuple& tuple) {
   }
   StreamState& ss = it->second;
   Tuple stamped = tuple;
-  TCQ_RETURN_NOT_OK(StampLocked(&ss, &stamped));
+  Status st = StampLocked(&ss, &stamped);
+  if (!st.ok()) {
+    ++ss.rejected;
+    TCQ_METRIC(ServerMetrics::Get().rejected->Add(1));
+    return st;
+  }
+  TCQ_METRIC(ServerMetrics::Get().ingested->Add(1));
 
   // Spool into the archive that serves window scans.
   ss.archive->Append(stamped);
@@ -280,7 +328,12 @@ Status Server::PushBatch(const std::string& stream, std::vector<Tuple> batch,
   if (it == streams_.end()) {
     return Status::NotFound("unknown stream: " + stream);
   }
-  StreamState& ss = it->second;
+  return IngestBatchLocked(stream, &it->second, std::move(batch), rejected);
+}
+
+Status Server::IngestBatchLocked(const std::string& stream, StreamState* sp,
+                                 std::vector<Tuple> batch, size_t* rejected) {
+  StreamState& ss = *sp;
 
   // Stamp and spool the whole batch in one pass, compacting the valid
   // tuples to the front so the shared eddy sees one contiguous batch.
@@ -289,6 +342,8 @@ Status Server::PushBatch(const std::string& stream, std::vector<Tuple> batch,
   for (Tuple& tuple : batch) {
     Status st = StampLocked(&ss, &tuple);
     if (!st.ok()) {
+      ++ss.rejected;
+      TCQ_METRIC(ServerMetrics::Get().rejected->Add(1));
       if (rejected == nullptr) {
         first_error = std::move(st);
         break;  // Ingest the valid prefix, then report, like a Push loop.
@@ -301,6 +356,7 @@ Status Server::PushBatch(const std::string& stream, std::vector<Tuple> batch,
     ++kept;
   }
   batch.resize(kept);
+  TCQ_METRIC(ServerMetrics::Get().ingested->Add(kept));
 
   // One shared-eddy injection and one windowed advance for the batch.
   if (kept > 0) {
@@ -322,6 +378,8 @@ Status Server::PushAll(const std::string& stream, TupleSource* source) {
 
 void Server::DeliverResults(QueryState* qs, std::vector<ResultSet>&& sets) {
   for (ResultSet& rs : sets) {
+    qs->rows_delivered += rs.rows.size();
+    TCQ_METRIC(ServerMetrics::Get().delivered_rows->Add(rs.rows.size()));
     if (qs->callback) {
       qs->callback(rs);
     } else {
@@ -358,6 +416,152 @@ size_t Server::num_active_queries() const {
     if (q->active) ++n;
   }
   return n;
+}
+
+size_t Server::PumpMetrics() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(kMetricsStream);
+  TCQ_CHECK(it != streams_.end()) << "introspection stream missing";
+
+  std::vector<Tuple> rows;
+  auto add = [&rows](const std::string& name, const char* kind,
+                     double value) {
+    rows.push_back(Tuple::Make({Value::String(name), Value::String(kind),
+                                Value::Double(value)}));
+  };
+
+  // The global registry (empty under -DTCQ_DISABLE_METRICS).
+  for (const MetricSample& s : MetricRegistry::Global().Snapshot()) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        add(s.name, "counter", s.value);
+        break;
+      case MetricKind::kGauge:
+        add(s.name, "gauge", s.value);
+        break;
+      case MetricKind::kHistogram:
+        add(s.name + ".count", "histogram", s.value);
+        add(s.name + ".sum", "histogram", s.sum);
+        add(s.name + ".p50", "histogram", s.p50);
+        add(s.name + ".p99", "histogram", s.p99);
+        break;
+    }
+  }
+
+  // Per-stream / per-query detail only the server knows. These stay live
+  // in every build, so queries over tcq.metrics always see tuples.
+  for (const auto& [name, ss] : streams_) {
+    if (name == kMetricsStream) continue;  // No self-feedback rows.
+    const std::string prefix = "tcq.stream." + name + ".";
+    add(prefix + "arrivals", "counter", static_cast<double>(ss.arrivals));
+    add(prefix + "rejected", "counter", static_cast<double>(ss.rejected));
+    add(prefix + "watermark", "gauge",
+        ss.watermark == kMinTimestamp ? 0.0
+                                      : static_cast<double>(ss.watermark));
+  }
+  size_t active = 0;
+  uint64_t delivered = 0;
+  for (const auto& q : queries_) {
+    if (q->active) ++active;
+    delivered += q->rows_delivered;
+  }
+  add("tcq.server.active_queries", "gauge", static_cast<double>(active));
+  add("tcq.server.query_delivered_rows", "counter",
+      static_cast<double>(delivered));
+
+  const size_t n = rows.size();
+  Status st =
+      IngestBatchLocked(kMetricsStream, &it->second, std::move(rows), nullptr);
+  TCQ_CHECK(st.ok()) << st;
+  return n;
+}
+
+namespace {
+
+void AppendKey(const std::string& key, std::string* out) {
+  out->push_back('"');
+  *out += JsonEscape(key);
+  *out += "\":";
+}
+
+}  // namespace
+
+std::string Server::SnapshotMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"metrics\":{";
+  bool first = true;
+  for (const MetricSample& s : MetricRegistry::Global().Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    AppendSampleJson(s, &out);
+  }
+
+  out += "},\"streams\":{";
+  first = true;
+  for (const auto& [name, ss] : streams_) {
+    if (!first) out += ",";
+    first = false;
+    AppendKey(name, &out);
+    out += "{\"arrivals\":" + std::to_string(ss.arrivals) +
+           ",\"rejected\":" + std::to_string(ss.rejected) + ",\"watermark\":" +
+           std::to_string(ss.watermark == kMinTimestamp ? 0 : ss.watermark) +
+           ",\"cacq_queries\":" +
+           std::to_string(ss.cacq != nullptr ? ss.cacq->num_active_queries()
+                                             : 0) +
+           "}";
+  }
+
+  out += "},\"queries\":{";
+  first = true;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    const QueryState& qs = *queries_[q];
+    if (!first) out += ",";
+    first = false;
+    AppendKey(std::to_string(q), &out);
+    out += std::string("{\"active\":") + (qs.active ? "true" : "false") +
+           ",\"kind\":\"" + (qs.is_cacq ? "cacq" : "windowed") +
+           "\",\"delivered_rows\":" + std::to_string(qs.rows_delivered) +
+           ",\"pending_sets\":" + std::to_string(qs.results.size()) + "}";
+  }
+
+  // Shared-eddy detail per stream that has one: routing counters, per-op
+  // stats (thin views over the telemetry counters) and SteM snapshots.
+  out += "},\"eddies\":{";
+  first = true;
+  for (const auto& [name, ss] : streams_) {
+    if (ss.cacq == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    const Eddy& eddy = ss.cacq->eddy();
+    AppendKey(name, &out);
+    out += "{\"decisions\":" + std::to_string(eddy.decisions()) +
+           ",\"visits\":" + std::to_string(eddy.visits()) +
+           ",\"emitted\":" + std::to_string(eddy.emitted()) +
+           ",\"cache_hits\":" + std::to_string(eddy.decision_cache_hits()) +
+           ",\"cache_misses\":" +
+           std::to_string(eddy.decision_cache_misses()) + ",\"ops\":[";
+    const std::vector<EddyOpStats>& stats = eddy.op_stats();
+    for (size_t i = 0; i < stats.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "{\"name\":\"" + JsonEscape(eddy.op(i)->name()) +
+             "\",\"routed\":" + std::to_string(stats[i].routed.value()) +
+             ",\"passed\":" + std::to_string(stats[i].passed.value()) +
+             ",\"produced\":" + std::to_string(stats[i].produced.value()) +
+             "}";
+    }
+    out += "],\"stems\":[";
+    const auto stems = ss.cacq->stem_snapshots();
+    for (size_t i = 0; i < stems.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "{\"name\":\"" + JsonEscape(stems[i].name) +
+             "\",\"size\":" + std::to_string(stems[i].size) +
+             ",\"probes\":" + std::to_string(stems[i].probes) +
+             ",\"scanned\":" + std::to_string(stems[i].scanned) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
 }
 
 }  // namespace tcq

@@ -103,6 +103,26 @@ class Server {
 
   size_t num_active_queries() const;
 
+  // --- Telemetry ---------------------------------------------------------------
+  /// Name of the reserved introspection stream every server defines at
+  /// construction (schema: name STRING, kind STRING, value DOUBLE; arrival
+  /// sequence timestamps). Continuous queries range over engine telemetry
+  /// like over any stream:
+  ///   SELECT name, value FROM tcq.metrics WHERE value > 1000
+  static constexpr const char* kMetricsStream = "tcq.metrics";
+
+  /// Publishes one engine-telemetry snapshot into `tcq.metrics` as a
+  /// single batch of arrivals: every metric in the global registry plus
+  /// the per-stream / per-query detail only the server knows (ingest,
+  /// rejects, watermarks, delivered rows — live in every build, including
+  /// -DTCQ_DISABLE_METRICS). Returns the number of tuples published.
+  size_t PumpMetrics();
+
+  /// JSON snapshot of engine telemetry (contract in DESIGN.md §10): the
+  /// global metric registry plus per-stream, per-query and shared-eddy
+  /// detail. Used by the examples and scripts/bench.sh.
+  std::string SnapshotMetrics() const;
+
  private:
   struct QueryState {
     bool active = false;
@@ -113,6 +133,7 @@ class Server {
     QueryId cacq_id = 0;
     std::deque<ResultSet> results;
     Callback callback;
+    uint64_t rows_delivered = 0;  ///< Egress rows (queued or called back).
   };
 
   struct StreamState {
@@ -120,6 +141,7 @@ class Server {
     std::unique_ptr<Archive> archive;
     Timestamp watermark = kMinTimestamp;
     int64_t arrivals = 0;
+    int64_t rejected = 0;  ///< Tuples refused by validation/stamping.
     std::unique_ptr<CacqEngine> cacq;  ///< Lazily created shared eddy.
     std::map<QueryId, QueryId> cacq_to_server;  ///< Engine qid -> server qid.
   };
@@ -131,6 +153,9 @@ class Server {
   Status StampLocked(StreamState* ss, Tuple* tuple);
   /// Advances every windowed query whose footprint includes `stream`.
   void AdvanceQueriesLocked(const std::string& stream);
+  /// PushBatch body after the stream lookup; shared with PumpMetrics.
+  Status IngestBatchLocked(const std::string& stream, StreamState* ss,
+                           std::vector<Tuple> batch, size_t* rejected);
 
   mutable std::mutex mu_;
   Options options_;

@@ -3,10 +3,44 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace tcq {
 
 namespace {
+
+#ifndef TCQ_METRICS_DISABLED
+/// Process-wide routing telemetry, aggregated across eddies. Per-eddy and
+/// per-operator detail stays on the Eddy (op_stats() and the accessors
+/// above) and is composed into snapshots by whoever owns the eddy.
+struct RoutingMetrics {
+  Counter* injected;
+  Counter* decisions;
+  Counter* visits;
+  Counter* emitted;
+  Counter* cache_hits;
+  Counter* cache_misses;
+
+  static RoutingMetrics& Get() {
+    static RoutingMetrics m = [] {
+      MetricRegistry& r = MetricRegistry::Global();
+      return RoutingMetrics{r.GetCounter("tcq.eddy.injected"),
+                            r.GetCounter("tcq.eddy.decisions"),
+                            r.GetCounter("tcq.eddy.visits"),
+                            r.GetCounter("tcq.eddy.emitted"),
+                            r.GetCounter("tcq.eddy.cache_hits"),
+                            r.GetCounter("tcq.eddy.cache_misses")};
+    }();
+    return m;
+  }
+};
+
+/// Decision-source markers used between the decision point and TraceHop.
+constexpr int kDecisionPolicy = 0;
+constexpr int kDecisionCached = 1;
+constexpr int kDecisionSequence = 2;
+#endif
 /// Folds a bitset into one word (collision-free below 64 bits, which
 /// covers realistic source counts and all but enormous operator sets).
 uint64_t FoldBits(const SmallBitset& bits) {
@@ -52,6 +86,7 @@ void Eddy::Inject(size_t source, const Tuple& narrow) {
   RoutedTuple rt(layout_->Widen(source, narrow), std::move(sources),
                  ops_.size());
   rt.tuple.set_seq(next_seq_++);  // Arrival order, for join dedup.
+  TCQ_METRIC(rt.trace_id = Tracer::Global().MaybeStartTrace());
   queue_.push_back(std::move(rt));
 }
 
@@ -61,6 +96,7 @@ void Eddy::InjectBatch(size_t source, const std::vector<Tuple>& batch) {
   for (const Tuple& narrow : batch) {
     RoutedTuple rt(layout_->Widen(source, narrow), sources, ops_.size());
     rt.tuple.set_seq(next_seq_++);
+    TCQ_METRIC(rt.trace_id = Tracer::Global().MaybeStartTrace());
     queue_.push_back(std::move(rt));
   }
   if (batch.size() > batch_hint_) batch_hint_ = batch.size();
@@ -69,6 +105,9 @@ void Eddy::InjectBatch(size_t source, const std::vector<Tuple>& batch) {
 void Eddy::InjectRouted(RoutedTuple rt) {
   if (rt.done.size_bits() < ops_.size()) rt.done.Resize(ops_.size());
   if (rt.tuple.seq() == 0) rt.tuple.set_seq(next_seq_++);
+  if (rt.trace_id == 0) {
+    TCQ_METRIC(rt.trace_id = Tracer::Global().MaybeStartTrace());
+  }
   queue_.push_back(std::move(rt));
 }
 
@@ -101,6 +140,20 @@ void Eddy::SnapshotRanking(std::vector<size_t>* out) const {
 }
 
 void Eddy::Complete(RoutedTuple&& rt) {
+#ifndef TCQ_METRICS_DISABLED
+  if (rt.trace_id != 0) {
+    const bool emits = partial_sink_ != nullptr ||
+                       rt.sources.Count() == layout_->num_sources();
+    TraceEvent ev;
+    ev.trace_id = rt.trace_id;
+    ev.tuple_seq = rt.tuple.seq();
+    ev.op = emits ? "[emit]" : "[discard]";
+    ev.decision = TraceDecision::kNone;
+    ev.passed = emits;
+    ev.queue_depth = queue_.size();
+    Tracer::Global().Record(std::move(ev));
+  }
+#endif
   // Shared (CACQ) mode: the engine above decides per-query delivery from
   // the tuple's composition and lineage.
   if (partial_sink_) {
@@ -116,6 +169,44 @@ void Eddy::Complete(RoutedTuple&& rt) {
     if (sink_) sink_(std::move(rt));
   }
 }
+
+#ifndef TCQ_METRICS_DISABLED
+void Eddy::TraceHop(const RoutedTuple& rt, size_t op, int decision_src,
+                    bool passed) const {
+  TraceEvent ev;
+  ev.trace_id = rt.trace_id;
+  ev.tuple_seq = rt.tuple.seq();
+  ev.op = ops_[op]->name();
+  switch (decision_src) {
+    case kDecisionCached:
+      ev.decision = TraceDecision::kCached;
+      break;
+    case kDecisionSequence:
+      ev.decision = TraceDecision::kSequence;
+      break;
+    default:
+      ev.decision = TraceDecision::kPolicy;
+      break;
+  }
+  ev.passed = passed;
+  ev.queue_depth = queue_.size();
+  Tracer::Global().Record(std::move(ev));
+}
+
+void Eddy::FlushMetrics() {
+  RoutingMetrics& m = RoutingMetrics::Get();
+  m.decisions->Add(decisions_ - flushed_decisions_);
+  m.visits->Add(visits_ - flushed_visits_);
+  m.emitted->Add(emitted_ - flushed_emitted_);
+  m.cache_hits->Add(cache_hits_ - flushed_cache_hits_);
+  m.cache_misses->Add(cache_misses_ - flushed_cache_misses_);
+  flushed_decisions_ = decisions_;
+  flushed_visits_ = visits_;
+  flushed_emitted_ = emitted_;
+  flushed_cache_hits_ = cache_hits_;
+  flushed_cache_misses_ = cache_misses_;
+}
+#endif
 
 void Eddy::RouteOne(RoutedTuple rt) {
   if (rt.done.size_bits() < ops_.size()) rt.done.Resize(ops_.size());
@@ -133,6 +224,9 @@ void Eddy::RouteOne(RoutedTuple rt) {
   // over the whole batch at each routing stage.
   const size_t reuse_span = std::max(options_.batch_size, batch_hint_);
   size_t chosen;
+#ifndef TCQ_METRICS_DISABLED
+  int decision_src = kDecisionPolicy;
+#endif
   if (reuse_span > 1) {
     const uint64_t key = StageKey(rt);
     auto it = decision_cache_.find(key);
@@ -141,9 +235,12 @@ void Eddy::RouteOne(RoutedTuple rt) {
             eligible.end()) {
       chosen = it->second.op;
       --it->second.remaining;
+      ++cache_hits_;
+      TCQ_METRIC(decision_src = kDecisionCached);
     } else {
       chosen = policy_->Choose(eligible, stats_, cost_hints_);
       ++decisions_;
+      ++cache_misses_;
       decision_cache_[key] = {chosen, reuse_span - 1};
     }
   } else {
@@ -179,8 +276,13 @@ void Eddy::RouteOne(RoutedTuple rt) {
     if (result.pass) ++s.passed;
     s.produced += result.outputs.size();
     policy_->Observe(next_op, result.pass, &stats_);
+#ifndef TCQ_METRICS_DISABLED
+    if (rt.trace_id != 0) TraceHop(rt, next_op, decision_src, result.pass);
+    decision_src = kDecisionSequence;  // Further hops skip consultation.
+#endif
 
     for (RoutedTuple& out : result.outputs) {
+      out.trace_id = rt.trace_id;  // Matches stay on their probe's trace.
       if (out.done.size_bits() < ops_.size()) out.done.Resize(ops_.size());
       // Join outputs probe the targets they still miss: clear inherited
       // probe marks (eligibility keeps them away from present targets).
@@ -190,7 +292,23 @@ void Eddy::RouteOne(RoutedTuple rt) {
       queue_.push_back(std::move(out));
     }
 
-    if (!result.pass) return;  // Input consumed (dropped or absorbed).
+    if (!result.pass) {  // Input consumed (dropped or absorbed).
+#ifndef TCQ_METRICS_DISABLED
+      // A traced tuple's path ends explicitly: a drop with no outputs is a
+      // dead end; an absorbing probe's trace continues on its outputs.
+      if (rt.trace_id != 0 && result.outputs.empty()) {
+        TraceEvent ev;
+        ev.trace_id = rt.trace_id;
+        ev.tuple_seq = rt.tuple.seq();
+        ev.op = "[discard]";
+        ev.decision = TraceDecision::kNone;
+        ev.passed = false;
+        ev.queue_depth = queue_.size();
+        Tracer::Global().Record(std::move(ev));
+      }
+#endif
+      return;
+    }
 
     EligibleOps(rt, &eligible);
     if (eligible.empty()) {
@@ -226,11 +344,15 @@ void Eddy::RouteOne(RoutedTuple rt) {
 }
 
 void Eddy::Drain() {
+#ifndef TCQ_METRICS_DISABLED
+  RoutingMetrics::Get().injected->Add(queue_.size());
+#endif
   while (!queue_.empty()) {
     RoutedTuple rt = std::move(queue_.front());
     queue_.pop_front();
     RouteOne(std::move(rt));
   }
+  TCQ_METRIC(FlushMetrics());
   // The injected batch (if any) has fully routed: retire its amortization.
   // Entries widened to the batch length are clamped back to the configured
   // batch_size budget rather than discarded, so the §4.3 knob keeps its

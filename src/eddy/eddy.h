@@ -113,6 +113,12 @@ class Eddy {
   uint64_t decisions() const { return decisions_; }
   uint64_t visits() const { return visits_; }
   uint64_t emitted() const { return emitted_; }
+  /// Decision-cache outcomes while a reuse span (batch_size knob or an
+  /// injected batch) was active: hits reused a cached choice, misses paid
+  /// a policy consultation. hits / (hits + misses) is the amortization
+  /// the §4.3 batching knob actually achieved.
+  uint64_t decision_cache_hits() const { return cache_hits_; }
+  uint64_t decision_cache_misses() const { return cache_misses_; }
   /// Times the reusable eligibility/ranking scratch buffers had to grow
   /// (heap-allocate). visits() / scratch_allocs() is the amortization
   /// factor of the per-hop buffer reuse: it climbs without bound on a
@@ -174,6 +180,22 @@ class Eddy {
   uint64_t visits_ = 0;
   uint64_t emitted_ = 0;
   uint64_t scratch_allocs_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+
+#ifndef TCQ_METRICS_DISABLED
+  /// Records one hop of a traced tuple (rt.trace_id != 0).
+  void TraceHop(const RoutedTuple& rt, size_t op, int decision_src,
+                bool passed) const;
+  /// Pushes counter deltas since the last flush onto the global registry.
+  /// Called once per Drain() — batch-amortized, off the per-hop path.
+  void FlushMetrics();
+  uint64_t flushed_decisions_ = 0;
+  uint64_t flushed_visits_ = 0;
+  uint64_t flushed_emitted_ = 0;
+  uint64_t flushed_cache_hits_ = 0;
+  uint64_t flushed_cache_misses_ = 0;
+#endif
 };
 
 }  // namespace tcq

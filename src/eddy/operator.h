@@ -8,6 +8,7 @@
 
 #include "common/bitset.h"
 #include "eddy/routed_tuple.h"
+#include "telemetry/metrics.h"
 
 namespace tcq {
 
@@ -63,19 +64,26 @@ class EddyOperator {
 using EddyOperatorPtr = std::shared_ptr<EddyOperator>;
 
 /// Per-operator routing statistics the Eddy maintains and policies read.
+/// The counters are telemetry primitives (relaxed atomics), so snapshot
+/// readers — KnobController, Server::SnapshotMetrics, the tcq.metrics
+/// introspection stream — can observe them without synchronizing with
+/// the routing thread; existing field-style call sites read through the
+/// Counter's implicit conversion. `tickets` stays a plain double: it is
+/// policy-private adaptivity state, mutated only on the routing thread.
 struct EddyOpStats {
-  uint64_t routed = 0;    ///< Tuples routed to the operator.
-  uint64_t passed = 0;    ///< Inputs that survived (pass == true).
-  uint64_t produced = 0;  ///< New tuples generated.
+  Counter routed;    ///< Tuples routed to the operator.
+  Counter passed;    ///< Inputs that survived (pass == true).
+  Counter produced;  ///< New tuples generated.
   /// Lottery tickets [AH00]: credited on consumption, debited on return,
   /// decayed periodically so the policy tracks drift.
   double tickets = 1.0;
 
   /// Observed pass rate (selectivity); optimistic 1.0 before evidence.
   double PassRate() const {
-    return routed == 0 ? 1.0
-                       : static_cast<double>(passed) /
-                             static_cast<double>(routed);
+    const uint64_t r = routed.value();
+    return r == 0 ? 1.0
+                  : static_cast<double>(passed.value()) /
+                        static_cast<double>(r);
   }
 };
 

@@ -70,6 +70,11 @@ struct RoutedTuple {
   /// CACQ completion lineage: bit q set = tuple still satisfies query q.
   /// Empty (size 0) in single-query mode.
   SmallBitset queries;
+  /// Sampled-trace identity (telemetry/trace.h): 0 = untraced (the
+  /// overwhelmingly common case); nonzero tuples record each routing hop.
+  /// Join outputs inherit the id, so a traced probe's matches stay on
+  /// the trace.
+  uint64_t trace_id = 0;
 
   RoutedTuple() = default;
   RoutedTuple(Tuple t, SmallBitset src, size_t num_ops)

@@ -11,8 +11,40 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "telemetry/metrics.h"
 
 namespace tcq {
+
+namespace queue_internal {
+/// Process-wide Fjord-edge telemetry, aggregated across every queue
+/// instance (DESIGN.md §10). Registered once; the struct caches raw
+/// pointers so hot-path updates never touch the registry lock.
+struct EdgeMetrics {
+  Counter* enqueued;         ///< Elements accepted (any mode).
+  Counter* dequeued;         ///< Elements handed to consumers.
+  Counter* rejected;         ///< Non-blocking enqueues refused (full/closed).
+  Counter* shed;             ///< Oldest elements dropped by load shedding.
+  Counter* producer_blocks;  ///< Times a producer slept for space.
+  Counter* consumer_blocks;  ///< Times a consumer slept for data.
+  Counter* closes;           ///< Queues closed (end-of-stream markers).
+  Histogram* depth;          ///< Queue length observed after each enqueue.
+
+  static EdgeMetrics& Get() {
+    static EdgeMetrics m = [] {
+      MetricRegistry& r = MetricRegistry::Global();
+      return EdgeMetrics{r.GetCounter("tcq.queue.enqueued"),
+                         r.GetCounter("tcq.queue.dequeued"),
+                         r.GetCounter("tcq.queue.rejected"),
+                         r.GetCounter("tcq.queue.shed"),
+                         r.GetCounter("tcq.queue.producer_blocks"),
+                         r.GetCounter("tcq.queue.consumer_blocks"),
+                         r.GetCounter("tcq.queue.closes"),
+                         r.GetHistogram("tcq.queue.depth")};
+    }();
+    return m;
+  }
+};
+}  // namespace queue_internal
 
 /// Blocking behaviour of one end of a Fjord queue (§2.3 of the paper).
 enum class QueueEnd {
@@ -105,6 +137,7 @@ class FjordQueue {
     std::unique_lock<std::mutex> lock(mu_);
     size_t added = 0;
     const bool ok = EnqueueOneLocked(std::move(item), &lock, &added);
+    TCQ_METRIC(RecordEnqueueLocked(ok ? 1 : 0, ok ? 0 : 1));
     lock.unlock();
     NotifyEnqueued(added);
     return ok;
@@ -133,6 +166,7 @@ class FjordQueue {
         if (!EnqueueOneLocked(std::move(item), &lock, &added)) break;
         ++accepted;
       }
+      TCQ_METRIC(RecordEnqueueLocked(accepted, items.size() - accepted));
     }
     NotifyEnqueued(added);
     items.erase(items.begin(), items.begin() + static_cast<ptrdiff_t>(accepted));
@@ -153,6 +187,8 @@ class FjordQueue {
       out = DequeueOneLocked(&removed, &stop);
       if (out.has_value() || stop) break;
     }
+    TCQ_METRIC(queue_internal::EdgeMetrics::Get().dequeued->Add(
+        out.has_value() ? 1 : 0));
     lock.unlock();
     NotifyDequeued(removed);
     return out;
@@ -187,6 +223,7 @@ class FjordQueue {
           if (stop) break;
         }
       }
+      TCQ_METRIC(queue_internal::EdgeMetrics::Get().dequeued->Add(taken));
     }
     NotifyDequeued(removed);
     return taken;
@@ -229,6 +266,9 @@ class FjordQueue {
       std::lock_guard<std::mutex> lock(mu_);
       for (Delayed& d : delayed_) items_.push_back(std::move(d.item));
       delayed_.clear();
+      if (!closed_) {
+        TCQ_METRIC(queue_internal::EdgeMetrics::Get().closes->Add(1));
+      }
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -251,6 +291,16 @@ class FjordQueue {
     T item;
     size_t countdown;  ///< Enqueue operations left before release.
   };
+
+#ifndef TCQ_METRICS_DISABLED
+  /// Books one enqueue call's outcome (lock held: items_.size() is exact).
+  void RecordEnqueueLocked(size_t accepted, size_t rejected) {
+    queue_internal::EdgeMetrics& m = queue_internal::EdgeMetrics::Get();
+    if (accepted > 0) m.enqueued->Add(accepted);
+    if (rejected > 0) m.rejected->Add(rejected);
+    m.depth->Record(items_.size());
+  }
+#endif
 
   /// Ages the held-back elements — "held for N later enqueues" counts the
   /// current enqueue, so an element delayed now must survive at least
@@ -296,7 +346,10 @@ class FjordQueue {
         if (!options_.drop_oldest_when_full) return false;
         items_.pop_front();
         ++dropped_;
+        TCQ_METRIC(queue_internal::EdgeMetrics::Get().shed->Add(1));
       } else {
+        TCQ_METRIC(
+            queue_internal::EdgeMetrics::Get().producer_blocks->Add(1));
         // About to sleep: wake consumers for anything already made
         // visible (delayed releases, earlier batch elements) — they are
         // what will free up space. Holding the notifications until the
@@ -352,6 +405,9 @@ class FjordQueue {
     if (*removed > 0) {
       not_full_.notify_all();
       *removed = 0;
+    }
+    if (!closed_) {
+      TCQ_METRIC(queue_internal::EdgeMetrics::Get().consumer_blocks->Add(1));
     }
     not_empty_.wait(*lock, [&] { return !items_.empty() || closed_; });
     return !items_.empty();  // Empty here means closed and drained.

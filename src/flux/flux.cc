@@ -6,6 +6,40 @@
 
 namespace tcq {
 
+#ifndef TCQ_METRICS_DISABLED
+namespace {
+
+/// Process-wide exchange telemetry aggregated across all simulated
+/// clusters (DESIGN.md §10); per-cluster detail stays on the accessors.
+struct ClusterMetrics {
+  Counter* ticks;
+  Counter* processed;
+  Counter* moves;
+  Counter* moved_entries;
+  Counter* replayed;
+  Counter* lost_updates;
+  Counter* dropped_no_owner;
+
+  static ClusterMetrics& Get() {
+    static ClusterMetrics* m = [] {
+      MetricRegistry& reg = MetricRegistry::Global();
+      auto* agg = new ClusterMetrics();
+      agg->ticks = reg.GetCounter("tcq.flux.ticks");
+      agg->processed = reg.GetCounter("tcq.flux.processed");
+      agg->moves = reg.GetCounter("tcq.flux.moves");
+      agg->moved_entries = reg.GetCounter("tcq.flux.moved_entries");
+      agg->replayed = reg.GetCounter("tcq.flux.replayed");
+      agg->lost_updates = reg.GetCounter("tcq.flux.lost_updates");
+      agg->dropped_no_owner = reg.GetCounter("tcq.flux.dropped_no_owner");
+      return agg;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+#endif  // TCQ_METRICS_DISABLED
+
 FluxCluster::FluxCluster() : FluxCluster(Options()) {}
 
 FluxCluster::FluxCluster(Options options) : options_(options) {
@@ -57,6 +91,7 @@ void FluxCluster::RouteTuple(Pending p) {
   if (!nodes_[node].alive) {
     // No live owner (unrecovered failure): the update is lost.
     ++dropped_no_owner_;
+    TCQ_METRIC(ClusterMetrics::Get().dropped_no_owner->Add(1));
     in_flight_.erase(p.id);
     return;
   }
@@ -111,6 +146,10 @@ size_t FluxCluster::Tick() {
   }
   AdvanceMove();
   Controller();
+#ifndef TCQ_METRICS_DISABLED
+  ClusterMetrics::Get().ticks->Add(1);
+  ClusterMetrics::Get().processed->Add(processed_total);
+#endif
   return processed_total;
 }
 
@@ -212,11 +251,14 @@ void FluxCluster::AdvanceMove() {
   Node& dst = nodes_[mv.to];
   if (src.alive && src.state.count(mv.partition) != 0) {
     moved_entries_ += src.state[mv.partition].size();
+    TCQ_METRIC(ClusterMetrics::Get().moved_entries->Add(
+        src.state[mv.partition].size()));
     dst.state[mv.partition] = std::move(src.state[mv.partition]);
     src.state.erase(mv.partition);
   }
   owner_[mv.partition] = mv.to;
   ++moves_;
+  TCQ_METRIC(ClusterMetrics::Get().moves->Add(1));
   if (options_.enable_replication) {
     // Re-home the standby: drop the old copy, mirror the fresh primary.
     for (Node& n : nodes_) n.replicas.erase(mv.partition);
@@ -261,6 +303,7 @@ Status FluxCluster::KillNode(size_t node) {
   victim.queue.clear();
   for (Pending& p : queued) {
     ++replayed_;
+    TCQ_METRIC(ClusterMetrics::Get().replayed->Add(1));
     in_flight_.erase(p.id);
     RouteTuple(std::move(p));
   }
@@ -298,6 +341,8 @@ void FluxCluster::FailoverNode(size_t node) {
       if (nodes_[node].state.count(p) != 0) {
         for (const auto& [key, ks] : nodes_[node].state[p]) {
           lost_updates_ += static_cast<uint64_t>(ks.count);
+          TCQ_METRIC(ClusterMetrics::Get().lost_updates->Add(
+              static_cast<uint64_t>(ks.count)));
         }
       }
       if (chosen != SIZE_MAX) owner_[p] = chosen;

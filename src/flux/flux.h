@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "telemetry/metrics.h"
 #include "tuple/tuple.h"
 #include "tuple/value.h"
 
@@ -91,6 +92,10 @@ class FluxCluster {
   std::map<Value, KeyState> Snapshot() const;
 
   // -- Introspection ------------------------------------------------------
+  // Cluster counters are telemetry primitives (relaxed atomics) mirrored
+  // into the process-wide `tcq.flux.*` registry aggregates; the accessors
+  // below are thin views reading through the Counter's implicit
+  // conversion, so existing call sites are unchanged.
   struct NodeStats {
     bool alive = true;
     size_t backlog = 0;          ///< Queued tuples right now.
@@ -119,7 +124,7 @@ class FluxCluster {
   struct Node {
     bool alive = true;
     std::deque<Pending> queue;
-    uint64_t processed = 0;
+    Counter processed;
     /// partition -> key -> state (primary copies).
     std::map<size_t, std::unordered_map<Value, KeyState, ValueHash>> state;
     /// partition -> standby copies mirrored from the primary owner.
@@ -154,13 +159,13 @@ class FluxCluster {
   std::unordered_map<uint64_t, Tuple> in_flight_;
   uint64_t next_id_ = 1;
 
-  uint64_t ticks_ = 0;
-  uint64_t moves_ = 0;
+  Counter ticks_;
+  Counter moves_;
   uint64_t cooldown_until_ = 0;
-  uint64_t moved_entries_ = 0;
-  uint64_t replayed_ = 0;
-  uint64_t lost_updates_ = 0;
-  uint64_t dropped_no_owner_ = 0;
+  Counter moved_entries_;
+  Counter replayed_;
+  Counter lost_updates_;
+  Counter dropped_no_owner_;
 };
 
 }  // namespace tcq

@@ -3,8 +3,23 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "telemetry/metrics.h"
 
 namespace tcq {
+
+#ifndef TCQ_METRICS_DISABLED
+namespace {
+
+/// Process-wide grouped-filter probe count (shared predicate-index work
+/// saved vs. per-query evaluation is applies * avg predicates).
+Counter* AppliesCounter() {
+  static Counter* c =
+      MetricRegistry::Global().GetCounter("tcq.grouped_filter.applies");
+  return c;
+}
+
+}  // namespace
+#endif  // TCQ_METRICS_DISABLED
 
 void GroupedFilter::EnsureQuery(QueryId q) {
   if (q >= totals_.size()) {
@@ -111,6 +126,7 @@ void GroupedFilter::RemoveQuery(QueryId q) {
 
 void GroupedFilter::Apply(const Value& v, SmallBitset* candidates) const {
   if (num_predicates_ == 0) return;
+  TCQ_METRIC(AppliesCounter()->Add(1));
   TCQ_DCHECK(candidates->size_bits() >= totals_.size());
 
   ++stamp_;

@@ -122,6 +122,14 @@ class Parser {
       }
       TableRef ref;
       ref.name = Advance().text;
+      // Dotted stream names (`FROM tcq.metrics`): the introspection
+      // namespace lives alongside user streams in the catalog, so a
+      // source name is `ident (. ident)*`.
+      while (Peek().kind == TokenKind::kDot &&
+             Peek(1).kind == TokenKind::kIdent && !IsReserved(Peek(1))) {
+        Advance();  // '.'
+        ref.name += "." + Advance().text;
+      }
       if (PeekKeyword("AS")) {
         Advance();
         if (Peek().kind != TokenKind::kIdent) return Err("expected alias");

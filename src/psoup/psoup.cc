@@ -4,8 +4,36 @@
 
 #include "common/logging.h"
 #include "expr/predicates.h"
+#include "telemetry/metrics.h"
 
 namespace tcq {
+
+#ifndef TCQ_METRICS_DISABLED
+namespace {
+
+/// Process-wide PSoup telemetry (DESIGN.md §10).
+struct PsoupMetrics {
+  Counter* data_in;        ///< Tuples fed via OnData.
+  Counter* materialized;   ///< Result-structure appends (data-side).
+  Counter* registrations;  ///< Standing queries registered.
+  Counter* invocations;    ///< Client Invoke calls answered.
+
+  static PsoupMetrics& Get() {
+    static PsoupMetrics* m = [] {
+      MetricRegistry& reg = MetricRegistry::Global();
+      auto* agg = new PsoupMetrics();
+      agg->data_in = reg.GetCounter("tcq.psoup.data_in");
+      agg->materialized = reg.GetCounter("tcq.psoup.materialized");
+      agg->registrations = reg.GetCounter("tcq.psoup.registrations");
+      agg->invocations = reg.GetCounter("tcq.psoup.invocations");
+      return agg;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+#endif  // TCQ_METRICS_DISABLED
 
 PSoup::PSoup(SchemaPtr schema) : PSoup(std::move(schema), Options()) {}
 
@@ -69,6 +97,7 @@ Result<QueryId> PSoup::Register(const ExprPtr& predicate,
   active_bits_.Resize(queries_.size());
   active_bits_.Set(qid);
   ++active_;
+  TCQ_METRIC(PsoupMetrics::Get().registrations->Add(1));
   return qid;
 }
 
@@ -133,11 +162,13 @@ void PSoup::OnData(const Tuple& tuple) {
       history_.pop_front();
     }
   }
+  TCQ_METRIC(PsoupMetrics::Get().data_in->Add(1));
   // Probe the Query SteM; materialize into each match's results.
   SmallBitset matches = MatchQueries(tuple);
   matches.ForEachSet([&](size_t q) {
     if (q < queries_.size() && queries_[q].active) {
       InsertByTimestamp(&queries_[q].results, tuple);
+      TCQ_METRIC(PsoupMetrics::Get().materialized->Add(1));
     }
   });
 }
@@ -146,6 +177,7 @@ Result<TupleVector> PSoup::Invoke(QueryId q, Timestamp now) const {
   if (q >= queries_.size() || !queries_[q].active) {
     return Status::NotFound("no such active query");
   }
+  TCQ_METRIC(PsoupMetrics::Get().invocations->Add(1));
   const QueryState& state = queries_[q];
   const Timestamp lo = now - state.window_width + 1;
   // Results are timestamp-ordered: binary-search the window.

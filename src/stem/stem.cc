@@ -4,6 +4,24 @@
 
 namespace tcq {
 
+namespace stem_internal {
+
+AggregateMetrics& AggregateMetrics::Get() {
+  static AggregateMetrics* m = [] {
+    MetricRegistry& reg = MetricRegistry::Global();
+    auto* agg = new AggregateMetrics();
+    agg->inserts = reg.GetCounter("tcq.stem.inserts");
+    agg->probes = reg.GetCounter("tcq.stem.probes");
+    agg->matches = reg.GetCounter("tcq.stem.matches");
+    agg->evictions = reg.GetCounter("tcq.stem.evictions");
+    agg->scanned = reg.GetCounter("tcq.stem.scanned");
+    return agg;
+  }();
+  return *m;
+}
+
+}  // namespace stem_internal
+
 SteM::SteM(std::string name, SchemaPtr schema, Options options)
     : name_(std::move(name)), schema_(std::move(schema)), options_(options) {
   TCQ_CHECK(schema_ != nullptr);
@@ -32,6 +50,7 @@ void SteM::Insert(const Tuple& tuple) {
     index_.emplace(tuple.cell(static_cast<size_t>(options_.key_field)), id);
   }
   ++stats_.inserts;
+  TCQ_METRIC(stem_internal::AggregateMetrics::Get().inserts->Add(1));
 }
 
 TupleVector SteM::Probe(const Tuple& probe, int probe_key_field,
@@ -52,10 +71,12 @@ TupleVector SteM::ProbeImpl(const Tuple& probe, int probe_key_field,
                             bool probe_on_left, const ExprPtr& residual,
                             Timestamp window_lo, Timestamp window_hi) const {
   ++stats_.probes;
+  TCQ_METRIC(stem_internal::AggregateMetrics::Get().probes->Add(1));
   TupleVector out;
 
   auto consider = [&](const Tuple& stored) {
     ++stats_.scanned;
+    TCQ_METRIC(stem_internal::AggregateMetrics::Get().scanned->Add(1));
     if (stored.timestamp() < window_lo || stored.timestamp() > window_hi) {
       return;
     }
@@ -66,6 +87,7 @@ TupleVector SteM::ProbeImpl(const Tuple& probe, int probe_key_field,
       if (keep.is_null() || !keep.bool_value()) return;
     }
     ++stats_.matches;
+    TCQ_METRIC(stem_internal::AggregateMetrics::Get().matches->Add(1));
     out.push_back(std::move(joined));
   };
 
@@ -97,6 +119,7 @@ void SteM::EvictAt(size_t pos) {
   dead_[pos] = true;
   --live_count_;
   ++stats_.evictions;
+  TCQ_METRIC(stem_internal::AggregateMetrics::Get().evictions->Add(1));
 }
 
 void SteM::CompactFront() {

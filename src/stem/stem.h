@@ -11,10 +11,24 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "expr/ast.h"
+#include "telemetry/metrics.h"
 #include "tuple/schema.h"
 #include "tuple/tuple.h"
 
 namespace tcq {
+
+namespace stem_internal {
+/// Process-wide SteM telemetry aggregated across all state modules
+/// (DESIGN.md §10); per-instance detail remains on SteM::stats().
+struct AggregateMetrics {
+  Counter* inserts;
+  Counter* probes;
+  Counter* matches;
+  Counter* evictions;
+  Counter* scanned;
+  static AggregateMetrics& Get();
+};
+}  // namespace stem_internal
 
 /// A State Module (§2.2, [RDH02]): a temporary repository of homogeneous
 /// tuples — "half of a traditional join operator". Supports insert (build),
@@ -94,8 +108,10 @@ class SteM {
   void ProbeCollect(const Value* key, Timestamp window_lo,
                     Timestamp window_hi, Fn&& fn) const {
     ++stats_.probes;
+    TCQ_METRIC(stem_internal::AggregateMetrics::Get().probes->Add(1));
     auto consider = [&](const Tuple& stored) {
       ++stats_.scanned;
+      TCQ_METRIC(stem_internal::AggregateMetrics::Get().scanned->Add(1));
       if (stored.timestamp() < window_lo || stored.timestamp() > window_hi) {
         return;
       }
@@ -122,6 +138,9 @@ class SteM {
   }
 
   // -- Statistics -------------------------------------------------------
+  // Internally the SteM counts with telemetry counters (relaxed atomics,
+  // also mirrored into the process-wide `tcq.stem.*` aggregates); this
+  // plain struct is the snapshot view those counters are read through.
   struct Stats {
     uint64_t inserts = 0;
     uint64_t probes = 0;
@@ -129,7 +148,13 @@ class SteM {
     uint64_t evictions = 0;
     uint64_t scanned = 0;  ///< Stored tuples examined across all probes.
   };
-  const Stats& stats() const { return stats_; }
+  /// Thin view over the live counters (consistent enough for monitoring;
+  /// each field is read atomically).
+  Stats stats() const {
+    return Stats{stats_.inserts.value(), stats_.probes.value(),
+                 stats_.matches.value(), stats_.evictions.value(),
+                 stats_.scanned.value()};
+  }
 
  private:
   void EvictAt(size_t pos);
@@ -153,7 +178,15 @@ class SteM {
   // probes filter lazily).
   std::unordered_multimap<Value, uint64_t, ValueHash> index_;
 
-  mutable Stats stats_;
+  /// Live per-instance statistics (field names mirror the Stats view).
+  struct StatCounters {
+    Counter inserts;
+    Counter probes;
+    Counter matches;
+    Counter evictions;
+    Counter scanned;
+  };
+  mutable StatCounters stats_;
 };
 
 using SteMPtr = std::shared_ptr<SteM>;

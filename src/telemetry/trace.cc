@@ -1,0 +1,86 @@
+#include "telemetry/trace.h"
+
+#include "telemetry/metrics.h"
+
+namespace tcq {
+
+const char* TraceDecisionName(TraceDecision d) {
+  switch (d) {
+    case TraceDecision::kPolicy:
+      return "policy";
+    case TraceDecision::kCached:
+      return "cached";
+    case TraceDecision::kSequence:
+      return "sequence";
+    case TraceDecision::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable(uint64_t sample_every, size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  sample_every_.store(sample_every == 0 ? 1 : sample_every,
+                      std::memory_order_relaxed);
+}
+
+void Tracer::Disable() {
+  sample_every_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::SetClock(const VirtualClock* clock) {
+  clock_.store(clock, std::memory_order_release);
+}
+
+uint64_t Tracer::MaybeStartTrace() {
+  const uint64_t n = sample_every_.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
+  // Counter-based sampling: arrivals 0, n, 2n, ... are traced. This makes
+  // the traced subset a pure function of arrival order (deterministic).
+  const uint64_t arrival = arrivals_.fetch_add(1, std::memory_order_relaxed);
+  if (arrival % n != 0) return 0;
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  TCQ_METRIC([] {
+    static Counter* sampled =
+        MetricRegistry::Global().GetCounter("tcq.trace.sampled");
+    sampled->Add(1);
+  }());
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::Record(TraceEvent ev) {
+  if (!enabled()) return;
+  const VirtualClock* clock = clock_.load(std::memory_order_acquire);
+  if (clock != nullptr) ev.at = clock->Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out(std::make_move_iterator(ring_.begin()),
+                              std::make_move_iterator(ring_.end()));
+  ring_.clear();
+  return out;
+}
+
+void Tracer::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  arrivals_.store(0, std::memory_order_relaxed);
+  next_id_.store(1, std::memory_order_relaxed);
+  sampled_.store(0, std::memory_order_relaxed);
+  evicted_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tcq

@@ -1,0 +1,112 @@
+#ifndef TCQ_TELEMETRY_TRACE_H_
+#define TCQ_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace tcq {
+
+/// How a traced hop's routing decision was made (§4.3 "adapting
+/// adaptivity": the knobs trade decision quality for decision cost, and
+/// the trace shows which path each hop actually took).
+enum class TraceDecision : uint8_t {
+  kPolicy = 0,    ///< Fresh RoutingPolicy::Choose consultation.
+  kCached = 1,    ///< Reused batch decision from the eddy's decision cache.
+  kSequence = 2,  ///< Fixed-sequence continuation (no consultation).
+  kNone = 3,      ///< Not a routing hop (inject/emit/discard markers).
+};
+
+const char* TraceDecisionName(TraceDecision d);
+
+/// One hop of a sampled tuple's path through the engine.
+struct TraceEvent {
+  uint64_t trace_id = 0;  ///< Sample identity (1-based, per Tracer).
+  int64_t tuple_seq = 0;  ///< Eddy arrival sequence number of the tuple.
+  Timestamp at = 0;       ///< Tracer clock time (0 unless a clock is set).
+  std::string op;  ///< Operator name, or "[inject]"/"[emit]"/"[discard]".
+  TraceDecision decision = TraceDecision::kNone;
+  bool passed = false;      ///< Tuple survived the hop.
+  uint64_t queue_depth = 0; ///< Eddy queue length when the hop ran (the
+                            ///< tuples waiting ahead — the queue-wait proxy).
+};
+
+/// Sampled per-tuple tracing: every Nth tuple entering an eddy is marked,
+/// and each of its routing hops is recorded into a bounded ring buffer.
+///
+/// Cost model:
+///  * disabled (sample_every == 0, the default): one relaxed load and a
+///    predictable branch per injected tuple; zero per hop (untraced tuples
+///    carry trace_id 0 and skip recording entirely). Under
+///    -DTCQ_DISABLE_METRICS even that load compiles out.
+///  * enabled: sampling is counter-based (every Nth arrival), so which
+///    tuples get traced is a deterministic function of arrival order — no
+///    randomness, reproducible under the deterministic test harness.
+///    Recording takes a mutex; at 1-in-N sampling the contention is noise.
+///
+/// Timestamps: events are stamped from an optional VirtualClock so tests
+/// control time explicitly; without one, `at` is 0 and traces are ordered
+/// by buffer position only. (Wall-clock stamping would break determinism.)
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-global tracer the eddies record into.
+  static Tracer& Global();
+
+  /// Starts sampling 1 in `sample_every` tuples; keeps at most `capacity`
+  /// events (oldest evicted first). sample_every == 1 traces everything.
+  void Enable(uint64_t sample_every, size_t capacity = 4096);
+  void Disable();
+  bool enabled() const {
+    return sample_every_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Clock events are stamped from; nullptr (default) stamps 0.
+  /// The clock must outlive its use; not thread-safe against Record —
+  /// set it before traffic flows.
+  void SetClock(const VirtualClock* clock);
+
+  /// Counts one tuple arrival; returns a fresh nonzero trace id when this
+  /// arrival is sampled, 0 otherwise.
+  uint64_t MaybeStartTrace();
+
+  void Record(TraceEvent ev);
+
+  /// Removes and returns all buffered events in record order.
+  std::vector<TraceEvent> Drain();
+
+  uint64_t sampled() const {
+    return sampled_.load(std::memory_order_relaxed);
+  }
+  /// Events evicted because the ring was full.
+  uint64_t evicted() const {
+    return evicted_.load(std::memory_order_relaxed);
+  }
+
+  /// Resets counters and buffer (configuration persists). Tests only.
+  void ResetForTest();
+
+ private:
+  std::atomic<uint64_t> sample_every_{0};
+  std::atomic<uint64_t> arrivals_{0};
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> sampled_{0};
+  std::atomic<uint64_t> evicted_{0};
+  std::atomic<const VirtualClock*> clock_{nullptr};
+
+  mutable std::mutex mu_;
+  size_t capacity_ = 4096;
+  std::deque<TraceEvent> ring_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_TELEMETRY_TRACE_H_

@@ -1,0 +1,119 @@
+// Concurrency stress for the telemetry layer, run under the sanitizer
+// matrix (scripts/check.sh): the registry's contract is that registration
+// races, hot-path updates and snapshot readers are all safe to mix from
+// any thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace tcq {
+namespace {
+
+TEST(StressTelemetryTest, RegistryRacesRegistrationUpdatesAndSnapshots) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  constexpr int kNamesPerKind = 5;
+
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<MetricSample> snap = reg.Snapshot();
+      std::string json = reg.ToJson();
+      EXPECT_GE(json.size(), 2u);
+      EXPECT_LE(snap.size(), reg.size() + 64);
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Registration itself races: all threads keep asking for the same
+        // small name set and must always get the same metric back.
+        const std::string idx = std::to_string(i % kNamesPerKind);
+        reg.GetCounter("stress.registry.counter." + idx)->Add(1);
+        reg.GetGauge("stress.registry.gauge." + idx)->Add(t % 2 == 0 ? 1 : -1);
+        reg.GetHistogram("stress.registry.histo." + idx)
+            ->Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& th : workers) th.join();
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  // Every relaxed add landed: the counters partition kThreads * kIters.
+  uint64_t total = 0;
+  for (int n = 0; n < kNamesPerKind; ++n) {
+    total += reg.GetCounter("stress.registry.counter." + std::to_string(n))
+                 ->value();
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kIters);
+  for (int n = 0; n < kNamesPerKind; ++n) {
+    Histogram* h =
+        reg.GetHistogram("stress.registry.histo." + std::to_string(n));
+    EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kIters /
+                              kNamesPerKind);
+  }
+}
+
+TEST(StressTelemetryTest, TracerRacesSamplingRecordingAndDraining) {
+  Tracer& tr = Tracer::Global();
+  tr.Enable(/*sample_every=*/7, /*capacity=*/256);
+  tr.ResetForTest();
+
+  constexpr int kThreads = 6;
+  constexpr int kArrivalsPerThread = 30000;
+  std::atomic<uint64_t> ids_issued{0};
+  std::atomic<bool> stop{false};
+
+  std::thread drainer([&] {
+    uint64_t drained = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      drained += tr.Drain().size();
+    }
+    drained += tr.Drain().size();
+    // Conservation: every recorded event was drained or evicted.
+    EXPECT_EQ(drained + tr.evicted(), ids_issued.load());
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kArrivalsPerThread; ++i) {
+        const uint64_t id = tr.MaybeStartTrace();
+        if (id != 0) {
+          ids_issued.fetch_add(1, std::memory_order_relaxed);
+          TraceEvent ev;
+          ev.trace_id = id;
+          ev.op = "stress";
+          tr.Record(ev);
+        }
+      }
+    });
+  }
+  for (std::thread& th : workers) th.join();
+  stop.store(true, std::memory_order_release);
+  drainer.join();
+
+  // Counter-based sampling across threads: arrivals 0, 7, 14, ... sample,
+  // so the count is ceil(total / 7) regardless of interleaving.
+  const uint64_t total_arrivals =
+      static_cast<uint64_t>(kThreads) * kArrivalsPerThread;
+  EXPECT_EQ(tr.sampled(), (total_arrivals + 6) / 7);
+  EXPECT_EQ(tr.sampled(), ids_issued.load());
+
+  tr.Disable();
+  tr.ResetForTest();
+}
+
+}  // namespace
+}  // namespace tcq
