@@ -33,11 +33,15 @@ if [[ -n "$FILTER" ]]; then
   EXTRA_ARGS+=("--benchmark_filter=$FILTER")
 fi
 
-# Pin to one CPU when the tool is available: steadier numbers.
+# Pin to one CPU when the tool is available: steadier numbers. Binaries
+# matching $MULTICORE_RE spawn worker threads (the sharded exchange
+# sweep) and must NOT be pinned — a one-CPU mask would serialize the
+# shards and understate every multi-shard configuration.
 PIN=()
 if command -v taskset >/dev/null 2>&1; then
   PIN=(taskset -c 0)
 fi
+MULTICORE_RE="${MULTICORE_RE:-^bench_executor$}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 # shellcheck disable=SC2086
@@ -47,8 +51,12 @@ TMPDIR_BENCH="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_BENCH"' EXIT
 PARTS=()
 for b in $BENCHES; do
+  RUN_PIN=("${PIN[@]}")
+  if [[ "$b" =~ $MULTICORE_RE ]]; then
+    RUN_PIN=()
+  fi
   echo "==> $b ${EXTRA_ARGS[*]:-}" >&2
-  "${PIN[@]}" "$BUILD_DIR/bench/$b" --benchmark_format=json \
+  "${RUN_PIN[@]}" "$BUILD_DIR/bench/$b" --benchmark_format=json \
       "${EXTRA_ARGS[@]}" >"$TMPDIR_BENCH/$b.json"
   PARTS+=("$TMPDIR_BENCH/$b.json")
 done

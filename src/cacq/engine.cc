@@ -241,6 +241,13 @@ Status CacqEngine::InjectBatch(const std::string& stream,
   if (s == layout_.num_sources()) {
     return Status::NotFound("unknown stream: " + stream);
   }
+  return InjectBatch(s, batch);
+}
+
+Status CacqEngine::InjectBatch(size_t s, const std::vector<Tuple>& batch) {
+  if (s >= layout_.num_sources()) {
+    return Status::OutOfRange("source index out of range");
+  }
   SmallBitset interested = interested_[s];
   interested.Resize(queries_.size());
   if (interested.None() || batch.empty()) return Status::OK();

@@ -76,6 +76,11 @@ class CacqEngine {
   Status InjectBatch(const std::string& stream,
                      const std::vector<Tuple>& batch);
 
+  /// InjectBatch by source index (layout().SourceIndexOf order). The
+  /// sharded exchange resolves the stream once at scatter time and feeds
+  /// every shard by index, skipping the per-task name lookup.
+  Status InjectBatch(size_t source, const std::vector<Tuple>& batch);
+
   /// Evicts join state older than `ts` (window maintenance).
   void EvictBefore(Timestamp ts);
 

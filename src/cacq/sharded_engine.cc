@@ -1,0 +1,388 @@
+#include "cacq/sharded_engine.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/logging.h"
+#include "expr/predicates.h"
+
+namespace tcq {
+
+namespace {
+
+/// Minimal countdown latch (std::latch stays out so the TSan build's
+/// libstdc++ coverage is irrelevant): control barriers wait on it while
+/// shard threads count it down.
+class Latch {
+ public:
+  explicit Latch(size_t n) : n_(n) {}
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    TCQ_CHECK(n_ > 0);
+    if (--n_ == 0) cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return n_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t n_;
+};
+
+/// Exchange edge flavors: producers block for space (backpressure toward
+/// the pushing client), consumers never block (the ExecutionObject polls
+/// and idles, and shutdown never has to interrupt a blocked thread).
+QueueOptions ShardEdgeOptions(size_t capacity) {
+  return QueueOptions{capacity, QueueEnd::kBlocking, QueueEnd::kNonBlocking,
+                      false, nullptr};
+}
+
+}  // namespace
+
+/// Drains one shard's exchange queue: data tasks are injected into the
+/// shard engine (emissions buffered by the engine sink, flushed to the
+/// egress queue after every task), control tasks run inline. kDone once
+/// the exchange is closed and drained; the shard then closes its egress
+/// queue, propagating end-of-stream downstream.
+class ShardedEngine::WorkerModule : public FjordModule {
+ public:
+  WorkerModule(ShardedEngine* parent, size_t shard)
+      : FjordModule("shard-worker-" + std::to_string(shard)),
+        parent_(parent),
+        shard_(shard) {}
+
+  StepResult Step(size_t max_tasks) override {
+    Shard& sh = *parent_->shards_[shard_];
+    FjordQueue<ShardTask>& in = parent_->input_->partition(shard_);
+    scratch_.clear();
+    const size_t n = in.DequeueUpTo(max_tasks == 0 ? 1 : max_tasks,
+                                    &scratch_);
+    if (n == 0) {
+      if (in.Exhausted()) {
+        FlushEmissions(sh);
+        sh.output->Close();
+        return StepResult::kDone;
+      }
+      return StepResult::kIdle;
+    }
+    for (ShardTask& task : scratch_) {
+      if (task.control) {
+        // Emissions from earlier tasks must reach the egress queue before
+        // the control runs: Quiesce's phase-2 barrier rides behind them.
+        FlushEmissions(sh);
+        task.control();
+        continue;
+      }
+      const Status st = sh.engine->InjectBatch(task.source, task.tuples);
+      TCQ_CHECK(st.ok()) << "shard " << shard_
+                         << " inject failed: " << st.ToString();
+      sh.processed += task.tuples.size();
+      FlushEmissions(sh);
+    }
+    return StepResult::kDidWork;
+  }
+
+ private:
+  void FlushEmissions(Shard& sh) {
+    if (sh.pending.empty()) return;
+    EgressItem item;
+    item.results = std::move(sh.pending);
+    sh.pending.clear();
+    // Blocking enqueue: egress backpressure stalls this shard, not the
+    // process (the egress thread always drains).
+    sh.output->Enqueue(std::move(item));
+  }
+
+  ShardedEngine* parent_;
+  const size_t shard_;
+  std::vector<ShardTask> scratch_;
+};
+
+/// The merge/union half of the exchange: round-robins over every shard's
+/// egress queue and hands emission batches to the engine sink in arrival
+/// order. kDone once every shard closed its queue and nothing is left.
+class ShardedEngine::EgressModule : public FjordModule {
+ public:
+  explicit EgressModule(ShardedEngine* parent)
+      : FjordModule("shard-egress"), parent_(parent) {}
+
+  StepResult Step(size_t max_items) override {
+    bool any_work = false;
+    bool all_exhausted = true;
+    for (auto& shard : parent_->shards_) {
+      scratch_.clear();
+      const size_t n =
+          shard->output->DequeueUpTo(max_items == 0 ? 1 : max_items,
+                                     &scratch_);
+      for (EgressItem& item : scratch_) {
+        if (item.control) {
+          item.control();
+          continue;
+        }
+        if (parent_->sink_) parent_->sink_(std::move(item.results));
+      }
+      if (n > 0) any_work = true;
+      if (!shard->output->Exhausted()) all_exhausted = false;
+    }
+    if (any_work) return StepResult::kDidWork;
+    return all_exhausted ? StepResult::kDone : StepResult::kIdle;
+  }
+
+ private:
+  ShardedEngine* parent_;
+  std::vector<EgressItem> scratch_;
+};
+
+ShardedEngine::ShardedEngine() : ShardedEngine(Options()) {}
+
+ShardedEngine::ShardedEngine(Options options)
+    : options_(std::move(options)),
+      partitioner_(options_.num_shards == 0 ? 1 : options_.num_shards) {
+  TCQ_CHECK(options_.num_shards > 0);
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    CacqEngine::Options eo;
+    eo.policy = options_.policy;
+    eo.seed = options_.seed + i;  // Decorrelated exploration per shard.
+    eo.eddy = options_.eddy;
+    shard->engine = std::make_unique<CacqEngine>(eo);
+    shard->output = std::make_unique<FjordQueue<EgressItem>>(
+        ShardEdgeOptions(options_.egress_capacity));
+    Shard* raw = shard.get();
+    // Runs on the shard thread mid-InjectBatch; the worker flushes
+    // `pending` into the egress queue after every task.
+    shard->engine->SetSink([raw](QueryId q, const Tuple& t) {
+      raw->pending.emplace_back(q, t);
+    });
+    shards_.push_back(std::move(shard));
+  }
+  input_ = std::make_unique<PartitionedQueue<ShardTask>>(
+      options_.num_shards, ShardEdgeOptions(options_.input_capacity),
+      "tcq.shard");
+}
+
+ShardedEngine::~ShardedEngine() { Stop(); }
+
+Result<size_t> ShardedEngine::AddStream(const std::string& name,
+                                        SchemaPtr schema,
+                                        size_t partition_column) {
+  if (started_ || stopped_) {
+    return Status::FailedPrecondition(
+        "streams must be declared before Start()");
+  }
+  if (partition_column >= schema->num_fields()) {
+    return Status::OutOfRange("partition column out of range for " + name);
+  }
+  if (source_index_.count(name) != 0) {
+    return Status::AlreadyExists("stream already declared: " + name);
+  }
+  size_t index = 0;
+  for (auto& shard : shards_) {
+    TCQ_ASSIGN_OR_RETURN(index, shard->engine->AddStream(name, schema));
+  }
+  const size_t mirror = layout_.AddSource(name, schema);
+  TCQ_CHECK(mirror == index);
+  source_index_[name] = index;
+  if (sources_.size() <= index) sources_.resize(index + 1);
+  sources_[index] = SourceInfo{name, partition_column};
+  return index;
+}
+
+void ShardedEngine::Start() {
+  TCQ_CHECK(!started_ && !stopped_) << "ShardedEngine starts exactly once";
+  TCQ_CHECK(!sources_.empty()) << "declare streams before Start()";
+  started_ = true;
+  shard_eos_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    auto eo = std::make_unique<ExecutionObject>("shard-" + std::to_string(i));
+    eo->AddModule(std::make_shared<WorkerModule>(this, i));
+    eo->Start();
+    shard_eos_.push_back(std::move(eo));
+  }
+  egress_eo_ = std::make_unique<ExecutionObject>("shard-egress");
+  egress_eo_->AddModule(std::make_shared<EgressModule>(this));
+  egress_eo_->Start();
+}
+
+void ShardedEngine::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  // Close the exchange; each worker drains its queue, flushes emissions,
+  // closes its egress queue and reports done. Join() waits for that
+  // before stopping the thread — nothing in flight is dropped.
+  input_->CloseAll();
+  for (auto& eo : shard_eos_) eo->Join();
+  egress_eo_->Join();
+}
+
+void ShardedEngine::EnqueueControl(size_t i, std::function<void()> fn) {
+  ShardTask task;
+  task.control = std::move(fn);
+  const bool ok = input_->EnqueuePartition(i, std::move(task), 0);
+  TCQ_CHECK(ok) << "control task enqueued on a stopped engine";
+}
+
+void ShardedEngine::RunOnAllShards(const std::function<void(size_t)>& fn) {
+  if (!started_ || stopped_) {
+    for (size_t i = 0; i < shards_.size(); ++i) fn(i);
+    return;
+  }
+  Latch latch(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    EnqueueControl(i, [&fn, &latch, i] {
+      fn(i);
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+}
+
+Status ShardedEngine::ValidatePartitioning(const CacqQuerySpec& spec) const {
+  if (spec.where == nullptr || layout_.num_sources() == 0) {
+    return Status::OK();  // Nothing to join on; CacqEngine validates.
+  }
+  const SchemaPtr& schema = layout_.full_schema();
+  for (const ExprPtr& factor : ExtractConjuncts(spec.where)) {
+    if (factor == nullptr) continue;
+    auto ej = MatchEquiJoin(factor);
+    if (!ej.has_value()) continue;
+    auto ca = schema->IndexOf(ej->left_column);
+    auto cb = schema->IndexOf(ej->right_column);
+    if (!ca.ok() || !cb.ok()) continue;  // CacqEngine reports the error.
+    const size_t sa = layout_.SourceIndexOf(schema->field(*ca).qualifier);
+    const size_t sb = layout_.SourceIndexOf(schema->field(*cb).qualifier);
+    if (sa == sb) continue;  // Same-source equality: residual work.
+    const size_t col_a = *ca - layout_.offset(sa);
+    const size_t col_b = *cb - layout_.offset(sb);
+    if (col_a != sources_[sa].partition_column ||
+        col_b != sources_[sb].partition_column) {
+      return Status::InvalidArgument(
+          "equi-join " + factor->ToString() +
+          " does not match the shard partition columns of its streams; "
+          "matches would span shards (declare the streams partitioned on "
+          "their join columns)");
+    }
+  }
+  return Status::OK();
+}
+
+Result<QueryId> ShardedEngine::AddQuery(const CacqQuerySpec& spec) {
+  TCQ_RETURN_NOT_OK(ValidatePartitioning(spec));
+  std::vector<std::optional<Result<QueryId>>> results(shards_.size());
+  RunOnAllShards([this, &spec, &results](size_t i) {
+    results[i] = shards_[i]->engine->AddQuery(spec);
+  });
+  TCQ_CHECK(results[0].has_value());
+  if (!results[0]->ok()) return results[0]->status();
+  const QueryId id = **results[0];
+  for (size_t i = 1; i < results.size(); ++i) {
+    if (!results[i]->ok()) return results[i]->status();
+    TCQ_CHECK(**results[i] == id)
+        << "shard " << i << " assigned a divergent QueryId";
+  }
+  return id;
+}
+
+Status ShardedEngine::RemoveQuery(QueryId q) {
+  std::vector<Status> statuses(shards_.size());
+  RunOnAllShards([this, q, &statuses](size_t i) {
+    statuses[i] = shards_[i]->engine->RemoveQuery(q);
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::PushBatch(const std::string& stream,
+                                std::vector<Tuple> batch) {
+  if (!started_) {
+    return Status::FailedPrecondition("Start() the engine before pushing");
+  }
+  if (stopped_) return Status::Unavailable("engine stopped");
+  const auto it = source_index_.find(stream);
+  if (it == source_index_.end()) {
+    return Status::NotFound("unknown stream: " + stream);
+  }
+  if (batch.empty()) return Status::OK();
+  const size_t source = it->second;
+  const size_t key_column = sources_[source].partition_column;
+  // Scatter: group by partition so each shard receives ONE exchange task
+  // per producer batch (amortizing queue costs), in producer order —
+  // per-key FIFO holds because one key always maps to one shard.
+  std::vector<std::vector<Tuple>> groups(shards_.size());
+  for (Tuple& t : batch) {
+    groups[partitioner_.PartitionOf(t, key_column)].push_back(std::move(t));
+  }
+  for (size_t p = 0; p < groups.size(); ++p) {
+    if (groups[p].empty()) continue;
+    ShardTask task;
+    task.source = source;
+    task.tuples = std::move(groups[p]);
+    const size_t count = task.tuples.size();
+    if (!input_->EnqueuePartition(p, std::move(task), count)) {
+      return Status::Unavailable("engine stopped mid-scatter");
+    }
+    shards_[p]->routed += count;
+  }
+  TCQ_METRIC(input_->RefreshDepthStats());
+  return Status::OK();
+}
+
+Status ShardedEngine::Push(const std::string& stream, Tuple tuple) {
+  std::vector<Tuple> one;
+  one.push_back(std::move(tuple));
+  return PushBatch(stream, std::move(one));
+}
+
+void ShardedEngine::Quiesce() {
+  if (!started_ || stopped_) return;
+  // Phase 1: a control barrier behind all data on every shard queue —
+  // when it fires, every prior tuple has been executed and its emissions
+  // flushed into the egress queues.
+  RunOnAllShards([](size_t) {});
+  // Phase 2: a barrier behind those emissions on every egress queue —
+  // when it fires, the sink has seen everything.
+  Latch latch(shards_.size());
+  for (auto& shard : shards_) {
+    EgressItem item;
+    item.control = [&latch] { latch.CountDown(); };
+    const bool ok = shard->output->Enqueue(std::move(item));
+    TCQ_CHECK(ok) << "egress barrier on a stopped engine";
+  }
+  latch.Wait();
+}
+
+void ShardedEngine::EvictBefore(Timestamp ts) {
+  RunOnAllShards(
+      [this, ts](size_t i) { shards_[i]->engine->EvictBefore(ts); });
+}
+
+size_t ShardedEngine::num_active_queries() const {
+  // Identical registrations everywhere: shard 0 speaks for all. Safe
+  // cross-thread only in the quiesced/unstarted states the accessor's
+  // callers hold (Server reads it under its own submission lock).
+  return shards_[0]->engine->num_active_queries();
+}
+
+std::vector<ShardedEngine::ShardStats> ShardedEngine::shard_stats() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardStats s;
+    s.routed = shards_[i]->routed;
+    s.processed = shards_[i]->processed;
+    s.queue_depth = input_->partition(i).Size();
+    s.eddy_decisions = shards_[i]->engine->eddy().decisions();
+    s.eddy_emitted = shards_[i]->engine->eddy().emitted();
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace tcq

@@ -1,0 +1,191 @@
+#ifndef TCQ_CACQ_SHARDED_ENGINE_H_
+#define TCQ_CACQ_SHARDED_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cacq/engine.h"
+#include "eddy/routed_tuple.h"
+#include "fjords/partitioned_queue.h"
+#include "fjords/scheduler.h"
+#include "flux/partition.h"
+
+namespace tcq {
+
+/// Sharded parallel CACQ execution (§3, Fig. 4-5): N worker shards, each
+/// owning a full CacqEngine — its own eddy, grouped filters and SteM
+/// partitions — on its own ExecutionObject thread, fed by a real-threads
+/// exchange that hash-partitions input on each stream's partition column
+/// (the Flux routing policy, flux/partition.h), with an egress stage that
+/// unions shard outputs back into one delivery order.
+///
+/// Correctness contract (DESIGN.md §11):
+///  * Every query is registered on every shard in the same order, so
+///    QueryIds agree across shards and each shard runs the same plan over
+///    its key partition. Grouped filters and residuals are key-oblivious,
+///    so partitioning them is trivially correct; SteM joins are correct
+///    because both sides of every equi-join must be partitioned on their
+///    join columns (AddQuery rejects anything else), making matches
+///    shard-local exactly as in Flux.
+///  * Per-shard FIFO: tuples with equal partition keys traverse one shard
+///    in arrival order. Cross-shard output order is NOT defined — results
+///    are a multiset equal to single-shard execution, in exchange order.
+///  * Control operations (AddQuery/RemoveQuery/EvictBefore/Quiesce) ride
+///    the same per-shard task queues as data, executing on the shard
+///    thread after everything enqueued before them (the actor model), so
+///    no engine state is ever touched from two threads.
+class ShardedEngine {
+ public:
+  struct Options {
+    size_t num_shards = 4;
+    /// Routing policy + base seed for the per-shard eddies (shard i uses
+    /// seed + i). Routing invariance makes results independent of this.
+    std::string policy = "lottery";
+    uint64_t seed = 7;
+    /// Bounded exchange queues, in tasks (one task = one same-stream
+    /// scatter group, up to a whole producer batch). Blocking producer
+    /// ends give backpressure; consumers never block (the EO polls).
+    size_t input_capacity = 256;
+    size_t egress_capacity = 1024;
+    Eddy::Options eddy;
+  };
+
+  ShardedEngine();
+  explicit ShardedEngine(Options options);
+  ~ShardedEngine();  // Stops and joins all shard threads.
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Declares a stream on every shard. `partition_column` is the column
+  /// the exchange hashes on (the join/group key; defaults to column 0).
+  /// Streams must be declared before Start() and before any query.
+  Result<size_t> AddStream(const std::string& name, SchemaPtr schema,
+                           size_t partition_column = 0);
+
+  /// One emission from one shard: (query, full-width result tuple).
+  using Emission = std::pair<QueryId, Tuple>;
+  /// Delivery callback, invoked on the egress thread with batches of
+  /// emissions in shard-output order. Must not call back into this
+  /// engine (Quiesce would self-deadlock) and must be set before Start().
+  using Sink = std::function<void(std::vector<Emission>&&)>;
+  void SetSink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Launches shard + egress threads. Requires at least one stream.
+  void Start();
+
+  /// Closes the exchange, drains every shard and egress to completion,
+  /// then joins all threads. Idempotent. Pushes after Stop() fail.
+  void Stop();
+
+  /// Full-pipeline barrier: returns once everything pushed before the
+  /// call has been routed, executed and delivered through the sink.
+  /// Must not race with Stop().
+  void Quiesce();
+
+  /// Registers `spec` on every shard (identical QueryId on each, returned
+  /// here). Callable while running: folds in through the control path, so
+  /// the query sees exactly the tuples scattered after this returns.
+  /// Rejects equi-joins whose join columns are not the partition columns
+  /// of their streams — such a join would need cross-shard matches.
+  /// AddQuery/RemoveQuery calls must be serialized by the caller (the
+  /// Server's submission lock does): two racing registrations could
+  /// interleave differently per shard and diverge the QueryIds.
+  Result<QueryId> AddQuery(const CacqQuerySpec& spec);
+
+  /// Unregisters `q` on every shard.
+  Status RemoveQuery(QueryId q);
+
+  /// Scatters a same-stream batch across the shards by partition column
+  /// (one exchange task per non-empty shard). Blocks for queue space
+  /// (backpressure). Requires Start().
+  Status PushBatch(const std::string& stream, std::vector<Tuple> batch);
+  Status Push(const std::string& stream, Tuple tuple);
+
+  /// Evicts SteM state older than `ts` on every shard (barriered).
+  void EvictBefore(Timestamp ts);
+
+  size_t num_shards() const { return options_.num_shards; }
+  bool started() const { return started_; }
+  size_t num_active_queries() const;
+  const SourceLayout& layout() const { return layout_; }
+
+  /// Cross-thread-safe per-shard statistics (relaxed atomics throughout).
+  struct ShardStats {
+    uint64_t routed = 0;     ///< Tuples scattered to the shard.
+    uint64_t processed = 0;  ///< Tuples the worker injected.
+    size_t queue_depth = 0;  ///< Input backlog, in exchange tasks.
+    uint64_t eddy_decisions = 0;
+    uint64_t eddy_emitted = 0;
+  };
+  std::vector<ShardStats> shard_stats() const;
+
+  /// Shard i's engine, for introspection (stem snapshots, layout). Reads
+  /// of non-atomic engine state are only safe after Quiesce() with no
+  /// concurrent pushes, or before Start().
+  const CacqEngine& engine(size_t shard) const {
+    return *shards_[shard]->engine;
+  }
+
+ private:
+  /// One unit of exchange work: a same-stream tuple group bound for one
+  /// shard, or a control closure to run on the shard thread.
+  struct ShardTask {
+    size_t source = 0;
+    std::vector<Tuple> tuples;
+    std::function<void()> control;
+  };
+  /// One unit of egress work: an emission batch, or an egress barrier.
+  struct EgressItem {
+    std::vector<Emission> results;
+    std::function<void()> control;
+  };
+
+  struct Shard {
+    std::unique_ptr<CacqEngine> engine;
+    std::unique_ptr<FjordQueue<EgressItem>> output;
+    /// Emissions collected by the engine sink since the last flush into
+    /// `output`. Only the shard thread touches it while running.
+    std::vector<Emission> pending;
+    Counter routed;
+    Counter processed;
+  };
+
+  class WorkerModule;
+  class EgressModule;
+
+  struct SourceInfo {
+    std::string name;
+    size_t partition_column = 0;
+  };
+
+  /// Enqueues a control closure on shard `i`'s input queue.
+  void EnqueueControl(size_t i, std::function<void()> fn);
+  /// Runs `fn(shard)` on every shard thread and waits for all of them.
+  void RunOnAllShards(const std::function<void(size_t)>& fn);
+  /// Equi-join columns must be the partition columns of their streams.
+  Status ValidatePartitioning(const CacqQuerySpec& spec) const;
+
+  Options options_;
+  HashPartitioner partitioner_;
+  SourceLayout layout_;  ///< Mirror of every shard engine's layout.
+  std::vector<SourceInfo> sources_;
+  std::map<std::string, size_t> source_index_;
+  Sink sink_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// The exchange: per-shard bounded task queues + tcq.shard.* telemetry.
+  std::unique_ptr<PartitionedQueue<ShardTask>> input_;
+  std::vector<std::unique_ptr<ExecutionObject>> shard_eos_;
+  std::unique_ptr<ExecutionObject> egress_eo_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_CACQ_SHARDED_ENGINE_H_

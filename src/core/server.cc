@@ -83,17 +83,57 @@ Server::Server(Options options) : options_(std::move(options)) {
 #endif
 }
 
+Server::~Server() {
+  // Stop shard/egress threads while queries_ and streams_ are still
+  // alive: member destruction order would otherwise tear down queries_
+  // under a still-delivering egress thread.
+  std::vector<ShardedEngine*> engines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, ss] : streams_) {
+      if (ss.sharded != nullptr) engines.push_back(ss.sharded.get());
+    }
+  }
+  for (ShardedEngine* e : engines) e->Stop();
+}
+
+void Server::Quiesce() {
+  // Collect under mu_, wait unlocked: a quiesce must not stall ingest on
+  // other streams, and the engines live until ~Server.
+  std::vector<ShardedEngine*> engines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, ss] : streams_) {
+      if (ss.sharded != nullptr) engines.push_back(ss.sharded.get());
+    }
+  }
+  for (ShardedEngine* e : engines) e->Quiesce();
+}
+
 Status Server::DefineStream(const std::string& name, SchemaPtr schema,
-                            int timestamp_field) {
+                            int timestamp_field, int partition_field) {
   std::lock_guard<std::mutex> lock(mu_);
   StreamDef def;
   def.name = name;
   def.schema = std::move(schema);
   def.timestamp_field = timestamp_field;
+  if (partition_field >= 0 &&
+      static_cast<size_t>(partition_field) >= def.schema->num_fields()) {
+    return Status::OutOfRange("partition field out of range for " + name);
+  }
   TCQ_RETURN_NOT_OK(catalog_.RegisterStream(def));
   StreamState state;
   state.def = def;
   state.archive = std::make_unique<Archive>(options_.retention_span);
+  if (partition_field >= 0) {
+    state.partition_column = static_cast<size_t>(partition_field);
+  } else {
+    // Default exchange key: the first non-timestamp column (timestamps
+    // increase monotonically — hashing them would serialize each batch
+    // onto one shard).
+    state.partition_column =
+        (def.timestamp_field == 0 && def.schema->num_fields() > 1) ? 1 : 0;
+  }
   streams_.emplace(name, std::move(state));
   return Status::OK();
 }
@@ -116,7 +156,42 @@ Result<QueryId> Server::Submit(const std::string& sql) {
   qs->analyzed = std::move(analyzed);
   const AnalyzedQuery& aq = qs->analyzed;
 
-  if (aq.cacq_eligible) {
+  if (aq.cacq_eligible && options_.cacq_shards > 1) {
+    // Standing single-stream filter, sharded mode: fold into the
+    // stream's shard fleet (created on first use, like the inline eddy).
+    const std::string& stream = aq.defs[0].name;
+    StreamState& ss = streams_.at(stream);
+    if (ss.sharded == nullptr) {
+      ShardedEngine::Options sopts;
+      sopts.num_shards = options_.cacq_shards;
+      sopts.policy = options_.policy;
+      sopts.seed = options_.seed;
+      auto sharded = std::make_unique<ShardedEngine>(std::move(sopts));
+      auto added =
+          sharded->AddStream(stream, ss.def.schema, ss.partition_column);
+      TCQ_CHECK(added.ok()) << added.status();
+      // The sink runs on the egress thread; it captures the StreamState
+      // node (map nodes are address-stable) and takes results_mu_ only.
+      StreamState* node = &ss;
+      sharded->SetSink(
+          [this, node](std::vector<ShardedEngine::Emission>&& batch) {
+            DeliverShardEmissions(node, std::move(batch));
+          });
+      sharded->Start();
+      ss.sharded = std::move(sharded);
+    }
+    CacqQuerySpec spec;
+    spec.sources = {stream};
+    spec.where = StripQualifiers(aq.parsed.where);
+    TCQ_ASSIGN_OR_RETURN(QueryId engine_q, ss.sharded->AddQuery(spec));
+    {
+      std::lock_guard<std::mutex> rlock(results_mu_);
+      ss.cacq_to_server[engine_q] = qid;
+    }
+    qs->is_cacq = true;
+    qs->cacq_stream = stream;
+    qs->cacq_id = engine_q;
+  } else if (aq.cacq_eligible) {
     // Standing single-stream filter: fold into the stream's shared eddy.
     const std::string& stream = aq.defs[0].name;
     StreamState& ss = streams_.at(stream);
@@ -151,7 +226,10 @@ Result<QueryId> Server::Submit(const std::string& sql) {
     spec.sources = {stream};
     spec.where = StripQualifiers(aq.parsed.where);
     TCQ_ASSIGN_OR_RETURN(QueryId engine_q, ss.cacq->AddQuery(spec));
-    ss.cacq_to_server[engine_q] = qid;
+    {
+      std::lock_guard<std::mutex> rlock(results_mu_);
+      ss.cacq_to_server[engine_q] = qid;
+    }
     qs->is_cacq = true;
     qs->cacq_stream = stream;
     qs->cacq_id = engine_q;
@@ -198,7 +276,12 @@ Result<QueryId> Server::Submit(const std::string& sql) {
   }
 
   qs->active = true;
-  queries_.push_back(std::move(qs));
+  {
+    // The egress thread indexes queries_ under results_mu_; push_back may
+    // reallocate the vector's storage.
+    std::lock_guard<std::mutex> rlock(results_mu_);
+    queries_.push_back(std::move(qs));
+  }
   return qid;
 }
 
@@ -208,6 +291,7 @@ Status Server::SetCallback(QueryId q, Callback cb) {
     return Status::NotFound("no such active query");
   }
   QueryState* qs = queries_[q].get();
+  std::lock_guard<std::mutex> rlock(results_mu_);
   qs->callback = std::move(cb);
   // Flush anything already queued.
   while (!qs->results.empty()) {
@@ -226,11 +310,25 @@ Status Server::Cancel(QueryId q) {
   qs->active = false;
   if (qs->is_cacq) {
     StreamState& ss = streams_.at(qs->cacq_stream);
-    TCQ_RETURN_NOT_OK(ss.cacq->RemoveQuery(qs->cacq_id));
-    ss.cacq_to_server.erase(qs->cacq_id);
+    if (ss.sharded != nullptr) {
+      // Unmap first so the egress thread drops emissions still in flight,
+      // then barrier the removal through the shard control path.
+      {
+        std::lock_guard<std::mutex> rlock(results_mu_);
+        ss.cacq_to_server.erase(qs->cacq_id);
+      }
+      TCQ_RETURN_NOT_OK(ss.sharded->RemoveQuery(qs->cacq_id));
+    } else {
+      TCQ_RETURN_NOT_OK(ss.cacq->RemoveQuery(qs->cacq_id));
+      std::lock_guard<std::mutex> rlock(results_mu_);
+      ss.cacq_to_server.erase(qs->cacq_id);
+    }
   }
   qs->runner.reset();
-  qs->results.clear();
+  {
+    std::lock_guard<std::mutex> rlock(results_mu_);
+    qs->results.clear();
+  }
   return Status::OK();
 }
 
@@ -311,8 +409,14 @@ Status Server::PushLocked(const std::string& stream, const Tuple& tuple) {
   // Spool into the archive that serves window scans.
   ss.archive->Append(stamped);
 
-  // Shared standing filters see the tuple immediately.
-  if (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0) {
+  // Shared standing filters see the tuple immediately (inline) or are
+  // scattered to the shard fleet (sharded; cacq_to_server reads are safe
+  // under mu_ — every writer holds it too).
+  if (ss.sharded != nullptr) {
+    if (!ss.cacq_to_server.empty()) {
+      TCQ_RETURN_NOT_OK(ss.sharded->Push(stream, stamped));
+    }
+  } else if (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0) {
     TCQ_RETURN_NOT_OK(ss.cacq->Inject(stream, stamped));
   }
 
@@ -358,12 +462,17 @@ Status Server::IngestBatchLocked(const std::string& stream, StreamState* sp,
   batch.resize(kept);
   TCQ_METRIC(ServerMetrics::Get().ingested->Add(kept));
 
-  // One shared-eddy injection and one windowed advance for the batch.
+  // One shared-eddy injection (or one exchange scatter) and one windowed
+  // advance for the batch.
   if (kept > 0) {
-    if (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0) {
+    AdvanceQueriesLocked(stream);
+    if (ss.sharded != nullptr) {
+      if (!ss.cacq_to_server.empty()) {
+        TCQ_RETURN_NOT_OK(ss.sharded->PushBatch(stream, std::move(batch)));
+      }
+    } else if (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0) {
       TCQ_RETURN_NOT_OK(ss.cacq->InjectBatch(stream, batch));
     }
-    AdvanceQueriesLocked(stream);
   }
   return first_error;
 }
@@ -377,6 +486,7 @@ Status Server::PushAll(const std::string& stream, TupleSource* source) {
 }
 
 void Server::DeliverResults(QueryState* qs, std::vector<ResultSet>&& sets) {
+  std::lock_guard<std::mutex> rlock(results_mu_);
   for (ResultSet& rs : sets) {
     qs->rows_delivered += rs.rows.size();
     TCQ_METRIC(ServerMetrics::Get().delivered_rows->Add(rs.rows.size()));
@@ -388,8 +498,37 @@ void Server::DeliverResults(QueryState* qs, std::vector<ResultSet>&& sets) {
   }
 }
 
+void Server::DeliverShardEmissions(
+    StreamState* ss, std::vector<ShardedEngine::Emission>&& batch) {
+  // Egress thread: results_mu_ only. mu_ may be held by a producer
+  // blocked on a full exchange queue — taking it here would deadlock.
+  std::lock_guard<std::mutex> rlock(results_mu_);
+  for (auto& [engine_q, t] : batch) {
+    auto it = ss->cacq_to_server.find(engine_q);
+    if (it == ss->cacq_to_server.end()) continue;  // Canceled mid-flight.
+    QueryState* owner = queries_[it->second].get();
+    // Project per the query's select list (immutable after Submit).
+    std::vector<Value> cells;
+    cells.reserve(owner->analyzed.projections.size());
+    for (const ExprPtr& e : owner->analyzed.projections) {
+      cells.push_back(e->Eval(t));
+    }
+    ResultSet rs;
+    rs.t = t.timestamp();
+    rs.rows.push_back(Tuple::Make(std::move(cells), t.timestamp()));
+    owner->rows_delivered += 1;
+    TCQ_METRIC(ServerMetrics::Get().delivered_rows->Add(1));
+    if (owner->callback) {
+      owner->callback(rs);
+    } else {
+      owner->results.push_back(std::move(rs));
+    }
+  }
+}
+
 std::optional<ResultSet> Server::Poll(QueryId q) {
   std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> rlock(results_mu_);
   if (q >= queries_.size() || queries_[q]->results.empty()) {
     return std::nullopt;
   }
@@ -400,6 +539,7 @@ std::optional<ResultSet> Server::Poll(QueryId q) {
 
 std::vector<ResultSet> Server::PollAll(QueryId q) {
   std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> rlock(results_mu_);
   std::vector<ResultSet> out;
   if (q >= queries_.size()) return out;
   auto& dq = queries_[q]->results;
@@ -461,9 +601,12 @@ size_t Server::PumpMetrics() {
   }
   size_t active = 0;
   uint64_t delivered = 0;
-  for (const auto& q : queries_) {
-    if (q->active) ++active;
-    delivered += q->rows_delivered;
+  {
+    std::lock_guard<std::mutex> rlock(results_mu_);
+    for (const auto& q : queries_) {
+      if (q->active) ++active;
+      delivered += q->rows_delivered;
+    }
   }
   add("tcq.server.active_queries", "gauge", static_cast<double>(active));
   add("tcq.server.query_delivered_rows", "counter",
@@ -506,22 +649,28 @@ std::string Server::SnapshotMetrics() const {
            ",\"rejected\":" + std::to_string(ss.rejected) + ",\"watermark\":" +
            std::to_string(ss.watermark == kMinTimestamp ? 0 : ss.watermark) +
            ",\"cacq_queries\":" +
-           std::to_string(ss.cacq != nullptr ? ss.cacq->num_active_queries()
-                                             : 0) +
+           std::to_string(ss.sharded != nullptr
+                              ? ss.cacq_to_server.size()
+                              : (ss.cacq != nullptr
+                                     ? ss.cacq->num_active_queries()
+                                     : 0)) +
            "}";
   }
 
   out += "},\"queries\":{";
   first = true;
-  for (size_t q = 0; q < queries_.size(); ++q) {
-    const QueryState& qs = *queries_[q];
-    if (!first) out += ",";
-    first = false;
-    AppendKey(std::to_string(q), &out);
-    out += std::string("{\"active\":") + (qs.active ? "true" : "false") +
-           ",\"kind\":\"" + (qs.is_cacq ? "cacq" : "windowed") +
-           "\",\"delivered_rows\":" + std::to_string(qs.rows_delivered) +
-           ",\"pending_sets\":" + std::to_string(qs.results.size()) + "}";
+  {
+    std::lock_guard<std::mutex> rlock(results_mu_);
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      const QueryState& qs = *queries_[q];
+      if (!first) out += ",";
+      first = false;
+      AppendKey(std::to_string(q), &out);
+      out += std::string("{\"active\":") + (qs.active ? "true" : "false") +
+             ",\"kind\":\"" + (qs.is_cacq ? "cacq" : "windowed") +
+             "\",\"delivered_rows\":" + std::to_string(qs.rows_delivered) +
+             ",\"pending_sets\":" + std::to_string(qs.results.size()) + "}";
+    }
   }
 
   // Shared-eddy detail per stream that has one: routing counters, per-op
@@ -559,6 +708,30 @@ std::string Server::SnapshotMetrics() const {
              ",\"scanned\":" + std::to_string(stems[i].scanned) + "}";
     }
     out += "]}";
+  }
+
+  // Shard-fleet detail per sharded stream (atomics-only ShardStats — the
+  // one engine view that is safe to read while shard threads run).
+  out += "},\"shards\":{";
+  first = true;
+  for (const auto& [name, ss] : streams_) {
+    if (ss.sharded == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    AppendKey(name, &out);
+    out += "[";
+    const std::vector<ShardedEngine::ShardStats> stats =
+        ss.sharded->shard_stats();
+    for (size_t i = 0; i < stats.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "{\"routed\":" + std::to_string(stats[i].routed) +
+             ",\"processed\":" + std::to_string(stats[i].processed) +
+             ",\"queue_depth\":" + std::to_string(stats[i].queue_depth) +
+             ",\"eddy_decisions\":" + std::to_string(stats[i].eddy_decisions) +
+             ",\"eddy_emitted\":" + std::to_string(stats[i].eddy_emitted) +
+             "}";
+    }
+    out += "]";
   }
   out += "}}";
   return out;

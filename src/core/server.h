@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cacq/engine.h"
+#include "cacq/sharded_engine.h"
 #include "core/analyzer.h"
 #include "core/runner.h"
 #include "ingress/wrapper.h"
@@ -43,19 +44,32 @@ class Server {
     /// Archive retention span per stream (how much history windows and
     /// late-registered queries can reach back into).
     Timestamp retention_span = kMaxTimestamp;
+    /// Worker shards per stream's shared CACQ engine. 1 (default) keeps
+    /// the classic inline engine: injection runs synchronously inside
+    /// Push, results are visible the moment Push returns. With N > 1
+    /// each stream's standing filters/joins execute on N shard threads
+    /// behind a hash exchange (DESIGN.md §11): Push only scatters, CACQ
+    /// results arrive asynchronously (callbacks fire on the egress
+    /// thread; call Quiesce() for a delivery barrier). Windowed queries
+    /// are unaffected either way.
+    size_t cacq_shards = 1;
   };
 
   Server();
   explicit Server(Options options);
+  ~Server();  // Stops shard/egress threads before any state they touch.
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
   // --- Catalog -----------------------------------------------------------
   /// `timestamp_field`: column carrying the application timestamp used by
-  /// windows (-1 = arrival sequence numbers).
+  /// windows (-1 = arrival sequence numbers). `partition_field`: column
+  /// the sharded exchange hashes on when cacq_shards > 1 (-1 = the first
+  /// non-timestamp column); equi-joins between sharded streams must join
+  /// on their partition fields.
   Status DefineStream(const std::string& name, SchemaPtr schema,
-                      int timestamp_field = -1);
+                      int timestamp_field = -1, int partition_field = -1);
   Status DefineTable(const std::string& name, SchemaPtr schema,
                      TupleVector rows);
 
@@ -94,6 +108,13 @@ class Server {
 
   /// Convenience: drain a pull source into a stream.
   Status PushAll(const std::string& stream, TupleSource* source);
+
+  /// Delivery barrier for sharded execution: returns once every tuple
+  /// pushed before the call has been executed and its results delivered
+  /// (queued for Poll, or called back). A no-op when cacq_shards == 1 —
+  /// the inline path is already synchronous. Must not be called from a
+  /// result callback.
+  void Quiesce();
 
   // --- Results -----------------------------------------------------------------
   /// Next undelivered result set of query q, if any.
@@ -142,11 +163,20 @@ class Server {
     Timestamp watermark = kMinTimestamp;
     int64_t arrivals = 0;
     int64_t rejected = 0;  ///< Tuples refused by validation/stamping.
-    std::unique_ptr<CacqEngine> cacq;  ///< Lazily created shared eddy.
-    std::map<QueryId, QueryId> cacq_to_server;  ///< Engine qid -> server qid.
+    /// Exchange hash column when cacq_shards > 1 (resolved at definition).
+    size_t partition_column = 0;
+    std::unique_ptr<CacqEngine> cacq;  ///< Lazy inline eddy (1 shard).
+    std::unique_ptr<ShardedEngine> sharded;  ///< Lazy shard fleet (N > 1).
+    /// Engine qid -> server qid. Guarded by results_mu_ (the egress
+    /// thread resolves emissions through it); writers hold mu_ too.
+    std::map<QueryId, QueryId> cacq_to_server;
   };
 
   void DeliverResults(QueryState* qs, std::vector<ResultSet>&& sets);
+  /// Egress-thread delivery for one sharded stream's emission batch.
+  /// Takes results_mu_ only — never mu_ (the producer may hold it).
+  void DeliverShardEmissions(StreamState* ss,
+                             std::vector<ShardedEngine::Emission>&& batch);
   Status PushLocked(const std::string& stream, const Tuple& tuple);
   /// Validates `tuple` against `ss` and stamps its engine timestamp
   /// (declared column or arrival order), advancing the watermark.
@@ -157,7 +187,15 @@ class Server {
   Status IngestBatchLocked(const std::string& stream, StreamState* ss,
                            std::vector<Tuple> batch, size_t* rejected);
 
+  /// Serializes catalog, ingest and query registration (as before).
   mutable std::mutex mu_;
+  /// Guards query result state (QueryState::results/callback/
+  /// rows_delivered), the queries_ vector storage, and every
+  /// cacq_to_server map — the state the sharded egress thread touches.
+  /// Lock order: mu_ before results_mu_; the egress thread takes
+  /// results_mu_ alone, so it can never deadlock with a producer
+  /// blocked on a full exchange while holding mu_.
+  mutable std::mutex results_mu_;
   Options options_;
   Catalog catalog_;
   std::map<std::string, StreamState> streams_;

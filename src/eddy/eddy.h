@@ -176,12 +176,18 @@ class Eddy {
   std::vector<size_t> eligible_scratch_;
   std::vector<size_t> ranking_scratch_;
 
-  uint64_t decisions_ = 0;
-  uint64_t visits_ = 0;
-  uint64_t emitted_ = 0;
-  uint64_t scratch_allocs_ = 0;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
+  // Relaxed atomics (telemetry Counter), not plain uint64_t: under sharded
+  // execution each eddy runs on its shard's thread while snapshot paths
+  // (Server::SnapshotMetrics, ShardedEngine::shard_stats) read the
+  // accessors from other threads. Routing itself stays single-threaded,
+  // so the write side is uncontended. flushed_* below stay plain — they
+  // are only touched inside Drain() on the owning thread.
+  Counter decisions_;
+  Counter visits_;
+  Counter emitted_;
+  Counter scratch_allocs_;
+  Counter cache_hits_;
+  Counter cache_misses_;
 
 #ifndef TCQ_METRICS_DISABLED
   /// Records one hop of a traced tuple (rt.trace_id != 0).

@@ -86,8 +86,11 @@ void ExecutionObject::Start() {
 }
 
 void ExecutionObject::Stop() {
-  stop_requested_.store(true, std::memory_order_release);
+  // The store must happen under lifecycle_mu_: set before the lock, a
+  // Start() racing in between would reset the flag and launch a thread
+  // this Stop() then joins forever (it never sees the request).
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  stop_requested_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
   thread_ = std::thread();
   running_.store(false, std::memory_order_release);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "flux/partition.h"
 
 namespace tcq {
 
@@ -62,7 +63,9 @@ FluxCluster::FluxCluster(Options options) : options_(options) {
 }
 
 size_t FluxCluster::PartitionOf(const Value& key) const {
-  return key.Hash() % options_.num_partitions;
+  // Shared with the real-threads sharded CACQ exchange (flux/partition.h):
+  // both route by the same hash so simulation results carry over.
+  return HashPartitioner(options_.num_partitions).PartitionOf(key);
 }
 
 size_t FluxCluster::ReplicaNodeOf(size_t partition) const {

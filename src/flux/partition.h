@@ -1,0 +1,48 @@
+#ifndef TCQ_FLUX_PARTITION_H_
+#define TCQ_FLUX_PARTITION_H_
+
+#include <cstddef>
+
+#include "common/logging.h"
+#include "tuple/tuple.h"
+#include "tuple/value.h"
+
+namespace tcq {
+
+/// The Flux exchange's content-sensitive routing policy ([SHCF03] §2:
+/// "route each tuple by a hash of its partitioning attribute"), extracted
+/// so the simulated cluster (flux.cc) and the real-threads sharded CACQ
+/// exchange (cacq/sharded_engine.cc) partition identically: same key ->
+/// same partition, for any consumer count.
+///
+/// Value::Hash() is consistent with Value::Compare across numeric types
+/// (1 and 1.0 hash together because they compare equal), so an equi-join
+/// whose two sides carry the same key lands both sides on the same shard
+/// even when one side is int and the other double. NULL keys hash like any
+/// other value — they all collapse onto one partition, which matches SQL
+/// join semantics (NULL joins nothing, so colocating them is harmless).
+class HashPartitioner {
+ public:
+  explicit HashPartitioner(size_t num_partitions)
+      : num_partitions_(num_partitions) {
+    TCQ_CHECK(num_partitions_ > 0);
+  }
+
+  size_t num_partitions() const { return num_partitions_; }
+
+  size_t PartitionOf(const Value& key) const {
+    return key.Hash() % num_partitions_;
+  }
+
+  /// Partition of a tuple by one of its columns.
+  size_t PartitionOf(const Tuple& t, size_t key_column) const {
+    return PartitionOf(t.cell(key_column));
+  }
+
+ private:
+  size_t num_partitions_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_FLUX_PARTITION_H_

@@ -79,6 +79,16 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name) {
   return out;
 }
 
+Counter* MetricRegistry::GetCounter(const std::string& family, size_t index,
+                                    const std::string& metric) {
+  return GetCounter(family + "." + std::to_string(index) + "." + metric);
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& family, size_t index,
+                                const std::string& metric) {
+  return GetGauge(family + "." + std::to_string(index) + "." + metric);
+}
+
 std::vector<MetricSample> MetricRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricSample> out;

@@ -155,6 +155,15 @@ class MetricRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
+  /// Indexed-family access for per-shard / per-partition metrics:
+  /// GetCounter("tcq.shard", 3, "routed") names "tcq.shard.3.routed".
+  /// Keeps the family naming scheme in one place so dashboards can glob
+  /// `tcq.shard.*.<metric>` reliably.
+  Counter* GetCounter(const std::string& family, size_t index,
+                      const std::string& metric);
+  Gauge* GetGauge(const std::string& family, size_t index,
+                  const std::string& metric);
+
   /// Consistent-enough snapshot of every registered metric, sorted by
   /// name. (Each value is read atomically; the set is cut under the
   /// registration lock.)

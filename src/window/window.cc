@@ -33,10 +33,28 @@ WindowSequence::WindowSequence(const ForLoopSpec* spec, Timestamp st)
   env_["ST"] = Value::Int64(st);
   if (spec_->init != nullptr) {
     env_[spec_->var] = Value::Int64(0);  // Init may not self-reference.
-    t_ = spec_->init->EvalConst(env_).int64_value();
+    EvalTimestamp(spec_->init, "for-loop init", &t_);
   } else {
     t_ = 0;
   }
+}
+
+bool WindowSequence::EvalTimestamp(const ExprPtr& e, const char* what,
+                                   Timestamp* out) {
+  const Value v = e->EvalConst(env_);
+  if (v.type() != ValueType::kInt64) {
+    // NULL-producing or non-integer bounds must not take down the engine
+    // thread (int64_value() on the wrong alternative throws); the sequence
+    // simply ends and the malformed expression is reported via status().
+    done_ = true;
+    status_ = Status::InvalidArgument(
+        std::string(what) + " evaluated to " +
+        (v.is_null() ? "NULL" : std::string("non-integer ") + v.ToString()) +
+        ": " + e->ToString());
+    return false;
+  }
+  *out = v.int64_value();
+  return true;
 }
 
 std::optional<WindowSequence::Step> WindowSequence::Next() {
@@ -44,7 +62,18 @@ std::optional<WindowSequence::Step> WindowSequence::Next() {
   env_[spec_->var] = Value::Int64(t_);
   if (spec_->condition != nullptr) {
     const Value cond = spec_->condition->EvalConst(env_);
-    if (cond.is_null() || !cond.bool_value()) {
+    if (cond.is_null()) {
+      done_ = true;
+      return std::nullopt;
+    }
+    if (cond.type() != ValueType::kBool) {
+      done_ = true;
+      status_ = Status::InvalidArgument(
+          "for-loop condition evaluated to non-boolean " + cond.ToString() +
+          ": " + spec_->condition->ToString());
+      return std::nullopt;
+    }
+    if (!cond.bool_value()) {
       done_ = true;
       return std::nullopt;
     }
@@ -55,16 +84,21 @@ std::optional<WindowSequence::Step> WindowSequence::Next() {
   for (const WindowIsClause& clause : spec_->windows) {
     WindowBounds b;
     b.stream = clause.stream;
-    b.left = clause.left_end->EvalConst(env_).int64_value();
-    b.right = clause.right_end->EvalConst(env_).int64_value();
+    if (!EvalTimestamp(clause.left_end, "window left end", &b.left) ||
+        !EvalTimestamp(clause.right_end, "window right end", &b.right)) {
+      return std::nullopt;
+    }
     step.bounds.push_back(std::move(b));
   }
   // Advance the loop variable.
   if (spec_->condition == nullptr) {
     done_ = true;  // No condition: execute exactly once.
+  } else if (spec_->step != nullptr) {
+    // A malformed step still yields the current (well-formed) window; the
+    // sequence just cannot advance past it.
+    if (!EvalTimestamp(spec_->step, "for-loop step", &t_)) return step;
   } else {
-    t_ = spec_->step != nullptr ? spec_->step->EvalConst(env_).int64_value()
-                                : t_ + 1;
+    t_ = t_ + 1;
   }
   return step;
 }
@@ -121,6 +155,9 @@ Result<WindowShape> ClassifyWindow(const ForLoopSpec& spec,
     if (!step.has_value()) break;
     probes.push_back(step->bounds[clause_index]);
   }
+  // A sequence that ended because a bound/init/step was NULL or mistyped is
+  // a malformed query, not a kGeneral window — surface it to the caller.
+  if (!seq.status().ok()) return seq.status();
   WindowShape shape;
   if (probes.empty()) {
     shape.window_class = WindowClass::kGeneral;

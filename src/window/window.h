@@ -76,11 +76,23 @@ class WindowSequence {
   Timestamp current_t() const { return t_; }
   bool done() const { return done_; }
 
+  /// OK while the sequence is well-formed. A bound, init or step that
+  /// evaluates to NULL or a non-integer (or a non-boolean condition) ends
+  /// the sequence — Next() returns nullopt instead of throwing — and the
+  /// malformed expression is recorded here.
+  const Status& status() const { return status_; }
+
  private:
+  /// Evaluates `e` against env_ and stores the integer result in `*out`.
+  /// On NULL or non-integer results, marks the sequence done, records a
+  /// status naming `what`, and returns false.
+  bool EvalTimestamp(const ExprPtr& e, const char* what, Timestamp* out);
+
   const ForLoopSpec* spec_;
   VarEnv env_;
   Timestamp t_ = 0;
   bool done_ = false;
+  Status status_ = Status::OK();
 };
 
 /// Window shape taxonomy from §4.1/§4.1.2. Determined by probing the first

@@ -10,6 +10,7 @@
 #include "core/egress.h"
 #include "core/server.h"
 #include "ingress/sources.h"
+#include "window/window.h"
 
 namespace tcq {
 namespace {
@@ -145,6 +146,92 @@ TEST_F(IntegrationTest, MixedPopulationOverTwoStreams) {
   EXPECT_EQ(vsets[0].rows[0].cell(0).int64_value(), 100 * (1 + 2 + 3 + 4 + 5));
   EXPECT_EQ(vsets[1].rows[0].cell(0).int64_value(),
             100 * (6 + 7 + 8 + 9 + 10));
+}
+
+TEST_F(IntegrationTest, HoppingWindowSkipsDataEndToEnd) {
+  // §4.1.2 hopping windows through the full parse -> classify -> execute
+  // path: width 5, hop 10, so half the stream never participates.
+  const std::string sql =
+      "SELECT MAX(price) FROM Quotes "
+      "for (t = 10; t <= 40; t += 10) { WindowIs(Quotes, t - 4, t); }";
+
+  // The parsed for-loop classifies as a data-skipping hopping window.
+  Catalog catalog;
+  StreamDef def;
+  def.name = "Quotes";
+  def.schema = QuoteSchema();
+  def.timestamp_field = 0;
+  ASSERT_TRUE(catalog.RegisterStream(def).ok());
+  auto aq = AnalyzeSql(sql, catalog);
+  ASSERT_TRUE(aq.ok()) << aq.status();
+  ASSERT_TRUE(aq->window.has_value());
+  auto shape = ClassifyWindow(*aq->window, 0, /*st=*/0);
+  ASSERT_TRUE(shape.ok()) << shape.status();
+  EXPECT_EQ(shape->window_class, WindowClass::kHopping);
+  EXPECT_EQ(shape->hop, 10);
+  EXPECT_EQ(shape->width, 5);
+  EXPECT_TRUE(shape->skips_data);
+
+  auto q = server_.Submit(sql);
+  ASSERT_TRUE(q.ok()) << q.status();
+  // price = ts, one quote per day; day 41 punctuates the last window.
+  for (int64_t ts = 1; ts <= 41; ++ts) {
+    ASSERT_TRUE(
+        server_.Push("Quotes", Quote(ts, "MSFT", static_cast<double>(ts)))
+            .ok());
+  }
+  // Windows [6,10] [16,20] [26,30] [36,40]: MAX = each right end. The
+  // skipped days (11..15, 21..25, 31..35, 41) influence nothing.
+  auto sets = server_.PollAll(*q);
+  ASSERT_EQ(sets.size(), 4u);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    ASSERT_EQ(sets[i].rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(sets[i].rows[0].cell(0).double_value(),
+                     10.0 * static_cast<double>(i + 1));
+  }
+}
+
+TEST_F(IntegrationTest, ReverseWindowBrowsesHistoryEndToEnd) {
+  // §4.1.1 "windows that move backwards": the archive serves windows over
+  // data that arrived before the query was ever submitted.
+  for (int64_t ts = 1; ts <= 20; ++ts) {
+    ASSERT_TRUE(
+        server_.Push("Quotes", Quote(ts, "MSFT", static_cast<double>(ts)))
+            .ok());
+  }
+  const std::string sql =
+      "SELECT MAX(price), AVG(price) FROM Quotes "
+      "for (t = 21; t > 6; t -= 5) { WindowIs(Quotes, t - 4, t); }";
+
+  Catalog catalog;
+  StreamDef def;
+  def.name = "Quotes";
+  def.schema = QuoteSchema();
+  def.timestamp_field = 0;
+  ASSERT_TRUE(catalog.RegisterStream(def).ok());
+  auto aq = AnalyzeSql(sql, catalog);
+  ASSERT_TRUE(aq.ok()) << aq.status();
+  ASSERT_TRUE(aq->window.has_value());
+  auto shape = ClassifyWindow(*aq->window, 0, /*st=*/0);
+  ASSERT_TRUE(shape.ok()) << shape.status();
+  EXPECT_EQ(shape->window_class, WindowClass::kReverse);
+
+  auto q = server_.Submit(sql);
+  ASSERT_TRUE(q.ok()) << q.status();
+  // Watermark 22 punctuates the first (latest) window [17,21].
+  ASSERT_TRUE(server_.Push("Quotes", Quote(21, "MSFT", 21.0)).ok());
+  ASSERT_TRUE(server_.Push("Quotes", Quote(22, "MSFT", 22.0)).ok());
+
+  // Fired in loop order, newest window first: [17,21], [12,16], [7,11].
+  auto sets = server_.PollAll(*q);
+  ASSERT_EQ(sets.size(), 3u);
+  const double expected_max[] = {21.0, 16.0, 11.0};
+  for (size_t i = 0; i < sets.size(); ++i) {
+    ASSERT_EQ(sets[i].rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(sets[i].rows[0].cell(0).double_value(), expected_max[i]);
+    EXPECT_DOUBLE_EQ(sets[i].rows[0].cell(1).double_value(),
+                     expected_max[i] - 2.0);  // AVG of 5 consecutive days.
+  }
 }
 
 TEST_F(IntegrationTest, EgressOverJoinQuery) {

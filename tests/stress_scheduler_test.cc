@@ -283,6 +283,25 @@ TEST(StressSchedulerTest, ConcurrentStopCallsAreSafe) {
   }
 }
 
+TEST(StressSchedulerTest, RacingStartAgainstStopNeverWedges) {
+  // Regression: Stop() used to store stop_requested_ BEFORE acquiring
+  // lifecycle_mu_. A Start() racing in between reset the flag and launched
+  // a thread whose stop request was lost — Stop() then joined it forever.
+  auto q = std::make_shared<TupleQueue>(PushQueueOptions(8));
+  std::atomic<int64_t> sum{0}, count{0};
+  ExecutionObject eo("race-eo");
+  eo.AddModule(std::make_shared<ProducerModule>("prod", q, 0, 1 << 20));
+  eo.AddModule(std::make_shared<SummerModule>("sum", q, &sum, &count));
+  for (int round = 0; round < 200; ++round) {
+    std::thread starter([&] { eo.Start(); });
+    std::thread stopper([&] { eo.Stop(); });
+    starter.join();
+    stopper.join();
+    eo.Stop();  // Whichever side won the race, leave the round stopped.
+    ASSERT_FALSE(eo.running());
+  }
+}
+
 TEST(StressSchedulerTest, StartStopCyclesWithTraffic) {
   // Repeated cold starts and shutdowns of the same EO with live modules:
   // the lifecycle must neither deadlock nor double-start.

@@ -237,5 +237,101 @@ TEST(WindowTest, ClassNames) {
   EXPECT_STREQ(WindowClassToString(WindowClass::kSliding), "sliding");
 }
 
+// --- Malformed bounds: NULL / non-integer expressions ------------------------
+// Regression: these used to call int64_value() on the wrong variant
+// alternative and crash the engine thread with std::bad_variant_access.
+
+TEST(WindowMalformedTest, NullRightEndEndsSequenceWithStatus) {
+  ForLoopSpec spec;
+  spec.condition = Expr::Literal(Value::Bool(true));
+  spec.windows.push_back(
+      {"S", Expr::Literal(Value::Int64(1)), Expr::Literal(Value::Null())});
+  WindowSequence seq(&spec, 0);
+  EXPECT_FALSE(seq.Next().has_value());
+  EXPECT_TRUE(seq.done());
+  EXPECT_EQ(seq.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(seq.status().message().find("right end"), std::string::npos);
+  EXPECT_FALSE(seq.Next().has_value());  // Stays ended.
+}
+
+TEST(WindowMalformedTest, NonIntegerLeftEndEndsSequenceWithStatus) {
+  ForLoopSpec spec;
+  spec.condition = Expr::Literal(Value::Bool(true));
+  spec.windows.push_back(
+      {"S", Expr::Literal(Value::Double(1.5)), Expr::Variable("t")});
+  WindowSequence seq(&spec, 0);
+  EXPECT_FALSE(seq.Next().has_value());
+  EXPECT_EQ(seq.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(seq.status().message().find("left end"), std::string::npos);
+}
+
+TEST(WindowMalformedTest, NullInitEndsSequenceAtConstruction) {
+  ForLoopSpec spec;
+  spec.init = Expr::Literal(Value::Null());
+  spec.condition = Expr::Literal(Value::Bool(true));
+  spec.windows.push_back(
+      {"S", Expr::Literal(Value::Int64(1)), Expr::Literal(Value::Int64(5))});
+  WindowSequence seq(&spec, 0);
+  EXPECT_TRUE(seq.done());
+  EXPECT_FALSE(seq.Next().has_value());
+  EXPECT_EQ(seq.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(seq.status().message().find("init"), std::string::npos);
+}
+
+TEST(WindowMalformedTest, NullStepYieldsCurrentWindowThenEnds) {
+  // The iteration in flight is well-formed; only the advance is broken, so
+  // the sequence delivers it and then cannot continue.
+  ForLoopSpec spec;
+  spec.init = Expr::Literal(Value::Int64(10));
+  spec.condition = Expr::Literal(Value::Bool(true));
+  spec.step = Expr::Binary(BinaryOp::kAdd, Expr::Variable("t"),
+                           Expr::Literal(Value::Null()));
+  spec.windows.push_back(
+      {"S",
+       Expr::Binary(BinaryOp::kSub, Expr::Variable("t"),
+                    Expr::Literal(Value::Int64(4))),
+       Expr::Variable("t")});
+  WindowSequence seq(&spec, 0);
+  auto step = seq.Next();
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(step->bounds[0].left, 6);
+  EXPECT_EQ(step->bounds[0].right, 10);
+  EXPECT_FALSE(seq.Next().has_value());
+  EXPECT_EQ(seq.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(seq.status().message().find("step"), std::string::npos);
+}
+
+TEST(WindowMalformedTest, NonBooleanConditionEndsWithStatus) {
+  ForLoopSpec spec;
+  spec.condition = Expr::Literal(Value::Int64(1));  // Not a boolean.
+  spec.windows.push_back(
+      {"S", Expr::Literal(Value::Int64(1)), Expr::Literal(Value::Int64(5))});
+  WindowSequence seq(&spec, 0);
+  EXPECT_FALSE(seq.Next().has_value());
+  EXPECT_EQ(seq.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(seq.status().message().find("condition"), std::string::npos);
+}
+
+TEST(WindowMalformedTest, NullConditionEndsCleanly) {
+  // SQL three-valued logic: a NULL condition is simply "not true" — the
+  // loop terminates like any other exhausted sequence, with an OK status.
+  ForLoopSpec spec;
+  spec.condition = Expr::Literal(Value::Null());
+  spec.windows.push_back(
+      {"S", Expr::Literal(Value::Int64(1)), Expr::Literal(Value::Int64(5))});
+  WindowSequence seq(&spec, 0);
+  EXPECT_FALSE(seq.Next().has_value());
+  EXPECT_TRUE(seq.status().ok());
+}
+
+TEST(WindowMalformedTest, ClassifyWindowReportsMalformedBounds) {
+  ForLoopSpec spec;
+  spec.condition = Expr::Literal(Value::Bool(true));
+  spec.windows.push_back(
+      {"S", Expr::Literal(Value::Null()), Expr::Variable("t")});
+  auto shape = ClassifyWindow(spec, 0, 0);
+  EXPECT_EQ(shape.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace tcq
