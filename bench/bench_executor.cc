@@ -14,9 +14,17 @@
 //  3. sharded_push — the filters workload with the CACQ engine sharded
 //     across N worker threads behind the Flux exchange
 //     (Server::Options::cacq_shards), swept over 1/2/4/8 shards.
+//
+//  4. sharded_skewed — zipfian partition keys against 4 shards, with the
+//     online rebalance controller off (Arg 0) vs on (Arg 1): Flux §2.4's
+//     claim that moving hot buckets recovers throughput a static hash
+//     mapping loses to skew (DESIGN.md §12).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "common/rng.h"
 #include "core/server.h"
 #include "ingress/sources.h"
 #include "telemetry/metrics.h"
@@ -209,6 +217,66 @@ BENCHMARK(BM_ShardedPushThroughput)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+// Skewed sharded ingest: zipfian partition keys (s=1.2 over 512 keys)
+// pile most tuples onto a handful of hash buckets, so a static
+// round-robin bucket->shard mapping leaves one shard the bottleneck
+// while the others idle. Arg(0) runs that static mapping; Arg(1) turns
+// on the RebalanceController, which migrates hot buckets off the loaded
+// shard mid-run. tuples_per_sec keeps the repo convention (producer CPU
+// rate); the end-to-end effect shows in wall_tuples_per_sec, measured by
+// hand around the full run *including* the final drain, so it prices
+// every pushed tuple's execution — the number rebalancing improves.
+void BM_ShardedSkewedThroughput(benchmark::State& state) {
+  Server::Options opts;
+  opts.cacq_shards = 4;
+  opts.auto_rebalance = state.range(0) == 1;
+  opts.rebalance.poll_interval_ms = 1;
+  opts.rebalance.imbalance_threshold = 1.5;
+  opts.rebalance.min_backlog = 64;
+  Server server(opts);
+  benchmark::DoNotOptimize(server.DefineStream(
+      "S",
+      Schema::Make(
+          {{"k", ValueType::kInt64, ""}, {"v", ValueType::kInt64, ""}}),
+      /*timestamp_field=*/-1, /*partition_field=*/0));
+  constexpr size_t kQueries = 48;
+  for (size_t i = 0; i < kQueries; ++i) {
+    auto q = server.Submit("SELECT k FROM S WHERE v = " + std::to_string(i));
+    benchmark::DoNotOptimize(q);
+    benchmark::DoNotOptimize(server.SetCallback(*q, [](const ResultSet&) {}));
+  }
+  constexpr size_t kIngestBatch = 64;
+  Rng rng(1234);
+  std::vector<Tuple> batch;
+  CounterDelta migrations("tcq.rebalance.migrations");
+  const auto wall_start = std::chrono::steady_clock::now();
+  while (state.KeepRunningBatch(kIngestBatch)) {
+    batch.reserve(kIngestBatch);
+    for (size_t i = 0; i < kIngestBatch; ++i) {
+      batch.push_back(Tuple::Make(
+          {Value::Int64(static_cast<int64_t>(rng.NextZipf(512, 1.2))),
+           Value::Int64(static_cast<int64_t>(rng.NextBounded(1 << 20)))},
+          0));
+    }
+    benchmark::DoNotOptimize(server.PushBatch("S", std::move(batch)));
+    batch.clear();
+  }
+  server.Quiesce();  // Inside the wall clock: count real execution.
+  const double wall_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["wall_tuples_per_sec"] =
+      static_cast<double>(state.iterations()) / wall_secs;
+  state.counters["migrations"] = migrations.value();
+}
+BENCHMARK(BM_ShardedSkewedThroughput)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_SubmitAndCancelLatency(benchmark::State& state) {

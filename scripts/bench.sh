@@ -10,8 +10,10 @@
 #   BENCHES="bench_executor" scripts/bench.sh   # custom binary subset
 #
 # The tracked subset covers the batch dataflow hot path: the executor
-# ingest benchmarks (Server::PushBatch -> CACQ eddy) and the Fjord queue
-# benchmarks (EnqueueBatch/DequeueUpTo). Add binaries via $BENCHES.
+# ingest benchmarks (Server::PushBatch -> CACQ eddy), including the
+# sharded sweep and the zipfian-skew rebalance on/off pair
+# (BM_ShardedSkewedThroughput), and the Fjord queue benchmarks
+# (EnqueueBatch/DequeueUpTo). Add binaries via $BENCHES.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -65,7 +65,8 @@ def main():
         binary, name = key
         label = f"{binary}:{name}" if binary else name
         if key not in old:
-            rows.append((label, None, new[key].get(args.metric), None, "new"))
+            rows.append((label, None, new[key].get(args.metric), None,
+                         "new benchmark"))
             continue
         if key not in new:
             rows.append((label, old[key].get(args.metric), None, None,
@@ -92,6 +93,13 @@ def main():
         new_s = f"{b:12.3f}" if b is not None else f"{'-':>12}"
         delta_s = f"{delta:+8.2f}%" if delta is not None else f"{'-':>9}"
         print(f"  {label:<{width}}  {old_s}  {new_s}  {delta_s}  {note}")
+
+    # New benchmarks have no baseline to gate against: call them out so a
+    # "clean" comparison isn't mistaken for full coverage.
+    new_count = sum(1 for r in rows if r[4] == "new benchmark")
+    if new_count:
+        print(f"\nnote: {new_count} new benchmark(s) with no baseline to "
+              f"compare against")
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "

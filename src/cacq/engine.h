@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cacq/migration.h"
 #include "cacq/shared_ops.h"
 #include "cacq/shared_stem.h"
 #include "eddy/eddy.h"
@@ -83,6 +84,25 @@ class CacqEngine {
 
   /// Evicts join state older than `ts` (window maintenance).
   void EvictBefore(Timestamp ts);
+
+  /// State-migration half of online rebalancing (cacq/migration.h,
+  /// DESIGN.md §12). Both must run on the thread that owns this engine —
+  /// the sharded exchange sends them as control closures.
+  ///
+  /// ExtractBucketState removes, from every shared SteM, the live entries
+  /// whose key cell satisfies `in_bucket` (the caller closes over
+  /// PartitionMap::BucketOf(key) == bucket) and packages them with their
+  /// lineage and max arrival seq.
+  BucketState ExtractBucketState(size_t bucket,
+                                 const std::function<bool(const Value&)>&
+                                     in_bucket);
+
+  /// Installs a donor's extracted state into this engine's matching SteMs
+  /// and raises the eddy's arrival-seq floor past the installed entries.
+  /// Fails (without partial install) if a SteM named by the state does not
+  /// exist here — shards register identical streams/queries, so a mismatch
+  /// means the caller migrated across non-identical engines.
+  Status InstallBucketState(const BucketState& state);
 
   size_t num_active_queries() const { return active_queries_; }
   const Eddy& eddy() const { return *eddy_; }

@@ -1,6 +1,7 @@
 #include "cacq/sharded_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -141,8 +142,16 @@ ShardedEngine::ShardedEngine() : ShardedEngine(Options()) {}
 
 ShardedEngine::ShardedEngine(Options options)
     : options_(std::move(options)),
-      partitioner_(options_.num_shards == 0 ? 1 : options_.num_shards) {
+      partition_map_(std::max(options_.num_buckets, options_.num_shards),
+                     options_.num_shards == 0 ? 1 : options_.num_shards) {
   TCQ_CHECK(options_.num_shards > 0);
+  bucket_routed_.resize(partition_map_.num_buckets());
+  MetricRegistry& r = MetricRegistry::Global();
+  migrations_ = r.GetCounter("tcq.rebalance.migrations");
+  moved_tuples_ = r.GetCounter("tcq.rebalance.moved_tuples");
+  moved_bytes_ = r.GetCounter("tcq.rebalance.moved_bytes");
+  buffered_tuples_ = r.GetCounter("tcq.rebalance.buffered_tuples");
+  pause_us_ = r.GetHistogram("tcq.rebalance.pause_us");
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -207,10 +216,20 @@ void ShardedEngine::Start() {
   egress_eo_ = std::make_unique<ExecutionObject>("shard-egress");
   egress_eo_->AddModule(std::make_shared<EgressModule>(this));
   egress_eo_->Start();
+  if (options_.auto_rebalance) {
+    controller_ = std::make_unique<RebalanceController>(
+        &partition_map_, [this] { return ObserveLoad(); },
+        [this](size_t bucket, size_t to) { return MigrateBucket(bucket, to); },
+        options_.rebalance);
+    controller_->Start();
+  }
 }
 
 void ShardedEngine::Stop() {
   if (!started_ || stopped_) return;
+  // The controller must stop before the exchange closes: a migration in
+  // flight against closing queues would trip the control-enqueue checks.
+  if (controller_ != nullptr) controller_->Stop();
   stopped_ = true;
   // Close the exchange; each worker drains its queue, flushes emissions,
   // closes its egress queue and reports done. Join() waits for that
@@ -239,6 +258,19 @@ void ShardedEngine::RunOnAllShards(const std::function<void(size_t)>& fn) {
       latch.CountDown();
     });
   }
+  latch.Wait();
+}
+
+void ShardedEngine::RunOnShard(size_t i, const std::function<void()>& fn) {
+  if (!started_ || stopped_) {
+    fn();
+    return;
+  }
+  Latch latch(1);
+  EnqueueControl(i, [&fn, &latch] {
+    fn();
+    latch.CountDown();
+  });
   latch.Wait();
 }
 
@@ -289,6 +321,10 @@ Result<QueryId> ShardedEngine::AddQuery(const CacqQuerySpec& spec) {
 }
 
 Status ShardedEngine::RemoveQuery(QueryId q) {
+  // Removal scrubs the query's bit from every stored lineage; serialized
+  // with migrations so extracted-but-not-yet-installed state can't skip
+  // the scrub and resurrect the query's results on the recipient.
+  std::lock_guard<std::mutex> mig(migrate_mu_);
   std::vector<Status> statuses(shards_.size());
   RunOnAllShards([this, q, &statuses](size_t i) {
     statuses[i] = shards_[i]->engine->RemoveQuery(q);
@@ -312,12 +348,29 @@ Status ShardedEngine::PushBatch(const std::string& stream,
   if (batch.empty()) return Status::OK();
   const size_t source = it->second;
   const size_t key_column = sources_[source].partition_column;
-  // Scatter: group by partition so each shard receives ONE exchange task
-  // per producer batch (amortizing queue costs), in producer order —
-  // per-key FIFO holds because one key always maps to one shard.
+  // Scatter: group by bucket -> shard so each shard receives ONE exchange
+  // task per producer batch (amortizing queue costs), in producer order —
+  // per-key FIFO holds because one key always maps to one bucket and a
+  // bucket has exactly one owner at a time. The shared route lock spans
+  // the whole scatter: MigrateBucket's exclusive acquisition therefore
+  // proves no producer straddles a pause edge (a scatter sees the bucket
+  // either entirely before the pause or entirely paused).
+  std::shared_lock<std::shared_mutex> route(route_mu_);
   std::vector<std::vector<Tuple>> groups(shards_.size());
   for (Tuple& t : batch) {
-    groups[partitioner_.PartitionOf(t, key_column)].push_back(std::move(t));
+    const size_t bucket = partition_map_.BucketOf(t, key_column);
+    // Live in every build (not TCQ_METRIC): the rebalance controller
+    // plans from these, so they are adaptivity state, not observation.
+    bucket_routed_[bucket].Add(1);
+    if (bucket == migrating_bucket_) {
+      // Paused for migration: park in producer order; MigrateBucket
+      // replays the buffer to the new owner before unpausing.
+      std::lock_guard<std::mutex> lock(buffer_mu_);
+      move_buffer_.emplace_back(source, std::move(t));
+      TCQ_METRIC(buffered_tuples_->Add(1));
+      continue;
+    }
+    groups[partition_map_.ShardOf(bucket)].push_back(std::move(t));
   }
   for (size_t p = 0; p < groups.size(); ++p) {
     if (groups[p].empty()) continue;
@@ -342,6 +395,10 @@ Status ShardedEngine::Push(const std::string& stream, Tuple tuple) {
 
 void ShardedEngine::Quiesce() {
   if (!started_ || stopped_) return;
+  // Serialize against migrations first: a migration in flight may hold
+  // tuples in the pause buffer, which the barriers below cannot see. Once
+  // migrate_mu_ is ours the buffer is empty and everything is in queues.
+  std::lock_guard<std::mutex> mig(migrate_mu_);
   // Phase 1: a control barrier behind all data on every shard queue —
   // when it fires, every prior tuple has been executed and its emissions
   // flushed into the egress queues.
@@ -359,8 +416,128 @@ void ShardedEngine::Quiesce() {
 }
 
 void ShardedEngine::EvictBefore(Timestamp ts) {
+  // Serialized with migrations so in-transit extracted state (which an
+  // all-shards eviction barrier would never visit) can't dodge a window
+  // eviction and get installed stale on the recipient.
+  std::lock_guard<std::mutex> mig(migrate_mu_);
   RunOnAllShards(
       [this, ts](size_t i) { shards_[i]->engine->EvictBefore(ts); });
+}
+
+Status ShardedEngine::MigrateBucket(size_t bucket, size_t to_shard) {
+  if (!started_) {
+    return Status::FailedPrecondition("Start() the engine before migrating");
+  }
+  if (stopped_) return Status::Unavailable("engine stopped");
+  if (bucket >= partition_map_.num_buckets()) {
+    return Status::OutOfRange("bucket out of range");
+  }
+  if (to_shard >= shards_.size()) {
+    return Status::OutOfRange("shard out of range");
+  }
+  std::lock_guard<std::mutex> mig(migrate_mu_);
+  const size_t from = partition_map_.ShardOf(bucket);
+  if (from == to_shard) return Status::OK();
+
+  const auto pause_start = std::chrono::steady_clock::now();
+  // 1. Pause: mark the bucket under the exclusive route lock. From here no
+  // producer can scatter the bucket's tuples to any shard queue — new
+  // arrivals park in move_buffer_ instead.
+  {
+    std::unique_lock<std::shared_mutex> route(route_mu_);
+    migrating_bucket_ = bucket;
+  }
+  // 2. Drain + extract: the closure rides the donor's queue behind every
+  // task scattered before the pause, so when it runs, all of the bucket's
+  // in-flight tuples have been injected. It then lifts the bucket's SteM
+  // state off the donor, on the donor's own thread.
+  BucketState state;
+  RunOnShard(from, [&] {
+    state = shards_[from]->engine->ExtractBucketState(
+        bucket, [this, bucket](const Value& key) {
+          return partition_map_.BucketOf(key) == bucket;
+        });
+  });
+  // 3. Install on the recipient's thread. Installation failure means the
+  // shard engines diverged (can't happen through this class's API); the
+  // state is put back on the donor so nothing is lost either way.
+  Status install;
+  RunOnShard(to_shard, [&] {
+    install = shards_[to_shard]->engine->InstallBucketState(state);
+  });
+  if (!install.ok()) {
+    RunOnShard(from, [&] {
+      const Status undo = shards_[from]->engine->InstallBucketState(state);
+      TCQ_CHECK(undo.ok()) << "rollback reinstall failed: " << undo.ToString();
+    });
+  }
+  const size_t final_owner = install.ok() ? to_shard : from;
+  // 4. Flip + resume: still under the exclusive route lock, retarget the
+  // bucket and replay the paused arrivals to the final owner IN ORDER —
+  // producers stay blocked until the replay is enqueued, so no fresh
+  // scatter can overtake the buffer (per-key FIFO holds across the move).
+  {
+    std::unique_lock<std::shared_mutex> route(route_mu_);
+    partition_map_.SetOwner(bucket, final_owner);
+    migrating_bucket_ = SIZE_MAX;
+    std::vector<std::pair<size_t, Tuple>> buffered;
+    {
+      std::lock_guard<std::mutex> lock(buffer_mu_);
+      buffered.swap(move_buffer_);
+    }
+    // Group contiguous same-source runs into tasks (source order between
+    // producers is whatever the race produced, same as live scatter).
+    size_t i = 0;
+    while (i < buffered.size()) {
+      ShardTask task;
+      task.source = buffered[i].first;
+      while (i < buffered.size() && buffered[i].first == task.source) {
+        task.tuples.push_back(std::move(buffered[i].second));
+        ++i;
+      }
+      const size_t count = task.tuples.size();
+      if (!input_->EnqueuePartition(final_owner, std::move(task), count)) {
+        return Status::Unavailable("engine stopped mid-migration");
+      }
+      shards_[final_owner]->routed += count;
+    }
+  }
+  const auto pause_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - pause_start)
+                            .count();
+  TCQ_METRIC(pause_us_->Record(static_cast<uint64_t>(pause_us)));
+  if (!install.ok()) return install;
+  migrations_->Add(1);
+  moved_tuples_->Add(state.tuple_count());
+  moved_bytes_->Add(state.approx_bytes());
+  return Status::OK();
+}
+
+RebalanceController::Load ShardedEngine::ObserveLoad() const {
+  RebalanceController::Load load;
+  load.shard_backlog.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // Backlog in tuples: scattered minus injected. Counter reads are
+    // relaxed, so a torn view can transiently "underflow" — clamp to 0.
+    const uint64_t routed = shards_[i]->routed;
+    const uint64_t processed = shards_[i]->processed;
+    load.shard_backlog[i] =
+        routed > processed ? static_cast<size_t>(routed - processed) : 0;
+  }
+  load.bucket_routed.resize(bucket_routed_.size());
+  for (size_t b = 0; b < bucket_routed_.size(); ++b) {
+    load.bucket_routed[b] = bucket_routed_[b].value();
+  }
+  return load;
+}
+
+ShardedEngine::RebalanceStats ShardedEngine::rebalance_stats() const {
+  RebalanceStats s;
+  s.migrations = migrations_->value();
+  s.moved_tuples = moved_tuples_->value();
+  s.moved_bytes = moved_bytes_->value();
+  s.buffered_tuples = buffered_tuples_->value();
+  return s;
 }
 
 size_t ShardedEngine::num_active_queries() const {

@@ -4,6 +4,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "fjords/partitioned_queue.h"
 #include "fjords/scheduler.h"
 #include "flux/partition.h"
+#include "flux/rebalance.h"
 
 namespace tcq {
 
@@ -38,6 +41,11 @@ namespace tcq {
 ///    the same per-shard task queues as data, executing on the shard
 ///    thread after everything enqueued before them (the actor model), so
 ///    no engine state is ever touched from two threads.
+///  * Routing is dynamic: keys hash into fixed buckets and a PartitionMap
+///    maps buckets to shards. MigrateBucket (manual, or driven by the
+///    auto-rebalance controller) moves a bucket's SteM state between
+///    shards mid-stream with a pause/drain/move/resume protocol that
+///    preserves per-key FIFO and the result multiset (DESIGN.md §12).
 class ShardedEngine {
  public:
   struct Options {
@@ -51,6 +59,15 @@ class ShardedEngine {
     /// ends give backpressure; consumers never block (the EO polls).
     size_t input_capacity = 256;
     size_t egress_capacity = 1024;
+    /// Hash buckets in the PartitionMap (the migration granule). More
+    /// buckets = finer-grained rebalancing at the cost of a larger routing
+    /// table; must be >= num_shards to give every shard at least one.
+    size_t num_buckets = 64;
+    /// Spins a RebalanceController on Start() that watches shard backlog
+    /// and migrates buckets automatically. Manual MigrateBucket() works
+    /// either way.
+    bool auto_rebalance = false;
+    RebalanceController::Options rebalance;
     Eddy::Options eddy;
   };
 
@@ -108,6 +125,30 @@ class ShardedEngine {
 
   /// Evicts SteM state older than `ts` on every shard (barriered).
   void EvictBefore(Timestamp ts);
+
+  /// Moves one bucket's state to `to_shard` while data flows (Flux §2.4;
+  /// DESIGN.md §12): pause the bucket (new arrivals buffer), drain the
+  /// donor behind everything already scattered, extract the bucket's SteM
+  /// state on the donor thread, install it on the recipient thread, flip
+  /// the PartitionMap entry, replay the buffer to the recipient, resume.
+  /// Per-key FIFO and the result multiset are preserved; tuples are
+  /// neither lost nor duplicated. Serialized against other migrations,
+  /// Quiesce, RemoveQuery and EvictBefore; a no-op if the bucket already
+  /// lives on `to_shard`. Requires Start(); must not race with Stop().
+  Status MigrateBucket(size_t bucket, size_t to_shard);
+
+  const PartitionMap& partition_map() const { return partition_map_; }
+  /// Non-null iff Options::auto_rebalance (valid between Start and Stop).
+  RebalanceController* rebalance_controller() { return controller_.get(); }
+
+  /// Cross-thread-safe migration statistics (tcq.rebalance.* views).
+  struct RebalanceStats {
+    uint64_t migrations = 0;    ///< Completed bucket moves.
+    uint64_t moved_tuples = 0;  ///< SteM entries moved across shards.
+    uint64_t moved_bytes = 0;   ///< Approximate payload of those entries.
+    uint64_t buffered_tuples = 0;  ///< Arrivals parked during pauses.
+  };
+  RebalanceStats rebalance_stats() const;
 
   size_t num_shards() const { return options_.num_shards; }
   bool started() const { return started_; }
@@ -167,11 +208,19 @@ class ShardedEngine {
   void EnqueueControl(size_t i, std::function<void()> fn);
   /// Runs `fn(shard)` on every shard thread and waits for all of them.
   void RunOnAllShards(const std::function<void(size_t)>& fn);
+  /// Runs `fn` on shard `i`'s thread (behind all its queued data) and
+  /// waits for it — the migration protocol's drain-then-act primitive.
+  void RunOnShard(size_t i, const std::function<void()>& fn);
   /// Equi-join columns must be the partition columns of their streams.
   Status ValidatePartitioning(const CacqQuerySpec& spec) const;
+  /// A Load observation for the RebalanceController: per-shard backlog in
+  /// tuples (routed - processed) + cumulative per-bucket routed counts.
+  RebalanceController::Load ObserveLoad() const;
 
   Options options_;
-  HashPartitioner partitioner_;
+  /// key -> bucket -> shard; buckets are the migration granule. BucketOf
+  /// is immutable; ShardOf entries flip only inside MigrateBucket.
+  PartitionMap partition_map_;
   SourceLayout layout_;  ///< Mirror of every shard engine's layout.
   std::vector<SourceInfo> sources_;
   std::map<std::string, size_t> source_index_;
@@ -184,6 +233,37 @@ class ShardedEngine {
   std::unique_ptr<ExecutionObject> egress_eo_;
   bool started_ = false;
   bool stopped_ = false;
+
+  // ---- Migration machinery (DESIGN.md §12) ----
+  // Lock order: migrate_mu_ -> route_mu_ -> buffer_mu_. Shard threads take
+  // none of these, so barriers inside the critical sections always drain.
+  /// Serializes migrations against each other and against the barriered
+  /// mutators (Quiesce/AddQuery/RemoveQuery/EvictBefore), so extracted
+  /// state can never miss a scrub/eviction and Quiesce never runs with
+  /// tuples parked in the pause buffer.
+  std::mutex migrate_mu_;
+  /// Producers scatter under a shared lock; MigrateBucket takes it
+  /// exclusively to mark/unmark the paused bucket, guaranteeing no
+  /// producer is mid-scatter across the pause edge.
+  std::shared_mutex route_mu_;
+  /// Bucket currently paused for migration (SIZE_MAX = none). Guarded by
+  /// route_mu_.
+  size_t migrating_bucket_ = SIZE_MAX;
+  /// Arrivals for the paused bucket, in producer order: (source, tuple).
+  /// Guarded by buffer_mu_ (producers append under the shared route lock,
+  /// so they may race each other — same as racing scatters to one queue).
+  std::mutex buffer_mu_;
+  std::vector<std::pair<size_t, Tuple>> move_buffer_;
+  /// Cumulative tuples routed per bucket (controller's planning signal).
+  std::vector<Counter> bucket_routed_;
+
+  std::unique_ptr<RebalanceController> controller_;
+  // tcq.rebalance.* telemetry (registered in the constructor).
+  Counter* migrations_ = nullptr;
+  Counter* moved_tuples_ = nullptr;
+  Counter* moved_bytes_ = nullptr;
+  Counter* buffered_tuples_ = nullptr;
+  Histogram* pause_us_ = nullptr;
 };
 
 }  // namespace tcq

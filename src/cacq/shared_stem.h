@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/bitset.h"
 #include "common/clock.h"
@@ -68,6 +69,43 @@ class SharedSteM {
 
   /// Evicts tuples with timestamp < ts; returns the count evicted.
   size_t EvictBefore(Timestamp ts);
+
+  /// A stored tuple lifted out of a SteM for state migration: the tuple
+  /// (which carries its timestamp and arrival seq) plus its query lineage.
+  struct ExtractedEntry {
+    Tuple tuple;
+    SmallBitset queries;
+  };
+
+  /// Removes every live entry whose key satisfies `pred` and returns them
+  /// in storage (arrival) order. Dead entries are skipped; removed entries
+  /// are tombstoned (tuple left intact — CompactFront still reads a dead
+  /// front entry's key to clean the index) and the front compacted, exactly
+  /// like eviction, so indexes stay consistent. With key_field < 0
+  /// (scan-only SteM) `pred` sees the tuple's first cell — callers
+  /// partitioning by key never build such SteMs (the exchange requires a
+  /// partition column), but the fallback keeps extraction total.
+  template <typename Pred>
+  std::vector<ExtractedEntry> ExtractIf(Pred&& pred) {
+    std::vector<ExtractedEntry> out;
+    const size_t key =
+        key_field_ >= 0 ? static_cast<size_t>(key_field_) : size_t{0};
+    for (Entry& e : entries_) {
+      if (e.dead) continue;
+      if (!pred(e.tuple.cell(key))) continue;
+      out.push_back(ExtractedEntry{e.tuple, e.queries});
+      e.dead = true;
+      --live_;
+    }
+    CompactFront();
+    return out;
+  }
+
+  /// Re-inserts an extracted entry on the recipient, preserving lineage,
+  /// timestamp, and seq (Insert copies all three from the tuple).
+  void Install(const ExtractedEntry& entry) {
+    Insert(entry.tuple, entry.queries);
+  }
 
   /// Clears query q's bit from every stored lineage (query removed).
   void ScrubQuery(size_t q);

@@ -110,6 +110,29 @@ void Server::Quiesce() {
   for (ShardedEngine* e : engines) e->Quiesce();
 }
 
+Status Server::Rebalance(const std::string& stream, size_t bucket,
+                         size_t to_shard) {
+  // Same discipline as Quiesce: resolve the engine under mu_, migrate
+  // unlocked — a migration blocks on shard barriers and must not stall
+  // ingest on other streams (the engine lives until ~Server).
+  ShardedEngine* engine = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = streams_.find(stream);
+    if (it == streams_.end()) {
+      return Status::NotFound("unknown stream: " + stream);
+    }
+    if (it->second.sharded == nullptr) {
+      return Status::FailedPrecondition(
+          "stream is not running sharded (need cacq_shards > 1 and a "
+          "standing query): " +
+          stream);
+    }
+    engine = it->second.sharded.get();
+  }
+  return engine->MigrateBucket(bucket, to_shard);
+}
+
 Status Server::DefineStream(const std::string& name, SchemaPtr schema,
                             int timestamp_field, int partition_field) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -166,6 +189,9 @@ Result<QueryId> Server::Submit(const std::string& sql) {
       sopts.num_shards = options_.cacq_shards;
       sopts.policy = options_.policy;
       sopts.seed = options_.seed;
+      sopts.num_buckets = options_.cacq_buckets;
+      sopts.auto_rebalance = options_.auto_rebalance;
+      sopts.rebalance = options_.rebalance;
       auto sharded = std::make_unique<ShardedEngine>(std::move(sopts));
       auto added =
           sharded->AddStream(stream, ss.def.schema, ss.partition_column);
@@ -724,11 +750,16 @@ std::string Server::SnapshotMetrics() const {
         ss.sharded->shard_stats();
     for (size_t i = 0; i < stats.size(); ++i) {
       if (i != 0) out += ",";
+      // Buckets owned comes from the live PartitionMap (atomic reads):
+      // rebalancing shifts these while the fleet runs.
       out += "{\"routed\":" + std::to_string(stats[i].routed) +
              ",\"processed\":" + std::to_string(stats[i].processed) +
              ",\"queue_depth\":" + std::to_string(stats[i].queue_depth) +
              ",\"eddy_decisions\":" + std::to_string(stats[i].eddy_decisions) +
              ",\"eddy_emitted\":" + std::to_string(stats[i].eddy_emitted) +
+             ",\"buckets\":" +
+             std::to_string(
+                 ss.sharded->partition_map().BucketsOwnedBy(i).size()) +
              "}";
     }
     out += "]";

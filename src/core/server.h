@@ -53,6 +53,14 @@ class Server {
     /// thread; call Quiesce() for a delivery barrier). Windowed queries
     /// are unaffected either way.
     size_t cacq_shards = 1;
+    /// Hash buckets in each sharded stream's PartitionMap — the granule
+    /// online rebalancing moves between shards (DESIGN.md §12).
+    size_t cacq_buckets = 64;
+    /// Runs a RebalanceController per sharded stream that watches shard
+    /// backlog and migrates hot buckets automatically (Flux §2.4).
+    /// Manual Rebalance() works with or without it.
+    bool auto_rebalance = false;
+    RebalanceController::Options rebalance;
   };
 
   Server();
@@ -115,6 +123,13 @@ class Server {
   /// the inline path is already synchronous. Must not be called from a
   /// result callback.
   void Quiesce();
+
+  /// Manually migrates one hash bucket of `stream`'s sharded exchange to
+  /// `to_shard` mid-stream (Flux-style state movement; no results lost or
+  /// duplicated — see ShardedEngine::MigrateBucket). The stream must be
+  /// running sharded (cacq_shards > 1 and at least one standing query).
+  /// Must not be called from a result callback.
+  Status Rebalance(const std::string& stream, size_t bucket, size_t to_shard);
 
   // --- Results -----------------------------------------------------------------
   /// Next undelivered result set of query q, if any.

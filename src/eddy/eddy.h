@@ -126,6 +126,16 @@ class Eddy {
   uint64_t scratch_allocs() const { return scratch_allocs_; }
   const SourceLayout& layout() const { return *layout_; }
 
+  /// Raises the arrival-order counter to at least `floor`. State migration
+  /// installs foreign SteM entries carrying their donor eddy's sequence
+  /// numbers; the recipient must assign strictly larger seqs to future
+  /// arrivals or the probe-side `stored.seq() >= probe.seq()` dedup would
+  /// silently drop matches against the installed entries. Call on the
+  /// thread that owns this eddy (same discipline as Inject).
+  void EnsureSeqAtLeast(int64_t floor) {
+    if (next_seq_ <= floor) next_seq_ = floor + 1;
+  }
+
  private:
   /// Collects indexes of operators eligible for `rt` and not yet done.
   /// Tracks scratch growth when `out` is one of the member buffers.

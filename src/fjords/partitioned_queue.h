@@ -23,8 +23,9 @@ namespace tcq {
 /// Telemetry (DESIGN.md §10/§11): per-partition counters under an indexed
 /// family — `<family>.<i>.routed` and `<family>.<i>.queue_depth` — and a
 /// `<family>.imbalance` gauge holding max/mean backlog as a percentage
-/// (100 = perfectly balanced), the statistic Flux's controller watches.
-/// The default family is `tcq.shard` (the sharded CACQ exchange).
+/// (0 = idle, 100 = perfectly balanced, >100 = skewed), the statistic
+/// Flux's controller watches. The default family is `tcq.shard` (the
+/// sharded CACQ exchange).
 template <typename T>
 class PartitionedQueue {
  public:
@@ -101,9 +102,13 @@ class PartitionedQueue {
       total += d;
       if (d > max_depth) max_depth = d;
     }
+    // An idle exchange (total backlog 0) reports 0, not 100: max/mean is
+    // undefined with nothing queued, and reporting "balanced" here made an
+    // idle pipeline indistinguishable from a loaded balanced one — which
+    // would spuriously feed the rebalance controller's trigger statistic.
     const double mean =
         static_cast<double>(total) / static_cast<double>(queues_.size());
-    imbalance_->Set(total == 0 ? 100
+    imbalance_->Set(total == 0 ? 0
                                : static_cast<int64_t>(
                                      100.0 * static_cast<double>(max_depth) /
                                      mean));

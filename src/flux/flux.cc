@@ -43,29 +43,29 @@ struct ClusterMetrics {
 
 FluxCluster::FluxCluster() : FluxCluster(Options()) {}
 
-FluxCluster::FluxCluster(Options options) : options_(options) {
+FluxCluster::FluxCluster(Options options)
+    : options_(options),
+      // PartitionMap validates initial_owner size/bounds itself; the
+      // round-robin default matches the old owner_ initialization.
+      map_(options.num_partitions == 0 ? 1 : options.num_partitions,
+           options.num_nodes == 0 ? 1 : options.num_nodes) {
   TCQ_CHECK(options_.num_nodes > 0);
   TCQ_CHECK(options_.num_partitions > 0);
   TCQ_CHECK(options_.capacity_per_tick > 0);
   nodes_.resize(options_.num_nodes);
-  owner_.resize(options_.num_partitions);
   if (!options_.initial_owner.empty()) {
     TCQ_CHECK(options_.initial_owner.size() == options_.num_partitions);
     for (size_t p = 0; p < options_.num_partitions; ++p) {
-      TCQ_CHECK(options_.initial_owner[p] < options_.num_nodes);
-      owner_[p] = options_.initial_owner[p];
-    }
-  } else {
-    for (size_t p = 0; p < options_.num_partitions; ++p) {
-      owner_[p] = p % options_.num_nodes;
+      map_.SetOwner(p, options_.initial_owner[p]);
     }
   }
 }
 
 size_t FluxCluster::PartitionOf(const Value& key) const {
   // Shared with the real-threads sharded CACQ exchange (flux/partition.h):
-  // both route by the same hash so simulation results carry over.
-  return HashPartitioner(options_.num_partitions).PartitionOf(key);
+  // both route by the same PartitionMap hash, so simulation results carry
+  // over (and no per-call throwaway partitioner is built).
+  return map_.BucketOf(key);
 }
 
 size_t FluxCluster::ReplicaNodeOf(size_t partition) const {
@@ -74,7 +74,7 @@ size_t FluxCluster::ReplicaNodeOf(size_t partition) const {
   // as two nodes survive; without the skip, a partition whose designated
   // standby slot is a corpse silently runs unreplicated and a later
   // primary failure loses acked state.
-  const size_t owner = owner_[partition];
+  const size_t owner = map_.ShardOf(partition);
   for (size_t i = 1; i < nodes_.size(); ++i) {
     const size_t cand = (owner + i) % nodes_.size();
     if (nodes_[cand].alive) return cand;
@@ -90,7 +90,7 @@ void FluxCluster::RouteTuple(Pending p) {
     it->second.push_back(std::move(p));
     return;
   }
-  const size_t node = owner_[partition];
+  const size_t node = map_.ShardOf(partition);
   if (!nodes_[node].alive) {
     // No live owner (unrecovered failure): the update is lost.
     ++dropped_no_owner_;
@@ -209,7 +209,7 @@ void FluxCluster::Controller() {
   }
   size_t best_partition = SIZE_MAX, best_count = 0;
   for (const auto& [partition, count] : queued_per_partition) {
-    if (owner_[partition] == max_node && count > best_count) {
+    if (map_.ShardOf(partition) == max_node && count > best_count) {
       best_count = count;
       best_partition = partition;
     }
@@ -219,7 +219,7 @@ void FluxCluster::Controller() {
 }
 
 void FluxCluster::StartMove(size_t partition, size_t from, size_t to) {
-  TCQ_DCHECK(owner_[partition] == from);
+  TCQ_DCHECK(map_.ShardOf(partition) == from);
   move_buffer_.emplace(partition, std::deque<Pending>());
   Node& src = nodes_[from];
   // Pull this partition's queued-but-unprocessed tuples into the buffer so
@@ -259,7 +259,7 @@ void FluxCluster::AdvanceMove() {
     dst.state[mv.partition] = std::move(src.state[mv.partition]);
     src.state.erase(mv.partition);
   }
-  owner_[mv.partition] = mv.to;
+  map_.SetOwner(mv.partition, mv.to);
   ++moves_;
   TCQ_METRIC(ClusterMetrics::Get().moves->Add(1));
   if (options_.enable_replication) {
@@ -319,8 +319,8 @@ Status FluxCluster::KillNode(size_t node) {
 
 void FluxCluster::FailoverNode(size_t node) {
   // Choose new owners for every partition the victim owned.
-  for (size_t p = 0; p < owner_.size(); ++p) {
-    if (owner_[p] != node) continue;
+  for (size_t p = 0; p < map_.num_buckets(); ++p) {
+    if (map_.ShardOf(p) != node) continue;
     // The standby, if any, lives where ReplicaNodeOf placed it: the first
     // live node past the (now dead) primary.
     const size_t standby = ReplicaNodeOf(p);
@@ -330,7 +330,7 @@ void FluxCluster::FailoverNode(size_t node) {
       // Promote the standby copy: no state loss.
       nodes_[standby].state[p] = std::move(nodes_[standby].replicas[p]);
       nodes_[standby].replicas.erase(p);
-      owner_[p] = standby;
+      map_.SetOwner(p, standby);
     } else {
       // No replica: the partition restarts empty on some live node.
       size_t chosen = SIZE_MAX;
@@ -348,7 +348,7 @@ void FluxCluster::FailoverNode(size_t node) {
               static_cast<uint64_t>(ks.count)));
         }
       }
-      if (chosen != SIZE_MAX) owner_[p] = chosen;
+      if (chosen != SIZE_MAX) map_.SetOwner(p, chosen);
     }
     nodes_[node].state.erase(p);
   }
@@ -356,10 +356,10 @@ void FluxCluster::FailoverNode(size_t node) {
   // them from the live primaries.
   nodes_[node].replicas.clear();
   if (options_.enable_replication) {
-    for (size_t p = 0; p < owner_.size(); ++p) {
+    for (size_t p = 0; p < map_.num_buckets(); ++p) {
       const size_t rn = ReplicaNodeOf(p);
-      Node& owner_node = nodes_[owner_[p]];
-      if (rn != owner_[p] && nodes_[rn].alive &&
+      Node& owner_node = nodes_[map_.ShardOf(p)];
+      if (rn != map_.ShardOf(p) && nodes_[rn].alive &&
           nodes_[rn].replicas.count(p) == 0 &&
           owner_node.state.count(p) != 0) {
         nodes_[rn].replicas[p] = owner_node.state[p];
@@ -373,7 +373,7 @@ std::map<Value, FluxCluster::KeyState> FluxCluster::Snapshot() const {
   for (const Node& node : nodes_) {
     if (!node.alive) continue;
     for (const auto& [partition, keys] : node.state) {
-      if (owner_[partition] != static_cast<size_t>(&node - nodes_.data())) {
+      if (map_.ShardOf(partition) != static_cast<size_t>(&node - nodes_.data())) {
         continue;  // Stale copy (shouldn't happen; defensive).
       }
       for (const auto& [key, ks] : keys) {
@@ -392,8 +392,8 @@ FluxCluster::NodeStats FluxCluster::node_stats(size_t node) const {
   s.alive = n.alive;
   s.backlog = n.queue.size();
   s.processed = n.processed;
-  for (size_t p = 0; p < owner_.size(); ++p) {
-    if (owner_[p] == node) ++s.partitions_owned;
+  for (size_t p = 0; p < map_.num_buckets(); ++p) {
+    if (map_.ShardOf(p) == node) ++s.partitions_owned;
   }
   return s;
 }

@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "flux/partition.h"
 #include "telemetry/metrics.h"
 #include "tuple/tuple.h"
 #include "tuple/value.h"
@@ -149,7 +150,10 @@ class FluxCluster {
 
   Options options_;
   std::vector<Node> nodes_;
-  std::vector<size_t> owner_;  ///< partition -> node routing table.
+  /// key -> partition -> node, through the same PartitionMap abstraction
+  /// the real-threads sharded exchange routes with (one repartitioning
+  /// abstraction; partition == bucket, node == shard).
+  PartitionMap map_;
   /// Tuples buffered while their partition is mid-move.
   std::map<size_t, std::deque<Pending>> move_buffer_;
   std::unique_ptr<Move> active_move_;

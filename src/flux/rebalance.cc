@@ -1,0 +1,160 @@
+#include "flux/rebalance.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace tcq {
+
+RebalanceController::RebalanceController(const PartitionMap* map, LoadFn load,
+                                         MigrateFn migrate, Options options)
+    : map_(map),
+      load_(std::move(load)),
+      migrate_(std::move(migrate)),
+      options_(options),
+      polls_(MetricRegistry::Global().GetCounter("tcq.rebalance.polls")),
+      triggered_(MetricRegistry::Global().GetCounter("tcq.rebalance.triggered")),
+      failed_(MetricRegistry::Global().GetCounter("tcq.rebalance.failed")) {
+  TCQ_CHECK(map_ != nullptr);
+  TCQ_CHECK(load_ != nullptr);
+  TCQ_CHECK(migrate_ != nullptr);
+}
+
+RebalanceController::~RebalanceController() { Stop(); }
+
+void RebalanceController::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_requested_ = false;
+  prev_ = load_();  // First delta window starts from "now", not from zero.
+  thread_ = std::thread([this] { Run(); });
+}
+
+void RebalanceController::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+void RebalanceController::Run() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_interval_ms),
+                   [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    PollOnce();
+  }
+}
+
+std::optional<RebalanceController::Plan> RebalanceController::PollOnce() {
+  TCQ_METRIC(polls_->Add());
+  Load now = load_();
+  std::optional<Plan> plan;
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+  } else {
+    plan = PlanMove(map_->Owners(), now, prev_, options_);
+  }
+  prev_ = std::move(now);
+  if (!plan) return std::nullopt;
+
+  triggered_->Add();
+  Status s = migrate_(plan->bucket, plan->to);
+  if (!s.ok()) {
+    // A failed or refused migration (e.g. concurrent manual Rebalance holds
+    // the migration lock) is not fatal — log, back off, and re-plan from
+    // fresh observations next poll.
+    failed_->Add();
+    TCQ_LOG_EVERY_N(Warn, 32)
+        << "rebalance: migration of bucket " << plan->bucket << " -> shard "
+        << plan->to << " failed: " << s.message();
+    return std::nullopt;
+  }
+  cooldown_left_ = options_.cooldown_polls;
+  return plan;
+}
+
+std::optional<RebalanceController::Plan> RebalanceController::PlanMove(
+    const std::vector<size_t>& owner, const Load& now, const Load& prev,
+    const Options& options) {
+  const size_t shards = now.shard_backlog.size();
+  if (shards < 2) return std::nullopt;
+
+  size_t donor = 0, recipient = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < shards; ++i) {
+    total += now.shard_backlog[i];
+    if (now.shard_backlog[i] > now.shard_backlog[donor]) donor = i;
+    if (now.shard_backlog[i] < now.shard_backlog[recipient]) recipient = i;
+  }
+  const size_t max_backlog = now.shard_backlog[donor];
+  if (max_backlog < options.min_backlog) return std::nullopt;  // Idle-ish.
+  const double mean = static_cast<double>(total) / static_cast<double>(shards);
+  if (mean <= 0.0 ||
+      static_cast<double>(max_backlog) <= options.imbalance_threshold * mean) {
+    return std::nullopt;  // Within tolerance.
+  }
+
+  // Estimate each donor bucket's recent load share from the routed-counter
+  // delta since the previous observation. The donor/recipient *backlog* gap
+  // bounds how much load is worth shifting: moving more than half the gap
+  // would overshoot and invite a move straight back.
+  if (now.bucket_routed.size() != owner.size() ||
+      prev.bucket_routed.size() != owner.size()) {
+    return std::nullopt;  // Malformed observation; skip this round.
+  }
+  uint64_t donor_recent = 0, recipient_recent = 0;
+  for (size_t b = 0; b < owner.size(); ++b) {
+    const uint64_t delta = now.bucket_routed[b] >= prev.bucket_routed[b]
+                               ? now.bucket_routed[b] - prev.bucket_routed[b]
+                               : 0;
+    if (owner[b] == donor) donor_recent += delta;
+    if (owner[b] == recipient) recipient_recent += delta;
+  }
+  if (donor_recent <= recipient_recent) {
+    // Backlog skew without a recent-rate skew (e.g. a stale backlog from a
+    // burst already past) — no bucket move would help; let it drain.
+    return std::nullopt;
+  }
+  const uint64_t target = (donor_recent - recipient_recent) / 2;
+
+  // Largest donor bucket that fits the target. If every donor bucket
+  // overshoots (one mega-hot bucket), fall back to the *smallest* active
+  // donor bucket: shedding even a cold-ish bucket frees the donor a little
+  // and never makes the recipient the new maximum by more than the donor
+  // already was.
+  size_t best = SIZE_MAX, best_delta = 0;
+  size_t smallest_active = SIZE_MAX;
+  uint64_t smallest_delta = UINT64_MAX;
+  for (size_t b = 0; b < owner.size(); ++b) {
+    if (owner[b] != donor) continue;
+    const uint64_t delta = now.bucket_routed[b] >= prev.bucket_routed[b]
+                               ? now.bucket_routed[b] - prev.bucket_routed[b]
+                               : 0;
+    if (delta == 0) continue;  // Quiet bucket; moving it shifts nothing.
+    if (delta <= target && (best == SIZE_MAX || delta > best_delta)) {
+      best = b;
+      best_delta = delta;
+    }
+    if (delta < smallest_delta) {
+      smallest_active = b;
+      smallest_delta = delta;
+    }
+  }
+  if (best == SIZE_MAX) best = smallest_active;
+  if (best == SIZE_MAX) return std::nullopt;  // Donor has no active buckets.
+  return Plan{best, donor, recipient};
+}
+
+}  // namespace tcq

@@ -1,0 +1,129 @@
+#ifndef TCQ_FLUX_REBALANCE_H_
+#define TCQ_FLUX_REBALANCE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "flux/partition.h"
+#include "telemetry/metrics.h"
+
+namespace tcq {
+
+/// The Flux controller half of online repartitioning (§2.4 of [SHCF03],
+/// cited by TelegraphCQ §3): a background thread that watches the
+/// exchange's load distribution — the statistic behind the
+/// `tcq.shard.imbalance` gauge — and, when one shard's backlog runs away
+/// from the mean, picks a (bucket, donor, recipient) move and asks the
+/// engine to execute it. The *mechanism* (pause/drain/move/resume) lives
+/// with the engine that owns the state (cacq/migration.cc); this class is
+/// pure *policy* plus the thread that applies it, so the simulated cluster
+/// and any future exchange can reuse it.
+///
+/// Planning is exposed as a static, side-effect-free function
+/// (`PlanMove`) so the donor/recipient/bucket choice is unit-testable
+/// without threads.
+class RebalanceController {
+ public:
+  struct Options {
+    /// Trigger when max backlog exceeds threshold * mean backlog (the
+    /// same statistic the tcq.shard.imbalance gauge publishes as
+    /// 100*max/mean).
+    double imbalance_threshold = 1.75;
+    /// Minimum max-shard backlog before imbalance is considered at all —
+    /// an idle or near-idle exchange is never "imbalanced".
+    size_t min_backlog = 64;
+    /// Controller poll cadence.
+    uint64_t poll_interval_ms = 5;
+    /// Polls to skip after a completed migration, giving the new owner
+    /// time to drain before the next decision (anti ping-pong).
+    size_t cooldown_polls = 4;
+  };
+
+  /// One load observation. `shard_backlog[i]` is shard i's current input
+  /// backlog (queued work); `bucket_routed[b]` is the cumulative count of
+  /// tuples routed to bucket b — the controller differences consecutive
+  /// observations to estimate each bucket's recent load share.
+  struct Load {
+    std::vector<size_t> shard_backlog;
+    std::vector<uint64_t> bucket_routed;
+  };
+
+  struct Plan {
+    size_t bucket;
+    size_t from;
+    size_t to;
+  };
+
+  using LoadFn = std::function<Load()>;
+  /// Executes one migration (ShardedEngine::MigrateBucket). Runs on the
+  /// controller thread; must be safe to call while data flows.
+  using MigrateFn = std::function<Status(size_t bucket, size_t to_shard)>;
+
+  /// `map` must outlive the controller and is only read (owner snapshot
+  /// for planning); the MigrateFn flips it.
+  RebalanceController(const PartitionMap* map, LoadFn load, MigrateFn migrate,
+                      Options options);
+  ~RebalanceController();  // Stops and joins the thread.
+
+  RebalanceController(const RebalanceController&) = delete;
+  RebalanceController& operator=(const RebalanceController&) = delete;
+
+  void Start();
+  /// Signals the thread and joins it. Idempotent; a migration in flight
+  /// completes before the thread exits.
+  void Stop();
+
+  /// Runs one observe-plan-migrate step inline (no thread). Tests and
+  /// manual drivers use this for deterministic triggering; the background
+  /// thread calls exactly this. Returns the executed plan, if any.
+  std::optional<Plan> PollOnce();
+
+  uint64_t polls() const { return polls_->value(); }
+  uint64_t triggered() const { return triggered_->value(); }
+  uint64_t failed() const { return failed_->value(); }
+
+  /// Pure planning: given the routing table snapshot and two consecutive
+  /// load observations, decide whether to move a bucket and which one.
+  ///
+  /// Donor = max-backlog shard, recipient = min-backlog shard, triggered
+  /// by max > threshold * mean (and max >= min_backlog). The moved bucket
+  /// is the donor-owned bucket with the largest recent routed delta that
+  /// still fits within half the donor-recipient load gap — moving the
+  /// hottest bucket outright could just relocate the hotspot, while a
+  /// bucket within the gap strictly narrows it (Flux's "move enough, not
+  /// everything"). Returns nullopt when balanced, idle, or no bucket fits.
+  static std::optional<Plan> PlanMove(const std::vector<size_t>& owner,
+                                      const Load& now, const Load& prev,
+                                      const Options& options);
+
+ private:
+  void Run();
+
+  const PartitionMap* map_;
+  LoadFn load_;
+  MigrateFn migrate_;
+  Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  std::thread thread_;
+
+  Load prev_;
+  size_t cooldown_left_ = 0;
+
+  Counter* polls_;
+  Counter* triggered_;
+  Counter* failed_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_FLUX_REBALANCE_H_

@@ -91,14 +91,51 @@ TEST(PartitionedQueueTest, PublishesRoutedDepthAndImbalance) {
   EXPECT_TRUE(pq.EnqueuePartition(1, 9, /*routed_count=*/5));
   EXPECT_EQ(reg.GetCounter("tcq.test.pqstats", 1, "routed")->value(), 7u);
 
-  // Empty exchange reads as perfectly balanced.
+  // An idle exchange reads 0, not 100: "no backlog" must be
+  // distinguishable from "loaded but perfectly balanced", or an idle
+  // pipeline would feed the rebalance trigger a balanced-looking signal.
   std::vector<int> drain;
   pq.partition(0).DequeueUpTo(64, &drain);
   pq.partition(1).DequeueUpTo(64, &drain);
   pq.RefreshDepthStats();
+  EXPECT_EQ(reg.GetGauge("tcq.test.pqstats.imbalance")->value(), 0);
+
+  // And loading it again restores a live reading.
+  EXPECT_TRUE(pq.EnqueuePartition(0, 1));
+  EXPECT_TRUE(pq.EnqueuePartition(1, 2));
+  pq.RefreshDepthStats();
   EXPECT_EQ(reg.GetGauge("tcq.test.pqstats.imbalance")->value(), 100);
 }
 #endif  // TCQ_METRICS_DISABLED
+
+TEST(PartitionMapTest, RoundRobinDefaultAndDynamicOwnership) {
+  PartitionMap map(8, 3);
+  EXPECT_EQ(map.num_buckets(), 8u);
+  EXPECT_EQ(map.num_shards(), 3u);
+  for (size_t b = 0; b < 8; ++b) EXPECT_EQ(map.ShardOf(b), b % 3);
+  EXPECT_EQ(map.BucketsOwnedBy(0).size(), 3u);  // 0, 3, 6.
+
+  // Key -> bucket is the HashPartitioner policy and never changes; the
+  // bucket -> shard half is what SetOwner flips.
+  const Value key = Value::Int64(42);
+  const size_t bucket = map.BucketOf(key);
+  const size_t before = map.ShardOf(key);
+  const size_t moved_to = (before + 1) % 3;
+  map.SetOwner(bucket, moved_to);
+  EXPECT_EQ(map.BucketOf(key), bucket);
+  EXPECT_EQ(map.ShardOf(key), moved_to);
+  EXPECT_EQ(map.Owners()[bucket], moved_to);
+
+  // Tuple form keys off the given column, matching the Value form.
+  Tuple t = Tuple::Make({Value::String("x"), Value::Int64(42)}, 0);
+  EXPECT_EQ(map.ShardOf(t, 1), moved_to);
+}
+
+TEST(PartitionMapTest, ExplicitInitialOwners) {
+  PartitionMap map(4, 2, {1, 1, 1, 0});
+  EXPECT_EQ(map.BucketsOwnedBy(1).size(), 3u);
+  EXPECT_EQ(map.ShardOf(3), 0u);
+}
 
 }  // namespace
 }  // namespace tcq
