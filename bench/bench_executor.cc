@@ -19,11 +19,17 @@
 //     online rebalance controller off (Arg 0) vs on (Arg 1): Flux §2.4's
 //     claim that moving hot buckets recovers throughput a static hash
 //     mapping loses to skew (DESIGN.md §12).
+//
+//  5. sharded_failover — the process-pair HA tax and recovery speed
+//     (DESIGN.md §13): replication off (Arg 0) vs changelog+checkpoints
+//     on (Arg 1) vs on with kill/promote cycles mid-run (Arg 2).
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <thread>
 
+#include "cacq/sharded_engine.h"
 #include "common/rng.h"
 #include "core/server.h"
 #include "ingress/sources.h"
@@ -277,6 +283,91 @@ void BM_ShardedSkewedThroughput(benchmark::State& state) {
 BENCHMARK(BM_ShardedSkewedThroughput)
     ->Arg(0)
     ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+// Process-pair HA: what replication costs when nothing fails, and what a
+// failure costs when it does. Arg(0) is the bare 4-shard exchange,
+// Arg(1) adds the standby path (every batch tees into the changelog;
+// cadence checkpoints copy SteM state), Arg(2) additionally kills and
+// promotes a rotating shard every 256 batches. Uses the ShardedEngine
+// directly — kill/promote is not a Server API. tuples_per_sec keeps the
+// producer-rate convention; wall_tuples_per_sec includes the final drain
+// and (for Arg 2) every recovery stall; recovery_ms_mean is the
+// kill-to-promoted latency of one cycle.
+void BM_ShardedFailover(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  ShardedEngine::Options opts;
+  opts.num_shards = 4;
+  opts.num_replicas = mode == 0 ? 0 : 1;
+  ShardedEngine engine(opts);
+  benchmark::DoNotOptimize(engine.AddStream(
+      "S",
+      Schema::Make(
+          {{"k", ValueType::kInt64, ""}, {"v", ValueType::kInt64, ""}}),
+      /*partition_column=*/0));
+  engine.SetSink([](std::vector<ShardedEngine::Emission>&& batch) {
+    benchmark::DoNotOptimize(batch.size());
+  });
+  engine.Start();
+  constexpr size_t kQueries = 48;
+  for (size_t i = 0; i < kQueries; ++i) {
+    CacqQuerySpec spec;
+    spec.sources = {"S"};
+    spec.where = Expr::Binary(BinaryOp::kEq, Expr::Column("v"),
+                              Expr::Literal(Value::Int64(static_cast<int64_t>(i))));
+    benchmark::DoNotOptimize(engine.AddQuery(spec));
+  }
+  constexpr size_t kIngestBatch = 64;
+  constexpr size_t kKillEvery = 256;  // Batches between kill/promote cycles.
+  Rng rng(1234);
+  std::vector<Tuple> batch;
+  size_t batches = 0;
+  size_t failovers = 0;
+  double recovery_secs = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
+  while (state.KeepRunningBatch(kIngestBatch)) {
+    batch.reserve(kIngestBatch);
+    for (size_t i = 0; i < kIngestBatch; ++i) {
+      batch.push_back(Tuple::Make(
+          {Value::Int64(static_cast<int64_t>(rng.NextBounded(512))),
+           Value::Int64(static_cast<int64_t>(rng.NextBounded(1 << 20)))},
+          0));
+    }
+    benchmark::DoNotOptimize(engine.PushBatch("S", std::move(batch)));
+    batch.clear();
+    if (mode == 2 && ++batches % kKillEvery == 0) {
+      const size_t victim = failovers % opts.num_shards;
+      const auto t0 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(engine.KillShard(victim));
+      while (engine.shard_alive(victim)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      benchmark::DoNotOptimize(engine.FailoverShard(victim));
+      recovery_secs +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      ++failovers;
+    }
+  }
+  benchmark::DoNotOptimize(engine.Quiesce());  // Inside the wall clock.
+  const double wall_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  engine.Stop();
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["wall_tuples_per_sec"] =
+      static_cast<double>(state.iterations()) / wall_secs;
+  state.counters["failovers"] = static_cast<double>(failovers);
+  state.counters["recovery_ms_mean"] =
+      failovers == 0 ? 0.0
+                     : 1e3 * recovery_secs / static_cast<double>(failovers);
+}
+BENCHMARK(BM_ShardedFailover)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_SubmitAndCancelLatency(benchmark::State& state) {

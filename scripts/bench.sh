@@ -11,8 +11,9 @@
 #
 # The tracked subset covers the batch dataflow hot path: the executor
 # ingest benchmarks (Server::PushBatch -> CACQ eddy), including the
-# sharded sweep and the zipfian-skew rebalance on/off pair
-# (BM_ShardedSkewedThroughput), and the Fjord queue benchmarks
+# sharded sweep, the zipfian-skew rebalance on/off pair
+# (BM_ShardedSkewedThroughput), the process-pair HA tax and recovery
+# latency (BM_ShardedFailover), and the Fjord queue benchmarks
 # (EnqueueBatch/DequeueUpTo). Add binaries via $BENCHES.
 set -euo pipefail
 cd "$(dirname "$0")/.."

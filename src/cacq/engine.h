@@ -104,6 +104,22 @@ class CacqEngine {
   /// means the caller migrated across non-identical engines.
   Status InstallBucketState(const BucketState& state);
 
+  /// Process-pair replication half (DESIGN.md §13), same thread-ownership
+  /// rule as the bucket pair above.
+  ///
+  /// CheckpointState copies (without removing) every SteM's live entries
+  /// plus the eddy's arrival counter — the snapshot a standby replica
+  /// recovers from.
+  EngineCheckpoint CheckpointState() const;
+
+  /// Replaces this engine's SteM state with `ckpt` and aligns the eddy's
+  /// arrival counter to the primary's, so a changelog tail replayed next
+  /// stamps seqs exactly as the primary would have. Rejects torn
+  /// checkpoints (ckpt.complete == false) and engine mismatches without
+  /// partial installs. Grouped filters / queries are untouched: replicas
+  /// register the same queries through the normal control path.
+  Status RestoreCheckpoint(const EngineCheckpoint& ckpt);
+
   size_t num_active_queries() const { return active_queries_; }
   const Eddy& eddy() const { return *eddy_; }
   const SourceLayout& layout() const { return layout_; }

@@ -62,6 +62,44 @@ struct BucketState {
   }
 };
 
+/// A whole shard engine's SteM state plus its eddy arrival counter, copied
+/// (not extracted) for process-pair replication (DESIGN.md §13). Unlike
+/// BucketState this is non-destructive — the primary keeps executing from
+/// the same state the snapshot now mirrors — and it spans every bucket the
+/// shard owns, because failover promotes the whole shard, not one bucket.
+///
+/// `next_seq` is the primary eddy's arrival counter at the checkpoint
+/// boundary. RestoreCheckpoint raises the replica's counter to it, so
+/// changelog tuples replayed after the restore receive exactly the seqs
+/// the primary would have assigned — the probe-side dedup then behaves
+/// identically on both sides of a failover.
+///
+/// `complete` is the torn-checkpoint guard: a snapshot produced by a
+/// crashed or fault-injected checkpointer arrives with complete == false
+/// and MUST be rejected by the replica (which keeps its previous snapshot
+/// and the full changelog tail instead — the hydra recovery rule).
+struct EngineCheckpoint {
+  std::vector<BucketState::StemState> stems;
+  int64_t next_seq = 1;
+  bool complete = true;
+
+  size_t tuple_count() const {
+    size_t n = 0;
+    for (const BucketState::StemState& s : stems) n += s.entries.size();
+    return n;
+  }
+
+  size_t approx_bytes() const {
+    size_t bytes = 0;
+    for (const BucketState::StemState& s : stems) {
+      for (const SharedSteM::ExtractedEntry& e : s.entries) {
+        bytes += sizeof(Tuple) + e.tuple.arity() * sizeof(Value);
+      }
+    }
+    return bytes;
+  }
+};
+
 }  // namespace tcq
 
 #endif  // TCQ_CACQ_MIGRATION_H_

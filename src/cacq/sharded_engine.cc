@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 
 #include "common/logging.h"
 #include "expr/predicates.h"
@@ -13,8 +14,10 @@ namespace tcq {
 namespace {
 
 /// Minimal countdown latch (std::latch stays out so the TSan build's
-/// libstdc++ coverage is irrelevant): control barriers wait on it while
-/// shard threads count it down.
+/// libstdc++ coverage is irrelevant): the egress barrier waits on it while
+/// the egress thread counts it down. Only used where the counting thread
+/// provably cannot die (the egress stage); shard barriers use the
+/// abandonable ShardBarrier below instead.
 class Latch {
  public:
   explicit Latch(size_t n) : n_(n) {}
@@ -44,11 +47,57 @@ QueueOptions ShardEdgeOptions(size_t capacity) {
 
 }  // namespace
 
+/// A control barrier that survives the death of the threads it waits on.
+/// The closure lives INSIDE the barrier (kept alive by the shared_ptr each
+/// enqueued wrapper holds), so a waiter can abandon the barrier and return
+/// an error while stale wrappers are still queued on a dead shard: when the
+/// failover drain later runs them, they see `abandoned_`, skip the closure
+/// (whose captures may reference the long-gone caller frame) and just count
+/// down. Abandon() synchronizes with in-flight closures — it waits until
+/// nothing is executing — so the caller's frame is never touched after an
+/// error return.
+class ShardedEngine::ShardBarrier {
+ public:
+  ShardBarrier(std::function<void(size_t)> fn, size_t num_shards)
+      : fn_(std::move(fn)), done_(num_shards, 0) {}
+
+  /// Runs on the shard thread (or the failover drain): executes the
+  /// closure unless the waiter gave up, then counts down.
+  void Run(size_t shard) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!abandoned_) {
+      ++executing_;
+      lock.unlock();
+      fn_(shard);
+      lock.lock();
+      --executing_;
+    }
+    done_[shard] = 1;
+    ++completed_;
+    cv_.notify_all();
+  }
+
+ private:
+  friend class ShardedEngine;
+  std::function<void(size_t)> fn_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<char> done_;  ///< Indexed by shard id.
+  size_t completed_ = 0;    ///< Wrappers that ran (executed or abandoned).
+  size_t executing_ = 0;    ///< Wrappers currently inside the closure.
+  bool abandoned_ = false;
+};
+
 /// Drains one shard's exchange queue: data tasks are injected into the
 /// shard engine (emissions buffered by the engine sink, flushed to the
 /// egress queue after every task), control tasks run inline. kDone once
 /// the exchange is closed and drained; the shard then closes its egress
 /// queue, propagating end-of-stream downstream.
+///
+/// Crash model (DESIGN.md §13): a KillShard request is observed at task
+/// boundaries only, so the worker dies with every prior batch fully
+/// applied AND flushed and every later batch untouched — the granularity
+/// the LSN/suppression recovery protocol depends on.
 class ShardedEngine::WorkerModule : public FjordModule {
  public:
   WorkerModule(ShardedEngine* parent, size_t shard)
@@ -58,6 +107,7 @@ class ShardedEngine::WorkerModule : public FjordModule {
 
   StepResult Step(size_t max_tasks) override {
     Shard& sh = *parent_->shards_[shard_];
+    if (sh.kill.load(std::memory_order_acquire)) return Die(sh);
     FjordQueue<ShardTask>& in = parent_->input_->partition(shard_);
     scratch_.clear();
     const size_t n = in.DequeueUpTo(max_tasks == 0 ? 1 : max_tasks,
@@ -78,16 +128,47 @@ class ShardedEngine::WorkerModule : public FjordModule {
         task.control();
         continue;
       }
+      if (sh.kill.load(std::memory_order_acquire)) {
+        // Killed mid-scratch: this batch and the rest are dropped whole —
+        // each is in the changelog, above the applied floor, and will be
+        // replayed (and counted) by the failover.
+        return Die(sh);
+      }
       const Status st = sh.engine->InjectBatch(task.source, task.tuples);
       TCQ_CHECK(st.ok()) << "shard " << shard_
                          << " inject failed: " << st.ToString();
       sh.processed += task.tuples.size();
       FlushEmissions(sh);
+      if (task.lsn != 0) {
+        // The floor advances only after the flush: everything at or under
+        // it is IN the egress queue and will reach the sink, so replay can
+        // suppress those records' emissions without losing results.
+        sh.applied_lsn.store(task.lsn, std::memory_order_release);
+        MaybeCheckpoint(sh);
+      }
     }
     return StepResult::kDidWork;
   }
 
  private:
+  /// Cooperative crash at a task boundary. The egress queue stays OPEN: a
+  /// failover feeds recovered emissions into it, and Stop() closes it for
+  /// shards nobody recovers. `alive` flips last — barrier waiters and the
+  /// failover poll it.
+  StepResult Die(Shard& sh) {
+    FlushEmissions(sh);
+    sh.alive.store(false, std::memory_order_release);
+    return StepResult::kDone;
+  }
+
+  void MaybeCheckpoint(Shard& sh) {
+    ReplicationController<EngineCheckpoint>* rep = parent_->replication_.get();
+    if (rep == nullptr) return;
+    const uint64_t floor = sh.applied_lsn.load(std::memory_order_relaxed);
+    if (!rep->ShouldCheckpoint(shard_, floor)) return;
+    parent_->CheckpointShard(shard_, floor);
+  }
+
   void FlushEmissions(Shard& sh) {
     if (sh.pending.empty()) return;
     EgressItem item;
@@ -145,6 +226,7 @@ ShardedEngine::ShardedEngine(Options options)
       partition_map_(std::max(options_.num_buckets, options_.num_shards),
                      options_.num_shards == 0 ? 1 : options_.num_shards) {
   TCQ_CHECK(options_.num_shards > 0);
+  options_.num_replicas = std::min<size_t>(options_.num_replicas, 1);
   bucket_routed_.resize(partition_map_.num_buckets());
   MetricRegistry& r = MetricRegistry::Global();
   migrations_ = r.GetCounter("tcq.rebalance.migrations");
@@ -152,6 +234,13 @@ ShardedEngine::ShardedEngine(Options options)
   moved_bytes_ = r.GetCounter("tcq.rebalance.moved_bytes");
   buffered_tuples_ = r.GetCounter("tcq.rebalance.buffered_tuples");
   pause_us_ = r.GetHistogram("tcq.rebalance.pause_us");
+  ha_checkpoints_ = r.GetCounter("tcq.ha.checkpoints");
+  ha_changelog_bytes_ = r.GetCounter("tcq.ha.changelog_bytes");
+  ha_failovers_ = r.GetCounter("tcq.ha.failovers");
+  ha_replayed_tuples_ = r.GetCounter("tcq.ha.replayed_tuples");
+  ha_suppressed_ = r.GetCounter("tcq.ha.suppressed_emissions");
+  ha_torn_ = r.GetCounter("tcq.ha.torn_snapshots");
+  ha_recovery_us_ = r.GetHistogram("tcq.ha.recovery_us");
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -160,6 +249,11 @@ ShardedEngine::ShardedEngine(Options options)
     eo.seed = options_.seed + i;  // Decorrelated exploration per shard.
     eo.eddy = options_.eddy;
     shard->engine = std::make_unique<CacqEngine>(eo);
+    if (options_.num_replicas > 0) {
+      // The warm standby: identical construction (same seed — routing
+      // invariance makes replayed results match the primary's multiset).
+      shard->standby = std::make_unique<CacqEngine>(eo);
+    }
     shard->output = std::make_unique<FjordQueue<EgressItem>>(
         ShardEdgeOptions(options_.egress_capacity));
     Shard* raw = shard.get();
@@ -173,6 +267,26 @@ ShardedEngine::ShardedEngine(Options options)
   input_ = std::make_unique<PartitionedQueue<ShardTask>>(
       options_.num_shards, ShardEdgeOptions(options_.input_capacity),
       "tcq.shard");
+  if (options_.num_replicas > 0) {
+    ReplicationController<EngineCheckpoint>::Options ro;
+    ro.checkpoint_interval = options_.checkpoint_interval;
+    replication_ = std::make_unique<ReplicationController<EngineCheckpoint>>(
+        options_.num_shards, ro);
+    // Dual-routing: every data task is logged to the shard's changelog at
+    // enqueue time, under the exchange's per-partition tee lock, so log
+    // order IS queue order. The record gets the LSN stamped back onto the
+    // task; the worker advances the applied floor as it processes them.
+    input_->SetTee([this](size_t p, ShardTask& task, size_t) {
+      if (task.control) return;  // Only the data path is logged.
+      task.lsn = replication_->replica(p).Append(
+          task.source, std::vector<Tuple>(task.tuples));
+      size_t bytes = 0;
+      for (const Tuple& t : task.tuples) {
+        bytes += sizeof(Tuple) + t.arity() * sizeof(Value);
+      }
+      ha_changelog_bytes_->Add(bytes);
+    });
+  }
 }
 
 ShardedEngine::~ShardedEngine() { Stop(); }
@@ -193,12 +307,17 @@ Result<size_t> ShardedEngine::AddStream(const std::string& name,
   size_t index = 0;
   for (auto& shard : shards_) {
     TCQ_ASSIGN_OR_RETURN(index, shard->engine->AddStream(name, schema));
+    if (shard->standby != nullptr) {
+      TCQ_ASSIGN_OR_RETURN(const size_t mirror,
+                           shard->standby->AddStream(name, schema));
+      TCQ_CHECK(mirror == index);
+    }
   }
   const size_t mirror = layout_.AddSource(name, schema);
   TCQ_CHECK(mirror == index);
   source_index_[name] = index;
   if (sources_.size() <= index) sources_.resize(index + 1);
-  sources_[index] = SourceInfo{name, partition_column};
+  sources_[index] = SourceInfo{name, partition_column, schema};
   return index;
 }
 
@@ -231,47 +350,108 @@ void ShardedEngine::Stop() {
   // flight against closing queues would trip the control-enqueue checks.
   if (controller_ != nullptr) controller_->Stop();
   stopped_ = true;
-  // Close the exchange; each worker drains its queue, flushes emissions,
-  // closes its egress queue and reports done. Join() waits for that
-  // before stopping the thread — nothing in flight is dropped.
+  // Close the exchange; each live worker drains its queue, flushes
+  // emissions, closes its egress queue and reports done. Join() waits for
+  // that before stopping the thread — nothing in flight is dropped.
   input_->CloseAll();
-  for (auto& eo : shard_eos_) eo->Join();
+  for (auto& eo : shard_eos_) {
+    if (eo != nullptr) eo->Join();
+  }
+  // A worker that died via KillShard never closed its egress queue (a
+  // failover would have fed recovered results into it). Close those now or
+  // the egress module never sees end-of-stream.
+  for (auto& shard : shards_) {
+    if (!shard->alive.load(std::memory_order_acquire)) shard->output->Close();
+  }
   egress_eo_->Join();
 }
 
-void ShardedEngine::EnqueueControl(size_t i, std::function<void()> fn) {
+bool ShardedEngine::EnqueueControl(size_t i, std::function<void()> fn) {
   ShardTask task;
   task.control = std::move(fn);
-  const bool ok = input_->EnqueuePartition(i, std::move(task), 0);
-  TCQ_CHECK(ok) << "control task enqueued on a stopped engine";
+  FjordQueue<ShardTask>& q = input_->partition(i);
+  for (;;) {
+    switch (q.TryEnqueue(task)) {
+      case FjordQueue<ShardTask>::TryResult::kAccepted:
+        return true;
+      case FjordQueue<ShardTask>::TryResult::kClosed:
+        return false;
+      case FjordQueue<ShardTask>::TryResult::kFull:
+        // A full queue with a live consumer drains; behind a dead one it
+        // never would — give up (the caller abandons its barrier).
+        if (!shards_[i]->alive.load(std::memory_order_acquire)) return false;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        break;
+    }
+  }
 }
 
-void ShardedEngine::RunOnAllShards(const std::function<void(size_t)>& fn) {
+Status ShardedEngine::WaitBarrier(
+    const std::shared_ptr<ShardBarrier>& barrier,
+    const std::vector<size_t>& targets) {
+  std::unique_lock<std::mutex> lock(barrier->mu_);
+  for (;;) {
+    if (barrier->completed_ == targets.size()) return Status::OK();
+    size_t dead = SIZE_MAX;
+    for (size_t t : targets) {
+      if (!barrier->done_[t] &&
+          !shards_[t]->alive.load(std::memory_order_acquire)) {
+        dead = t;
+        break;
+      }
+    }
+    if (dead != SIZE_MAX) {
+      // The shard died with our closure still queued. Abandon the barrier
+      // (late wrappers become no-ops) and wait out any closure mid-flight
+      // on a live shard, so nothing touches the caller's frame after the
+      // error return.
+      barrier->abandoned_ = true;
+      barrier->cv_.wait(lock, [&] { return barrier->executing_ == 0; });
+      return Status::Unavailable(
+          "shard " + std::to_string(dead) +
+          "'s worker died before the control barrier; fail over the shard "
+          "and retry");
+    }
+    // Poll: a kill can flip `alive` without ever waking this cv.
+    barrier->cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+Status ShardedEngine::RunOnAllShards(const std::function<void(size_t)>& fn) {
   if (!started_ || stopped_) {
     for (size_t i = 0; i < shards_.size(); ++i) fn(i);
-    return;
+    return Status::OK();
   }
-  Latch latch(shards_.size());
+  auto barrier = std::make_shared<ShardBarrier>(fn, shards_.size());
+  std::vector<size_t> targets;
+  targets.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
-    EnqueueControl(i, [&fn, &latch, i] {
-      fn(i);
-      latch.CountDown();
-    });
+    if (!EnqueueControl(i, [barrier, i] { barrier->Run(i); })) {
+      std::unique_lock<std::mutex> lock(barrier->mu_);
+      barrier->abandoned_ = true;
+      barrier->cv_.wait(lock, [&] { return barrier->executing_ == 0; });
+      return Status::Unavailable(
+          "shard " + std::to_string(i) +
+          " is dead (or the engine stopped); fail over the shard and retry");
+    }
+    targets.push_back(i);
   }
-  latch.Wait();
+  return WaitBarrier(barrier, targets);
 }
 
-void ShardedEngine::RunOnShard(size_t i, const std::function<void()>& fn) {
+Status ShardedEngine::RunOnShard(size_t i, const std::function<void()>& fn) {
   if (!started_ || stopped_) {
     fn();
-    return;
+    return Status::OK();
   }
-  Latch latch(1);
-  EnqueueControl(i, [&fn, &latch] {
-    fn();
-    latch.CountDown();
-  });
-  latch.Wait();
+  auto barrier = std::make_shared<ShardBarrier>([&fn](size_t) { fn(); },
+                                                shards_.size());
+  if (!EnqueueControl(i, [barrier, i] { barrier->Run(i); })) {
+    return Status::Unavailable(
+        "shard " + std::to_string(i) +
+        " is dead (or the engine stopped); fail over the shard and retry");
+  }
+  return WaitBarrier(barrier, {i});
 }
 
 Status ShardedEngine::ValidatePartitioning(const CacqQuerySpec& spec) const {
@@ -305,10 +485,13 @@ Status ShardedEngine::ValidatePartitioning(const CacqQuerySpec& spec) const {
 
 Result<QueryId> ShardedEngine::AddQuery(const CacqQuerySpec& spec) {
   TCQ_RETURN_NOT_OK(ValidatePartitioning(spec));
+  // Serialized with migrations AND failovers: a registration interleaved
+  // with a standby promotion would leave the replica set divergent.
+  std::lock_guard<std::mutex> mig(migrate_mu_);
   std::vector<std::optional<Result<QueryId>>> results(shards_.size());
-  RunOnAllShards([this, &spec, &results](size_t i) {
+  TCQ_RETURN_NOT_OK(RunOnAllShards([this, &spec, &results](size_t i) {
     results[i] = shards_[i]->engine->AddQuery(spec);
-  });
+  }));
   TCQ_CHECK(results[0].has_value());
   if (!results[0]->ok()) return results[0]->status();
   const QueryId id = **results[0];
@@ -317,6 +500,15 @@ Result<QueryId> ShardedEngine::AddQuery(const CacqQuerySpec& spec) {
     TCQ_CHECK(**results[i] == id)
         << "shard " << i << " assigned a divergent QueryId";
   }
+  // Mirror onto the standbys (from this thread — a standby has no thread
+  // of its own) and into the history the next standby is rebuilt from.
+  for (auto& shard : shards_) {
+    if (shard->standby == nullptr) continue;
+    auto sq = shard->standby->AddQuery(spec);
+    if (!sq.ok()) return sq.status();
+    TCQ_CHECK(*sq == id) << "standby assigned a divergent QueryId";
+  }
+  query_history_.push_back(QueryRecord{spec, false});
   return id;
 }
 
@@ -326,11 +518,26 @@ Status ShardedEngine::RemoveQuery(QueryId q) {
   // the scrub and resurrect the query's results on the recipient.
   std::lock_guard<std::mutex> mig(migrate_mu_);
   std::vector<Status> statuses(shards_.size());
-  RunOnAllShards([this, q, &statuses](size_t i) {
+  TCQ_RETURN_NOT_OK(RunOnAllShards([this, q, &statuses](size_t i) {
     statuses[i] = shards_[i]->engine->RemoveQuery(q);
-  });
+    // The scrub changed state outside the logged data path: re-snapshot so
+    // a failover can't replay pre-removal lineage.
+    if (statuses[i].ok() && replication_ != nullptr) {
+      CheckpointShard(i,
+                      shards_[i]->applied_lsn.load(std::memory_order_relaxed));
+    }
+  }));
   for (const Status& st : statuses) {
     if (!st.ok()) return st;
+  }
+  for (auto& shard : shards_) {
+    if (shard->standby == nullptr) continue;
+    TCQ_RETURN_NOT_OK(shard->standby->RemoveQuery(q));
+  }
+  // QueryIds are registration indices (identical across every engine), so
+  // the history record for `q` is simply entry q.
+  if (static_cast<size_t>(q) < query_history_.size()) {
+    query_history_[static_cast<size_t>(q)].removed = true;
   }
   return Status::OK();
 }
@@ -393,18 +600,20 @@ Status ShardedEngine::Push(const std::string& stream, Tuple tuple) {
   return PushBatch(stream, std::move(one));
 }
 
-void ShardedEngine::Quiesce() {
-  if (!started_ || stopped_) return;
+Status ShardedEngine::Quiesce() {
+  if (!started_ || stopped_) return Status::OK();
   // Serialize against migrations first: a migration in flight may hold
   // tuples in the pause buffer, which the barriers below cannot see. Once
   // migrate_mu_ is ours the buffer is empty and everything is in queues.
   std::lock_guard<std::mutex> mig(migrate_mu_);
   // Phase 1: a control barrier behind all data on every shard queue —
   // when it fires, every prior tuple has been executed and its emissions
-  // flushed into the egress queues.
-  RunOnAllShards([](size_t) {});
+  // flushed into the egress queues. Surfaces Unavailable instead of
+  // hanging when a shard's worker has died (fail over, then retry).
+  TCQ_RETURN_NOT_OK(RunOnAllShards([](size_t) {}));
   // Phase 2: a barrier behind those emissions on every egress queue —
-  // when it fires, the sink has seen everything.
+  // when it fires, the sink has seen everything. The egress thread cannot
+  // die, so the plain latch is safe here.
   Latch latch(shards_.size());
   for (auto& shard : shards_) {
     EgressItem item;
@@ -413,6 +622,7 @@ void ShardedEngine::Quiesce() {
     TCQ_CHECK(ok) << "egress barrier on a stopped engine";
   }
   latch.Wait();
+  return Status::OK();
 }
 
 void ShardedEngine::EvictBefore(Timestamp ts) {
@@ -420,8 +630,281 @@ void ShardedEngine::EvictBefore(Timestamp ts) {
   // all-shards eviction barrier would never visit) can't dodge a window
   // eviction and get installed stale on the recipient.
   std::lock_guard<std::mutex> mig(migrate_mu_);
-  RunOnAllShards(
-      [this, ts](size_t i) { shards_[i]->engine->EvictBefore(ts); });
+  const Status st = RunOnAllShards([this, ts](size_t i) {
+    shards_[i]->engine->EvictBefore(ts);
+    // Eviction changed state outside the logged data path: re-snapshot so
+    // a failover can't resurrect evicted entries from an older checkpoint
+    // plus the changelog.
+    if (replication_ != nullptr) {
+      CheckpointShard(i,
+                      shards_[i]->applied_lsn.load(std::memory_order_relaxed));
+    }
+  });
+  if (!st.ok()) {
+    TCQ_LOG(Warn) << "EvictBefore skipped a dead shard: " << st.ToString();
+  }
+}
+
+Status ShardedEngine::KillShard(size_t shard) {
+  if (!started_) {
+    return Status::FailedPrecondition("Start() the engine before killing");
+  }
+  if (stopped_) return Status::Unavailable("engine stopped");
+  if (shard >= shards_.size()) return Status::OutOfRange("shard out of range");
+  shards_[shard]->kill.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void ShardedEngine::DrainDeadInput(size_t shard) {
+  FjordQueue<ShardTask>& q = input_->partition(shard);
+  std::vector<ShardTask> tasks;
+  for (;;) {
+    tasks.clear();
+    if (q.DequeueUpTo(64, &tasks) == 0) return;
+    for (ShardTask& t : tasks) {
+      // Stale barrier wrappers only count down their (abandoned) barriers:
+      // every barrier op holds migrate_mu_, the failover holds it now, so
+      // none of them can still have a live waiter. Data tasks are dropped —
+      // each is in the changelog and will be replayed.
+      if (t.control) t.control();
+    }
+  }
+}
+
+void ShardedEngine::DrainDeadInputs() {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // Only queues whose worker has EXITED: a killed-but-live worker may
+    // still be applying tasks and advancing the floor, and a concurrent
+    // drain could drop records under it — records whose emissions the
+    // floor then falsely claims are in the egress queue. Death is at most
+    // one Step away once the kill flag is up, so waiting for it keeps the
+    // acquisition loops live.
+    if (!shards_[i]->alive.load(std::memory_order_acquire)) {
+      DrainDeadInput(i);
+    }
+  }
+}
+
+void ShardedEngine::LockRoutesForUpdate(
+    std::unique_lock<std::shared_mutex>& route) {
+  for (;;) {
+    DrainDeadInputs();
+    if (route.try_lock()) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void ShardedEngine::CheckpointShard(size_t shard, uint64_t floor) {
+  EngineCheckpoint ckpt = shards_[shard]->engine->CheckpointState();
+  if (replication_->StoreSnapshot(shard, floor, std::move(ckpt))) {
+    ha_checkpoints_->Add(1);
+  } else {
+    ha_torn_->Add(1);
+  }
+}
+
+Status ShardedEngine::FailoverShard(size_t shard) {
+  if (!started_) {
+    return Status::FailedPrecondition("Start() the engine before failover");
+  }
+  if (stopped_) return Status::Unavailable("engine stopped");
+  if (shard >= shards_.size()) return Status::OutOfRange("shard out of range");
+  if (replication_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no standby replicas (set Options::num_replicas)");
+  }
+  Shard& sh = *shards_[shard];
+  if (!sh.kill.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "primary still alive (KillShard first)");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  // Serialized with migrations, registrations and barriers: nobody may
+  // mutate routing or engine state mid-promotion.
+  std::lock_guard<std::mutex> mig(migrate_mu_);
+  // 1. Wait for the worker to observe the kill at its next task boundary
+  // and exit (it polls the flag every step, even when idle), then reap it.
+  while (sh.alive.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  shard_eos_[shard]->Join();
+  shard_eos_[shard].reset();
+  // 2. Take the route lock exclusively while keeping the dead queue
+  // drained. A producer holding the shared lock can only be blocked on the
+  // full queue this drain empties, so alternating try-lock with drain
+  // always terminates; after the final drain under the exclusive lock the
+  // partition is quiescent and the changelog is the complete record of
+  // every unapplied task.
+  std::unique_lock<std::shared_mutex> route(route_mu_, std::defer_lock);
+  LockRoutesForUpdate(route);
+  DrainDeadInput(shard);
+  // 3. Recover the standby: newest valid snapshot, then the changelog
+  // tail. Records at or under the primary's applied floor rebuild SteM
+  // state but their emissions are SUPPRESSED — the primary flushed those
+  // results into the egress queue before advancing the floor, and the
+  // egress queue always drains, so they reach the sink exactly once.
+  // Records above the floor are the lost work: their emissions flow and
+  // they count as processed.
+  auto plan = replication_->replica(shard).MakeRecoveryPlan();
+  CacqEngine* standby = sh.standby.get();
+  TCQ_CHECK(standby != nullptr);
+  if (plan.has_snapshot) {
+    const Status restored = standby->RestoreCheckpoint(plan.snapshot);
+    TCQ_CHECK(restored.ok()) << "standby restore failed: "
+                             << restored.ToString();
+  }
+  const uint64_t applied = sh.applied_lsn.load(std::memory_order_acquire);
+  std::vector<Emission> recovered;
+  std::vector<Emission> scratch;
+  standby->SetSink([&scratch](QueryId q, const Tuple& t) {
+    scratch.emplace_back(q, t);
+  });
+  uint64_t replayed = 0;
+  uint64_t suppressed = 0;
+  uint64_t tail_lsn = plan.snapshot_floor;
+  for (const auto& rec : plan.tail) {
+    scratch.clear();
+    const Status st = standby->InjectBatch(rec.source, rec.tuples);
+    TCQ_CHECK(st.ok()) << "changelog replay failed: " << st.ToString();
+    replayed += rec.tuples.size();
+    tail_lsn = rec.lsn;
+    if (rec.lsn > applied) {
+      sh.processed += rec.tuples.size();
+      recovered.insert(recovered.end(),
+                       std::make_move_iterator(scratch.begin()),
+                       std::make_move_iterator(scratch.end()));
+    } else {
+      suppressed += scratch.size();
+    }
+  }
+  if (!recovered.empty()) {
+    EgressItem item;
+    item.results = std::move(recovered);
+    const bool ok = sh.output->Enqueue(std::move(item));
+    TCQ_CHECK(ok) << "egress enqueue during failover";
+  }
+  // 4. Promote: the standby becomes the primary (pointer swap guarded
+  // against cross-thread introspection), a fresh empty standby takes its
+  // place, and the replica store is reseeded from the promoted state so a
+  // second failure recovers from here, not from the dead engine's history.
+  {
+    std::lock_guard<std::mutex> elock(sh.engine_mu);
+    sh.engine = std::move(sh.standby);
+  }
+  Shard* raw = &sh;
+  sh.engine->SetSink([raw](QueryId q, const Tuple& t) {
+    raw->pending.emplace_back(q, t);
+  });
+  sh.standby = BuildStandby(shard);
+  sh.applied_lsn.store(tail_lsn, std::memory_order_release);
+  // Direct store, bypassing the torn-fault hook: this snapshot is
+  // load-bearing for the next failover, not a cadence checkpoint.
+  replication_->replica(shard).StoreSnapshot(
+      tail_lsn, sh.engine->CheckpointState(), /*valid=*/true);
+  ha_checkpoints_->Add(1);
+  // 5. Resume: a fresh worker on the (drained) input queue. Producers
+  // unblock as soon as the route lock releases.
+  sh.kill.store(false, std::memory_order_release);
+  sh.alive.store(true, std::memory_order_release);
+  auto eo = std::make_unique<ExecutionObject>("shard-" + std::to_string(shard));
+  eo->AddModule(std::make_shared<WorkerModule>(this, shard));
+  eo->Start();
+  shard_eos_[shard] = std::move(eo);
+  route.unlock();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  ha_failovers_->Add(1);
+  ha_replayed_tuples_->Add(replayed);
+  ha_suppressed_->Add(suppressed);
+  ha_recovery_us_->Record(static_cast<uint64_t>(elapsed));
+  return Status::OK();
+}
+
+std::unique_ptr<CacqEngine> ShardedEngine::BuildStandby(size_t shard) const {
+  CacqEngine::Options eo;
+  eo.policy = options_.policy;
+  eo.seed = options_.seed + shard;
+  eo.eddy = options_.eddy;
+  auto engine = std::make_unique<CacqEngine>(eo);
+  for (const SourceInfo& src : sources_) {
+    const auto added = engine->AddStream(src.name, src.schema);
+    TCQ_CHECK(added.ok()) << added.status().ToString();
+  }
+  // Replay the full registration history: QueryIds are assigned by order,
+  // so the rebuilt standby agrees with every primary — including ids of
+  // since-removed queries.
+  for (const QueryRecord& qr : query_history_) {
+    const auto q = engine->AddQuery(qr.spec);
+    TCQ_CHECK(q.ok()) << q.status().ToString();
+    if (qr.removed) {
+      const Status removed = engine->RemoveQuery(*q);
+      TCQ_CHECK(removed.ok()) << removed.ToString();
+    }
+  }
+  return engine;
+}
+
+void ShardedEngine::ResumeBucket(size_t final_owner) {
+  std::unique_lock<std::shared_mutex> route(route_mu_, std::defer_lock);
+  LockRoutesForUpdate(route);
+  partition_map_.SetOwner(migrating_bucket_, final_owner);
+  migrating_bucket_ = SIZE_MAX;
+  std::vector<std::pair<size_t, Tuple>> buffered;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu_);
+    buffered.swap(move_buffer_);
+  }
+  // Group contiguous same-source runs into tasks (source order between
+  // producers is whatever the race produced, same as live scatter).
+  size_t i = 0;
+  while (i < buffered.size()) {
+    ShardTask task;
+    task.source = buffered[i].first;
+    while (i < buffered.size() && buffered[i].first == task.source) {
+      task.tuples.push_back(std::move(buffered[i].second));
+      ++i;
+    }
+    const size_t count = task.tuples.size();
+    // The replay must NEVER block: we hold migrate_mu_, which FailoverShard
+    // needs before it can drain a dead shard's full queue — a blocking
+    // enqueue here could deadlock the recovery path. We are the only
+    // enqueuer on this partition (exclusive route lock + migrate_mu_), so
+    // logging once here and retrying a raw non-blocking enqueue preserves
+    // changelog-order == queue-order.
+    if (replication_ != nullptr) {
+      task.lsn = replication_->replica(final_owner)
+                     .Append(task.source, std::vector<Tuple>(task.tuples));
+    }
+    shards_[final_owner]->routed += count;
+    FjordQueue<ShardTask>& q = input_->partition(final_owner);
+    for (bool queued = false; !queued;) {
+      switch (q.TryEnqueue(task)) {
+        case FjordQueue<ShardTask>::TryResult::kAccepted:
+          queued = true;
+          break;
+        case FjordQueue<ShardTask>::TryResult::kClosed:
+          TCQ_LOG(Warn) << "pause-buffer replay hit a closed queue; " << count
+                        << " tuples dropped mid-shutdown";
+          return;
+        case FjordQueue<ShardTask>::TryResult::kFull:
+          if (!shards_[final_owner]->alive.load(std::memory_order_acquire)) {
+            // Dead owner, full queue. With replication the record is in
+            // the changelog above the applied floor — the failover replays
+            // it. Without replication it is lost, like everything else on
+            // a killed shard.
+            if (replication_ == nullptr) {
+              TCQ_LOG(Warn) << "pause-buffer replay dropped " << count
+                            << " tuples on dead shard " << final_owner;
+            }
+            queued = true;
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          break;
+      }
+    }
+  }
 }
 
 Status ShardedEngine::MigrateBucket(size_t bucket, size_t to_shard) {
@@ -444,64 +927,75 @@ Status ShardedEngine::MigrateBucket(size_t bucket, size_t to_shard) {
   // producer can scatter the bucket's tuples to any shard queue — new
   // arrivals park in move_buffer_ instead.
   {
-    std::unique_lock<std::shared_mutex> route(route_mu_);
+    std::unique_lock<std::shared_mutex> route(route_mu_, std::defer_lock);
+    LockRoutesForUpdate(route);
     migrating_bucket_ = bucket;
   }
   // 2. Drain + extract: the closure rides the donor's queue behind every
   // task scattered before the pause, so when it runs, all of the bucket's
   // in-flight tuples have been injected. It then lifts the bucket's SteM
-  // state off the donor, on the donor's own thread.
+  // state off the donor, on the donor's own thread. A dead donor aborts
+  // the migration with the bucket still owned by it (its state — and this
+  // bucket's share of it — recovers through the failover path instead).
   BucketState state;
-  RunOnShard(from, [&] {
+  const Status drained = RunOnShard(from, [&] {
     state = shards_[from]->engine->ExtractBucketState(
         bucket, [this, bucket](const Value& key) {
           return partition_map_.BucketOf(key) == bucket;
         });
+    // The donor shrank outside the logged data path: re-snapshot so a
+    // donor failover can't resurrect the extracted bucket.
+    if (replication_ != nullptr) {
+      CheckpointShard(from,
+                      shards_[from]->applied_lsn.load(
+                          std::memory_order_relaxed));
+    }
   });
+  if (!drained.ok()) {
+    ResumeBucket(from);
+    return drained;
+  }
   // 3. Install on the recipient's thread. Installation failure means the
-  // shard engines diverged (can't happen through this class's API); the
-  // state is put back on the donor so nothing is lost either way.
+  // shard engines diverged (can't happen through this class's API); a dead
+  // recipient aborts the move. Either way the state is put back on the
+  // donor so nothing is lost.
   Status install;
-  RunOnShard(to_shard, [&] {
+  const Status install_barrier = RunOnShard(to_shard, [&] {
     install = shards_[to_shard]->engine->InstallBucketState(state);
+    if (install.ok() && replication_ != nullptr) {
+      CheckpointShard(to_shard,
+                      shards_[to_shard]->applied_lsn.load(
+                          std::memory_order_relaxed));
+    }
   });
+  if (!install_barrier.ok()) install = install_barrier;
   if (!install.ok()) {
-    RunOnShard(from, [&] {
-      const Status undo = shards_[from]->engine->InstallBucketState(state);
-      TCQ_CHECK(undo.ok()) << "rollback reinstall failed: " << undo.ToString();
+    const Status undo = RunOnShard(from, [&] {
+      const Status u = shards_[from]->engine->InstallBucketState(state);
+      TCQ_CHECK(u.ok()) << "rollback reinstall failed: " << u.ToString();
+      if (replication_ != nullptr) {
+        CheckpointShard(from,
+                        shards_[from]->applied_lsn.load(
+                            std::memory_order_relaxed));
+      }
     });
+    if (!undo.ok()) {
+      // Double fault: the donor died too, between the extract and the
+      // rollback. The extracted entries miss both engines' checkpoints —
+      // this is the process-pair model's documented blind spot (both
+      // members of the pair failing inside one protocol step).
+      TCQ_LOG(Error) << "bucket " << bucket
+                     << " rollback hit a dead donor; extracted state ("
+                     << state.tuple_count() << " tuples) lost: "
+                     << undo.ToString();
+    }
   }
   const size_t final_owner = install.ok() ? to_shard : from;
   // 4. Flip + resume: still under the exclusive route lock, retarget the
   // bucket and replay the paused arrivals to the final owner IN ORDER —
   // producers stay blocked until the replay is enqueued, so no fresh
   // scatter can overtake the buffer (per-key FIFO holds across the move).
-  {
-    std::unique_lock<std::shared_mutex> route(route_mu_);
-    partition_map_.SetOwner(bucket, final_owner);
-    migrating_bucket_ = SIZE_MAX;
-    std::vector<std::pair<size_t, Tuple>> buffered;
-    {
-      std::lock_guard<std::mutex> lock(buffer_mu_);
-      buffered.swap(move_buffer_);
-    }
-    // Group contiguous same-source runs into tasks (source order between
-    // producers is whatever the race produced, same as live scatter).
-    size_t i = 0;
-    while (i < buffered.size()) {
-      ShardTask task;
-      task.source = buffered[i].first;
-      while (i < buffered.size() && buffered[i].first == task.source) {
-        task.tuples.push_back(std::move(buffered[i].second));
-        ++i;
-      }
-      const size_t count = task.tuples.size();
-      if (!input_->EnqueuePartition(final_owner, std::move(task), count)) {
-        return Status::Unavailable("engine stopped mid-migration");
-      }
-      shards_[final_owner]->routed += count;
-    }
-  }
+  ResumeBucket(final_owner);
   const auto pause_us = std::chrono::duration_cast<std::chrono::microseconds>(
                             std::chrono::steady_clock::now() - pause_start)
                             .count();
@@ -540,10 +1034,39 @@ ShardedEngine::RebalanceStats ShardedEngine::rebalance_stats() const {
   return s;
 }
 
+std::vector<ShardedEngine::ReplicaStats> ShardedEngine::replica_stats() const {
+  std::vector<ReplicaStats> out;
+  if (replication_ == nullptr) return out;
+  out.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const auto s = replication_->replica(i).stats();
+    ReplicaStats r;
+    r.alive = shards_[i]->alive.load(std::memory_order_acquire);
+    r.applied_lsn = shards_[i]->applied_lsn.load(std::memory_order_acquire);
+    r.logged_lsn = s.next_lsn;
+    r.snapshot_floor = s.snapshot_floor;
+    r.changelog_records = s.log_records;
+    r.changelog_bytes = s.log_bytes;
+    r.checkpoints = s.checkpoints;
+    r.torn_rejected = s.torn_rejected;
+    out.push_back(r);
+  }
+  return out;
+}
+
+ShardedEngine::HaStats ShardedEngine::ha_stats() const {
+  HaStats s;
+  s.failovers = ha_failovers_->value();
+  s.replayed_tuples = ha_replayed_tuples_->value();
+  s.suppressed_emissions = ha_suppressed_->value();
+  return s;
+}
+
 size_t ShardedEngine::num_active_queries() const {
   // Identical registrations everywhere: shard 0 speaks for all. Safe
   // cross-thread only in the quiesced/unstarted states the accessor's
   // callers hold (Server reads it under its own submission lock).
+  std::lock_guard<std::mutex> elock(shards_[0]->engine_mu);
   return shards_[0]->engine->num_active_queries();
 }
 
@@ -555,6 +1078,9 @@ std::vector<ShardedEngine::ShardStats> ShardedEngine::shard_stats() const {
     s.routed = shards_[i]->routed;
     s.processed = shards_[i]->processed;
     s.queue_depth = input_->partition(i).Size();
+    // The engine pointer swaps during a failover promotion; the eddy
+    // counters themselves are relaxed atomics.
+    std::lock_guard<std::mutex> elock(shards_[i]->engine_mu);
     s.eddy_decisions = shards_[i]->engine->eddy().decisions();
     s.eddy_emitted = shards_[i]->engine->eddy().emitted();
     out.push_back(s);

@@ -1,6 +1,7 @@
 #ifndef TCQ_CACQ_SHARDED_ENGINE_H_
 #define TCQ_CACQ_SHARDED_ENGINE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -14,6 +15,7 @@
 #include "eddy/routed_tuple.h"
 #include "fjords/partitioned_queue.h"
 #include "fjords/scheduler.h"
+#include "flux/changelog.h"
 #include "flux/partition.h"
 #include "flux/rebalance.h"
 
@@ -69,6 +71,16 @@ class ShardedEngine {
     bool auto_rebalance = false;
     RebalanceController::Options rebalance;
     Eddy::Options eddy;
+    /// Standby replicas per shard (Flux process pairs, §5 / DESIGN.md
+    /// §13). 0 = no fault tolerance (a killed shard loses state); 1 gives
+    /// each shard a warm standby fed by dual-routed changelog records and
+    /// periodic state checkpoints, promotable with FailoverShard. Values
+    /// above 1 are clamped to 1.
+    size_t num_replicas = 0;
+    /// Applied exchange tasks between standby checkpoints (the hydra
+    /// changelog-plus-snapshot cadence). Smaller = shorter replay tails
+    /// and faster failover, at more state-copy cost per task.
+    uint64_t checkpoint_interval = 32;
   };
 
   ShardedEngine();
@@ -99,10 +111,40 @@ class ShardedEngine {
   /// then joins all threads. Idempotent. Pushes after Stop() fail.
   void Stop();
 
-  /// Full-pipeline barrier: returns once everything pushed before the
+  /// Full-pipeline barrier: returns OK once everything pushed before the
   /// call has been routed, executed and delivered through the sink.
-  /// Must not race with Stop().
-  void Quiesce();
+  /// Returns Unavailable (instead of hanging forever on a control
+  /// barrier nobody will run) when a shard's worker thread has died —
+  /// fail over the shard, then barrier again. Must not race with Stop().
+  Status Quiesce();
+
+  // ---- Process-pair HA (DESIGN.md §13) ----
+
+  /// Requests the shard's worker thread to die at its next task boundary
+  /// (the crash model the recovery protocol is built for: a batch is
+  /// either fully applied and its emissions flushed, or untouched).
+  /// Asynchronous — the worker observes the flag at its next step; use
+  /// shard_alive() or FailoverShard() to synchronize. Without standby
+  /// replicas the shard's state and queued work are simply lost (barriers
+  /// then surface errors; see Quiesce).
+  Status KillShard(size_t shard);
+
+  /// Detects the dead primary, promotes its standby and resumes routing:
+  /// waits for the killed worker to exit, drains the dead input queue
+  /// (releasing blocked producers and stale barrier closures), restores
+  /// the newest valid checkpoint into the standby, replays the changelog
+  /// tail — suppressing emissions for records the primary already applied
+  /// (the seq-floor dedup at the egress union; zero lost, zero duplicated
+  /// results) — re-checkpoints, and starts a fresh worker plus a fresh
+  /// standby. Requires Options::num_replicas > 0 and a prior KillShard.
+  /// Serialized with migrations/barriers; must not race with Stop().
+  Status FailoverShard(size_t shard);
+
+  /// False once the shard's worker observed a kill and exited, true again
+  /// after FailoverShard promotes the standby.
+  bool shard_alive(size_t shard) const {
+    return shards_[shard]->alive.load(std::memory_order_acquire);
+  }
 
   /// Registers `spec` on every shard (identical QueryId on each, returned
   /// here). Callable while running: folds in through the control path, so
@@ -150,6 +192,36 @@ class ShardedEngine {
   };
   RebalanceStats rebalance_stats() const;
 
+  /// Cross-thread-safe per-shard replication state (tcq.ha.* views +
+  /// Server::SnapshotMetrics replica rows). Empty when replication is off.
+  struct ReplicaStats {
+    bool alive = true;
+    uint64_t applied_lsn = 0;     ///< Last task the primary fully applied.
+    uint64_t logged_lsn = 0;      ///< Last record appended to the log.
+    uint64_t snapshot_floor = 0;  ///< Records <= floor live in the snapshot.
+    size_t changelog_records = 0;
+    size_t changelog_bytes = 0;
+    uint64_t checkpoints = 0;
+    uint64_t torn_rejected = 0;  ///< Snapshots rejected as torn.
+  };
+  std::vector<ReplicaStats> replica_stats() const;
+
+  /// Cumulative HA event counts (tcq.ha.* counters).
+  struct HaStats {
+    uint64_t failovers = 0;
+    uint64_t replayed_tuples = 0;        ///< Changelog tuples re-injected.
+    uint64_t suppressed_emissions = 0;   ///< Deduped at the egress union.
+  };
+  HaStats ha_stats() const;
+
+  bool replication_enabled() const { return replication_ != nullptr; }
+  /// The changelog/snapshot store, for tests (torn-checkpoint injection
+  /// via SetSnapshotFault; direct replica inspection). Null when
+  /// Options::num_replicas == 0.
+  ReplicationController<EngineCheckpoint>* replication() {
+    return replication_.get();
+  }
+
   size_t num_shards() const { return options_.num_shards; }
   bool started() const { return started_; }
   size_t num_active_queries() const;
@@ -179,6 +251,9 @@ class ShardedEngine {
     size_t source = 0;
     std::vector<Tuple> tuples;
     std::function<void()> control;
+    /// Log sequence number stamped by the replication tee at enqueue time
+    /// (0 for control tasks, and for everything when replication is off).
+    uint64_t lsn = 0;
   };
   /// One unit of egress work: an emission batch, or an egress barrier.
   struct EgressItem {
@@ -188,12 +263,29 @@ class ShardedEngine {
 
   struct Shard {
     std::unique_ptr<CacqEngine> engine;
+    /// Warm standby (Options::num_replicas > 0): registered with the same
+    /// streams/queries as the primary but EMPTY of state until a failover
+    /// restores the newest checkpoint into it and replays the changelog
+    /// tail. Touched only under migrate_mu_ (registration, failover) —
+    /// never by the shard thread.
+    std::unique_ptr<CacqEngine> standby;
     std::unique_ptr<FjordQueue<EgressItem>> output;
     /// Emissions collected by the engine sink since the last flush into
     /// `output`. Only the shard thread touches it while running.
     std::vector<Emission> pending;
     Counter routed;
     Counter processed;
+    /// Worker liveness: flips false when the worker observes `kill` and
+    /// exits, true again when FailoverShard starts a replacement.
+    std::atomic<bool> alive{true};
+    std::atomic<bool> kill{false};
+    /// LSN of the last data task fully applied AND flushed by the worker.
+    /// Everything <= this floor will reach the sink; replayed records at
+    /// or under it are suppressed at the egress union (exactly-once).
+    std::atomic<uint64_t> applied_lsn{0};
+    /// Guards the `engine` POINTER (not the engine) against the failover
+    /// swap racing cross-thread introspection (shard_stats).
+    mutable std::mutex engine_mu;
   };
 
   class WorkerModule;
@@ -202,15 +294,52 @@ class ShardedEngine {
   struct SourceInfo {
     std::string name;
     size_t partition_column = 0;
+    /// Kept so BuildStandby can re-register the stream after a promotion.
+    SchemaPtr schema;
   };
 
-  /// Enqueues a control closure on shard `i`'s input queue.
-  void EnqueueControl(size_t i, std::function<void()> fn);
+  class ShardBarrier;
+
+  /// Enqueues a control closure on shard `i`'s input queue without ever
+  /// blocking behind a dead consumer: retries a non-blocking enqueue,
+  /// giving up (false) if the shard dies or the queue closes.
+  bool EnqueueControl(size_t i, std::function<void()> fn);
   /// Runs `fn(shard)` on every shard thread and waits for all of them.
-  void RunOnAllShards(const std::function<void(size_t)>& fn);
+  /// Returns Unavailable — with the barrier safely abandoned, so a stale
+  /// closure drained later never touches the caller's frame — if any
+  /// shard's worker died before running its closure.
+  Status RunOnAllShards(const std::function<void(size_t)>& fn);
   /// Runs `fn` on shard `i`'s thread (behind all its queued data) and
   /// waits for it — the migration protocol's drain-then-act primitive.
-  void RunOnShard(size_t i, const std::function<void()>& fn);
+  /// Same dead-shard semantics as RunOnAllShards.
+  Status RunOnShard(size_t i, const std::function<void()>& fn);
+  /// Shared wait half of the two above.
+  Status WaitBarrier(const std::shared_ptr<ShardBarrier>& barrier,
+                     const std::vector<size_t>& targets);
+  /// Builds an empty engine registered with the primaries' streams and
+  /// full query history — the next standby after a promotion.
+  std::unique_ptr<CacqEngine> BuildStandby(size_t shard) const;
+  /// Drains a dead shard's input queue from the failover thread: stale
+  /// control closures run (they only count down abandoned barriers), data
+  /// tasks are dropped — every one of them is in the changelog and will
+  /// be replayed. Unblocks producers stuck on the full queue.
+  void DrainDeadInput(size_t shard);
+  /// DrainDeadInput for every shard whose worker has exited.
+  void DrainDeadInputs();
+  /// Acquires the exclusive route lock without blocking against stuck
+  /// producers. A producer holds the shared lock while blocked on a dead
+  /// primary's full input queue, and the failover that would normally
+  /// drain that queue waits on migrate_mu_ — which every caller of this
+  /// (MigrateBucket, ResumeBucket, FailoverShard) already holds. Draining
+  /// dead inputs while spinning on try_lock breaks that cycle.
+  void LockRoutesForUpdate(std::unique_lock<std::shared_mutex>& route);
+  /// Snapshots shard `i`'s engine into its replica at `floor`. Must run on
+  /// the thread that owns the engine (the worker, via a control closure or
+  /// the checkpoint cadence; or the failover thread with the worker dead).
+  void CheckpointShard(size_t shard, uint64_t floor);
+  /// Unpauses the migrating bucket onto `final_owner` and replays the
+  /// pause buffer to it — the common tail of success and abort paths.
+  void ResumeBucket(size_t final_owner);
   /// Equi-join columns must be the partition columns of their streams.
   Status ValidatePartitioning(const CacqQuerySpec& spec) const;
   /// A Load observation for the RebalanceController: per-shard backlog in
@@ -225,6 +354,14 @@ class ShardedEngine {
   std::vector<SourceInfo> sources_;
   std::map<std::string, size_t> source_index_;
   Sink sink_;
+  /// Full AddQuery/RemoveQuery history in registration order — replaying
+  /// it into a fresh engine reproduces the primaries' QueryId assignment
+  /// exactly (BuildStandby). Guarded by migrate_mu_ once started.
+  struct QueryRecord {
+    CacqQuerySpec spec;
+    bool removed = false;
+  };
+  std::vector<QueryRecord> query_history_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   /// The exchange: per-shard bounded task queues + tcq.shard.* telemetry.
@@ -264,6 +401,21 @@ class ShardedEngine {
   Counter* moved_bytes_ = nullptr;
   Counter* buffered_tuples_ = nullptr;
   Histogram* pause_us_ = nullptr;
+
+  // ---- Replication machinery (DESIGN.md §13) ----
+  /// Per-shard changelog + snapshot store; non-null iff num_replicas > 0.
+  /// Records are appended by the exchange tee (in queue order), snapshots
+  /// by the worker threads at the checkpoint cadence, and both are read
+  /// back by FailoverShard.
+  std::unique_ptr<ReplicationController<EngineCheckpoint>> replication_;
+  // tcq.ha.* telemetry (registered in the constructor).
+  Counter* ha_checkpoints_ = nullptr;
+  Counter* ha_changelog_bytes_ = nullptr;
+  Counter* ha_failovers_ = nullptr;
+  Counter* ha_replayed_tuples_ = nullptr;
+  Counter* ha_suppressed_ = nullptr;
+  Counter* ha_torn_ = nullptr;
+  Histogram* ha_recovery_us_ = nullptr;
 };
 
 }  // namespace tcq

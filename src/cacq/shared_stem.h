@@ -107,6 +107,31 @@ class SharedSteM {
     Insert(entry.tuple, entry.queries);
   }
 
+  /// Copies every live entry in storage (arrival) order WITHOUT removing
+  /// it — the checkpoint flavor of ExtractIf. The primary keeps serving
+  /// probes from the same state the replica snapshot now holds.
+  std::vector<ExtractedEntry> CopyAll() const {
+    std::vector<ExtractedEntry> out;
+    out.reserve(live_);
+    for (const Entry& e : entries_) {
+      if (e.dead) continue;
+      out.push_back(ExtractedEntry{e.tuple, e.queries});
+    }
+    return out;
+  }
+
+  /// Drops every live entry (a replica discarding its previous snapshot
+  /// before installing a new one). Indexes stay consistent via the same
+  /// tombstone + front-compaction path eviction uses.
+  void ClearAll() {
+    for (Entry& e : entries_) {
+      if (e.dead) continue;
+      e.dead = true;
+      --live_;
+    }
+    CompactFront();
+  }
+
   /// Clears query q's bit from every stored lineage (query removed).
   void ScrubQuery(size_t q);
 

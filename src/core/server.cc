@@ -107,7 +107,14 @@ void Server::Quiesce() {
       if (ss.sharded != nullptr) engines.push_back(ss.sharded.get());
     }
   }
-  for (ShardedEngine* e : engines) e->Quiesce();
+  for (ShardedEngine* e : engines) {
+    const Status st = e->Quiesce();
+    if (!st.ok()) {
+      // A dead (un-failed-over) shard can't be barriered; the server-level
+      // quiesce stays best-effort rather than wedging every stream.
+      TCQ_LOG(Warn) << "Quiesce skipped a dead shard: " << st.ToString();
+    }
+  }
 }
 
 Status Server::Rebalance(const std::string& stream, size_t bucket,
@@ -192,6 +199,7 @@ Result<QueryId> Server::Submit(const std::string& sql) {
       sopts.num_buckets = options_.cacq_buckets;
       sopts.auto_rebalance = options_.auto_rebalance;
       sopts.rebalance = options_.rebalance;
+      sopts.num_replicas = options_.cacq_replicas;
       auto sharded = std::make_unique<ShardedEngine>(std::move(sopts));
       auto added =
           sharded->AddStream(stream, ss.def.schema, ss.partition_column);
@@ -760,6 +768,33 @@ std::string Server::SnapshotMetrics() const {
              ",\"buckets\":" +
              std::to_string(
                  ss.sharded->partition_map().BucketsOwnedBy(i).size()) +
+             "}";
+    }
+    out += "]";
+  }
+  // Replication detail per sharded stream with process-pair HA enabled
+  // (atomics + replica-store counters — safe while shard threads run).
+  out += "},\"replicas\":{";
+  first = true;
+  for (const auto& [name, ss] : streams_) {
+    if (ss.sharded == nullptr || !ss.sharded->replication_enabled()) continue;
+    if (!first) out += ",";
+    first = false;
+    AppendKey(name, &out);
+    out += "[";
+    const std::vector<ShardedEngine::ReplicaStats> reps =
+        ss.sharded->replica_stats();
+    for (size_t i = 0; i < reps.size(); ++i) {
+      if (i != 0) out += ",";
+      out += std::string("{\"alive\":") + (reps[i].alive ? "true" : "false") +
+             ",\"applied_lsn\":" + std::to_string(reps[i].applied_lsn) +
+             ",\"logged_lsn\":" + std::to_string(reps[i].logged_lsn) +
+             ",\"snapshot_floor\":" + std::to_string(reps[i].snapshot_floor) +
+             ",\"changelog_records\":" +
+             std::to_string(reps[i].changelog_records) +
+             ",\"changelog_bytes\":" + std::to_string(reps[i].changelog_bytes) +
+             ",\"checkpoints\":" + std::to_string(reps[i].checkpoints) +
+             ",\"torn_rejected\":" + std::to_string(reps[i].torn_rejected) +
              "}";
     }
     out += "]";

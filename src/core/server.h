@@ -61,6 +61,12 @@ class Server {
     /// Manual Rebalance() works with or without it.
     bool auto_rebalance = false;
     RebalanceController::Options rebalance;
+    /// Standby replicas per shard (Flux process pairs, DESIGN.md §13):
+    /// 0 = no fault tolerance; 1 dual-routes every scattered batch into a
+    /// per-shard changelog and keeps a warm standby engine, so a killed
+    /// shard can be failed over with zero lost or duplicated results.
+    /// Only meaningful with cacq_shards > 1.
+    size_t cacq_replicas = 0;
   };
 
   Server();

@@ -136,6 +136,12 @@ class Eddy {
     if (next_seq_ <= floor) next_seq_ = floor + 1;
   }
 
+  /// The seq the next arrival will receive. Checkpointing captures it so a
+  /// replica restored from the checkpoint stamps replayed arrivals with
+  /// seqs the dedup treats exactly like the primary would have (read on
+  /// the owning thread, same discipline as EnsureSeqAtLeast).
+  int64_t next_seq() const { return next_seq_; }
+
  private:
   /// Collects indexes of operators eligible for `rt` and not yet done.
   /// Tracks scratch growth when `out` is one of the member buffers.

@@ -1,7 +1,9 @@
 #ifndef TCQ_FJORDS_PARTITIONED_QUEUE_H_
 #define TCQ_FJORDS_PARTITIONED_QUEUE_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -53,12 +55,37 @@ class PartitionedQueue {
   FjordQueue<T>& partition(size_t i) { return *queues_[i]; }
   const FjordQueue<T>& partition(size_t i) const { return *queues_[i]; }
 
+  /// Dual-routing hook (Flux process-pair HA): called with
+  /// (partition, item, routed_count) for every EnqueuePartition, under a
+  /// per-partition lock held across tee + enqueue — so whatever order the
+  /// tee observes IS the order the partition's consumer dequeues. The tee
+  /// may mutate the item (e.g. stamp a log sequence number) before it
+  /// enters the queue. Set before producers start; the hook must not call
+  /// back into this queue.
+  using Tee = std::function<void(size_t, T&, size_t)>;
+  void SetTee(Tee tee) {
+    tee_ = std::move(tee);
+    if (tee_mus_.empty()) {
+      tee_mus_ = std::vector<std::mutex>(queues_.size());
+    }
+  }
+
   /// Enqueues one item bound for partition `p`, booking `routed_count`
   /// routed units against it (an item that is itself a batch of N tuples
   /// books N). Returns false if the partition queue rejected it (closed,
   /// or full with a non-blocking producer end).
   bool EnqueuePartition(size_t p, T item, size_t routed_count = 1) {
-    const bool ok = queues_[p]->Enqueue(std::move(item));
+    bool ok;
+    if (tee_) {
+      // Tee + enqueue are one atom per partition: concurrent producers
+      // serialize here instead of inside the queue, keeping the replica
+      // changelog's record order identical to the queue's task order.
+      std::lock_guard<std::mutex> lock(tee_mus_[p]);
+      tee_(p, item, routed_count);
+      ok = queues_[p]->Enqueue(std::move(item));
+    } else {
+      ok = queues_[p]->Enqueue(std::move(item));
+    }
     if (ok) TCQ_METRIC(routed_[p]->Add(routed_count));
     return ok;
   }
@@ -137,6 +164,10 @@ class PartitionedQueue {
  private:
   const std::string family_;
   std::vector<std::unique_ptr<FjordQueue<T>>> queues_;
+  Tee tee_;
+  /// One lock per partition, allocated iff a tee is set (deque of mutexes
+  /// is non-movable; vector is sized once in SetTee).
+  std::vector<std::mutex> tee_mus_;
 #ifndef TCQ_METRICS_DISABLED
   std::vector<Counter*> routed_;
   std::vector<Gauge*> depth_;

@@ -173,6 +173,38 @@ class FjordQueue {
     return accepted;
   }
 
+  /// Result of a TryEnqueue attempt: kFull is retryable, kClosed is EOS.
+  enum class TryResult { kAccepted, kFull, kClosed };
+
+  /// Non-blocking insert attempt regardless of the configured enqueue
+  /// end: never waits for space and never consults fault hooks. On kFull
+  /// or kClosed the element is left intact in the caller for retry. This
+  /// is the control-path flavor — a barrier closure bound for a consumer
+  /// that may have died must be able to give up instead of blocking
+  /// forever on a full queue nobody will ever drain.
+  TryResult TryEnqueue(T& item) {
+    TryResult result;
+    size_t added = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        result = TryResult::kClosed;
+      } else {
+        added += ReleaseExpiredLocked();
+        if (items_.size() >= options_.capacity) {
+          result = TryResult::kFull;
+        } else {
+          items_.push_back(std::move(item));
+          ++added;
+          TCQ_METRIC(RecordEnqueueLocked(1, 0));
+          result = TryResult::kAccepted;
+        }
+      }
+    }
+    NotifyEnqueued(added);
+    return result;
+  }
+
   /// Removes the next element according to the configured dequeue mode.
   /// Returns nullopt when no element is available: queue empty in
   /// non-blocking mode, or closed and fully drained in blocking mode.

@@ -1,10 +1,11 @@
-// Concurrency stress for online bucket migration: real producer threads
-// pushing through the exchange while a controller thread migrates buckets
-// back and forth, with quiesce barriers and eviction mixed in. Run under
-// -DTCQ_SANITIZE=thread in CI; the assertions are conservation laws that
-// hold whatever the interleaving — a migration must never lose, duplicate
-// or strand a tuple, whether it was in a queue, in stored SteM state, or
-// parked in the pause buffer mid-move.
+// Concurrency stress for process-pair failover: real producer threads
+// pushing through the exchange while one thread repeatedly kills and
+// promotes shards and another migrates buckets, with quiesce barriers and
+// eviction mixed in. Run under -DTCQ_SANITIZE=thread in CI; the
+// assertions are the shared conservation laws (tests/conservation.h) that
+// hold whatever the interleaving — a failover must never lose, duplicate
+// or strand a tuple, whether it was queued on the dead primary, parked in
+// a migration pause buffer, or only present in the changelog.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +17,7 @@
 #include "cacq/sharded_engine.h"
 #include "conservation.h"
 #include "core/server.h"
+#include "testing/crash_injector.h"
 
 namespace tcq {
 namespace {
@@ -29,40 +31,38 @@ Tuple KVTuple(int64_t k, int64_t v, Timestamp ts) {
   return Tuple::Make({Value::Int64(k), Value::Int64(v)}, ts);
 }
 
-TEST(StressRebalanceTest, MigrationsUnderConcurrentProducers) {
+TEST(StressFailoverTest, FailoversAgainstProducersAndMigrations) {
   constexpr size_t kShards = 4;
   constexpr size_t kBuckets = 8;
   constexpr size_t kProducers = 3;
   constexpr size_t kBatches = 40;
   constexpr size_t kBatchSize = 32;
+  constexpr size_t kFailovers = 12;
 
   ShardedEngine::Options opts;
   opts.num_shards = kShards;
   opts.num_buckets = kBuckets;
-  opts.input_capacity = 16;  // Small: migrations race backpressured pushes.
+  opts.num_replicas = 1;
+  opts.checkpoint_interval = 8;  // Recoveries mix snapshots + log tails.
+  opts.input_capacity = 16;      // Small: kills race backpressured pushes.
   ShardedEngine engine(opts);
   ASSERT_TRUE(engine.AddStream("A", KV(), 0).ok());
   ASSERT_TRUE(engine.AddStream("B", KV(), 0).ok());
 
-  std::atomic<uint64_t> a_hits{0};
-  QueryId see_all_a = 0;
-  engine.SetSink([&](std::vector<ShardedEngine::Emission>&& batch) {
-    for (const auto& [q, t] : batch) {
-      if (q == see_all_a) a_hits.fetch_add(1, std::memory_order_relaxed);
-    }
-  });
+  EmissionLedger ledger;
+  engine.SetSink(ledger.MakeSink());
   engine.Start();
+  // tcq.ha.* counters are process-global; assert on the delta.
+  const uint64_t failovers_before = engine.ha_stats().failovers;
 
-  // Registered before any data: must see every A tuple exactly once, no
-  // matter how many migrations its bucket rode through.
+  // All queries are registered before the first kill: promotion rebuilds
+  // registrations from query history, which assumes AddQuery never races
+  // a dead primary (DESIGN.md §13 limitations).
   CacqQuerySpec see_all;
   see_all.sources = {"A"};
   auto q = engine.AddQuery(see_all);
   ASSERT_TRUE(q.ok());
-  see_all_a = *q;
-  // A stateful join, so migrations move live SteM entries while both
-  // sides keep arriving (its emission count is order-dependent across
-  // evictions; the race coverage is what matters here).
+  const QueryId see_all_a = *q;
   CacqQuerySpec join;
   join.sources = {"A", "B"};
   join.where = Expr::Binary(BinaryOp::kEq, Expr::Column("A.k"),
@@ -85,46 +85,66 @@ TEST(StressRebalanceTest, MigrationsUnderConcurrentProducers) {
     });
   }
 
-  // The "controller": migrate every bucket round-robin across the shards
-  // while data flows, with barriers and eviction interleaved.
-  std::thread migrator([&] {
-    for (int round = 0; round < 60; ++round) {
+  // The killer: sequential kill/promote cycles over every shard, racing
+  // the producers (who block on the dead primary's backpressure until the
+  // promotion drains it) and the migrator (who contends for the same
+  // migration lock).
+  std::thread killer([&engine] {
+    for (size_t round = 0; round < kFailovers; ++round) {
+      CrashInjector::CrashAndRecover(&engine, round % kShards);
+    }
+  });
+
+  // The migrator: rotating bucket moves. A move whose barrier lands on a
+  // freshly-killed primary fails Unavailable and rolls back — that path
+  // (pause-buffer replay onto a dead shard) is exactly what we want to
+  // race here, so tolerate the status and keep going.
+  std::thread migrator([&engine] {
+    for (int round = 0; round < 40; ++round) {
       const size_t bucket = static_cast<size_t>(round) % kBuckets;
       const size_t to =
           (engine.partition_map().ShardOf(bucket) + 1) % kShards;
-      ASSERT_TRUE(engine.MigrateBucket(bucket, to).ok());
+      const Status moved = engine.MigrateBucket(bucket, to);
+      EXPECT_TRUE(moved.ok() || moved.code() == StatusCode::kUnavailable)
+          << moved.ToString();
       if (round % 7 == 3) engine.EvictBefore(static_cast<Timestamp>(round));
-      if (round % 10 == 5) engine.Quiesce();
+      if (round % 10 == 5) {
+        const Status st = engine.Quiesce();
+        EXPECT_TRUE(st.ok() || st.code() == StatusCode::kUnavailable)
+            << st.ToString();
+      }
     }
   });
 
   for (auto& t : producers) t.join();
+  killer.join();
   migrator.join();
-  engine.Quiesce();
+  // Every shard is alive again (the killer always promotes), so the final
+  // barrier must succeed outright.
+  ASSERT_TRUE(engine.Quiesce().ok());
 
   const uint64_t per_stream = kBatches * kBatchSize;
   const uint64_t total = kProducers * per_stream;
-  EXPECT_EQ(a_hits.load(), (kProducers - 1) * per_stream);
-
-  // Conservation across the exchange: every routed tuple was processed
-  // somewhere — including tuples parked in a pause buffer and replayed to
-  // the bucket's new owner — and nothing is left queued after the barrier.
+  EXPECT_EQ(ledger.hits(see_all_a), (kProducers - 1) * per_stream);
   ExpectExchangeConservation(engine, total);
+
+  const auto ha = engine.ha_stats();
+  EXPECT_EQ(ha.failovers - failovers_before, kFailovers);
+  for (const auto& r : engine.replica_stats()) {
+    EXPECT_TRUE(r.alive);
+    EXPECT_GE(r.logged_lsn, r.applied_lsn);
+  }
   engine.Stop();
-  EXPECT_EQ(a_hits.load(), (kProducers - 1) * per_stream);
+  EXPECT_EQ(ledger.hits(see_all_a), (kProducers - 1) * per_stream);
 }
 
-TEST(StressRebalanceTest, AutoControllerAgainstConcurrentClients) {
-  // The live controller thread at a hot cadence, racing server clients:
-  // producers, query churn, snapshots and manual Rebalance calls (which
-  // contend for the same migration lock the controller uses).
+TEST(StressFailoverTest, ServerWithReplicationUnderConcurrentClients) {
+  // The server wiring for cacq_replicas: changelog/checkpoint overhead
+  // rides every push, and SnapshotMetrics serves replica rows while
+  // producers and the metrics pump race it.
   Server::Options opts;
   opts.cacq_shards = 4;
-  opts.cacq_buckets = 8;
-  opts.auto_rebalance = true;
-  opts.rebalance.poll_interval_ms = 1;
-  opts.rebalance.min_backlog = 8;
-  opts.rebalance.cooldown_polls = 0;
+  opts.cacq_replicas = 1;
   Server server(opts);
   ASSERT_TRUE(server
                   .DefineStream("S", KV(), /*timestamp_field=*/-1,
@@ -152,8 +172,7 @@ TEST(StressRebalanceTest, AutoControllerAgainstConcurrentClients) {
       for (size_t b = 0; b < kBatches; ++b) {
         std::vector<Tuple> batch;
         for (size_t i = 0; i < kBatchSize; ++i) {
-          // Skewed keys, so the controller has something real to chase.
-          batch.push_back(KVTuple(static_cast<int64_t>(i % 3),
+          batch.push_back(KVTuple(static_cast<int64_t>(i % 13),
                                   static_cast<int64_t>(p), 0));
         }
         ASSERT_TRUE(server.PushBatch("S", std::move(batch)).ok());
@@ -161,13 +180,10 @@ TEST(StressRebalanceTest, AutoControllerAgainstConcurrentClients) {
     });
   }
   threads.emplace_back([&server] {
-    for (int round = 0; round < 12; ++round) {
-      const Status s =
-          server.Rebalance("S", static_cast<size_t>(round) % 8,
-                           static_cast<size_t>(round) % 4);
-      ASSERT_TRUE(s.ok()) << s;
+    for (int round = 0; round < 15; ++round) {
       const std::string snap = server.SnapshotMetrics();
-      EXPECT_NE(snap.find("\"shards\""), std::string::npos);
+      EXPECT_NE(snap.find("\"replicas\""), std::string::npos);
+      server.PumpMetrics();
       server.Quiesce();
     }
   });

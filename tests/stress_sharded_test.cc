@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cacq/sharded_engine.h"
+#include "conservation.h"
 #include "core/server.h"
 
 namespace tcq {
@@ -100,14 +101,7 @@ TEST(StressShardedTest, ConcurrentProducersAgainstControlTraffic) {
   const uint64_t total = kProducers * kBatches * kBatchSize;
   EXPECT_EQ(all_hits.load(), total);
 
-  uint64_t routed = 0, processed = 0;
-  for (const ShardedEngine::ShardStats& s : engine.shard_stats()) {
-    routed += s.routed;
-    processed += s.processed;
-    EXPECT_EQ(s.queue_depth, 0u);
-  }
-  EXPECT_EQ(routed, total);
-  EXPECT_EQ(processed, total);
+  ExpectExchangeConservation(engine, total);
   engine.Stop();
   // Stop after a full drain is idempotent and loses nothing.
   engine.Stop();
