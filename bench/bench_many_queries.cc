@@ -1,0 +1,235 @@
+// E12 — the many-query fast path (§3.1, [MSHR02]; ROADMAP "10k-CQ
+// CACQ scale-up").
+//
+// CACQ's headline claim is marginal cost per *added* query, but E5
+// (bench_cacq_sharing) stops at 256 queries. This benchmark pushes the
+// query-count axis to 10 000 live CQs and measures what production
+// actually pays per extra standing query, in the measurement discipline
+// of the C-SPARQL/CQELS comparison papers: sweep query count over a
+// fixed stream, report absolute throughput per configuration, and read
+// the *marginal* cost per query off consecutive sweep points
+// ((T_hi - T_lo) / (N_hi - N_lo), tracked in EXPERIMENTS.md E12).
+//
+// Workloads (all over one stock stream, overlapping predicate pools so
+// the grouped filter actually shares work):
+//   BM_ManyQueries        — the E5 selection mix (symbol equality +
+//                           one-sided price bound), inline engine;
+//   BM_ManyQueriesRange   — two-sided price windows (10 < x AND x < 20
+//                           shapes): the interval-stabbing stress case;
+//   BM_ManyQueriesEq      — pure equality predicates: the hash-bucket
+//                           fast path, no range work at all;
+//   BM_ManyQueriesSharded — the selection mix behind the 4-shard
+//                           exchange (PushBatch ingest), since
+//                           "thousands of CQs per shard" is the
+//                           production shape.
+//
+// Expected shape after the interval-bitmap index: per-tuple cost is
+// O(log #bounds + #queries/64) words of bitset work, so throughput at
+// 10k CQs stays within a small factor of the 1k point instead of
+// collapsing linearly, and registration is O(1) amortized per
+// predicate (no sorted-array insert).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cacq/engine.h"
+#include "cacq/sharded_engine.h"
+#include "common/rng.h"
+#include "ingress/sources.h"
+
+namespace tcq {
+namespace {
+
+constexpr int64_t kDays = 400;
+constexpr size_t kSymbols = 16;
+constexpr size_t kShards = 4;
+constexpr size_t kPushBatch = 256;
+
+TupleVector MakeStream() {
+  StockTickerSource::Options opts;
+  opts.num_symbols = kSymbols;
+  opts.num_days = kDays;
+  opts.seed = 2003;
+  StockTickerSource src(opts);
+  TupleVector out;
+  while (auto t = src.Next()) out.push_back(std::move(*t));
+  return out;
+}
+
+/// The E5 selection mix — query i: stockSymbol = S_i AND closingPrice >
+/// c_i, constants drawn from an overlapping pool.
+ExprPtr SelectionPredicate(size_t i, Rng* rng) {
+  ExprPtr sym = Expr::Binary(
+      BinaryOp::kEq, Expr::Column("stockSymbol"),
+      Expr::Literal(
+          Value::String(StockTickerSource::SymbolName(i % kSymbols))));
+  ExprPtr price = Expr::Binary(
+      BinaryOp::kGt, Expr::Column("closingPrice"),
+      Expr::Literal(Value::Double(30.0 + static_cast<double>(
+                                             rng->NextBounded(40)))));
+  return Expr::Binary(BinaryOp::kAnd, sym, price);
+}
+
+/// Range mix — query i: lo_i < closingPrice AND closingPrice < lo_i + 4,
+/// a sliding window over the price domain (~5% selective). Every range
+/// CQ overlaps ~its neighbors, the worst case for the old sorted-array
+/// prefix walk (half the bounds "pass" for a mid-domain price).
+ExprPtr RangePredicate(size_t i, Rng* rng) {
+  const double lo = 20.0 + static_cast<double>((i * 7 + rng->NextBounded(5)) %
+                                               76);
+  ExprPtr above = Expr::Binary(BinaryOp::kGt, Expr::Column("closingPrice"),
+                               Expr::Literal(Value::Double(lo)));
+  ExprPtr below = Expr::Binary(BinaryOp::kLt, Expr::Column("closingPrice"),
+                               Expr::Literal(Value::Double(lo + 4.0)));
+  return Expr::Binary(BinaryOp::kAnd, above, below);
+}
+
+/// Equality-only mix — query i: stockSymbol = S_i.
+ExprPtr EqPredicate(size_t i, Rng* rng) {
+  (void)rng;
+  return Expr::Binary(
+      BinaryOp::kEq, Expr::Column("stockSymbol"),
+      Expr::Literal(
+          Value::String(StockTickerSource::SymbolName(i % kSymbols))));
+}
+
+using PredicateFn = ExprPtr (*)(size_t, Rng*);
+
+void RunInline(benchmark::State& state, PredicateFn make_pred) {
+  const size_t num_queries = static_cast<size_t>(state.range(0));
+  const TupleVector stream = MakeStream();
+  uint64_t deliveries = 0;
+  for (auto _ : state) {
+    Rng rng(7);
+    CacqEngine engine;
+    benchmark::DoNotOptimize(
+        engine.AddStream("Stocks", StockTickerSource::MakeSchema()));
+    engine.SetSink([&](QueryId, const Tuple&) { ++deliveries; });
+    for (size_t i = 0; i < num_queries; ++i) {
+      CacqQuerySpec spec;
+      spec.sources = {"Stocks"};
+      spec.where = make_pred(i, &rng);
+      benchmark::DoNotOptimize(engine.AddQuery(spec));
+    }
+    for (const Tuple& t : stream) {
+      benchmark::DoNotOptimize(engine.Inject("Stocks", t));
+    }
+  }
+  state.counters["deliveries"] = static_cast<double>(deliveries) /
+                                 static_cast<double>(state.iterations());
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(stream.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ManyQueries(benchmark::State& state) {
+  RunInline(state, SelectionPredicate);
+}
+BENCHMARK(BM_ManyQueries)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ManyQueriesRange(benchmark::State& state) {
+  RunInline(state, RangePredicate);
+}
+BENCHMARK(BM_ManyQueriesRange)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ManyQueriesEq(benchmark::State& state) {
+  RunInline(state, EqPredicate);
+}
+BENCHMARK(BM_ManyQueriesEq)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Registration cost alone: AddQuery for N CQs on a fresh engine. The old
+/// grouped filter paid an O(n) sorted insert per range factor (O(n^2) to
+/// register the lot); the rebuild-on-demand index makes this O(1)
+/// amortized per predicate.
+void BM_ManyQueriesRegistration(benchmark::State& state) {
+  const size_t num_queries = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    CacqEngine engine;
+    benchmark::DoNotOptimize(
+        engine.AddStream("Stocks", StockTickerSource::MakeSchema()));
+    engine.SetSink([](QueryId, const Tuple&) {});
+    for (size_t i = 0; i < num_queries; ++i) {
+      CacqQuerySpec spec;
+      spec.sources = {"Stocks"};
+      spec.where = SelectionPredicate(i, &rng);
+      benchmark::DoNotOptimize(engine.AddQuery(spec));
+    }
+    // One inject pays any deferred index build, so the measured cost is
+    // registration + first-tuple readiness, not just list appends.
+    benchmark::DoNotOptimize(engine.Inject("Stocks", Tuple::Make({
+        Value::String("SYM0"), Value::Double(50.0), Value::Int64(0)}, 0)));
+  }
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(num_queries) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ManyQueriesRegistration)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ManyQueriesSharded(benchmark::State& state) {
+  const size_t num_queries = static_cast<size_t>(state.range(0));
+  const TupleVector stream = MakeStream();
+  uint64_t deliveries = 0;
+  for (auto _ : state) {
+    Rng rng(7);
+    ShardedEngine::Options opts;
+    opts.num_shards = kShards;
+    ShardedEngine engine(opts);
+    benchmark::DoNotOptimize(
+        engine.AddStream("Stocks", StockTickerSource::MakeSchema()));
+    std::atomic<uint64_t> delivered{0};
+    engine.SetSink([&](std::vector<ShardedEngine::Emission>&& batch) {
+      delivered.fetch_add(batch.size(), std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < num_queries; ++i) {
+      CacqQuerySpec spec;
+      spec.sources = {"Stocks"};
+      spec.where = SelectionPredicate(i, &rng);
+      benchmark::DoNotOptimize(engine.AddQuery(spec));
+    }
+    engine.Start();
+    for (size_t off = 0; off < stream.size(); off += kPushBatch) {
+      const size_t end = std::min(stream.size(), off + kPushBatch);
+      std::vector<Tuple> batch(stream.begin() + off, stream.begin() + end);
+      benchmark::DoNotOptimize(engine.PushBatch("Stocks", std::move(batch)));
+    }
+    engine.Stop();
+    deliveries += delivered.load();
+  }
+  state.counters["deliveries"] = static_cast<double>(deliveries) /
+                                 static_cast<double>(state.iterations());
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(stream.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ManyQueriesSharded)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tcq

@@ -13,8 +13,10 @@
 # ingest benchmarks (Server::PushBatch -> CACQ eddy), including the
 # sharded sweep, the zipfian-skew rebalance on/off pair
 # (BM_ShardedSkewedThroughput), the process-pair HA tax and recovery
-# latency (BM_ShardedFailover), and the Fjord queue benchmarks
-# (EnqueueBatch/DequeueUpTo). Add binaries via $BENCHES.
+# latency (BM_ShardedFailover), the Fjord queue benchmarks
+# (EnqueueBatch/DequeueUpTo), and the many-query scale sweep
+# (BM_ManyQueries* at 10..10k CQs, inline and sharded). Add binaries
+# via $BENCHES.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,7 +24,7 @@ JOBS="${JOBS:-$(nproc)}"
 BUILD_DIR="${BUILD_DIR:-build}"
 SHA="$(git rev-parse --short HEAD)"
 OUT="${OUT:-BENCH_${SHA}.json}"
-BENCHES="${BENCHES:-bench_executor bench_fjords_queues}"
+BENCHES="${BENCHES:-bench_executor bench_fjords_queues bench_many_queries}"
 
 EXTRA_ARGS=()
 if [[ "${1:-}" == "--quick" ]]; then
@@ -44,7 +46,7 @@ PIN=()
 if command -v taskset >/dev/null 2>&1; then
   PIN=(taskset -c 0)
 fi
-MULTICORE_RE="${MULTICORE_RE:-^bench_executor$}"
+MULTICORE_RE="${MULTICORE_RE:-^(bench_executor|bench_many_queries)$}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 # shellcheck disable=SC2086

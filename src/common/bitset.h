@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/object_pool.h"
 
 namespace tcq {
 
@@ -68,8 +69,30 @@ class SmallBitset {
     return n;
   }
 
-  bool None() const { return Count() == 0; }
-  bool All() const { return Count() == nbits_ && nbits_ > 0; }
+  /// True iff no bit is set. Early-exits on the first non-zero word —
+  /// this runs per tuple in lineage checks, where the common answer is
+  /// "no" in word zero.
+  bool None() const {
+    for (size_t w = 0; w < WordsFor(nbits_); ++w) {
+      if (WordAt(w) != 0) return false;
+    }
+    return true;
+  }
+
+  /// True iff every bit is set (and the set is non-empty). Early-exits
+  /// on the first non-full word; the tail word is compared against its
+  /// partial mask (tail bits above nbits_ are kept zero by ClearTail).
+  bool All() const {
+    if (nbits_ == 0) return false;
+    const size_t words = WordsFor(nbits_);
+    for (size_t w = 0; w + 1 < words; ++w) {
+      if (WordAt(w) != ~uint64_t{0}) return false;
+    }
+    const uint64_t tail_mask = nbits_ % 64 == 0
+                                   ? ~uint64_t{0}
+                                   : (uint64_t{1} << (nbits_ % 64)) - 1;
+    return WordAt(words - 1) == tail_mask;
+  }
 
   /// True if every bit set in `other` is also set in *this.
   bool Contains(const SmallBitset& other) const {
@@ -103,6 +126,22 @@ class SmallBitset {
   SmallBitset& operator-=(const SmallBitset& other) {
     TCQ_DCHECK(nbits_ == other.nbits_);
     for (size_t w = 0; w < WordsFor(nbits_); ++w) WordAt(w) &= ~other.WordAt(w);
+    return *this;
+  }
+
+  /// Removes from *this every bit set in `other`, where `other` may be
+  /// narrower than *this (bits of *this past other.size_bits() are
+  /// untouched — they cannot be set in `other`). This is the hot-path
+  /// form used by GroupedFilter::Apply when the candidate lineage bitmap
+  /// is wider than the filter's query table: operator-= DCHECKs equal
+  /// widths and would force a per-tuple Resize of a scratch copy.
+  /// Sound because ClearTail keeps bits >= size_bits() zero in every
+  /// word, so subtracting over other's words alone is exact.
+  SmallBitset& SubtractPrefix(const SmallBitset& other) {
+    TCQ_DCHECK(other.nbits_ <= nbits_);
+    for (size_t w = 0; w < WordsFor(other.nbits_); ++w) {
+      WordAt(w) &= ~other.WordAt(w);
+    }
     return *this;
   }
 
@@ -167,7 +206,11 @@ class SmallBitset {
   }
 
   uint64_t inline_[kInlineWords] = {0, 0};
-  std::vector<uint64_t> overflow_;
+  /// Overflow words (>128 bits) come from the thread-local BlockPool:
+  /// at >128 concurrent queries every in-flight RoutedTuple carries
+  /// three spilled lineage bitsets, and copying/destroying them per
+  /// tuple must not hit the system allocator (DESIGN.md §14).
+  std::vector<uint64_t, PoolAllocator<uint64_t>> overflow_;
   size_t nbits_ = 0;
 };
 

@@ -1,0 +1,231 @@
+#ifndef TCQ_COMMON_OBJECT_POOL_H_
+#define TCQ_COMMON_OBJECT_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace tcq {
+
+/// Thread-local block recycler for the dataflow hot path (DESIGN.md §14).
+///
+/// The steady state of a many-query engine allocates the same few block
+/// shapes over and over: Tuple cell arrays (one fused shared_ptr block
+/// per Concat/Project/Widen), SmallBitset overflow words (three lineage
+/// bitsets per in-flight RoutedTuple once queries exceed 128), and eddy
+/// queue chunks. BlockPool intercepts those through size-class
+/// freelists so the steady state never reaches the system allocator.
+///
+/// Ownership / thread rules:
+///  * Each thread owns a private pool — Alloc never locks and never
+///    touches another thread's freelists.
+///  * Blocks may be freed on a different thread than they were
+///    allocated on (tuples cross the sharded exchange); a freed block
+///    joins the *freeing* thread's pool. The handoff that moved the
+///    containing object across threads (queue mutex, exchange) is what
+///    orders the old owner's writes before reuse.
+///  * Retention is bounded: each size class keeps at most
+///    kMaxFreePerClass blocks; further frees go straight back to the
+///    system allocator (counted as `drops`). Requests above kMaxBytes
+///    bypass the pool entirely (`oversize`).
+///  * Thread exit drains the pool's retained blocks; frees that race
+///    past the pool's destruction (objects dying in later thread_local
+///    destructors) safely fall back to operator delete.
+///
+/// Statistics: per-thread counts, flushed to process-global relaxed
+/// atomics every kFlushEvery events and at thread exit. Tests assert on
+/// LocalStats() (exact for single-threaded sections); telemetry
+/// publishes GlobalStats() via tcq.pool.* gauges (telemetry/
+/// pool_metrics.h) — a snapshot may lag the per-thread tallies by at
+/// most one flush window per thread.
+class BlockPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;      ///< Allocations served from a freelist.
+    uint64_t misses = 0;    ///< Allocations that fell through to new.
+    uint64_t returns = 0;   ///< Frees recycled into a freelist.
+    uint64_t drops = 0;     ///< Frees past the retention bound.
+    uint64_t oversize = 0;  ///< Requests above kMaxBytes (bypassed).
+  };
+
+  /// Pool granularity: sizes round up to multiples of kAlignQuantum
+  /// bytes, so blocks are interchangeable within a class.
+  static constexpr size_t kAlignQuantum = 64;
+  static constexpr size_t kMaxBytes = 1 << 16;
+  static constexpr size_t kNumClasses = kMaxBytes / kAlignQuantum;
+  static constexpr size_t kMaxFreePerClass = 256;
+  static constexpr uint64_t kFlushEvery = 1024;
+
+  static void* Alloc(size_t bytes) {
+    if (bytes == 0) bytes = 1;
+    const size_t cls = ClassOf(bytes);
+    if (tls_state_ == TlsState::kDead) return ::operator new(bytes);
+    if (cls >= kNumClasses) {
+      BlockPool& pool = Local();
+      ++pool.stats_.oversize;
+      pool.MaybeFlush();
+      return ::operator new(bytes);
+    }
+    BlockPool& pool = Local();
+    std::vector<void*>& list = pool.free_[cls];
+    void* p;
+    if (!list.empty()) {
+      p = list.back();
+      list.pop_back();
+      ++pool.stats_.hits;
+    } else {
+      p = ::operator new((cls + 1) * kAlignQuantum);
+      ++pool.stats_.misses;
+    }
+    pool.MaybeFlush();
+    return p;
+  }
+
+  static void Free(void* p, size_t bytes) {
+    if (p == nullptr) return;
+    if (bytes == 0) bytes = 1;
+    const size_t cls = ClassOf(bytes);
+    if (cls >= kNumClasses || tls_state_ == TlsState::kDead) {
+      ::operator delete(p);
+      return;
+    }
+    BlockPool& pool = Local();
+    std::vector<void*>& list = pool.free_[cls];
+    if (list.size() >= kMaxFreePerClass) {
+      ::operator delete(p);
+      ++pool.stats_.drops;
+    } else {
+      list.push_back(p);
+      ++pool.stats_.returns;
+    }
+    pool.MaybeFlush();
+  }
+
+  /// This thread's counters including the not-yet-flushed tail — exact
+  /// for single-threaded test sections.
+  static Stats LocalStats() {
+    if (tls_state_ == TlsState::kDead) return Stats{};
+    return Local().stats_;
+  }
+
+  /// Process-wide flushed totals (may lag per-thread tallies by up to
+  /// one flush window per live thread).
+  static Stats GlobalStats() {
+    Stats s;
+    s.hits = g_hits_.load(std::memory_order_relaxed);
+    s.misses = g_misses_.load(std::memory_order_relaxed);
+    s.returns = g_returns_.load(std::memory_order_relaxed);
+    s.drops = g_drops_.load(std::memory_order_relaxed);
+    s.oversize = g_oversize_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Releases every retained block on this thread and flushes stats
+  /// (test hook; thread exit does the same via the destructor).
+  static void DrainLocalForTest() {
+    if (tls_state_ == TlsState::kDead) return;
+    Local().Drain();
+  }
+
+  ~BlockPool() {
+    Drain();
+    tls_state_ = TlsState::kDead;
+  }
+
+  BlockPool(const BlockPool&) = delete;
+  BlockPool& operator=(const BlockPool&) = delete;
+
+ private:
+  /// Thread-lifetime state of this thread's pool. Trivially destructible
+  /// (unlike the pool), so it stays readable after the pool's own
+  /// thread_local destructor has run — late frees from objects dying in
+  /// later-destroyed thread_locals fall back to operator delete instead
+  /// of resurrecting the pool.
+  enum class TlsState : uint8_t { kUnborn = 0, kAlive, kDead };
+
+  BlockPool() { tls_state_ = TlsState::kAlive; }
+
+  static size_t ClassOf(size_t bytes) { return (bytes - 1) / kAlignQuantum; }
+
+  static BlockPool& Local() {
+    thread_local BlockPool pool;
+    return pool;
+  }
+
+  void MaybeFlush() {
+    if (++events_since_flush_ >= kFlushEvery) FlushStats();
+  }
+
+  void FlushStats() {
+    events_since_flush_ = 0;
+    g_hits_.fetch_add(stats_.hits - flushed_.hits,
+                      std::memory_order_relaxed);
+    g_misses_.fetch_add(stats_.misses - flushed_.misses,
+                        std::memory_order_relaxed);
+    g_returns_.fetch_add(stats_.returns - flushed_.returns,
+                         std::memory_order_relaxed);
+    g_drops_.fetch_add(stats_.drops - flushed_.drops,
+                       std::memory_order_relaxed);
+    g_oversize_.fetch_add(stats_.oversize - flushed_.oversize,
+                          std::memory_order_relaxed);
+    flushed_ = stats_;
+  }
+
+  void Drain() {
+    for (std::vector<void*>& list : free_) {
+      for (void* p : list) ::operator delete(p);
+      list.clear();
+    }
+    FlushStats();
+  }
+
+  std::vector<void*> free_[kNumClasses];
+  Stats stats_;
+  Stats flushed_;
+  uint64_t events_since_flush_ = 0;
+
+  static thread_local TlsState tls_state_;
+
+  static inline std::atomic<uint64_t> g_hits_{0};
+  static inline std::atomic<uint64_t> g_misses_{0};
+  static inline std::atomic<uint64_t> g_returns_{0};
+  static inline std::atomic<uint64_t> g_drops_{0};
+  static inline std::atomic<uint64_t> g_oversize_{0};
+};
+
+inline thread_local BlockPool::TlsState BlockPool::tls_state_ =
+    BlockPool::TlsState::kUnborn;
+
+/// Standard allocator over BlockPool, for containers whose churn sits on
+/// the hot path (SmallBitset overflow words, the eddy's routing queue)
+/// and for allocate_shared'ing Tuple cell blocks. Stateless: all
+/// instances are interchangeable; deallocation may happen on any thread.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(BlockPool::Alloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) { BlockPool::Free(p, n * sizeof(T)); }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>&) const {
+    return false;
+  }
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_COMMON_OBJECT_POOL_H_

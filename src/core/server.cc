@@ -6,6 +6,7 @@
 #include "fjords/queue.h"
 #include "stem/stem.h"
 #include "telemetry/metrics.h"
+#include "telemetry/pool_metrics.h"
 
 namespace tcq {
 
@@ -593,6 +594,7 @@ size_t Server::num_active_queries() const {
 }
 
 size_t Server::PumpMetrics() {
+  PublishPoolMetrics();  // Pull allocator-pool totals into the registry.
   std::lock_guard<std::mutex> lock(mu_);
   auto it = streams_.find(kMetricsStream);
   TCQ_CHECK(it != streams_.end()) << "introspection stream missing";
@@ -664,6 +666,7 @@ void AppendKey(const std::string& key, std::string* out) {
 }  // namespace
 
 std::string Server::SnapshotMetrics() const {
+  PublishPoolMetrics();  // Pull allocator-pool totals into the registry.
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"metrics\":{";
   bool first = true;

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/object_pool.h"
 #include "eddy/operator.h"
 #include "eddy/policy.h"
 #include "eddy/routed_tuple.h"
@@ -168,7 +169,10 @@ class Eddy {
   std::vector<double> cost_hints_;
   int64_t next_seq_ = 1;
 
-  std::deque<RoutedTuple> queue_;
+  /// Routing queue chunks come from the thread-local BlockPool: the queue
+  /// oscillates around empty once per Drain, so deque chunk churn would
+  /// otherwise hit the allocator every injection burst.
+  std::deque<RoutedTuple, PoolAllocator<RoutedTuple>> queue_;
   std::function<void(RoutedTuple&&)> sink_;
   std::function<void(RoutedTuple&&)> partial_sink_;
 

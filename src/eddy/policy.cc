@@ -51,7 +51,8 @@ size_t LotteryPolicy::Choose(const std::vector<size_t>& eligible,
   // Weight = (tickets + exploration floor) / cost. Selective (ticket-rich)
   // and cheap operators win more lotteries.
   double total = 0.0;
-  std::vector<double> weights(eligible.size());
+  std::vector<double>& weights = weights_scratch_;
+  weights.assign(eligible.size(), 0.0);
   for (size_t i = 0; i < eligible.size(); ++i) {
     const size_t op = eligible[i];
     const double cost = std::max(cost_hints[op], 1e-9);

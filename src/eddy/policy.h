@@ -98,6 +98,9 @@ class LotteryPolicy : public RoutingPolicy {
   Rng rng_;
   Options options_;
   uint64_t decisions_ = 0;
+  /// Reused across Choose calls — one routing decision per tuple (or per
+  /// batch) must not cost a heap allocation.
+  std::vector<double> weights_scratch_;
 };
 
 std::unique_ptr<RoutingPolicy> MakePolicy(const std::string& name,

@@ -1,0 +1,27 @@
+#include "telemetry/pool_metrics.h"
+
+#include "common/object_pool.h"
+#include "telemetry/metrics.h"
+
+namespace tcq {
+
+void PublishPoolMetrics() {
+#ifndef TCQ_METRICS_DISABLED
+  struct Gauges {
+    Gauge* hits = MetricRegistry::Global().GetGauge("tcq.pool.hits");
+    Gauge* misses = MetricRegistry::Global().GetGauge("tcq.pool.misses");
+    Gauge* returns = MetricRegistry::Global().GetGauge("tcq.pool.returns");
+    Gauge* drops = MetricRegistry::Global().GetGauge("tcq.pool.drops");
+    Gauge* oversize = MetricRegistry::Global().GetGauge("tcq.pool.oversize");
+  };
+  static Gauges g;
+  const BlockPool::Stats s = BlockPool::GlobalStats();
+  g.hits->Set(static_cast<int64_t>(s.hits));
+  g.misses->Set(static_cast<int64_t>(s.misses));
+  g.returns->Set(static_cast<int64_t>(s.returns));
+  g.drops->Set(static_cast<int64_t>(s.drops));
+  g.oversize->Set(static_cast<int64_t>(s.oversize));
+#endif  // TCQ_METRICS_DISABLED
+}
+
+}  // namespace tcq

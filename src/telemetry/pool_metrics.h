@@ -1,0 +1,18 @@
+#ifndef TCQ_TELEMETRY_POOL_METRICS_H_
+#define TCQ_TELEMETRY_POOL_METRICS_H_
+
+namespace tcq {
+
+/// Copies BlockPool's process-global statistics into the metric registry
+/// as tcq.pool.{hits,misses,returns,drops,oversize} gauges. The pool
+/// lives in dependency-free common/ (bitset and tuple headers reach it),
+/// so it cannot push into the registry itself; callers that surface
+/// metrics (Server::PumpMetrics / SnapshotMetrics) pull instead. Gauge
+/// values are monotonically increasing totals flushed from per-thread
+/// tallies, so a snapshot may trail the truth by at most one flush
+/// window per live thread. No-op when metrics are compiled out.
+void PublishPoolMetrics();
+
+}  // namespace tcq
+
+#endif  // TCQ_TELEMETRY_POOL_METRICS_H_

@@ -9,6 +9,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/object_pool.h"
 #include "tuple/schema.h"
 #include "tuple/value.h"
 
@@ -141,8 +142,16 @@ class Tuple {
   void AllocCells(size_t n) {
     size_ = n;
     // One heap block: shared_ptr control block + n value-initialized
-    // (NULL) Values, fused by make_shared's array overload.
-    cells_ = n > 0 ? std::make_shared<Value[]>(n) : nullptr;
+    // (NULL) Values, fused by allocate_shared's array overload. The
+    // block comes from the thread-local BlockPool, so the steady-state
+    // build/concat/project churn recycles a handful of size classes
+    // instead of hitting the system allocator per tuple (DESIGN.md §14);
+    // blocks may be released on a different thread than they were
+    // acquired on (tuples cross the sharded exchange), which the pool
+    // permits.
+    cells_ = n > 0
+                 ? std::allocate_shared<Value[]>(PoolAllocator<Value>{}, n)
+                 : nullptr;
   }
   /// Only valid between AllocCells and first share of the block.
   Value* MutableCells() {

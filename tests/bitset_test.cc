@@ -135,6 +135,77 @@ TEST(SmallBitsetTest, ResizeShrinkDropsTail) {
   EXPECT_TRUE(b.Test(5));
 }
 
+// None()/All() early-exit word walks must agree with Count() exactly at
+// the inline/overflow word boundaries: 127 (tail bit of the last inline
+// word), 128 (both inline words exactly full, no tail mask), 129 (first
+// overflow word holds one tail bit).
+TEST(SmallBitsetTest, NoneAllAtWordBoundaries) {
+  for (const size_t nbits : {127u, 128u, 129u}) {
+    SCOPED_TRACE(nbits);
+    SmallBitset b(nbits);
+    EXPECT_TRUE(b.None());
+    EXPECT_FALSE(b.All());
+
+    b.SetAll();
+    EXPECT_FALSE(b.None());
+    EXPECT_TRUE(b.All());
+    EXPECT_EQ(b.Count(), nbits);
+
+    // One hole anywhere breaks All; the probe order covers first word,
+    // word boundary, and final bit.
+    for (const size_t hole : {size_t{0}, size_t{63}, size_t{64}, nbits - 1}) {
+      b.Clear(hole);
+      EXPECT_FALSE(b.All()) << "hole at " << hole;
+      EXPECT_FALSE(b.None());
+      b.Set(hole);
+      EXPECT_TRUE(b.All());
+    }
+
+    // A single bit in the last word breaks None (the early exit must not
+    // stop scanning before the tail word).
+    b.ClearAll();
+    b.Set(nbits - 1);
+    EXPECT_FALSE(b.None());
+    EXPECT_FALSE(b.All());
+  }
+}
+
+TEST(SmallBitsetTest, AllOnEmptySetIsFalse) {
+  SmallBitset b(0);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.All());
+}
+
+TEST(SmallBitsetTest, SubtractPrefixNarrowerOperand) {
+  SmallBitset wide(300);
+  for (size_t i = 0; i < 300; i += 3) wide.Set(i);
+  SmallBitset narrow(130);  // Overflow word with a partial tail.
+  for (size_t i = 0; i < 130; i += 6) narrow.Set(i);
+
+  SmallBitset expect = wide;
+  wide.SubtractPrefix(narrow);
+
+  for (size_t i = 0; i < 300; ++i) {
+    const bool want =
+        expect.Test(i) && !(i < narrow.size_bits() && narrow.Test(i));
+    ASSERT_EQ(wide.Test(i), want) << i;
+  }
+  // Bits past the narrow operand's width are untouched.
+  EXPECT_TRUE(wide.Test(297));
+}
+
+TEST(SmallBitsetTest, SubtractPrefixEqualWidthMatchesOperatorMinus) {
+  Rng rng(11);
+  SmallBitset a(150), b(150);
+  for (int i = 0; i < 60; ++i) a.Set(rng.NextBounded(150));
+  for (int i = 0; i < 60; ++i) b.Set(rng.NextBounded(150));
+  SmallBitset via_op = a;
+  via_op -= b;
+  SmallBitset via_prefix = a;
+  via_prefix.SubtractPrefix(b);
+  EXPECT_TRUE(via_op == via_prefix);
+}
+
 // Property test: random operations agree with std::set<size_t> oracle.
 class BitsetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+#include <vector>
+
 #include "common/rng.h"
 
 namespace tcq {
@@ -112,6 +115,78 @@ TEST(GroupedFilterTest, EmptyFilterTouchesNothing) {
   EXPECT_EQ(candidates.Count(), 4u);
 }
 
+// Regression: Apply with a candidate bitset WIDER than the filter's
+// query table (a tuple's lineage bitmap is sized to the engine's whole
+// query table; this filter may only know a prefix of it). Bits past
+// num_queries() must ride through untouched, and the hot path must not
+// resize anything to make that work.
+TEST(GroupedFilterTest, MixedWidthApplyLeavesWideBitsAlone) {
+  GroupedFilter gf;
+  gf.AddPredicate(0, BinaryOp::kGt, Value::Int64(10));
+  gf.AddPredicate(1, BinaryOp::kEq, Value::Int64(3));
+  ASSERT_EQ(gf.num_queries(), 2u);
+
+  // 300 bits: spills to overflow words, exercising the word loop too.
+  SmallBitset candidates(300);
+  candidates.SetAll();
+  gf.Apply(Value::Int64(50), &candidates);
+  EXPECT_TRUE(candidates.Test(0));   // 50 > 10.
+  EXPECT_FALSE(candidates.Test(1));  // 50 != 3.
+  for (size_t i = 2; i < 300; ++i) {
+    ASSERT_TRUE(candidates.Test(i)) << i;  // Unknown queries untouched.
+  }
+}
+
+// The index is compiled lazily: registrations only mark it stale, and one
+// Apply after a mutation burst compiles once — not once per AddPredicate
+// (that was the old O(n²) sorted-insert registration) and not once per
+// tuple.
+TEST(GroupedFilterTest, IndexRebuildsOncePerMutationBurst) {
+  GroupedFilter gf;
+  for (QueryId q = 0; q < 100; ++q) {
+    gf.AddPredicate(q, BinaryOp::kGt, Value::Int64(static_cast<int64_t>(q)));
+  }
+  EXPECT_TRUE(gf.index_dirty());
+  EXPECT_EQ(gf.rebuilds(), 0u);
+
+  SmallBitset m = AllOf(100);
+  gf.Apply(Value::Int64(50), &m);
+  EXPECT_EQ(gf.rebuilds(), 1u);
+  EXPECT_FALSE(gf.index_dirty());
+  // 100 distinct bounds -> 201 elementary regions.
+  EXPECT_EQ(gf.num_regions(), 201u);
+
+  // Steady state: applies never recompile.
+  for (int i = 0; i < 50; ++i) {
+    SmallBitset n = AllOf(100);
+    gf.Apply(Value::Int64(i), &n);
+  }
+  EXPECT_EQ(gf.rebuilds(), 1u);
+
+  // One mutation burst -> exactly one more compile.
+  gf.RemoveQuery(7);
+  gf.AddPredicate(7, BinaryOp::kLt, Value::Int64(30));
+  EXPECT_TRUE(gf.index_dirty());
+  SmallBitset n = AllOf(100);
+  gf.Apply(Value::Int64(10), &n);
+  EXPECT_TRUE(n.Test(7));  // 10 < 30 under the re-registered predicate.
+  EXPECT_EQ(gf.rebuilds(), 2u);
+}
+
+TEST(GroupedFilterTest, NullValueSortsBelowAllBounds) {
+  // NULL orders before every constant (Value::Compare), so it satisfies
+  // < / <= factors and fails > / >= — the old sorted-walk behaviour the
+  // region index must reproduce (NULL stabs the leftmost region).
+  GroupedFilter gf;
+  gf.AddPredicate(0, BinaryOp::kLt, Value::Int64(5));
+  gf.AddPredicate(1, BinaryOp::kGt, Value::Int64(5));
+  gf.AddPredicate(2, BinaryOp::kEq, Value::Int64(5));
+  SmallBitset m = gf.Matching(Value());
+  EXPECT_TRUE(m.Test(0));
+  EXPECT_FALSE(m.Test(1));
+  EXPECT_FALSE(m.Test(2));
+}
+
 // Property: grouped filter == naive per-query evaluation on random
 // predicate sets and probe values.
 class GroupedFilterPropertyTest : public ::testing::TestWithParam<uint64_t> {
@@ -181,6 +256,93 @@ TEST_P(GroupedFilterPropertyTest, MatchesNaiveEvaluation) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GroupedFilterPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// Churn property test at 1k+ queries: interleave AddPredicate bursts,
+// RemoveQuery scrubs, and re-registration of freed QueryIds (the CACQ
+// engine recycles slots), cross-checking Apply against naive per-query
+// evaluation after every burst. Run under ASan (scripts/check.sh) this
+// doubles as a lifetime check on the lazily recompiled index.
+class GroupedFilterChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GroupedFilterChurnTest, ChurnedIndexMatchesNaiveEvaluation) {
+  Rng rng(GetParam());
+  constexpr size_t kMaxQueries = 1200;
+  GroupedFilter gf;
+
+  struct Pred {
+    BinaryOp op;
+    int64_t c;
+  };
+  // live[q] = the predicates query q currently owns (empty = freed slot).
+  std::unordered_map<QueryId, std::vector<Pred>> live;
+  std::vector<QueryId> freed;
+  const BinaryOp ops[] = {BinaryOp::kEq, BinaryOp::kNe, BinaryOp::kLt,
+                          BinaryOp::kLe, BinaryOp::kGt, BinaryOp::kGe};
+
+  auto naive = [&live](int64_t v, QueryId q) {
+    auto it = live.find(q);
+    if (it == live.end()) return true;  // No factors -> unconstrained.
+    for (const Pred& p : it->second) {
+      bool pass = false;
+      switch (p.op) {
+        case BinaryOp::kEq: pass = v == p.c; break;
+        case BinaryOp::kNe: pass = v != p.c; break;
+        case BinaryOp::kLt: pass = v < p.c; break;
+        case BinaryOp::kLe: pass = v <= p.c; break;
+        case BinaryOp::kGt: pass = v > p.c; break;
+        default: pass = v >= p.c; break;
+      }
+      if (!pass) return false;
+    }
+    return true;
+  };
+
+  auto register_query = [&](QueryId q) {
+    auto& preds = live[q];
+    preds.clear();
+    const size_t n = 1 + rng.NextBounded(3);
+    for (size_t i = 0; i < n; ++i) {
+      Pred p{ops[rng.NextBounded(6)], rng.NextInt(-50, 50)};
+      preds.push_back(p);
+      gf.AddPredicate(q, p.op, Value::Int64(p.c));
+    }
+  };
+
+  // Initial population: 1200 queries, ~2 factors each.
+  for (QueryId q = 0; q < kMaxQueries; ++q) register_query(q);
+
+  for (int round = 0; round < 12; ++round) {
+    // Churn burst: remove ~100 random queries, re-register ~half of the
+    // freed slots with fresh predicates.
+    for (int i = 0; i < 100; ++i) {
+      const QueryId q = static_cast<QueryId>(rng.NextBounded(kMaxQueries));
+      gf.RemoveQuery(q);
+      live.erase(q);
+      freed.push_back(q);
+    }
+    while (freed.size() > 50) {
+      const QueryId q = freed.back();
+      freed.pop_back();
+      if (live.count(q)) continue;  // Already re-registered this round.
+      register_query(q);
+    }
+
+    // Cross-check the recompiled index on probes spanning all regions.
+    for (int trial = 0; trial < 20; ++trial) {
+      const int64_t v = rng.NextInt(-55, 55);
+      SmallBitset m = AllOf(gf.num_queries());
+      gf.Apply(Value::Int64(v), &m);
+      for (QueryId q = 0; q < gf.num_queries(); ++q) {
+        ASSERT_EQ(m.Test(q), naive(v, q))
+            << "round " << round << " value " << v << " query " << q
+            << " seed " << GetParam();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupedFilterChurnTest,
+                         ::testing::Values(101, 102, 103, 104));
 
 }  // namespace
 }  // namespace tcq
