@@ -15,8 +15,10 @@
 # (BM_ShardedSkewedThroughput), the process-pair HA tax and recovery
 # latency (BM_ShardedFailover), the Fjord queue benchmarks
 # (EnqueueBatch/DequeueUpTo), and the many-query scale sweep
-# (BM_ManyQueries* at 10..10k CQs, inline and sharded). Add binaries
-# via $BENCHES.
+# (BM_ManyQueries* at 10..10k CQs, inline and sharded), and the
+# disorder-tolerant ingress sweep (bench_disorder: reorder bound ×
+# disorder rate, delayed vs speculative, kIngestLate backfill). Add
+# binaries via $BENCHES.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,7 +26,7 @@ JOBS="${JOBS:-$(nproc)}"
 BUILD_DIR="${BUILD_DIR:-build}"
 SHA="$(git rev-parse --short HEAD)"
 OUT="${OUT:-BENCH_${SHA}.json}"
-BENCHES="${BENCHES:-bench_executor bench_fjords_queues bench_many_queries}"
+BENCHES="${BENCHES:-bench_executor bench_fjords_queues bench_many_queries bench_disorder}"
 
 EXTRA_ARGS=()
 if [[ "${1:-}" == "--quick" ]]; then

@@ -191,10 +191,16 @@ Result<QueryId> CacqEngine::AddQuery(const CacqQuerySpec& spec) {
     info.residual_ops.push_back(op);
   }
   info.active = true;
+  info.speculative = spec.speculative;
   info.footprint.ForEachSet([&](size_t s) {
     if (interested_[s].size_bits() <= qid) interested_[s].Resize(qid + 1);
     interested_[s].Set(qid);
   });
+  if (delayed_queries_.size_bits() <= qid) {
+    delayed_queries_.Resize(qid + 1);
+    speculative_queries_.Resize(qid + 1);
+  }
+  (spec.speculative ? speculative_queries_ : delayed_queries_).Set(qid);
   queries_.push_back(std::move(info));
   ++active_queries_;
   return qid;
@@ -215,10 +221,13 @@ Status CacqEngine::RemoveQuery(QueryId q) {
   for (SmallBitset& bits : interested_) {
     if (q < bits.size_bits()) bits.Clear(q);
   }
+  if (q < delayed_queries_.size_bits()) delayed_queries_.Clear(q);
+  if (q < speculative_queries_.size_bits()) speculative_queries_.Clear(q);
   return Status::OK();
 }
 
-Status CacqEngine::Inject(const std::string& stream, const Tuple& tuple) {
+Status CacqEngine::Inject(const std::string& stream, const Tuple& tuple,
+                          IngressLane lane) {
   const size_t s = layout_.SourceIndexOf(stream);
   if (s == layout_.num_sources()) {
     return Status::NotFound("unknown stream: " + stream);
@@ -229,6 +238,13 @@ Status CacqEngine::Inject(const std::string& stream, const Tuple& tuple) {
   rt.sources.Set(s);
   rt.queries = interested_[s];
   rt.queries.Resize(queries_.size());
+  if (lane != IngressLane::kAll) {
+    SmallBitset lane_set = lane == IngressLane::kSpeculative
+                               ? speculative_queries_
+                               : delayed_queries_;
+    lane_set.Resize(queries_.size());
+    rt.queries &= lane_set;
+  }
   if (rt.queries.None()) return Status::OK();  // Nobody is listening.
   eddy_->InjectRouted(std::move(rt));
   eddy_->Drain();
@@ -236,20 +252,29 @@ Status CacqEngine::Inject(const std::string& stream, const Tuple& tuple) {
 }
 
 Status CacqEngine::InjectBatch(const std::string& stream,
-                               const std::vector<Tuple>& batch) {
+                               const std::vector<Tuple>& batch,
+                               IngressLane lane) {
   const size_t s = layout_.SourceIndexOf(stream);
   if (s == layout_.num_sources()) {
     return Status::NotFound("unknown stream: " + stream);
   }
-  return InjectBatch(s, batch);
+  return InjectBatch(s, batch, lane);
 }
 
-Status CacqEngine::InjectBatch(size_t s, const std::vector<Tuple>& batch) {
+Status CacqEngine::InjectBatch(size_t s, const std::vector<Tuple>& batch,
+                               IngressLane lane) {
   if (s >= layout_.num_sources()) {
     return Status::OutOfRange("source index out of range");
   }
   SmallBitset interested = interested_[s];
   interested.Resize(queries_.size());
+  if (lane != IngressLane::kAll) {
+    SmallBitset lane_set = lane == IngressLane::kSpeculative
+                               ? speculative_queries_
+                               : delayed_queries_;
+    lane_set.Resize(queries_.size());
+    interested &= lane_set;
+  }
   if (interested.None() || batch.empty()) return Status::OK();
   std::vector<RoutedTuple> rts;
   rts.reserve(batch.size());

@@ -26,6 +26,12 @@ struct CacqQuerySpec {
   /// SteM joins; single-column factors enter grouped filters; everything
   /// else becomes per-query residual work.
   ExprPtr where;
+  /// CEDR consistency level (DESIGN.md §15): false = delayed-but-correct
+  /// (the query consumes the reorder-buffer release feed — IngressLane::
+  /// kDelayed), true = speculative (it consumes raw arrivals as they come
+  /// — IngressLane::kSpeculative — and may see retraction-signed tuples).
+  /// Irrelevant until the server feeds the engine through both lanes.
+  bool speculative = false;
 };
 
 /// CACQ (§3.1): one Eddy executing many continuous queries at once — the
@@ -68,19 +74,24 @@ class CacqEngine {
   Status RemoveQuery(QueryId q);
 
   /// Feeds one tuple of `stream` and routes it (plus any join matches).
-  Status Inject(const std::string& stream, const Tuple& tuple);
+  /// `lane` restricts the seeded lineage to queries of that consistency
+  /// level (kAll = every interested query — the classic single-feed path).
+  Status Inject(const std::string& stream, const Tuple& tuple,
+                IngressLane lane = IngressLane::kAll);
 
   /// Feeds a whole same-stream batch through ONE stream lookup, one
   /// lineage-seed snapshot and one Drain(). The eddy amortizes one routing
   /// decision per stage over the batch; results are identical to injecting
   /// each tuple alone (routing invariance), only cheaper.
   Status InjectBatch(const std::string& stream,
-                     const std::vector<Tuple>& batch);
+                     const std::vector<Tuple>& batch,
+                     IngressLane lane = IngressLane::kAll);
 
   /// InjectBatch by source index (layout().SourceIndexOf order). The
   /// sharded exchange resolves the stream once at scatter time and feeds
   /// every shard by index, skipping the per-task name lookup.
-  Status InjectBatch(size_t source, const std::vector<Tuple>& batch);
+  Status InjectBatch(size_t source, const std::vector<Tuple>& batch,
+                     IngressLane lane = IngressLane::kAll);
 
   /// Evicts join state older than `ts` (window maintenance).
   void EvictBefore(Timestamp ts);
@@ -148,6 +159,7 @@ class CacqEngine {
   struct QueryInfo {
     SmallBitset footprint;
     bool active = false;
+    bool speculative = false;  ///< CEDR consistency level (spec lane).
     /// Grouped-filter registrations: (column op const) per column op, for
     /// removal bookkeeping.
     std::vector<size_t> filter_columns;
@@ -173,6 +185,12 @@ class CacqEngine {
   size_t active_queries_ = 0;
   /// Per source: queries whose footprint contains it (lineage seed).
   std::vector<SmallBitset> interested_;
+  /// Consistency lanes over engine QueryIds: a kDelayed/kSpeculative
+  /// injection intersects its lineage seed with the matching lane, so
+  /// delayed queries never see raw (possibly disordered) arrivals and
+  /// speculative queries never see the duplicate release feed.
+  SmallBitset delayed_queries_;
+  SmallBitset speculative_queries_;
 
   std::map<size_t, std::shared_ptr<GroupedFilterOp>> filter_ops_;
   std::map<uint64_t, std::shared_ptr<ResidualFilterOp>> residual_ops_;

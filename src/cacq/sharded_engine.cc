@@ -134,7 +134,8 @@ class ShardedEngine::WorkerModule : public FjordModule {
         // replayed (and counted) by the failover.
         return Die(sh);
       }
-      const Status st = sh.engine->InjectBatch(task.source, task.tuples);
+      const Status st =
+          sh.engine->InjectBatch(task.source, task.tuples, task.lane);
       TCQ_CHECK(st.ok()) << "shard " << shard_
                          << " inject failed: " << st.ToString();
       sh.processed += task.tuples.size();
@@ -279,7 +280,7 @@ ShardedEngine::ShardedEngine(Options options)
     input_->SetTee([this](size_t p, ShardTask& task, size_t) {
       if (task.control) return;  // Only the data path is logged.
       task.lsn = replication_->replica(p).Append(
-          task.source, std::vector<Tuple>(task.tuples));
+          task.source, std::vector<Tuple>(task.tuples), task.lane);
       size_t bytes = 0;
       for (const Tuple& t : task.tuples) {
         bytes += sizeof(Tuple) + t.arity() * sizeof(Value);
@@ -543,7 +544,7 @@ Status ShardedEngine::RemoveQuery(QueryId q) {
 }
 
 Status ShardedEngine::PushBatch(const std::string& stream,
-                                std::vector<Tuple> batch) {
+                                std::vector<Tuple> batch, IngressLane lane) {
   if (!started_) {
     return Status::FailedPrecondition("Start() the engine before pushing");
   }
@@ -573,7 +574,7 @@ Status ShardedEngine::PushBatch(const std::string& stream,
       // Paused for migration: park in producer order; MigrateBucket
       // replays the buffer to the new owner before unpausing.
       std::lock_guard<std::mutex> lock(buffer_mu_);
-      move_buffer_.emplace_back(source, std::move(t));
+      move_buffer_.push_back(ParkedTuple{source, std::move(t), lane});
       TCQ_METRIC(buffered_tuples_->Add(1));
       continue;
     }
@@ -584,6 +585,7 @@ Status ShardedEngine::PushBatch(const std::string& stream,
     ShardTask task;
     task.source = source;
     task.tuples = std::move(groups[p]);
+    task.lane = lane;
     const size_t count = task.tuples.size();
     if (!input_->EnqueuePartition(p, std::move(task), count)) {
       return Status::Unavailable("engine stopped mid-scatter");
@@ -594,10 +596,11 @@ Status ShardedEngine::PushBatch(const std::string& stream,
   return Status::OK();
 }
 
-Status ShardedEngine::Push(const std::string& stream, Tuple tuple) {
+Status ShardedEngine::Push(const std::string& stream, Tuple tuple,
+                           IngressLane lane) {
   std::vector<Tuple> one;
   one.push_back(std::move(tuple));
-  return PushBatch(stream, std::move(one));
+  return PushBatch(stream, std::move(one), lane);
 }
 
 Status ShardedEngine::Quiesce() {
@@ -764,7 +767,7 @@ Status ShardedEngine::FailoverShard(size_t shard) {
   uint64_t tail_lsn = plan.snapshot_floor;
   for (const auto& rec : plan.tail) {
     scratch.clear();
-    const Status st = standby->InjectBatch(rec.source, rec.tuples);
+    const Status st = standby->InjectBatch(rec.source, rec.tuples, rec.lane);
     TCQ_CHECK(st.ok()) << "changelog replay failed: " << st.ToString();
     replayed += rec.tuples.size();
     tail_lsn = rec.lsn;
@@ -850,19 +853,21 @@ void ShardedEngine::ResumeBucket(size_t final_owner) {
   LockRoutesForUpdate(route);
   partition_map_.SetOwner(migrating_bucket_, final_owner);
   migrating_bucket_ = SIZE_MAX;
-  std::vector<std::pair<size_t, Tuple>> buffered;
+  std::vector<ParkedTuple> buffered;
   {
     std::lock_guard<std::mutex> lock(buffer_mu_);
     buffered.swap(move_buffer_);
   }
-  // Group contiguous same-source runs into tasks (source order between
-  // producers is whatever the race produced, same as live scatter).
+  // Group contiguous same-(source, lane) runs into tasks (source order
+  // between producers is whatever the race produced, same as live scatter).
   size_t i = 0;
   while (i < buffered.size()) {
     ShardTask task;
-    task.source = buffered[i].first;
-    while (i < buffered.size() && buffered[i].first == task.source) {
-      task.tuples.push_back(std::move(buffered[i].second));
+    task.source = buffered[i].source;
+    task.lane = buffered[i].lane;
+    while (i < buffered.size() && buffered[i].source == task.source &&
+           buffered[i].lane == task.lane) {
+      task.tuples.push_back(std::move(buffered[i].tuple));
       ++i;
     }
     const size_t count = task.tuples.size();
@@ -874,7 +879,8 @@ void ShardedEngine::ResumeBucket(size_t final_owner) {
     // changelog-order == queue-order.
     if (replication_ != nullptr) {
       task.lsn = replication_->replica(final_owner)
-                     .Append(task.source, std::vector<Tuple>(task.tuples));
+                     .Append(task.source, std::vector<Tuple>(task.tuples),
+                             task.lane);
     }
     shards_[final_owner]->routed += count;
     FjordQueue<ShardTask>& q = input_->partition(final_owner);

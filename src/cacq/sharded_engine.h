@@ -161,9 +161,13 @@ class ShardedEngine {
 
   /// Scatters a same-stream batch across the shards by partition column
   /// (one exchange task per non-empty shard). Blocks for queue space
-  /// (backpressure). Requires Start().
-  Status PushBatch(const std::string& stream, std::vector<Tuple> batch);
-  Status Push(const std::string& stream, Tuple tuple);
+  /// (backpressure). Requires Start(). `lane` selects which consistency
+  /// level's queries see the batch (kAll = every query — the classic
+  /// single-feed path).
+  Status PushBatch(const std::string& stream, std::vector<Tuple> batch,
+                   IngressLane lane = IngressLane::kAll);
+  Status Push(const std::string& stream, Tuple tuple,
+              IngressLane lane = IngressLane::kAll);
 
   /// Evicts SteM state older than `ts` on every shard (barriered).
   void EvictBefore(Timestamp ts);
@@ -254,6 +258,10 @@ class ShardedEngine {
     /// Log sequence number stamped by the replication tee at enqueue time
     /// (0 for control tasks, and for everything when replication is off).
     uint64_t lsn = 0;
+    /// Consistency lane the batch targets (DESIGN.md §15): the worker
+    /// passes it through to CacqEngine::InjectBatch so delayed queries
+    /// never see raw arrivals and vice versa.
+    IngressLane lane = IngressLane::kAll;
   };
   /// One unit of egress work: an emission batch, or an egress barrier.
   struct EgressItem {
@@ -386,11 +394,16 @@ class ShardedEngine {
   /// Bucket currently paused for migration (SIZE_MAX = none). Guarded by
   /// route_mu_.
   size_t migrating_bucket_ = SIZE_MAX;
-  /// Arrivals for the paused bucket, in producer order: (source, tuple).
-  /// Guarded by buffer_mu_ (producers append under the shared route lock,
-  /// so they may race each other — same as racing scatters to one queue).
+  /// Arrivals for the paused bucket, in producer order. Guarded by
+  /// buffer_mu_ (producers append under the shared route lock, so they may
+  /// race each other — same as racing scatters to one queue).
+  struct ParkedTuple {
+    size_t source;
+    Tuple tuple;
+    IngressLane lane;
+  };
   std::mutex buffer_mu_;
-  std::vector<std::pair<size_t, Tuple>> move_buffer_;
+  std::vector<ParkedTuple> move_buffer_;
   /// Cumulative tuples routed per bucket (controller's planning signal).
   std::vector<Counter> bucket_routed_;
 

@@ -12,6 +12,40 @@ SharedSteM::SharedSteM(std::string name, SchemaPtr schema, int key_field)
 }
 
 void SharedSteM::Insert(const Tuple& tuple, const SmallBitset& queries) {
+  if (tuple.retraction()) {
+    // Retraction-cancel (DESIGN.md §15): tombstone the matching stored
+    // assertion — whatever lineage it narrowed to — so future probes no
+    // longer join against it. The retraction itself is never stored;
+    // unmatched retractions fall through as no-ops (counted upstream).
+    auto cancel_at = [&](size_t pos) {
+      entries_[pos].dead = true;
+      --live_;
+      CompactFront();
+      TCQ_METRIC(stem_internal::AggregateMetrics::Get().evictions->Add(1));
+    };
+    if (key_field_ >= 0) {
+      const Value& key = tuple.cell(static_cast<size_t>(key_field_));
+      auto [b, e] = index_.equal_range(key);
+      for (auto it = b; it != e; ++it) {
+        const uint64_t id = it->second;
+        if (id < base_id_) continue;
+        const size_t pos = static_cast<size_t>(id - base_id_);
+        if (pos >= entries_.size() || entries_[pos].dead) continue;
+        if (entries_[pos].tuple.PayloadEquals(tuple)) {
+          cancel_at(pos);
+          return;
+        }
+      }
+    } else {
+      for (size_t i = 0; i < entries_.size(); ++i) {
+        if (!entries_[i].dead && entries_[i].tuple.PayloadEquals(tuple)) {
+          cancel_at(i);
+          return;
+        }
+      }
+    }
+    return;
+  }
   const uint64_t id = base_id_ + entries_.size();
   if (key_field_ >= 0) {
     index_.emplace(tuple.cell(static_cast<size_t>(key_field_)), id);

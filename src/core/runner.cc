@@ -1,6 +1,7 @@
 #include "core/runner.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/logging.h"
 
@@ -38,7 +39,10 @@ QueryRunner::QueryRunner(AnalyzedQuery analyzed,
 
   // Landmark fast path (§4.1.2): single windowed stream + aggregates over
   // a landmark window never retire tuples — keep running accumulators.
-  if (analyzed_.has_aggregates && analyzed_.window.has_value() &&
+  // Disabled for speculative queries: Revise() re-executes fired windows,
+  // which the incremental accumulators cannot rewind.
+  if (!options_.speculative && analyzed_.has_aggregates &&
+      analyzed_.window.has_value() &&
       analyzed_.window->windows.size() == 1 &&
       analyzed_.layout->num_sources() == 1) {
     auto shape = ClassifyWindow(*analyzed_.window, 0, options_.start_time);
@@ -79,10 +83,73 @@ size_t QueryRunner::Advance(Timestamp high_watermark,
     }
     if (!ready) break;
     out->push_back(ExecuteWindow(*pending_step_));
+    if (options_.speculative) {
+      // Retain the fired window for revision; bounded history.
+      fired_.push_back(FiredWindow{*pending_step_, out->back().rows});
+      if (fired_.size() > kMaxFiredHistory) fired_.pop_front();
+    }
     pending_step_.reset();
     ++fired;
   }
   return fired;
+}
+
+size_t QueryRunner::Revise(Timestamp late_ts, std::vector<ResultSet>* out) {
+  if (!options_.speculative) return 0;
+  size_t revised = 0;
+  for (FiredWindow& fw : fired_) {
+    // `late_ts` is the FLOOR of the changed range — one release batch can
+    // carry several late timestamps, so any window reaching at or past the
+    // floor may have changed. Re-execution is pure and the diff below is
+    // empty for untouched windows, so over-selection only costs work.
+    bool affected = false;
+    for (size_t s = 0; s < analyzed_.layout->num_sources(); ++s) {
+      const int clause = analyzed_.window_clause_of_source[s];
+      if (clause < 0) continue;
+      const WindowBounds& b = fw.step.bounds[static_cast<size_t>(clause)];
+      if (late_ts <= b.right) {
+        affected = true;
+        break;
+      }
+    }
+    if (!affected) continue;
+    // Re-execute against the current archives (pure: the landmark path is
+    // off in speculative mode) and diff the result multisets.
+    ResultSet fresh = ExecuteWindow(fw.step);
+    std::map<std::string, int> delta;  // Row key -> new count - old count.
+    auto key_of = [](const Tuple& row) {
+      return row.ToString() + "@" + std::to_string(row.timestamp());
+    };
+    for (const Tuple& row : fresh.rows) ++delta[key_of(row)];
+    for (const Tuple& row : fw.rows) --delta[key_of(row)];
+    ResultSet diff;
+    diff.t = fw.step.t;
+    // Retractions first (stale rows, in delivered order), then the fresh
+    // assertions — a client applying in order nets to the revised window.
+    std::map<std::string, int> take = delta;
+    for (const Tuple& row : fw.rows) {
+      auto it = take.find(key_of(row));
+      if (it != take.end() && it->second < 0) {
+        ++it->second;
+        Tuple retract = row;
+        retract.set_retraction(true);
+        diff.rows.push_back(std::move(retract));
+      }
+    }
+    for (const Tuple& row : fresh.rows) {
+      auto it = take.find(key_of(row));
+      if (it != take.end() && it->second > 0) {
+        --it->second;
+        diff.rows.push_back(row);
+      }
+    }
+    if (!diff.rows.empty()) {
+      out->push_back(std::move(diff));
+      ++revised;
+    }
+    fw.rows = std::move(fresh.rows);
+  }
+  return revised;
 }
 
 ResultSet QueryRunner::ExecuteWindow(const WindowSequence::Step& step) {

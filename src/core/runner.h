@@ -22,6 +22,20 @@ struct ResultSet {
   TupleVector rows;
 };
 
+/// CEDR-style per-query consistency level over a disordered feed
+/// (DESIGN.md §15).
+enum class Consistency : uint8_t {
+  /// Delayed-but-correct: results are held until the safe (released)
+  /// watermark passes the window close, so every delivery is final —
+  /// byte-identical to replaying the feed in timestamp order.
+  kDelayed = 0,
+  /// Speculative: results are emitted the moment the raw watermark allows,
+  /// and a late arrival that changes an already-delivered window triggers
+  /// a revision — retraction-signed rows canceling the stale results plus
+  /// fresh assertions. Converges to the delayed answer.
+  kSpeculative = 1,
+};
+
 /// Executes one analyzed query as a continuous, windowed dataflow. The
 /// runner consumes stream data through per-source archives, fires each
 /// window of the for-loop as soon as the data it needs has arrived, and
@@ -38,6 +52,11 @@ class QueryRunner {
     uint64_t seed = 7;
     /// Start time (ST) for the query's for-loop.
     Timestamp start_time = 1;
+    /// Consistency::kSpeculative support: keep a bounded history of fired
+    /// windows so Revise() can recompute them when late data lands. Also
+    /// disables the stateful landmark fast path (its accumulators cannot
+    /// be rewound).
+    bool speculative = false;
   };
 
   /// `archives[s]` serves source s's history; table sources read their
@@ -53,6 +72,16 @@ class QueryRunner {
   /// `high_watermark` for all of the window's streams). Appends one
   /// ResultSet per fired window to `out`. Returns the number fired.
   size_t Advance(Timestamp high_watermark, std::vector<ResultSet>* out);
+
+  /// Speculative revision (DESIGN.md §15): a tuple with timestamp
+  /// `late_ts` landed in (or left) the archives after windows covering it
+  /// fired. Recomputes every retained fired window whose bounds contain
+  /// late_ts and, for each whose result multiset changed, appends one
+  /// ResultSet at the window's instant holding retraction-signed copies of
+  /// the stale rows followed by the fresh assertions. No-op (returns 0)
+  /// unless Options::speculative. Windows older than the retained history
+  /// (kMaxFiredHistory) are never revised — the documented horizon.
+  size_t Revise(Timestamp late_ts, std::vector<ResultSet>* out);
 
   /// True once the for-loop condition has failed (query finished).
   bool done() const { return done_; }
@@ -85,6 +114,14 @@ class QueryRunner {
   Timestamp landmark_fed_through_ = kMinTimestamp;
   bool use_landmark_path_ = false;
   int landmark_clause_ = -1;
+
+  /// Speculative mode: fired windows retained for revision, oldest first.
+  struct FiredWindow {
+    WindowSequence::Step step;
+    TupleVector rows;  ///< The rows as last delivered (or last revised).
+  };
+  static constexpr size_t kMaxFiredHistory = 64;
+  std::deque<FiredWindow> fired_;
 };
 
 }  // namespace tcq

@@ -1,6 +1,7 @@
 #include "core/server.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "fjords/queue.h"
@@ -20,6 +21,18 @@ struct ServerMetrics {
   Counter* ingested;
   Counter* rejected;
   Counter* delivered_rows;
+  Counter* start_clamped;  ///< Submits whose start time the watermark raised.
+  // Disorder-path aggregates (DESIGN.md §15); per-stream detail lives on
+  // StreamState::dis.
+  Counter* dis_released;
+  Counter* dis_late_within_bound;
+  Counter* dis_beyond_bound;
+  Counter* dis_dropped;
+  Counter* dis_ingested_late;
+  Counter* dis_heartbeats;
+  Counter* dis_idle_heartbeats;
+  Counter* dis_retractions;
+  Counter* dis_unmatched_retractions;
 
   static ServerMetrics& Get() {
     static ServerMetrics* m = [] {
@@ -28,6 +41,19 @@ struct ServerMetrics {
       agg->ingested = reg.GetCounter("tcq.server.ingested");
       agg->rejected = reg.GetCounter("tcq.server.rejected");
       agg->delivered_rows = reg.GetCounter("tcq.server.delivered_rows");
+      agg->start_clamped = reg.GetCounter("tcq.server.start_clamped");
+      agg->dis_released = reg.GetCounter("tcq.disorder.released");
+      agg->dis_late_within_bound =
+          reg.GetCounter("tcq.disorder.late_within_bound");
+      agg->dis_beyond_bound = reg.GetCounter("tcq.disorder.beyond_bound");
+      agg->dis_dropped = reg.GetCounter("tcq.disorder.dropped");
+      agg->dis_ingested_late = reg.GetCounter("tcq.disorder.ingested_late");
+      agg->dis_heartbeats = reg.GetCounter("tcq.disorder.heartbeats");
+      agg->dis_idle_heartbeats =
+          reg.GetCounter("tcq.disorder.idle_heartbeats");
+      agg->dis_retractions = reg.GetCounter("tcq.disorder.retractions");
+      agg->dis_unmatched_retractions =
+          reg.GetCounter("tcq.disorder.unmatched_retractions");
       return agg;
     }();
     return *m;
@@ -67,6 +93,11 @@ ExprPtr StripQualifiers(const ExprPtr& e) {
 Server::Server() : Server(Options()) {}
 
 Server::Server(Options options) : options_(std::move(options)) {
+  clock_ms_ = [] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
   // Reserved introspection stream: continuous queries over engine
   // telemetry (PumpMetrics publishes snapshots into it).
   SchemaPtr schema = Schema::Make({{"name", ValueType::kString, ""},
@@ -156,6 +187,14 @@ Status Server::DefineStream(const std::string& name, SchemaPtr schema,
   StreamState state;
   state.def = def;
   state.archive = std::make_unique<Archive>(options_.retention_span);
+  if (def.timestamp_field >= 0) {
+    // Disorder is only possible with an application timestamp column;
+    // arrival-sequence streams are in order by construction.
+    state.reorder.set_max_disorder(std::max<Timestamp>(0,
+                                                       options_.max_disorder));
+    state.late_policy = options_.late_policy;
+  }
+  state.last_arrival_ms = clock_ms_();
   if (partition_field >= 0) {
     state.partition_column = static_cast<size_t>(partition_field);
   } else {
@@ -179,13 +218,20 @@ Status Server::DefineTable(const std::string& name, SchemaPtr schema,
 }
 
 Result<QueryId> Server::Submit(const std::string& sql) {
+  return Submit(sql, SubmitOptions());
+}
+
+Result<QueryId> Server::Submit(const std::string& sql,
+                               const SubmitOptions& opts) {
   std::lock_guard<std::mutex> lock(mu_);
   TCQ_ASSIGN_OR_RETURN(AnalyzedQuery analyzed, AnalyzeSql(sql, catalog_));
 
   const QueryId qid = static_cast<QueryId>(queries_.size());
   auto qs = std::make_unique<QueryState>();
+  qs->consistency = opts.consistency;
   qs->analyzed = std::move(analyzed);
   const AnalyzedQuery& aq = qs->analyzed;
+  const bool speculative = opts.consistency == Consistency::kSpeculative;
 
   if (aq.cacq_eligible && options_.cacq_shards > 1) {
     // Standing single-stream filter, sharded mode: fold into the
@@ -218,11 +264,13 @@ Result<QueryId> Server::Submit(const std::string& sql) {
     CacqQuerySpec spec;
     spec.sources = {stream};
     spec.where = StripQualifiers(aq.parsed.where);
+    spec.speculative = speculative;
     TCQ_ASSIGN_OR_RETURN(QueryId engine_q, ss.sharded->AddQuery(spec));
     {
       std::lock_guard<std::mutex> rlock(results_mu_);
       ss.cacq_to_server[engine_q] = qid;
     }
+    ++(speculative ? ss.cacq_speculative : ss.cacq_delayed);
     qs->is_cacq = true;
     qs->cacq_stream = stream;
     qs->cacq_id = engine_q;
@@ -251,7 +299,9 @@ Result<QueryId> Server::Submit(const std::string& sql) {
         }
         ResultSet rs;
         rs.t = t.timestamp();
-        rs.rows.push_back(Tuple::Make(std::move(cells), t.timestamp()));
+        Tuple row = Tuple::Make(std::move(cells), t.timestamp());
+        row.set_retraction(t.retraction());
+        rs.rows.push_back(std::move(row));
         std::vector<ResultSet> sets;
         sets.push_back(std::move(rs));
         DeliverResults(owner, std::move(sets));
@@ -260,11 +310,13 @@ Result<QueryId> Server::Submit(const std::string& sql) {
     CacqQuerySpec spec;
     spec.sources = {stream};
     spec.where = StripQualifiers(aq.parsed.where);
+    spec.speculative = speculative;
     TCQ_ASSIGN_OR_RETURN(QueryId engine_q, ss.cacq->AddQuery(spec));
     {
       std::lock_guard<std::mutex> rlock(results_mu_);
       ss.cacq_to_server[engine_q] = qid;
     }
+    ++(speculative ? ss.cacq_speculative : ss.cacq_delayed);
     qs->is_cacq = true;
     qs->cacq_stream = stream;
     qs->cacq_id = engine_q;
@@ -284,7 +336,13 @@ Result<QueryId> Server::Submit(const std::string& sql) {
       StreamState& ss = streams_.at(def.name);
       archives.push_back(ss.archive.get());
       table_rows.emplace_back();
-      start_time = std::max(start_time, ss.watermark + 1);
+      if (ss.watermark + 1 > start_time) {
+        // The for-loop start is clamped past data the stream has already
+        // delivered (the query cannot fire windows over history whose
+        // watermark has passed). Observable, not silent.
+        start_time = ss.watermark + 1;
+        TCQ_METRIC(ServerMetrics::Get().start_clamped->Add(1));
+      }
     }
     // Degenerate: table-only runners need a non-null archive slot.
     static const Archive* const kEmptyArchive = new Archive();
@@ -295,6 +353,7 @@ Result<QueryId> Server::Submit(const std::string& sql) {
     ropts.policy = options_.policy;
     ropts.seed = options_.seed;
     ropts.start_time = start_time;
+    ropts.speculative = speculative;
     qs->runner = std::make_unique<QueryRunner>(aq, std::move(archives),
                                                std::move(table_rows), ropts);
     // Table-only snapshots and past-window queries may already be
@@ -302,7 +361,11 @@ Result<QueryId> Server::Submit(const std::string& sql) {
     Timestamp hwm = kMaxTimestamp;
     for (const StreamDef& def : aq.defs) {
       if (!def.is_table) {
-        hwm = std::min(hwm, streams_.at(def.name).watermark);
+        const StreamState& src = streams_.at(def.name);
+        hwm = std::min(hwm, speculative
+                                ? std::max(src.watermark,
+                                           src.reorder.raw_watermark())
+                                : src.watermark);
       }
     }
     std::vector<ResultSet> sets;
@@ -345,6 +408,10 @@ Status Server::Cancel(QueryId q) {
   qs->active = false;
   if (qs->is_cacq) {
     StreamState& ss = streams_.at(qs->cacq_stream);
+    size_t& lane = qs->consistency == Consistency::kSpeculative
+                       ? ss.cacq_speculative
+                       : ss.cacq_delayed;
+    if (lane > 0) --lane;
     if (ss.sharded != nullptr) {
       // Unmap first so the egress thread drops emissions still in flight,
       // then barrier the removal through the shard control path.
@@ -396,28 +463,29 @@ Status Server::StampLocked(StreamState* ss, Tuple* tuple) {
   } else {
     ts = ss->arrivals;
   }
-  if (ts < ss->watermark) {
-    return Status::InvalidArgument(
-        "out-of-order timestamp on " + ss->def.name + ": " +
-        std::to_string(ts) + " < watermark " +
-        std::to_string(ss->watermark));
-  }
   tuple->set_timestamp(ts);
-  ss->watermark = std::max(ss->watermark, ts);
   return Status::OK();
 }
 
 void Server::AdvanceQueriesLocked(const std::string& stream) {
-  // Advance every windowed query whose footprint includes this stream.
+  // Advance every windowed query whose footprint includes this stream —
+  // delayed queries to the min safe watermark of their footprint,
+  // speculative ones to the min raw watermark (floored at safe: a raw
+  // mark never trails what has already been released).
   for (auto& qptr : queries_) {
     QueryState* qs = qptr.get();
     if (!qs->active || qs->runner == nullptr || qs->runner->done()) continue;
+    const bool speculative = qs->consistency == Consistency::kSpeculative;
     bool touches = false;
     Timestamp hwm = kMaxTimestamp;
     for (const StreamDef& def : qs->analyzed.defs) {
       if (def.is_table) continue;
       if (def.name == stream) touches = true;
-      hwm = std::min(hwm, streams_.at(def.name).watermark);
+      const StreamState& src = streams_.at(def.name);
+      hwm = std::min(hwm, speculative
+                              ? std::max(src.watermark,
+                                         src.reorder.raw_watermark())
+                              : src.watermark);
     }
     if (!touches || hwm == kMaxTimestamp) continue;
     std::vector<ResultSet> sets;
@@ -426,37 +494,63 @@ void Server::AdvanceQueriesLocked(const std::string& stream) {
   }
 }
 
+void Server::ReviseQueriesLocked(const std::string& stream,
+                                 Timestamp late_ts) {
+  for (auto& qptr : queries_) {
+    QueryState* qs = qptr.get();
+    if (!qs->active || qs->runner == nullptr) continue;
+    if (qs->consistency != Consistency::kSpeculative) continue;
+    bool touches = false;
+    for (const StreamDef& def : qs->analyzed.defs) {
+      if (!def.is_table && def.name == stream) {
+        touches = true;
+        break;
+      }
+    }
+    if (!touches) continue;
+    std::vector<ResultSet> sets;
+    qs->runner->Revise(late_ts, &sets);
+    if (!sets.empty()) DeliverResults(qs, std::move(sets));
+  }
+}
+
+Status Server::ApplyReleasedLocked(const std::string& stream,
+                                   StreamState* sp,
+                                   std::vector<Tuple> released) {
+  StreamState& ss = *sp;
+  if (released.empty()) return Status::OK();
+  ss.dis.released += static_cast<int64_t>(released.size());
+  TCQ_METRIC(ServerMetrics::Get().dis_released->Add(released.size()));
+  // Releases arrive in timestamp order and never regress below earlier
+  // releases, so plain Append keeps the archive sorted; the safe
+  // watermark is the released frontier.
+  for (const Tuple& t : released) {
+    ss.archive->Append(t);
+    if (t.timestamp() > ss.watermark) ss.watermark = t.timestamp();
+  }
+  // Delayed-lane injection: standing delayed queries consume the released
+  // (timestamp-ordered) feed, never raw arrivals.
+  if (ss.sharded != nullptr) {
+    if (ss.cacq_delayed > 0 && !ss.cacq_to_server.empty()) {
+      TCQ_RETURN_NOT_OK(ss.sharded->PushBatch(stream, std::move(released),
+                                              IngressLane::kDelayed));
+    }
+  } else if (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0 &&
+             ss.cacq_delayed > 0) {
+    TCQ_RETURN_NOT_OK(
+        ss.cacq->InjectBatch(stream, released, IngressLane::kDelayed));
+  }
+  return Status::OK();
+}
+
 Status Server::PushLocked(const std::string& stream, const Tuple& tuple) {
   auto it = streams_.find(stream);
   if (it == streams_.end()) {
     return Status::NotFound("unknown stream: " + stream);
   }
-  StreamState& ss = it->second;
-  Tuple stamped = tuple;
-  Status st = StampLocked(&ss, &stamped);
-  if (!st.ok()) {
-    ++ss.rejected;
-    TCQ_METRIC(ServerMetrics::Get().rejected->Add(1));
-    return st;
-  }
-  TCQ_METRIC(ServerMetrics::Get().ingested->Add(1));
-
-  // Spool into the archive that serves window scans.
-  ss.archive->Append(stamped);
-
-  // Shared standing filters see the tuple immediately (inline) or are
-  // scattered to the shard fleet (sharded; cacq_to_server reads are safe
-  // under mu_ — every writer holds it too).
-  if (ss.sharded != nullptr) {
-    if (!ss.cacq_to_server.empty()) {
-      TCQ_RETURN_NOT_OK(ss.sharded->Push(stream, stamped));
-    }
-  } else if (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0) {
-    TCQ_RETURN_NOT_OK(ss.cacq->Inject(stream, stamped));
-  }
-
-  AdvanceQueriesLocked(stream);
-  return Status::OK();
+  std::vector<Tuple> one;
+  one.push_back(tuple);
+  return IngestBatchLocked(stream, &it->second, std::move(one), nullptr);
 }
 
 Status Server::PushBatch(const std::string& stream, std::vector<Tuple> batch,
@@ -473,11 +567,30 @@ Status Server::PushBatch(const std::string& stream, std::vector<Tuple> batch,
 Status Server::IngestBatchLocked(const std::string& stream, StreamState* sp,
                                  std::vector<Tuple> batch, size_t* rejected) {
   StreamState& ss = *sp;
+  if (!batch.empty()) ss.last_arrival_ms = clock_ms_();
 
-  // Stamp and spool the whole batch in one pass, compacting the valid
-  // tuples to the front so the shared eddy sees one contiguous batch.
+  // Stamp, classify and route the whole batch in one pass. Accepted
+  // arrivals feed two lanes: `raw` (arrival order — the speculative lane)
+  // and the reorder buffer, whose releases (timestamp order — the delayed
+  // lane) are applied below. With max_disorder == 0 the buffer releases
+  // every tuple immediately, so both lanes carry the same sequence and
+  // the classic in-order behavior is preserved byte for byte.
   Status first_error = Status::OK();
-  size_t kept = 0;
+  std::vector<Tuple> raw;
+  raw.reserve(batch.size());
+  std::vector<Tuple> released;
+  // kIngestLate stragglers, archived only after this batch's releases:
+  // an InsertOrdered mid-loop could land ABOVE releases still pending in
+  // `released`, and their later Append would then violate the archive's
+  // ordered-append invariant. Nothing reads the archive until the window
+  // advance below, so deferring is observationally identical.
+  std::vector<Tuple> late_inserts;
+  Timestamp min_revise = kMaxTimestamp;
+  // The released frontier as of the previous tuple: ss.watermark only
+  // advances when the releases are applied below, so earlier tuples of
+  // THIS batch must raise the straggler bar too (a release sequence must
+  // never regress).
+  Timestamp frontier = ss.watermark;
   for (Tuple& tuple : batch) {
     Status st = StampLocked(&ss, &tuple);
     if (!st.ok()) {
@@ -490,25 +603,81 @@ Status Server::IngestBatchLocked(const std::string& stream, StreamState* sp,
       ++*rejected;
       continue;
     }
-    ss.archive->Append(tuple);
-    if (&batch[kept] != &tuple) batch[kept] = std::move(tuple);
-    ++kept;
-  }
-  batch.resize(kept);
-  TCQ_METRIC(ServerMetrics::Get().ingested->Add(kept));
-
-  // One shared-eddy injection (or one exchange scatter) and one windowed
-  // advance for the batch.
-  if (kept > 0) {
-    AdvanceQueriesLocked(stream);
-    if (ss.sharded != nullptr) {
-      if (!ss.cacq_to_server.empty()) {
-        TCQ_RETURN_NOT_OK(ss.sharded->PushBatch(stream, std::move(batch)));
+    const Timestamp ts = tuple.timestamp();
+    if (ts < frontier) {
+      // Beyond-bound straggler: below the released frontier, later than
+      // the declared disorder bound.
+      ++ss.dis.beyond_bound;
+      TCQ_METRIC(ServerMetrics::Get().dis_beyond_bound->Add(1));
+      if (ss.late_policy == LatePolicy::kDrop) {
+        ++ss.dis.dropped;
+        TCQ_METRIC(ServerMetrics::Get().dis_dropped->Add(1));
+        continue;
       }
-    } else if (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0) {
-      TCQ_RETURN_NOT_OK(ss.cacq->InjectBatch(stream, batch));
+      if (ss.late_policy == LatePolicy::kIngestLate) {
+        ++ss.dis.ingested_late;
+        TCQ_METRIC(ServerMetrics::Get().dis_ingested_late->Add(1));
+        TCQ_METRIC(ServerMetrics::Get().ingested->Add(1));
+        late_inserts.push_back(tuple);
+        min_revise = std::min(min_revise, ts);
+        // Standing speculative queries still see it (they tolerate
+        // out-of-order input); delayed queries only via unfired windows.
+        raw.push_back(std::move(tuple));
+        continue;
+      }
+      // LatePolicy::kReject: the classic hard-reject contract, with the
+      // classic message, under the batch skip-and-count rules.
+      ++ss.rejected;
+      TCQ_METRIC(ServerMetrics::Get().rejected->Add(1));
+      Status late = Status::InvalidArgument(
+          "out-of-order timestamp on " + ss.def.name + ": " +
+          std::to_string(ts) + " < watermark " + std::to_string(frontier));
+      if (rejected == nullptr) {
+        first_error = std::move(late);
+        break;
+      }
+      ++*rejected;
+      continue;
+    }
+    // Within bound (or in order): through the reorder buffer.
+    TCQ_METRIC(ServerMetrics::Get().ingested->Add(1));
+    if (ts < ss.reorder.raw_watermark()) {
+      ++ss.dis.late_within_bound;
+      TCQ_METRIC(ServerMetrics::Get().dis_late_within_bound->Add(1));
+    }
+    raw.push_back(tuple);
+    ss.reorder.Offer(std::move(tuple), &released);
+    if (!released.empty()) {
+      frontier = std::max(frontier, released.back().timestamp());
     }
   }
+
+  // Releases with timestamps at or below an already-fired speculative
+  // window require revision (the archive changed under it) — as do
+  // kIngestLate ordered inserts. Releases are timestamp-ordered, so the
+  // front carries the minimum.
+  Timestamp revise_ts = min_revise;
+  if (!released.empty()) {
+    revise_ts = std::min(revise_ts, released.front().timestamp());
+  }
+  TCQ_RETURN_NOT_OK(ApplyReleasedLocked(stream, &ss, std::move(released)));
+  for (const Tuple& t : late_inserts) ss.archive->InsertOrdered(t);
+
+  if (!raw.empty()) {
+    AdvanceQueriesLocked(stream);
+    // Speculative-lane injection: raw arrivals, in arrival order.
+    if (ss.sharded != nullptr) {
+      if (ss.cacq_speculative > 0 && !ss.cacq_to_server.empty()) {
+        TCQ_RETURN_NOT_OK(ss.sharded->PushBatch(
+            stream, std::move(raw), IngressLane::kSpeculative));
+      }
+    } else if (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0 &&
+               ss.cacq_speculative > 0) {
+      TCQ_RETURN_NOT_OK(
+          ss.cacq->InjectBatch(stream, raw, IngressLane::kSpeculative));
+    }
+  }
+  if (revise_ts != kMaxTimestamp) ReviseQueriesLocked(stream, revise_ts);
   return first_error;
 }
 
@@ -518,6 +687,169 @@ Status Server::PushAll(const std::string& stream, TupleSource* source) {
     TCQ_RETURN_NOT_OK(PushLocked(stream, *t));
   }
   return Status::OK();
+}
+
+Status Server::SetDisorderBound(const std::string& stream,
+                                Timestamp max_disorder, LatePolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream: " + stream);
+  }
+  StreamState& ss = it->second;
+  if (ss.def.timestamp_field < 0) {
+    return Status::FailedPrecondition(
+        "disorder bound needs a timestamp column on " + stream);
+  }
+  if (max_disorder < 0) {
+    return Status::InvalidArgument("negative disorder bound");
+  }
+  ss.reorder.set_max_disorder(max_disorder);
+  ss.late_policy = policy;
+  // A tightened bound can make buffered tuples releasable right now.
+  if (ss.reorder.buffered() > 0 &&
+      ss.reorder.raw_watermark() >= kMinTimestamp + max_disorder) {
+    std::vector<Tuple> released;
+    ss.reorder.Punctuate(ss.reorder.raw_watermark() - max_disorder,
+                         &released);
+    const Timestamp min_released =
+        released.empty() ? kMaxTimestamp : released.front().timestamp();
+    TCQ_RETURN_NOT_OK(ApplyReleasedLocked(stream, &ss, std::move(released)));
+    AdvanceQueriesLocked(stream);
+    if (min_released != kMaxTimestamp) {
+      ReviseQueriesLocked(stream, min_released);
+    }
+  }
+  return Status::OK();
+}
+
+Status Server::Heartbeat(const std::string& stream, Timestamp ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream: " + stream);
+  }
+  if (it->second.def.timestamp_field < 0) {
+    return Status::FailedPrecondition(
+        "heartbeats need a timestamp column on " + stream);
+  }
+  return HeartbeatLocked(stream, &it->second, ts, /*idle=*/false);
+}
+
+Status Server::HeartbeatLocked(const std::string& stream, StreamState* sp,
+                               Timestamp ts, bool idle) {
+  StreamState& ss = *sp;
+  ++(idle ? ss.dis.idle_heartbeats : ss.dis.heartbeats);
+  TCQ_METRIC((idle ? ServerMetrics::Get().dis_idle_heartbeats
+                   : ServerMetrics::Get().dis_heartbeats)
+                 ->Add(1));
+  // The source asserts no future arrival has timestamp <= ts: flush the
+  // buffer through ts and advance the safe watermark to at least ts.
+  // Arrivals at or below it afterwards follow the stream's LatePolicy.
+  std::vector<Tuple> released;
+  ss.reorder.Punctuate(ts, &released);
+  const Timestamp min_released =
+      released.empty() ? kMaxTimestamp : released.front().timestamp();
+  TCQ_RETURN_NOT_OK(ApplyReleasedLocked(stream, &ss, std::move(released)));
+  if (ts > ss.watermark) ss.watermark = ts;
+  AdvanceQueriesLocked(stream);
+  if (min_released != kMaxTimestamp) {
+    ReviseQueriesLocked(stream, min_released);
+  }
+  return Status::OK();
+}
+
+Status Server::Retract(const std::string& stream, const Tuple& tuple) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream: " + stream);
+  }
+  StreamState& ss = it->second;
+  if (ss.def.timestamp_field < 0) {
+    return Status::FailedPrecondition(
+        "retractions need a timestamp column on " + stream);
+  }
+  if (tuple.arity() != ss.def.schema->num_fields()) {
+    return Status::InvalidArgument("tuple arity mismatch for " +
+                                   ss.def.name);
+  }
+  const Value& v =
+      tuple.cell(static_cast<size_t>(ss.def.timestamp_field));
+  if (v.type() != ValueType::kInt64) {
+    return Status::TypeError("timestamp column must be INT64");
+  }
+  Tuple r = tuple;
+  r.set_timestamp(v.int64_value());
+  r.set_retraction(true);
+  // A retraction is not an arrival: it never advances watermarks or the
+  // arrival count. The archived assertion must exist — a retraction of a
+  // tuple still waiting in the reorder buffer (or never asserted) is
+  // dropped and counted.
+  if (!ss.archive->CancelMatching(r)) {
+    ++ss.dis.unmatched_retractions;
+    TCQ_METRIC(ServerMetrics::Get().dis_unmatched_retractions->Add(1));
+    return Status::OK();
+  }
+  ++ss.dis.retractions;
+  TCQ_METRIC(ServerMetrics::Get().dis_retractions->Add(1));
+  // Both CACQ lanes saw the assertion, so the signed tuple flows to all
+  // standing queries (kAll); it cancels SteM state and emits signed rows.
+  if (ss.sharded != nullptr) {
+    if (!ss.cacq_to_server.empty()) {
+      TCQ_RETURN_NOT_OK(ss.sharded->Push(stream, r));
+    }
+  } else if (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0) {
+    TCQ_RETURN_NOT_OK(ss.cacq->Inject(stream, r));
+  }
+  // Fired speculative windows covering the timestamp must be revised;
+  // delayed windows that already fired keep the stale row (documented).
+  ReviseQueriesLocked(stream, r.timestamp());
+  return Status::OK();
+}
+
+size_t Server::PumpHeartbeats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.idle_heartbeat_ms <= 0) return 0;
+  const int64_t now = clock_ms_();
+  size_t punctuated = 0;
+  for (auto& [name, ss] : streams_) {
+    if (ss.def.timestamp_field < 0) continue;  // Arrival seq: never idle.
+    if (now - ss.last_arrival_ms < options_.idle_heartbeat_ms) continue;
+    // Punctuate up to the highest safe watermark among streams this one
+    // shares a multi-stream windowed query with — the partners whose
+    // windows it is stalling, and (by the shared-clock assumption) the
+    // same timestamp domain. Single-stream queries never stall on a
+    // partner, so a stream with no multi-stream footprint is left alone.
+    Timestamp target = kMinTimestamp;
+    for (const auto& qptr : queries_) {
+      const QueryState* qs = qptr.get();
+      if (!qs->active || qs->runner == nullptr) continue;
+      bool touches = false;
+      size_t stream_defs = 0;
+      for (const StreamDef& def : qs->analyzed.defs) {
+        if (def.is_table) continue;
+        ++stream_defs;
+        if (def.name == name) touches = true;
+      }
+      if (!touches || stream_defs < 2) continue;
+      for (const StreamDef& def : qs->analyzed.defs) {
+        if (def.is_table || def.name == name) continue;
+        target = std::max(target, streams_.at(def.name).watermark);
+      }
+    }
+    if (target <= ss.watermark) continue;  // Nothing to unblock.
+    const Status st = HeartbeatLocked(name, &ss, target, /*idle=*/true);
+    TCQ_CHECK(st.ok()) << st;
+    ss.last_arrival_ms = now;
+    ++punctuated;
+  }
+  return punctuated;
+}
+
+void Server::SetClockForTesting(std::function<int64_t()> now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ms_ = std::move(now_ms);
 }
 
 void Server::DeliverResults(QueryState* qs, std::vector<ResultSet>&& sets) {
@@ -550,7 +882,9 @@ void Server::DeliverShardEmissions(
     }
     ResultSet rs;
     rs.t = t.timestamp();
-    rs.rows.push_back(Tuple::Make(std::move(cells), t.timestamp()));
+    Tuple row = Tuple::Make(std::move(cells), t.timestamp());
+    row.set_retraction(t.retraction());
+    rs.rows.push_back(std::move(row));
     owner->rows_delivered += 1;
     TCQ_METRIC(ServerMetrics::Get().delivered_rows->Add(1));
     if (owner->callback) {
@@ -634,6 +968,30 @@ size_t Server::PumpMetrics() {
     add(prefix + "watermark", "gauge",
         ss.watermark == kMinTimestamp ? 0.0
                                       : static_cast<double>(ss.watermark));
+    add(prefix + "raw_watermark", "gauge",
+        ss.reorder.raw_watermark() == kMinTimestamp
+            ? 0.0
+            : static_cast<double>(ss.reorder.raw_watermark()));
+    add(prefix + "buffered", "gauge",
+        static_cast<double>(ss.reorder.buffered()));
+    add(prefix + "disorder.released", "counter",
+        static_cast<double>(ss.dis.released));
+    add(prefix + "disorder.late_within_bound", "counter",
+        static_cast<double>(ss.dis.late_within_bound));
+    add(prefix + "disorder.beyond_bound", "counter",
+        static_cast<double>(ss.dis.beyond_bound));
+    add(prefix + "disorder.dropped", "counter",
+        static_cast<double>(ss.dis.dropped));
+    add(prefix + "disorder.ingested_late", "counter",
+        static_cast<double>(ss.dis.ingested_late));
+    add(prefix + "disorder.heartbeats", "counter",
+        static_cast<double>(ss.dis.heartbeats));
+    add(prefix + "disorder.idle_heartbeats", "counter",
+        static_cast<double>(ss.dis.idle_heartbeats));
+    add(prefix + "disorder.retractions", "counter",
+        static_cast<double>(ss.dis.retractions));
+    add(prefix + "disorder.unmatched_retractions", "counter",
+        static_cast<double>(ss.dis.unmatched_retractions));
   }
   size_t active = 0;
   uint64_t delivered = 0;
@@ -685,13 +1043,28 @@ std::string Server::SnapshotMetrics() const {
     out += "{\"arrivals\":" + std::to_string(ss.arrivals) +
            ",\"rejected\":" + std::to_string(ss.rejected) + ",\"watermark\":" +
            std::to_string(ss.watermark == kMinTimestamp ? 0 : ss.watermark) +
+           ",\"raw_watermark\":" +
+           std::to_string(ss.reorder.raw_watermark() == kMinTimestamp
+                              ? 0
+                              : ss.reorder.raw_watermark()) +
+           ",\"buffered\":" + std::to_string(ss.reorder.buffered()) +
            ",\"cacq_queries\":" +
            std::to_string(ss.sharded != nullptr
                               ? ss.cacq_to_server.size()
                               : (ss.cacq != nullptr
                                      ? ss.cacq->num_active_queries()
                                      : 0)) +
-           "}";
+           ",\"disorder\":{\"released\":" + std::to_string(ss.dis.released) +
+           ",\"late_within_bound\":" +
+           std::to_string(ss.dis.late_within_bound) +
+           ",\"beyond_bound\":" + std::to_string(ss.dis.beyond_bound) +
+           ",\"dropped\":" + std::to_string(ss.dis.dropped) +
+           ",\"ingested_late\":" + std::to_string(ss.dis.ingested_late) +
+           ",\"heartbeats\":" + std::to_string(ss.dis.heartbeats) +
+           ",\"idle_heartbeats\":" + std::to_string(ss.dis.idle_heartbeats) +
+           ",\"retractions\":" + std::to_string(ss.dis.retractions) +
+           ",\"unmatched_retractions\":" +
+           std::to_string(ss.dis.unmatched_retractions) + "}}";
   }
 
   out += "},\"queries\":{";

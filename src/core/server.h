@@ -2,6 +2,7 @@
 #define TCQ_CORE_SERVER_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -67,6 +68,23 @@ class Server {
     /// shard can be failed over with zero lost or duplicated results.
     /// Only meaningful with cacq_shards > 1.
     size_t cacq_replicas = 0;
+    /// Default per-stream disorder bound (DESIGN.md §15): arrivals whose
+    /// timestamp may still be overtaken by earlier data are buffered in a
+    /// reorder buffer and released in timestamp order once the stream's
+    /// raw high-water mark has advanced past ts + max_disorder. 0 keeps
+    /// the classic strictly-in-order ingress. Per-stream override:
+    /// SetDisorderBound. Ignored for arrival-sequence streams (no
+    /// timestamp column — disorder is impossible there).
+    Timestamp max_disorder = 0;
+    /// What happens to an arrival later than the disorder bound (its
+    /// timestamp is already below the released watermark).
+    LatePolicy late_policy = LatePolicy::kReject;
+    /// Idle-stream heartbeat timeout in milliseconds (0 = disabled): a
+    /// stream with a timestamp column that has been silent this long is
+    /// punctuated up to its multi-stream-query partners' watermark on the
+    /// next PumpHeartbeats() call, so a quiet stream stops stalling shared
+    /// windowed watermarks. Assumes the streams share a timestamp clock.
+    int64_t idle_heartbeat_ms = 0;
   };
 
   Server();
@@ -88,8 +106,18 @@ class Server {
                      TupleVector rows);
 
   // --- Queries -------------------------------------------------------------
+  /// Per-query submission knobs.
+  struct SubmitOptions {
+    /// CEDR consistency level (DESIGN.md §15). kDelayed (default) holds
+    /// results until the safe watermark proves them final; kSpeculative
+    /// emits at the raw watermark and revises with retraction-signed rows
+    /// when late data changes an already-delivered result.
+    Consistency consistency = Consistency::kDelayed;
+  };
+
   /// Registers a continuous query; results accumulate until polled.
   Result<QueryId> Submit(const std::string& sql);
+  Result<QueryId> Submit(const std::string& sql, const SubmitOptions& opts);
 
   /// Push-mode delivery for one query (egress operator): set before data
   /// flows; results still accumulate for Poll when no callback is set.
@@ -122,6 +150,39 @@ class Server {
 
   /// Convenience: drain a pull source into a stream.
   Status PushAll(const std::string& stream, TupleSource* source);
+
+  // --- Disorder, punctuation and retraction (DESIGN.md §15) ---------------
+  /// Sets `stream`'s disorder bound and beyond-bound policy, overriding
+  /// the server-wide Options defaults. Requires a timestamp column.
+  Status SetDisorderBound(const std::string& stream, Timestamp max_disorder,
+                          LatePolicy policy = LatePolicy::kReject);
+
+  /// Explicit punctuation: the source asserts no future arrival on
+  /// `stream` has timestamp <= ts. Flushes the reorder buffer through ts,
+  /// advances the safe watermark to at least ts, and advances every query
+  /// watching the stream — the cure for a quiet stream stalling a
+  /// multi-stream watermark. Requires a timestamp column.
+  Status Heartbeat(const std::string& stream, Timestamp ts);
+
+  /// Ingests a retraction: cancels the archived assertion whose payload
+  /// (timestamp + cells) matches `tuple`, flows a retraction-signed tuple
+  /// through the stream's standing CACQ queries (canceling SteM state and
+  /// emitting signed result rows), and revises speculative windowed
+  /// queries. An unmatched retraction is dropped and counted
+  /// (tcq.disorder.unmatched_retractions); delayed windowed queries see
+  /// the cancellation only in windows that have not fired yet. Requires a
+  /// timestamp column.
+  Status Retract(const std::string& stream, const Tuple& tuple);
+
+  /// Scans every stream for idle-timeout heartbeats (Options::
+  /// idle_heartbeat_ms): a silent stream is punctuated up to the highest
+  /// safe watermark among streams it shares a multi-stream windowed query
+  /// with. Returns the number of streams punctuated. Call it from a timer
+  /// (there is no background thread).
+  size_t PumpHeartbeats();
+
+  /// Replaces the wall clock PumpHeartbeats uses to measure idleness.
+  void SetClockForTesting(std::function<int64_t()> now_ms);
 
   /// Delivery barrier for sharded execution: returns once every tuple
   /// pushed before the call has been executed and its results delivered
@@ -169,6 +230,7 @@ class Server {
   struct QueryState {
     bool active = false;
     bool is_cacq = false;
+    Consistency consistency = Consistency::kDelayed;
     AnalyzedQuery analyzed;
     std::unique_ptr<QueryRunner> runner;     ///< Windowed path.
     std::string cacq_stream;                 ///< CACQ path.
@@ -181,9 +243,36 @@ class Server {
   struct StreamState {
     StreamDef def;
     std::unique_ptr<Archive> archive;
+    /// SAFE watermark: the released frontier F. Every tuple at or below it
+    /// has been released to the archive/delayed path, and no future
+    /// release is below it. Arrivals with ts < F are beyond-bound
+    /// stragglers (LatePolicy). The raw high-water mark (max stamped ts)
+    /// lives on `reorder`.
     Timestamp watermark = kMinTimestamp;
     int64_t arrivals = 0;
     int64_t rejected = 0;  ///< Tuples refused by validation/stamping.
+    /// Bounded-disorder ingress (DESIGN.md §15). max_disorder == 0 is the
+    /// classic in-order path: arrivals release immediately, watermark
+    /// semantics are exactly the pre-disorder behavior.
+    ReorderBuffer reorder;
+    LatePolicy late_policy = LatePolicy::kReject;
+    int64_t last_arrival_ms = 0;  ///< Idle-heartbeat bookkeeping.
+    /// Standing CACQ queries per consistency lane (skip scattering a lane
+    /// with no listeners when sharded).
+    size_t cacq_delayed = 0;
+    size_t cacq_speculative = 0;
+    /// Per-stream disorder counters (PumpMetrics / SnapshotMetrics rows).
+    struct Disorder {
+      int64_t released = 0;
+      int64_t late_within_bound = 0;
+      int64_t beyond_bound = 0;
+      int64_t dropped = 0;
+      int64_t ingested_late = 0;
+      int64_t heartbeats = 0;
+      int64_t idle_heartbeats = 0;
+      int64_t retractions = 0;
+      int64_t unmatched_retractions = 0;
+    } dis;
     /// Exchange hash column when cacq_shards > 1 (resolved at definition).
     size_t partition_column = 0;
     std::unique_ptr<CacqEngine> cacq;  ///< Lazy inline eddy (1 shard).
@@ -200,10 +289,24 @@ class Server {
                              std::vector<ShardedEngine::Emission>&& batch);
   Status PushLocked(const std::string& stream, const Tuple& tuple);
   /// Validates `tuple` against `ss` and stamps its engine timestamp
-  /// (declared column or arrival order), advancing the watermark.
+  /// (declared column or arrival order). Watermark logic lives in
+  /// IngestBatchLocked — stamping no longer touches it.
   Status StampLocked(StreamState* ss, Tuple* tuple);
-  /// Advances every windowed query whose footprint includes `stream`.
+  /// Advances every windowed query whose footprint includes `stream` —
+  /// delayed queries to the min safe watermark over their footprint,
+  /// speculative ones to the min raw watermark.
   void AdvanceQueriesLocked(const std::string& stream);
+  /// Revision pass: tells every speculative windowed query watching
+  /// `stream` that data at or after `late_ts` changed under fired windows.
+  void ReviseQueriesLocked(const std::string& stream, Timestamp late_ts);
+  /// Spools reorder-buffer releases: archive append, safe-watermark
+  /// advance, delayed-lane injection. The shared tail of ingest,
+  /// Heartbeat and PumpHeartbeats.
+  Status ApplyReleasedLocked(const std::string& stream, StreamState* ss,
+                             std::vector<Tuple> released);
+  /// Punctuation body shared by Heartbeat and PumpHeartbeats.
+  Status HeartbeatLocked(const std::string& stream, StreamState* ss,
+                         Timestamp ts, bool idle);
   /// PushBatch body after the stream lookup; shared with PumpMetrics.
   Status IngestBatchLocked(const std::string& stream, StreamState* ss,
                            std::vector<Tuple> batch, size_t* rejected);
@@ -221,6 +324,8 @@ class Server {
   Catalog catalog_;
   std::map<std::string, StreamState> streams_;
   std::vector<std::unique_ptr<QueryState>> queries_;
+  /// Millisecond clock for idle-heartbeat detection (injectable).
+  std::function<int64_t()> clock_ms_;
 };
 
 }  // namespace tcq

@@ -50,6 +50,7 @@ Tuple SourceLayout::Widen(size_t source, const Tuple& narrow) const {
         }
       });
   wide.set_seq(narrow.seq());
+  wide.set_retraction(narrow.retraction());
   return wide;
 }
 
@@ -63,6 +64,9 @@ Tuple SourceLayout::MergeSparse(const Tuple& a, const Tuple& b) const {
     }
   });
   merged.set_seq(a.seq() > b.seq() ? a.seq() : b.seq());
+  // Sign XOR: a join result with one retraction constituent retracts the
+  // corresponding assertion-side result (DESIGN.md §15).
+  merged.set_retraction(a.retraction() != b.retraction());
   return merged;
 }
 
@@ -71,9 +75,11 @@ Tuple SourceLayout::Narrow(size_t source, const Tuple& wide) const {
   TCQ_DCHECK(wide.arity() == total_arity_);
   const size_t base = offsets_[source];
   const size_t n = arity(source);
-  return Tuple::Build(n, wide.timestamp(), [&](Value* cells) {
+  Tuple narrow = Tuple::Build(n, wide.timestamp(), [&](Value* cells) {
     for (size_t i = 0; i < n; ++i) cells[i] = wide.cell(base + i);
   });
+  narrow.set_retraction(wide.retraction());
+  return narrow;
 }
 
 }  // namespace tcq

@@ -38,6 +38,9 @@ class ShardReplica {
     uint64_t lsn = 0;
     size_t source = 0;
     std::vector<Tuple> tuples;
+    /// Consistency lane the batch was injected under (DESIGN.md §15);
+    /// replay must reuse it so the standby seeds the same query lineage.
+    IngressLane lane = IngressLane::kAll;
   };
 
   /// Everything a failover needs, copied atomically: the newest valid
@@ -62,12 +65,14 @@ class ShardReplica {
   /// Logs one data batch bound for the primary; returns its LSN (>= 1).
   /// Must be called in the shard's queue order (the exchange tee holds
   /// its per-partition lock across Append + Enqueue).
-  uint64_t Append(size_t source, std::vector<Tuple> tuples) {
+  uint64_t Append(size_t source, std::vector<Tuple> tuples,
+                  IngressLane lane = IngressLane::kAll) {
     std::lock_guard<std::mutex> lock(mu_);
     Record rec;
     rec.lsn = ++next_lsn_;
     rec.source = source;
     rec.tuples = std::move(tuples);
+    rec.lane = lane;
     log_bytes_ += ApproxBytes(rec);
     log_.push_back(std::move(rec));
     return next_lsn_;

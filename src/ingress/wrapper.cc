@@ -63,6 +63,51 @@ FjordModule::StepResult SourceModule::Step(size_t max_tuples) {
   return produced > 0 ? StepResult::kDidWork : StepResult::kIdle;
 }
 
+void ReorderBuffer::Offer(Tuple t, std::vector<Tuple>* released) {
+  const Timestamp ts = t.timestamp();
+  if (ts > raw_) raw_ = ts;
+  if (max_disorder_ == 0 && buffer_.empty()) {
+    // Classic in-order path: nothing can overtake this tuple.
+    released->push_back(std::move(t));
+    return;
+  }
+  // Stable ordered insert: equal timestamps keep arrival order, so the
+  // release sequence is the stable timestamp sort of the arrivals.
+  if (buffer_.empty() || buffer_.back().timestamp() <= ts) {
+    buffer_.push_back(std::move(t));
+  } else {
+    const auto pos = std::upper_bound(
+        buffer_.begin(), buffer_.end(), ts,
+        [](Timestamp v, const Tuple& u) { return v < u.timestamp(); });
+    buffer_.insert(pos, std::move(t));
+  }
+  // Release everything the bound proves safe. The guard avoids signed
+  // underflow when raw_ is still near kMinTimestamp.
+  if (raw_ >= kMinTimestamp + max_disorder_) {
+    ReleaseThrough(raw_ - max_disorder_, released);
+  }
+}
+
+void ReorderBuffer::Punctuate(Timestamp ts, std::vector<Tuple>* released) {
+  if (ts > raw_) raw_ = ts;
+  ReleaseThrough(ts, released);
+}
+
+void ReorderBuffer::Flush(std::vector<Tuple>* released) {
+  while (!buffer_.empty()) {
+    released->push_back(std::move(buffer_.front()));
+    buffer_.pop_front();
+  }
+}
+
+void ReorderBuffer::ReleaseThrough(Timestamp ts,
+                                   std::vector<Tuple>* released) {
+  while (!buffer_.empty() && buffer_.front().timestamp() <= ts) {
+    released->push_back(std::move(buffer_.front()));
+    buffer_.pop_front();
+  }
+}
+
 Archive::Archive(Timestamp retention_span)
     : retention_span_(retention_span) {
   TCQ_CHECK(retention_span_ > 0);
@@ -91,6 +136,42 @@ TupleVector Archive::Scan(Timestamp lo, Timestamp hi) const {
   TupleVector out;
   ScanApply(lo, hi, [&](const Tuple& t) { out.push_back(t); });
   return out;
+}
+
+void Archive::InsertOrdered(const Tuple& t) {
+  if (tuples_.empty() || t.timestamp() >= tuples_.back().timestamp()) {
+    Append(t);
+    return;
+  }
+  const auto pos = std::upper_bound(
+      tuples_.begin(), tuples_.end(), t.timestamp(),
+      [](Timestamp ts, const Tuple& u) { return ts < u.timestamp(); });
+  tuples_.insert(pos, t);
+  // max_ts_ unchanged (the straggler is older by definition); retention
+  // may still discard it immediately when it falls outside the span.
+  if (retention_span_ != kMaxTimestamp) {
+    const Timestamp cutoff = max_ts_ - retention_span_ + 1;
+    while (!tuples_.empty() && tuples_.front().timestamp() < cutoff) {
+      tuples_.pop_front();
+    }
+  }
+}
+
+bool Archive::CancelMatching(const Tuple& t) {
+  // Scan the timestamp-equal range newest-first so a duplicate payload
+  // cancels its most recent assertion.
+  auto lo = LowerBound(t.timestamp());
+  auto hi = std::upper_bound(
+      tuples_.begin(), tuples_.end(), t.timestamp(),
+      [](Timestamp ts, const Tuple& u) { return ts < u.timestamp(); });
+  for (auto it = hi; it != lo;) {
+    --it;
+    if (it->PayloadEquals(t)) {
+      tuples_.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 void Archive::EvictBefore(Timestamp ts) {

@@ -1,6 +1,7 @@
 #ifndef TCQ_INGRESS_WRAPPER_H_
 #define TCQ_INGRESS_WRAPPER_H_
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
@@ -52,6 +53,59 @@ class SourceModule : public FjordModule {
   bool done_ = false;
 };
 
+/// What to do with an arrival whose timestamp is already below the safe
+/// (released) watermark — i.e. later than the stream's declared disorder
+/// bound (DESIGN.md §15).
+enum class LatePolicy : uint8_t {
+  kReject = 0,  ///< Refuse it (the classic hard-reject contract).
+  kDrop = 1,    ///< Silently discard it, counting tcq.disorder.dropped.
+  kIngestLate = 2,  ///< Ordered-insert into the archive; speculative
+                    ///< queries revise, delayed queries see it only in
+                    ///< windows not yet fired.
+};
+
+/// Bounded-disorder reorder buffer (§4 ingress wrappers; DESIGN.md §15):
+/// holds arrivals whose timestamps may still be overtaken by earlier data,
+/// and releases them in timestamp order once the raw high-water mark has
+/// advanced past `ts + max_disorder`. With max_disorder == 0 every arrival
+/// is released immediately (the classic in-order path, zero buffering).
+///
+/// Release rule: an arrival raising the raw watermark to M releases every
+/// buffered tuple with timestamp <= M - max_disorder, in timestamp order
+/// with ties in arrival order (stable). The release sequence is therefore
+/// exactly the stable timestamp sort of the arrival sequence — the
+/// foundation of the delayed-but-correct byte-identical-replay guarantee.
+/// Punctuate(ts) is a heartbeat: the source asserts no future arrival has
+/// timestamp <= ts, so everything buffered at or below ts flushes.
+class ReorderBuffer {
+ public:
+  ReorderBuffer() = default;
+
+  void set_max_disorder(Timestamp d) { max_disorder_ = d; }
+  Timestamp max_disorder() const { return max_disorder_; }
+
+  /// Accepts one stamped tuple and appends every tuple this arrival
+  /// releases to `released`, in release (timestamp) order.
+  void Offer(Tuple t, std::vector<Tuple>* released);
+
+  /// Heartbeat punctuation: flushes buffered tuples with timestamp <= ts.
+  void Punctuate(Timestamp ts, std::vector<Tuple>* released);
+
+  /// Releases everything still buffered (stream close / final flush).
+  void Flush(std::vector<Tuple>* released);
+
+  /// Highest timestamp offered or punctuated so far.
+  Timestamp raw_watermark() const { return raw_; }
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  void ReleaseThrough(Timestamp ts, std::vector<Tuple>* released);
+
+  Timestamp max_disorder_ = 0;
+  Timestamp raw_ = kMinTimestamp;
+  std::deque<Tuple> buffer_;  ///< Timestamp-ordered, ties in arrival order.
+};
+
 /// The stream archive: retained history that has conceptually been
 /// "spooled to disk in the background" (§1.1). Holds tuples in timestamp
 /// order and serves window-driven scans — the "scanner operator driven by
@@ -61,6 +115,18 @@ class Archive {
   explicit Archive(Timestamp retention_span = kMaxTimestamp);
 
   void Append(const Tuple& t);
+
+  /// Ordered insert for a beyond-bound straggler (LatePolicy::kIngestLate):
+  /// places `t` at the upper bound of its timestamp so scans stay sorted.
+  /// Appending in-order data keeps using Append (O(1) and invariant-
+  /// checked).
+  void InsertOrdered(const Tuple& t);
+
+  /// Removes the newest retained tuple whose payload (timestamp + cells)
+  /// matches `t` — the archive half of retraction processing. Returns
+  /// false when nothing matches (the assertion was never archived, already
+  /// evicted, or already cancelled).
+  bool CancelMatching(const Tuple& t);
 
   /// All retained tuples with timestamp in [lo, hi], in order.
   TupleVector Scan(Timestamp lo, Timestamp hi) const;

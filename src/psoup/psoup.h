@@ -89,7 +89,9 @@ class PSoup {
   const SchemaPtr schema_;
   const Options options_;
 
-  // Data SteM: retained history in arrival order.
+  // Data SteM: retained history in timestamp order (InsertByTimestamp
+  // re-sorts late arrivals on the way in, so EvictBefore's prefix pop
+  // never strands an older tuple behind a newer one).
   std::deque<Tuple> history_;
   Timestamp max_ts_ = kMinTimestamp;
 

@@ -32,6 +32,39 @@ SteM::SteM(std::string name, SchemaPtr schema, Options options)
 void SteM::Insert(const Tuple& tuple) {
   TCQ_DCHECK(tuple.arity() == schema_->num_fields())
       << name_ << ": arity mismatch";
+  if (tuple.retraction()) {
+    // A retraction cancels the matching stored assertion instead of being
+    // stored: future probes must no longer see the retracted build side.
+    // Unmatched retractions (assertion never stored, already evicted, or
+    // already cancelled) are dropped — counted by the ingress layer.
+    auto cancel_at = [&](size_t pos) {
+      EvictAt(pos);
+      CompactFront();
+    };
+    if (options_.key_field >= 0) {
+      const Value& key = tuple.cell(static_cast<size_t>(options_.key_field));
+      auto [lo, hi] = index_.equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        const uint64_t id = it->second;
+        if (id < base_id_) continue;
+        const size_t pos = static_cast<size_t>(id - base_id_);
+        if (pos >= tuples_.size() || dead_[pos]) continue;
+        if (!tuples_[pos].retraction() && tuples_[pos].PayloadEquals(tuple)) {
+          cancel_at(pos);
+          return;
+        }
+      }
+    } else {
+      for (size_t i = 0; i < tuples_.size(); ++i) {
+        if (!dead_[i] && !tuples_[i].retraction() &&
+            tuples_[i].PayloadEquals(tuple)) {
+          cancel_at(i);
+          return;
+        }
+      }
+    }
+    return;
+  }
   if (live_count_ >= options_.max_tuples) {
     // FIFO capacity eviction: drop the oldest live tuple.
     for (size_t i = 0; i < dead_.size(); ++i) {

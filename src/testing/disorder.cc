@@ -1,0 +1,49 @@
+#include "testing/disorder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tcq {
+
+std::vector<Tuple> InjectDisorder(std::vector<Tuple> in,
+                                  const DisorderOptions& options) {
+  if (options.max_disorder <= 0 && options.violation_rate <= 0.0) return in;
+  Rng rng(options.seed);
+  // Stable sort by jittered key: ties (including the undisplaced bulk)
+  // keep their relative order, so the output is deterministic and the
+  // bound argument in the header holds.
+  std::vector<std::pair<Timestamp, size_t>> keys;
+  keys.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    Timestamp key = in[i].timestamp();
+    if (options.violation_rate > 0.0 && rng.NextBool(options.violation_rate)) {
+      key += options.max_disorder + options.violation_extra;
+    } else if (options.max_disorder > 0 && rng.NextBool(options.jitter_rate)) {
+      key += rng.NextInt(0, options.max_disorder);
+    }
+    keys.emplace_back(key, i);
+  }
+  std::stable_sort(keys.begin(), keys.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<Tuple> out;
+  out.reserve(in.size());
+  for (const auto& [key, i] : keys) out.push_back(std::move(in[i]));
+  return out;
+}
+
+DisorderedSource::DisorderedSource(std::unique_ptr<TupleSource> inner,
+                                   const DisorderOptions& options)
+    : schema_(inner->schema()) {
+  std::vector<Tuple> all;
+  while (auto t = inner->Next()) all.push_back(std::move(*t));
+  replay_ = InjectDisorder(std::move(all), options);
+}
+
+std::optional<Tuple> DisorderedSource::Next() {
+  if (next_ >= replay_.size()) return std::nullopt;
+  return replay_[next_++];
+}
+
+}  // namespace tcq

@@ -1,0 +1,64 @@
+#ifndef TCQ_TESTING_DISORDER_H_
+#define TCQ_TESTING_DISORDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "ingress/sources.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+/// Deterministic out-of-order feed generator for disorder tests and
+/// benches (DESIGN.md §15).
+///
+/// Each tuple is assigned the sort key `timestamp + jitter` with jitter
+/// drawn uniformly from [0, max_disorder], then the feed is stably sorted
+/// by key. The resulting arrival sequence provably respects the bound:
+/// when a tuple with timestamp t arrives, every earlier arrival has key
+/// <= t's key <= t + max_disorder, hence timestamp <= t + max_disorder —
+/// so a reorder buffer with the same (or larger) bound never classifies
+/// it as a beyond-bound straggler. jitter_rate scales how much of the
+/// feed is displaced at all.
+///
+/// violation_rate > 0 additionally demotes that fraction of tuples into
+/// deliberate beyond-bound stragglers: each violator is pushed
+/// `max_disorder + violation_extra` keys late, past the bound, to
+/// exercise the LatePolicy paths.
+struct DisorderOptions {
+  Timestamp max_disorder = 0;
+  /// Fraction of tuples given a non-zero jitter (1.0 = every tuple).
+  double jitter_rate = 1.0;
+  /// Fraction of tuples forced beyond the bound (0.0 = none).
+  double violation_rate = 0.0;
+  /// Extra key displacement for violators (how far past the bound).
+  Timestamp violation_extra = 1;
+  uint64_t seed = 42;
+};
+
+/// Returns `in` re-ordered per `options`. Deterministic in (in, options).
+std::vector<Tuple> InjectDisorder(std::vector<Tuple> in,
+                                  const DisorderOptions& options);
+
+/// A TupleSource wrapper that drains its inner source eagerly and replays
+/// it through InjectDisorder — drop-in disorder for any existing source
+/// (StockTickerSource, PacketSource, ...) in PushAll/SourceModule paths.
+class DisorderedSource : public TupleSource {
+ public:
+  DisorderedSource(std::unique_ptr<TupleSource> inner,
+                   const DisorderOptions& options);
+
+  const SchemaPtr& schema() const override { return schema_; }
+  std::optional<Tuple> Next() override;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Tuple> replay_;
+  size_t next_ = 0;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_TESTING_DISORDER_H_

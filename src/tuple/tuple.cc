@@ -6,6 +6,7 @@ namespace tcq {
 
 std::string Tuple::ToString() const {
   std::ostringstream os;
+  if (retraction_) os << "-";
   os << "[";
   for (size_t i = 0; i < arity(); ++i) {
     if (i > 0) os << ", ";

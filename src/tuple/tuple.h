@@ -29,6 +29,13 @@ namespace tcq {
 /// arrival sequence number (`seq`). Symmetric joins use it for duplicate
 /// avoidance: a probe may only match stored tuples that arrived strictly
 /// earlier, so each join result is produced by exactly one arrival order.
+///
+/// A tuple also carries a retraction sign (CEDR-style, DESIGN.md §15): a
+/// retraction is the compensating anti-tuple of a previously emitted
+/// assertion with the same payload and timestamp. Signs combine by XOR
+/// under Concat/merge — a join result composed of one retraction side is
+/// itself a retraction — and are preserved by Project so they survive
+/// egress projection.
 /// Per §4.2.2 of the paper, intermediate tuples inside an Eddy carry extra
 /// routing state ("enhanced surrogate objects"); that state lives in
 /// eddy::RoutedTuple, keeping this type a plain data carrier.
@@ -60,12 +67,14 @@ class Tuple {
       : cells_(std::move(other.cells_)),
         size_(std::exchange(other.size_, 0)),
         ts_(other.ts_),
-        seq_(other.seq_) {}
+        seq_(other.seq_),
+        retraction_(std::exchange(other.retraction_, false)) {}
   Tuple& operator=(Tuple&& other) noexcept {
     cells_ = std::move(other.cells_);
     size_ = std::exchange(other.size_, 0);
     ts_ = other.ts_;
     seq_ = other.seq_;
+    retraction_ = std::exchange(other.retraction_, false);
     return *this;
   }
 
@@ -98,6 +107,23 @@ class Tuple {
   int64_t seq() const { return seq_; }
   void set_seq(int64_t seq) { seq_ = seq; }
 
+  /// Retraction sign: true = this tuple cancels a previously emitted
+  /// assertion with the same payload and timestamp.
+  bool retraction() const { return retraction_; }
+  void set_retraction(bool retraction) { retraction_ = retraction; }
+
+  /// Payload identity ignoring the sign: same timestamp and cells. This is
+  /// the matching rule a retraction uses to find the assertion it cancels
+  /// (archives, SteMs).
+  bool PayloadEquals(const Tuple& other) const {
+    if (ts_ != other.ts_ || size_ != other.size_) return false;
+    if (cells_.get() == other.cells_.get()) return true;
+    for (size_t i = 0; i < size_; ++i) {
+      if (cells_[i] != other.cells_[i]) return false;
+    }
+    return true;
+  }
+
   /// Concatenates the cells of `left` then `right`. The result's timestamp
   /// and seq are the max of the two (the join output is "complete" only
   /// once its youngest constituent has arrived).
@@ -113,10 +139,12 @@ class Tuple {
                         }
                       });
     out.seq_ = left.seq_ > right.seq_ ? left.seq_ : right.seq_;
+    out.retraction_ = left.retraction_ != right.retraction_;  // XOR of signs.
     return out;
   }
 
-  /// Projects the given cell indexes into a new tuple (same timestamp/seq).
+  /// Projects the given cell indexes into a new tuple (same
+  /// timestamp/seq/sign).
   Tuple Project(const std::vector<size_t>& indexes) const {
     Tuple out = Build(indexes.size(), ts_, [&](Value* cells) {
       for (size_t i = 0; i < indexes.size(); ++i) {
@@ -124,16 +152,12 @@ class Tuple {
       }
     });
     out.seq_ = seq_;
+    out.retraction_ = retraction_;
     return out;
   }
 
   bool operator==(const Tuple& other) const {
-    if (ts_ != other.ts_ || size_ != other.size_) return false;
-    if (cells_.get() == other.cells_.get()) return true;
-    for (size_t i = 0; i < size_; ++i) {
-      if (cells_[i] != other.cells_[i]) return false;
-    }
-    return true;
+    return retraction_ == other.retraction_ && PayloadEquals(other);
   }
 
   std::string ToString() const;
@@ -162,7 +186,18 @@ class Tuple {
   size_t size_ = 0;
   Timestamp ts_;
   int64_t seq_ = 0;
+  bool retraction_ = false;
 };
+
+/// Which standing (CACQ) queries an injected batch is visible to, by the
+/// query's declared consistency level (DESIGN.md §15). With a disorder
+/// bound active, a stream's arrivals are injected twice: the raw arrival
+/// feed goes to the speculative lane, the reorder-buffer release feed to
+/// the delayed lane. kAll is the classic single-feed path (no disorder
+/// bound, or no lane split) and keeps every pre-disorder call site's
+/// behaviour. Defined here — the bottom of the dependency order — because
+/// both the Flux changelog and the CACQ engines carry it.
+enum class IngressLane : uint8_t { kAll = 0, kDelayed = 1, kSpeculative = 2 };
 
 using TupleVector = std::vector<Tuple>;
 

@@ -1,0 +1,184 @@
+// Concurrency stress for the disorder-tolerant ingress path: disordered
+// producer feeds against 4 shard threads plus the egress thread, with
+// punctuation, retractions and telemetry traffic riding along. Run under
+// -DTCQ_SANITIZE=thread in CI; the assertions are conservation laws that
+// hold whatever the interleaving — every within-bound tuple reaches both
+// consistency lanes exactly once, and every retraction that matched an
+// archived assertion is delivered signed exactly once.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/server.h"
+#include "testing/disorder.h"
+#include "testing/schedule_explorer.h"
+
+namespace tcq {
+namespace {
+
+SchemaPtr KV() {
+  return Schema::Make(
+      {{"ts", ValueType::kInt64, ""}, {"v", ValueType::kInt64, ""}});
+}
+
+Tuple KVTuple(int64_t ts, int64_t v) {
+  return Tuple::Make({Value::Int64(ts), Value::Int64(v)}, ts);
+}
+
+TEST(StressDisorderTest, DisorderedFeedsThroughShardedLanes) {
+  constexpr int64_t kTuples = 600;
+  constexpr Timestamp kBound = 8;
+
+  ScheduleExplorer::Options eopts;
+  eopts.trials = 4;
+  ScheduleExplorer explorer(11, eopts);
+  auto common = explorer.Explore(2, [&](const ScheduleExplorer::Schedule&
+                                            schedule) {
+    Server::Options o;
+    o.cacq_shards = 4;
+    o.max_disorder = kBound;
+    Server server(o);
+    EXPECT_TRUE(server.DefineStream("A", KV(), 0, 1).ok());
+    EXPECT_TRUE(server.DefineStream("B", KV(), 0, 1).ok());
+
+    std::atomic<uint64_t> delayed_rows{0};
+    std::atomic<uint64_t> spec_rows{0};
+    std::atomic<uint64_t> b_rows{0};
+    auto count_into = [&](std::atomic<uint64_t>* into) {
+      return [into](const ResultSet& rs) {
+        into->fetch_add(rs.rows.size(), std::memory_order_relaxed);
+      };
+    };
+    auto dq = server.Submit("SELECT v FROM A WHERE v >= 0");
+    EXPECT_TRUE(dq.ok()) << dq.status();
+    EXPECT_TRUE(server.SetCallback(*dq, count_into(&delayed_rows)).ok());
+    Server::SubmitOptions sopts;
+    sopts.consistency = Consistency::kSpeculative;
+    auto sq = server.Submit("SELECT v FROM A WHERE v >= 0", sopts);
+    EXPECT_TRUE(sq.ok()) << sq.status();
+    EXPECT_TRUE(server.SetCallback(*sq, count_into(&spec_rows)).ok());
+    auto bq = server.Submit("SELECT v FROM B WHERE v >= 0");
+    EXPECT_TRUE(bq.ok()) << bq.status();
+    EXPECT_TRUE(server.SetCallback(*bq, count_into(&b_rows)).ok());
+
+    // One disordered producer per stream (a stream's timestamps must come
+    // from one clock; two streams give two racing ingest paths).
+    DisorderOptions dopts;
+    dopts.max_disorder = kBound;
+    dopts.seed = schedule.trial_seed + 1;
+    const size_t chunk = schedule.quantum;
+    auto producer = [&](const std::string& stream, uint64_t salt) {
+      std::vector<Tuple> feed;
+      for (int64_t ts = 1; ts <= kTuples; ++ts) {
+        feed.push_back(KVTuple(ts, (ts + static_cast<int64_t>(salt)) % 97));
+      }
+      DisorderOptions mine = dopts;
+      mine.seed += salt;
+      feed = InjectDisorder(std::move(feed), mine);
+      for (size_t at = 0; at < feed.size(); at += chunk) {
+        const size_t n = std::min(chunk, feed.size() - at);
+        std::vector<Tuple> slice(
+            feed.begin() + static_cast<ptrdiff_t>(at),
+            feed.begin() + static_cast<ptrdiff_t>(at + n));
+        ASSERT_TRUE(server.PushBatch(stream, std::move(slice)).ok());
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.emplace_back(producer, "A", 0);
+    threads.emplace_back(producer, "B", 1000);
+    // Telemetry + query churn race the producers and the egress thread.
+    threads.emplace_back([&server] {
+      for (int round = 0; round < 10; ++round) {
+        const std::string snap = server.SnapshotMetrics();
+        EXPECT_NE(snap.find("\"disorder\""), std::string::npos);
+        server.PumpMetrics();
+        server.PumpHeartbeats();  // Disabled (0ms) — must stay a no-op.
+        auto extra = server.Submit("SELECT ts FROM A WHERE v = 1");
+        ASSERT_TRUE(extra.ok()) << extra.status();
+        (void)server.PollAll(*extra);
+        ASSERT_TRUE(server.Cancel(*extra).ok());
+      }
+    });
+    for (auto& t : threads) t.join();
+
+    // Closing punctuation flushes both reorder buffers; after the barrier
+    // every lane has seen every tuple exactly once.
+    EXPECT_TRUE(server.Heartbeat("A", kTuples + kBound + 1).ok());
+    EXPECT_TRUE(server.Heartbeat("B", kTuples + kBound + 1).ok());
+    server.Quiesce();
+    EXPECT_EQ(delayed_rows.load(), static_cast<uint64_t>(kTuples));
+    EXPECT_EQ(spec_rows.load(), static_cast<uint64_t>(kTuples));
+    EXPECT_EQ(b_rows.load(), static_cast<uint64_t>(kTuples));
+    return std::to_string(delayed_rows.load()) + "/" +
+           std::to_string(spec_rows.load()) + "/" +
+           std::to_string(b_rows.load());
+  });
+  ASSERT_TRUE(common.ok()) << common.status();
+}
+
+TEST(StressDisorderTest, RetractionsRaceTheProducer) {
+  constexpr int64_t kTuples = 500;
+
+  Server::Options o;
+  o.cacq_shards = 4;
+  Server server(o);
+  ASSERT_TRUE(server.DefineStream("S", KV(), 0, 1).ok());
+
+  std::atomic<uint64_t> asserts{0};
+  std::atomic<uint64_t> retracts{0};
+  auto q = server.Submit("SELECT v FROM S WHERE v >= 0");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_TRUE(server
+                  .SetCallback(*q,
+                               [&](const ResultSet& rs) {
+                                 for (const Tuple& row : rs.rows) {
+                                   (row.retraction() ? retracts : asserts)
+                                       .fetch_add(1,
+                                                  std::memory_order_relaxed);
+                                 }
+                               })
+                  .ok());
+
+  // The producer publishes its in-order progress; the retractor only ever
+  // retracts tuples at or below it, so every retraction finds its
+  // archived assertion — whatever the thread interleaving.
+  std::atomic<int64_t> progress{0};
+  std::thread producer([&] {
+    for (int64_t ts = 1; ts <= kTuples; ts += 10) {
+      std::vector<Tuple> batch;
+      for (int64_t i = ts; i < ts + 10 && i <= kTuples; ++i) {
+        batch.push_back(KVTuple(i, i % 83));
+      }
+      ASSERT_TRUE(server.PushBatch("S", std::move(batch)).ok());
+      progress.store(std::min<int64_t>(ts + 9, kTuples),
+                     std::memory_order_release);
+    }
+  });
+  std::thread retractor([&] {
+    int64_t next = 10;  // Retract every 10th assertion, each exactly once.
+    while (next <= kTuples) {
+      if (progress.load(std::memory_order_acquire) < next) {
+        std::this_thread::yield();
+        continue;
+      }
+      ASSERT_TRUE(server.Retract("S", KVTuple(next, next % 83)).ok());
+      next += 10;
+    }
+  });
+  producer.join();
+  retractor.join();
+  server.Quiesce();
+
+  EXPECT_EQ(asserts.load(), static_cast<uint64_t>(kTuples));
+  EXPECT_EQ(retracts.load(), static_cast<uint64_t>(kTuples / 10));
+  const std::string snap = server.SnapshotMetrics();
+  EXPECT_NE(snap.find("\"unmatched_retractions\":0"), std::string::npos)
+      << snap;
+}
+
+}  // namespace
+}  // namespace tcq
