@@ -374,6 +374,7 @@ Result<QueryId> Server::Submit(const std::string& sql,
   }
 
   qs->active = true;
+  if (qs->consistency == Consistency::kSpeculative) ++num_speculative_;
   {
     // The egress thread indexes queries_ under results_mu_; push_back may
     // reallocate the vector's storage.
@@ -406,6 +407,9 @@ Status Server::Cancel(QueryId q) {
   }
   QueryState* qs = queries_[q].get();
   qs->active = false;
+  if (qs->consistency == Consistency::kSpeculative && num_speculative_ > 0) {
+    --num_speculative_;
+  }
   if (qs->is_cacq) {
     StreamState& ss = streams_.at(qs->cacq_stream);
     size_t& lane = qs->consistency == Consistency::kSpeculative
@@ -496,6 +500,7 @@ void Server::AdvanceQueriesLocked(const std::string& stream) {
 
 void Server::ReviseQueriesLocked(const std::string& stream,
                                  Timestamp late_ts) {
+  if (num_speculative_ == 0) return;  // Per-batch call; skip the sweep.
   for (auto& qptr : queries_) {
     QueryState* qs = qptr.get();
     if (!qs->active || qs->runner == nullptr) continue;
@@ -576,9 +581,20 @@ Status Server::IngestBatchLocked(const std::string& stream, StreamState* sp,
   // every tuple immediately, so both lanes carry the same sequence and
   // the classic in-order behavior is preserved byte for byte.
   Status first_error = Status::OK();
+  // The raw (arrival-order) lane is only materialized when someone
+  // listens to it: with no speculative CACQ queries the per-tuple copy
+  // into `raw` is pure overhead on the hot ingest path.
+  const bool want_spec =
+      (ss.sharded != nullptr)
+          ? (ss.cacq_speculative > 0 && !ss.cacq_to_server.empty())
+          : (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0 &&
+             ss.cacq_speculative > 0);
   std::vector<Tuple> raw;
-  raw.reserve(batch.size());
+  if (want_spec) raw.reserve(batch.size());
+  size_t accepted = 0;
+  int64_t within_bound = 0;
   std::vector<Tuple> released;
+  released.reserve(batch.size());
   // kIngestLate stragglers, archived only after this batch's releases:
   // an InsertOrdered mid-loop could land ABOVE releases still pending in
   // `released`, and their later Append would then violate the archive's
@@ -620,9 +636,10 @@ Status Server::IngestBatchLocked(const std::string& stream, StreamState* sp,
         TCQ_METRIC(ServerMetrics::Get().ingested->Add(1));
         late_inserts.push_back(tuple);
         min_revise = std::min(min_revise, ts);
+        ++accepted;
         // Standing speculative queries still see it (they tolerate
         // out-of-order input); delayed queries only via unfired windows.
-        raw.push_back(std::move(tuple));
+        if (want_spec) raw.push_back(std::move(tuple));
         continue;
       }
       // LatePolicy::kReject: the classic hard-reject contract, with the
@@ -640,17 +657,22 @@ Status Server::IngestBatchLocked(const std::string& stream, StreamState* sp,
       continue;
     }
     // Within bound (or in order): through the reorder buffer.
-    TCQ_METRIC(ServerMetrics::Get().ingested->Add(1));
+    ++within_bound;
     if (ts < ss.reorder.raw_watermark()) {
       ++ss.dis.late_within_bound;
       TCQ_METRIC(ServerMetrics::Get().dis_late_within_bound->Add(1));
     }
-    raw.push_back(tuple);
+    ++accepted;
+    if (want_spec) raw.push_back(tuple);
     ss.reorder.Offer(std::move(tuple), &released);
     if (!released.empty()) {
       frontier = std::max(frontier, released.back().timestamp());
     }
   }
+
+  TCQ_METRIC(
+      ServerMetrics::Get().ingested->Add(static_cast<uint64_t>(within_bound)));
+  (void)within_bound;  // Metric-only under TCQ_DISABLE_METRICS.
 
   // Releases with timestamps at or below an already-fired speculative
   // window require revision (the archive changed under it) — as do
@@ -663,18 +685,17 @@ Status Server::IngestBatchLocked(const std::string& stream, StreamState* sp,
   TCQ_RETURN_NOT_OK(ApplyReleasedLocked(stream, &ss, std::move(released)));
   for (const Tuple& t : late_inserts) ss.archive->InsertOrdered(t);
 
-  if (!raw.empty()) {
+  if (accepted > 0) {
     AdvanceQueriesLocked(stream);
     // Speculative-lane injection: raw arrivals, in arrival order.
-    if (ss.sharded != nullptr) {
-      if (ss.cacq_speculative > 0 && !ss.cacq_to_server.empty()) {
+    if (want_spec && !raw.empty()) {
+      if (ss.sharded != nullptr) {
         TCQ_RETURN_NOT_OK(ss.sharded->PushBatch(
             stream, std::move(raw), IngressLane::kSpeculative));
+      } else {
+        TCQ_RETURN_NOT_OK(
+            ss.cacq->InjectBatch(stream, raw, IngressLane::kSpeculative));
       }
-    } else if (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0 &&
-               ss.cacq_speculative > 0) {
-      TCQ_RETURN_NOT_OK(
-          ss.cacq->InjectBatch(stream, raw, IngressLane::kSpeculative));
     }
   }
   if (revise_ts != kMaxTimestamp) ReviseQueriesLocked(stream, revise_ts);

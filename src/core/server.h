@@ -324,6 +324,10 @@ class Server {
   Catalog catalog_;
   std::map<std::string, StreamState> streams_;
   std::vector<std::unique_ptr<QueryState>> queries_;
+  /// Live kSpeculative queries. ReviseQueriesLocked runs per ingest batch
+  /// and sweeps `queries_`, which grows with lifetime submits — the sweep
+  /// must be skippable in the common no-speculative-queries case.
+  size_t num_speculative_ = 0;
   /// Millisecond clock for idle-heartbeat detection (injectable).
   std::function<int64_t()> clock_ms_;
 };
