@@ -26,7 +26,7 @@ JOBS="${JOBS:-$(nproc)}"
 BUILD_DIR="${BUILD_DIR:-build}"
 SHA="$(git rev-parse --short HEAD)"
 OUT="${OUT:-BENCH_${SHA}.json}"
-BENCHES="${BENCHES:-bench_executor bench_fjords_queues bench_many_queries bench_disorder}"
+BENCHES="${BENCHES:-bench_executor bench_fjords_queues bench_many_queries bench_disorder bench_spool}"
 
 EXTRA_ARGS=()
 if [[ "${1:-}" == "--quick" ]]; then

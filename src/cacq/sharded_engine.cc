@@ -249,10 +249,19 @@ ShardedEngine::ShardedEngine(Options options)
     eo.policy = options_.policy;
     eo.seed = options_.seed + i;  // Decorrelated exploration per shard.
     eo.eddy = options_.eddy;
+    if (options_.spool != nullptr) {
+      eo.spool = options_.spool;
+      eo.spool_prefix =
+          options_.spool_prefix + "shard." + std::to_string(i) + ".";
+    }
     shard->engine = std::make_unique<CacqEngine>(eo);
     if (options_.num_replicas > 0) {
       // The warm standby: identical construction (same seed — routing
-      // invariance makes replayed results match the primary's multiset).
+      // invariance makes replayed results match the primary's multiset),
+      // minus the spool: standby state is a checkpoint copy of the
+      // primary's, and double-spooling would duplicate history.
+      eo.spool = nullptr;
+      eo.spool_prefix.clear();
       shard->standby = std::make_unique<CacqEngine>(eo);
     }
     shard->output = std::make_unique<FjordQueue<EgressItem>>(

@@ -1,6 +1,7 @@
 #include "cacq/shared_stem.h"
 
 #include "common/logging.h"
+#include "spool/spool.h"
 
 namespace tcq {
 
@@ -9,6 +10,16 @@ SharedSteM::SharedSteM(std::string name, SchemaPtr schema, int key_field)
       key_field_(key_field) {
   TCQ_CHECK(schema_ != nullptr);
   TCQ_CHECK(key_field_ < static_cast<int>(schema_->num_fields()));
+}
+
+SharedSteM::~SharedSteM() {
+  stem_internal::TrackResidentBytes(-resident_bytes_);  // Gauge hygiene.
+}
+
+void SharedSteM::SetSpool(Spool* spool, std::string key) {
+  TCQ_CHECK(spool != nullptr);
+  spool_ = spool;
+  spool_key_ = std::move(key);
 }
 
 void SharedSteM::Insert(const Tuple& tuple, const SmallBitset& queries) {
@@ -20,6 +31,7 @@ void SharedSteM::Insert(const Tuple& tuple, const SmallBitset& queries) {
     auto cancel_at = [&](size_t pos) {
       entries_[pos].dead = true;
       --live_;
+      TrackBytes(-static_cast<int64_t>(entries_[pos].tuple.ApproxBytes()));
       CompactFront();
       TCQ_METRIC(stem_internal::AggregateMetrics::Get().evictions->Add(1));
     };
@@ -52,6 +64,7 @@ void SharedSteM::Insert(const Tuple& tuple, const SmallBitset& queries) {
   }
   entries_.push_back(Entry{tuple, queries, false});
   ++live_;
+  TrackBytes(static_cast<int64_t>(tuple.ApproxBytes()));
   TCQ_METRIC(stem_internal::AggregateMetrics::Get().inserts->Add(1));
 }
 
@@ -59,9 +72,17 @@ size_t SharedSteM::EvictBefore(Timestamp ts) {
   size_t n = 0;
   for (Entry& e : entries_) {
     if (!e.dead && e.tuple.timestamp() < ts) {
+      if (spool_ != nullptr) {
+        // Window-expiry demotion: the bare tuple goes to disk (lineage is
+        // RAM-only; replay re-derives query sets). Append routes any
+        // out-of-timestamp-order demotion to the spool's late run.
+        TCQ_CHECK(spool_->Append(spool_key_, e.tuple).ok())
+            << name_ << ": spool demotion failed";
+      }
       e.dead = true;
       --live_;
       ++n;
+      TrackBytes(-static_cast<int64_t>(e.tuple.ApproxBytes()));
       TCQ_METRIC(stem_internal::AggregateMetrics::Get().evictions->Add(1));
     }
   }

@@ -24,9 +24,16 @@ namespace tcq {
 class SharedSteM {
  public:
   SharedSteM(std::string name, SchemaPtr schema, int key_field);
+  ~SharedSteM();
 
   SharedSteM(const SharedSteM&) = delete;
   SharedSteM& operator=(const SharedSteM&) = delete;
+
+  /// Window-expired state demotes to `spool` under `key` instead of being
+  /// freed (DESIGN.md §16). Lineage stays in RAM's domain: the spooled
+  /// record is the bare tuple (replay re-derives query sets). Retraction
+  /// cancellations, migration extraction and replica resets never demote.
+  void SetSpool(Spool* spool, std::string key);
 
   const std::string& name() const { return name_; }
   int key_field() const { return key_field_; }
@@ -96,6 +103,7 @@ class SharedSteM {
       out.push_back(ExtractedEntry{e.tuple, e.queries});
       e.dead = true;
       --live_;
+      TrackBytes(-static_cast<int64_t>(e.tuple.ApproxBytes()));
     }
     CompactFront();
     return out;
@@ -128,6 +136,7 @@ class SharedSteM {
       if (e.dead) continue;
       e.dead = true;
       --live_;
+      TrackBytes(-static_cast<int64_t>(e.tuple.ApproxBytes()));
     }
     CompactFront();
   }
@@ -147,10 +156,19 @@ class SharedSteM {
   };
 
   void CompactFront();
+  void TrackBytes(int64_t delta) {
+    resident_bytes_ += delta;
+    stem_internal::TrackResidentBytes(delta);
+  }
 
   const std::string name_;
   const SchemaPtr schema_;
   const int key_field_;
+
+  // Spool hook (null = window expiry frees memory, the legacy behavior).
+  Spool* spool_ = nullptr;
+  std::string spool_key_;
+  int64_t resident_bytes_ = 0;
 
   std::deque<Entry> entries_;
   uint64_t base_id_ = 0;

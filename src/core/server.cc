@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "fjords/queue.h"
+#include "spool/spool.h"
 #include "stem/stem.h"
 #include "telemetry/metrics.h"
 #include "telemetry/pool_metrics.h"
@@ -33,6 +34,7 @@ struct ServerMetrics {
   Counter* dis_idle_heartbeats;
   Counter* dis_retractions;
   Counter* dis_unmatched_retractions;
+  Counter* spool_replayed;  ///< Records re-delivered by ReplayStream.
 
   static ServerMetrics& Get() {
     static ServerMetrics* m = [] {
@@ -54,6 +56,7 @@ struct ServerMetrics {
       agg->dis_retractions = reg.GetCounter("tcq.disorder.retractions");
       agg->dis_unmatched_retractions =
           reg.GetCounter("tcq.disorder.unmatched_retractions");
+      agg->spool_replayed = reg.GetCounter("tcq.spool.replayed");
       return agg;
     }();
     return *m;
@@ -98,6 +101,20 @@ Server::Server(Options options) : options_(std::move(options)) {
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
   };
+  if (!options_.spool_dir.empty()) {
+    // The shared history spool opens (or adopts) before any stream is
+    // defined, so every archive — the metrics stream's included — can
+    // attach at definition time. A server that cannot open its history
+    // store must not come up half-blind: fail loudly.
+    Spool::Options so;
+    so.dir = options_.spool_dir;
+    so.cache_pages = std::max<size_t>(1, options_.spool_cache_pages);
+    so.segment_bytes = options_.spool_segment_bytes;
+    so.sync_each_append = options_.spool_sync_each_append;
+    auto opened = Spool::Open(std::move(so));
+    TCQ_CHECK(opened.ok()) << opened.status();
+    spool_ = std::move(*opened);
+  }
   // Reserved introspection stream: continuous queries over engine
   // telemetry (PumpMetrics publishes snapshots into it).
   SchemaPtr schema = Schema::Make({{"name", ValueType::kString, ""},
@@ -187,6 +204,14 @@ Status Server::DefineStream(const std::string& name, SchemaPtr schema,
   StreamState state;
   state.def = def;
   state.archive = std::make_unique<Archive>(options_.retention_span);
+  if (spool_ != nullptr) {
+    // Bounded-RAM history: the archive keeps a resident tail and demotes
+    // the rest to the shared spool. Reopening a server on the same
+    // spool_dir adopts the stream's spooled history here.
+    state.archive->AttachSpool(
+        spool_.get(), "stream." + name,
+        std::max<size_t>(1, options_.spool_resident_tuples));
+  }
   if (def.timestamp_field >= 0) {
     // Disorder is only possible with an application timestamp column;
     // arrival-sequence streams are in order by construction.
@@ -247,6 +272,10 @@ Result<QueryId> Server::Submit(const std::string& sql,
       sopts.auto_rebalance = options_.auto_rebalance;
       sopts.rebalance = options_.rebalance;
       sopts.num_replicas = options_.cacq_replicas;
+      if (spool_ != nullptr) {
+        sopts.spool = spool_.get();
+        sopts.spool_prefix = "cacq." + stream + ".";
+      }
       auto sharded = std::make_unique<ShardedEngine>(std::move(sopts));
       auto added =
           sharded->AddStream(stream, ss.def.schema, ss.partition_column);
@@ -282,6 +311,10 @@ Result<QueryId> Server::Submit(const std::string& sql,
       CacqEngine::Options copts;
       copts.policy = options_.policy;
       copts.seed = options_.seed;
+      if (spool_ != nullptr) {
+        copts.spool = spool_.get();
+        copts.spool_prefix = "cacq." + stream + ".";
+      }
       ss.cacq = std::make_unique<CacqEngine>(std::move(copts));
       auto added = ss.cacq->AddStream(stream, ss.def.schema);
       TCQ_CHECK(added.ok()) << added.status();
@@ -873,6 +906,63 @@ void Server::SetClockForTesting(std::function<int64_t()> now_ms) {
   clock_ms_ = std::move(now_ms);
 }
 
+Status Server::ReplayStream(const std::string& stream, Timestamp from_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream: " + stream);
+  }
+  StreamState& ss = it->second;
+  if (ss.reorder.buffered() > 0) {
+    return Status::FailedPrecondition(
+        "replay on " + stream +
+        " with disordered arrivals still buffered; heartbeat first");
+  }
+  // Chunked re-delivery through the standing-query lanes. The archive
+  // serves each chunk (spool region first, then the resident tail) with
+  // equal-timestamp runs never split, so replayed batches respect the
+  // same timestamp-run boundaries standard ingress releases do. Replayed
+  // records are history — final by definition — so both consistency
+  // lanes see them once (IngressLane::kAll); they are NOT re-archived.
+  Timestamp lo = from_ts;
+  Timestamp max_ts = kMinTimestamp;
+  size_t replayed = 0;
+  for (;;) {
+    TupleVector chunk;
+    const Timestamp next =
+        ss.archive->ScanChunk(lo, kMaxTimestamp, 1024, &chunk);
+    if (!chunk.empty()) {
+      max_ts = std::max(max_ts, chunk.back().timestamp());
+      replayed += chunk.size();
+      if (ss.sharded != nullptr) {
+        if (!ss.cacq_to_server.empty()) {
+          TCQ_RETURN_NOT_OK(ss.sharded->PushBatch(stream, std::move(chunk),
+                                                  IngressLane::kAll));
+        }
+      } else if (ss.cacq != nullptr && ss.cacq->num_active_queries() > 0) {
+        TCQ_RETURN_NOT_OK(
+            ss.cacq->InjectBatch(stream, chunk, IngressLane::kAll));
+      }
+    }
+    if (next == kMaxTimestamp) break;
+    lo = next;
+  }
+  if (replayed > 0) {
+    TCQ_METRIC(ServerMetrics::Get().spool_replayed->Add(replayed));
+    // Replayed history is released history: punctuate the (empty)
+    // reorder buffer so the raw watermark covers it, advance the safe
+    // watermark, and let windowed queries re-advance over the range. A
+    // fresh server reopened on a spool directory starts at kMinTimestamp
+    // and lands exactly where the previous incarnation left off.
+    std::vector<Tuple> released;
+    ss.reorder.Punctuate(max_ts, &released);
+    TCQ_CHECK(released.empty());
+    if (max_ts > ss.watermark) ss.watermark = max_ts;
+    AdvanceQueriesLocked(stream);
+  }
+  return Status::OK();
+}
+
 void Server::DeliverResults(QueryState* qs, std::vector<ResultSet>&& sets) {
   std::lock_guard<std::mutex> rlock(results_mu_);
   for (ResultSet& rs : sets) {
@@ -1085,7 +1175,26 @@ std::string Server::SnapshotMetrics() const {
            ",\"idle_heartbeats\":" + std::to_string(ss.dis.idle_heartbeats) +
            ",\"retractions\":" + std::to_string(ss.dis.retractions) +
            ",\"unmatched_retractions\":" +
-           std::to_string(ss.dis.unmatched_retractions) + "}}";
+           std::to_string(ss.dis.unmatched_retractions) + "}" +
+           ",\"history\":{\"resident\":" +
+           std::to_string(ss.archive->resident_size()) +
+           ",\"spooled\":" + std::to_string(ss.archive->spooled_size()) +
+           "}}";
+  }
+
+  if (spool_ != nullptr) {
+    // The shared-spool view: on-disk footprint plus the page-cache
+    // behavior that decides cold-scan latency (tcq.spool.* counters in
+    // the registry section carry the append/recovery detail).
+    const spool::BufferManager::Stats cs = spool_->cache_stats();
+    out += "},\"spool\":{\"bytes\":" + std::to_string(spool_->bytes()) +
+           ",\"segments\":" + std::to_string(spool_->segments()) +
+           ",\"keys\":" + std::to_string(spool_->Keys().size()) +
+           ",\"cache_pages\":" + std::to_string(spool_->cache_pages()) +
+           ",\"cache\":{\"hits\":" + std::to_string(cs.hits) +
+           ",\"misses\":" + std::to_string(cs.misses) +
+           ",\"evictions\":" + std::to_string(cs.evictions) +
+           ",\"readahead\":" + std::to_string(cs.readahead) + "}";
   }
 
   out += "},\"queries\":{";

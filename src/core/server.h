@@ -85,6 +85,26 @@ class Server {
     /// next PumpHeartbeats() call, so a quiet stream stops stalling shared
     /// windowed watermarks. Assumes the streams share a timestamp clock.
     int64_t idle_heartbeat_ms = 0;
+    /// Disk-backed history spool (DESIGN.md §16). Empty = off: all
+    /// history stays resident, the classic unbounded-RAM archive. Set to
+    /// a directory to bound resident memory — each stream's archive keeps
+    /// only the newest spool_resident_tuples in RAM and demotes the rest
+    /// to append-only segments under this directory; window scans and
+    /// kIngestLate backfill read through the spool's page cache
+    /// transparently, and a server reopened on the same directory adopts
+    /// the spooled history (see ReplayStream).
+    std::string spool_dir;
+    /// Spool page-cache capacity in 4 KiB pages, shared by every stream —
+    /// THE resident-memory knob for queries over history: cold scans
+    /// fault through it, so RAM stays bounded no matter how much history
+    /// the windows reach back into.
+    size_t spool_cache_pages = 256;
+    /// Newest tuples each archive keeps in RAM before demoting to disk.
+    size_t spool_resident_tuples = 4096;
+    /// Spool segment rotation size (smaller = finer retention granule).
+    uint64_t spool_segment_bytes = 4ull << 20;
+    /// fsync every demotion (crash-safety tests; ruinous throughput).
+    bool spool_sync_each_append = false;
   };
 
   Server();
@@ -183,6 +203,20 @@ class Server {
 
   /// Replaces the wall clock PumpHeartbeats uses to measure idleness.
   void SetClockForTesting(std::function<int64_t()> now_ms);
+
+  /// Replays `stream`'s archived history with timestamp >= from_ts
+  /// through the standing-query lanes (DESIGN.md §16): every standing
+  /// CACQ query — delayed and speculative alike, the records are final —
+  /// sees the replayed tuples in timestamp order, the safe watermark
+  /// advances over the replayed range, and windowed queries re-advance.
+  /// Records are read back through the spool's page cache when the
+  /// history lives on disk and are NOT re-archived. The primary use is a
+  /// server reopened on Options::spool_dir: DefineStream adopts the
+  /// spooled history, then ReplayStream(stream, kMinTimestamp) feeds it
+  /// to freshly registered queries. Fails if disordered arrivals are
+  /// still buffered (heartbeat first — replay may not interleave with an
+  /// open disorder window).
+  Status ReplayStream(const std::string& stream, Timestamp from_ts);
 
   /// Delivery barrier for sharded execution: returns once every tuple
   /// pushed before the call has been executed and its results delivered
@@ -322,6 +356,10 @@ class Server {
   mutable std::mutex results_mu_;
   Options options_;
   Catalog catalog_;
+  /// Shared disk spool (Options::spool_dir; null = off). Declared before
+  /// streams_ so it outlives the archives and engines holding raw
+  /// pointers into it.
+  std::unique_ptr<Spool> spool_;
   std::map<std::string, StreamState> streams_;
   std::vector<std::unique_ptr<QueryState>> queries_;
   /// Live kSpeculative queries. ReviseQueriesLocked runs per ingest batch

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "spool/spool.h"
 
 namespace tcq {
 
@@ -113,17 +114,60 @@ Archive::Archive(Timestamp retention_span)
   TCQ_CHECK(retention_span_ > 0);
 }
 
+void Archive::AttachSpool(Spool* spool, std::string key,
+                          size_t resident_limit) {
+  TCQ_CHECK(spool != nullptr);
+  TCQ_CHECK(resident_limit > 0) << "archive needs a resident tail";
+  TCQ_CHECK(!hook_) << "spool already attached";
+  hook_ = std::make_unique<SpoolHook>();
+  hook_->spool = spool;
+  hook_->key = std::move(key);
+  hook_->resident_limit = resident_limit;
+  // Adopt history already on disk (server restart): it is by definition
+  // older than anything this process will append.
+  hook_->spooled = spool->records(hook_->key);
+  hook_->frontier = spool->main_frontier(hook_->key);
+  TCQ_CHECK(tuples_.empty() ||
+            tuples_.front().timestamp() >= hook_->frontier)
+      << "spooled history must predate resident tuples";
+  DemoteOverflow();
+}
+
+void Archive::TrimSpan() {
+  if (retention_span_ == kMaxTimestamp) return;
+  const Timestamp cutoff = max_ts_ - retention_span_ + 1;
+  while (!tuples_.empty() && tuples_.front().timestamp() < cutoff) {
+    tuples_.pop_front();
+  }
+  if (hook_ && cutoff > hook_->floor) {
+    // The floor gives exact logical retention; physical segment drops
+    // are free to lag at whole-segment granularity.
+    hook_->floor = cutoff;
+    if (hook_->spooled > 0) {
+      TCQ_CHECK(hook_->spool->EvictBefore(hook_->key, cutoff).ok());
+      hook_->spooled = hook_->spool->records(hook_->key);
+    }
+  }
+}
+
+void Archive::DemoteOverflow() {
+  while (tuples_.size() > hook_->resident_limit) {
+    const Tuple& victim = tuples_.front();
+    TCQ_CHECK(hook_->spool->Append(hook_->key, victim).ok())
+        << "spool demotion failed";
+    hook_->frontier = std::max(hook_->frontier, victim.timestamp());
+    ++hook_->spooled;
+    tuples_.pop_front();
+  }
+}
+
 void Archive::Append(const Tuple& t) {
   TCQ_CHECK(tuples_.empty() || t.timestamp() >= tuples_.back().timestamp())
       << "archive requires timestamp-ordered appends";
   tuples_.push_back(t);
   if (t.timestamp() > max_ts_) max_ts_ = t.timestamp();
-  if (retention_span_ != kMaxTimestamp) {
-    const Timestamp cutoff = max_ts_ - retention_span_ + 1;
-    while (!tuples_.empty() && tuples_.front().timestamp() < cutoff) {
-      tuples_.pop_front();
-    }
-  }
+  if (retention_span_ != kMaxTimestamp) TrimSpan();
+  if (hook_) DemoteOverflow();
 }
 
 std::deque<Tuple>::const_iterator Archive::LowerBound(Timestamp lo) const {
@@ -139,6 +183,21 @@ TupleVector Archive::Scan(Timestamp lo, Timestamp hi) const {
 }
 
 void Archive::InsertOrdered(const Tuple& t) {
+  if (hook_) {
+    if (t.timestamp() < hook_->floor) return;  // Expired straggler.
+    // A straggler older than every resident tuple belongs in the spool's
+    // late run, which stitches it to the exact upper-bound position the
+    // unsplit deque would have used (every tuple with ts <= its own is
+    // already spooled, every resident one is strictly newer).
+    if (hook_->spooled > 0 &&
+        (tuples_.empty() || t.timestamp() < tuples_.front().timestamp())) {
+      TCQ_CHECK(hook_->spool->Append(hook_->key, t).ok())
+          << "spool late insert failed";
+      hook_->frontier = std::max(hook_->frontier, t.timestamp());
+      ++hook_->spooled;
+      return;
+    }
+  }
   if (tuples_.empty() || t.timestamp() >= tuples_.back().timestamp()) {
     Append(t);
     return;
@@ -149,12 +208,8 @@ void Archive::InsertOrdered(const Tuple& t) {
   tuples_.insert(pos, t);
   // max_ts_ unchanged (the straggler is older by definition); retention
   // may still discard it immediately when it falls outside the span.
-  if (retention_span_ != kMaxTimestamp) {
-    const Timestamp cutoff = max_ts_ - retention_span_ + 1;
-    while (!tuples_.empty() && tuples_.front().timestamp() < cutoff) {
-      tuples_.pop_front();
-    }
-  }
+  if (retention_span_ != kMaxTimestamp) TrimSpan();
+  if (hook_) DemoteOverflow();
 }
 
 bool Archive::CancelMatching(const Tuple& t) {
@@ -171,21 +226,83 @@ bool Archive::CancelMatching(const Tuple& t) {
       return true;
     }
   }
+  // Resident misses fall through to demoted history: every spooled record
+  // is older than every resident one, so checking resident first keeps
+  // the newest-match contract.
+  if (hook_ && hook_->spooled > 0 && t.timestamp() <= hook_->frontier &&
+      t.timestamp() >= hook_->floor) {
+    auto cancelled = hook_->spool->Cancel(hook_->key, t);
+    TCQ_CHECK(cancelled.ok()) << "spool cancel failed: "
+                              << cancelled.status();
+    if (*cancelled) {
+      --hook_->spooled;
+      return true;
+    }
+  }
   return false;
 }
 
 void Archive::EvictBefore(Timestamp ts) {
+  if (hook_) {
+    // Demote rather than free: the tuples leave RAM but stay scannable.
+    while (!tuples_.empty() && tuples_.front().timestamp() < ts) {
+      const Tuple& victim = tuples_.front();
+      TCQ_CHECK(hook_->spool->Append(hook_->key, victim).ok())
+          << "spool demotion failed";
+      hook_->frontier = std::max(hook_->frontier, victim.timestamp());
+      ++hook_->spooled;
+      tuples_.pop_front();
+    }
+    return;
+  }
   while (!tuples_.empty() && tuples_.front().timestamp() < ts) {
     tuples_.pop_front();
   }
 }
 
+void Archive::ScanSpool(Timestamp lo, Timestamp hi,
+                        const std::function<bool(const Tuple&)>& fn) const {
+  TCQ_CHECK(hook_->spool->Scan(hook_->key, lo, hi, fn).ok())
+      << "spool scan failed";
+}
+
+Timestamp Archive::ScanChunk(Timestamp lo, Timestamp hi, size_t max_records,
+                             TupleVector* out) const {
+  if (hook_) {
+    if (lo < hook_->floor) lo = hook_->floor;
+    if (hook_->spooled > 0 && lo <= hook_->frontier) {
+      auto next = hook_->spool->ScanChunk(hook_->key, lo, hi, max_records,
+                                          out);
+      TCQ_CHECK(next.ok()) << "spool scan failed: " << next.status();
+      // More spool to go: stop here; the resident region waits its turn.
+      if (*next != kMaxTimestamp) return *next;
+      // Spool region exhausted: continue into the resident tail below,
+      // same chunk — an equal-timestamp run straddling the boundary must
+      // not split.
+    }
+  }
+  for (auto it = LowerBound(lo); it != tuples_.end(); ++it) {
+    if (it->timestamp() > hi) break;
+    if (out->size() >= max_records && !out->empty() &&
+        it->timestamp() != out->back().timestamp()) {
+      return it->timestamp();
+    }
+    out->push_back(*it);
+  }
+  return kMaxTimestamp;
+}
+
 Timestamp Archive::min_timestamp() const {
+  if (hook_ && hook_->spooled > 0) {
+    return std::max(hook_->floor,
+                    hook_->spool->min_timestamp(hook_->key));
+  }
   return tuples_.empty() ? kMaxTimestamp : tuples_.front().timestamp();
 }
 
 Timestamp Archive::max_timestamp() const {
-  return tuples_.empty() ? kMinTimestamp : tuples_.back().timestamp();
+  if (!tuples_.empty()) return tuples_.back().timestamp();
+  return (hook_ && hook_->spooled > 0) ? hook_->frontier : kMinTimestamp;
 }
 
 }  // namespace tcq

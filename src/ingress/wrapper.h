@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -106,13 +107,34 @@ class ReorderBuffer {
   std::deque<Tuple> buffer_;  ///< Timestamp-ordered, ties in arrival order.
 };
 
+class Spool;
+
 /// The stream archive: retained history that has conceptually been
 /// "spooled to disk in the background" (§1.1). Holds tuples in timestamp
 /// order and serves window-driven scans — the "scanner operator driven by
 /// window descriptors" of §4.2.3. Bounded by a retention span.
+///
+/// With AttachSpool the "conceptually" becomes literal (DESIGN.md §16):
+/// only the newest `resident_limit` tuples stay in memory; older history
+/// demotes to the spool's disk segments, and scans read the spool region
+/// first, then the resident tail — reproducing the unsplit deque order
+/// byte for byte. Without a spool every path below is exactly the legacy
+/// in-memory archive (one null-pointer test on the hot append path).
 class Archive {
  public:
   explicit Archive(Timestamp retention_span = kMaxTimestamp);
+
+  /// Bounds resident memory: history beyond the newest `resident_limit`
+  /// tuples demotes to `spool` under `key`. Adopts any records already
+  /// spooled under the key (reopen), which must all be older than
+  /// anything resident. Caller keeps `spool` alive past this archive.
+  void AttachSpool(Spool* spool, std::string key, size_t resident_limit);
+
+  bool has_spool() const { return hook_ != nullptr; }
+  /// Tuples held in memory (== size() when no spool is attached).
+  size_t resident_size() const { return tuples_.size(); }
+  /// Live tuples demoted to the spool.
+  size_t spooled_size() const { return hook_ ? hook_->spooled : 0; }
 
   void Append(const Tuple& t);
 
@@ -131,27 +153,78 @@ class Archive {
   /// All retained tuples with timestamp in [lo, hi], in order.
   TupleVector Scan(Timestamp lo, Timestamp hi) const;
 
-  /// Applies fn to retained tuples with timestamp in [lo, hi].
+  /// Applies fn to retained tuples with timestamp in [lo, hi]: the
+  /// spooled (older) region first, then the resident tail — exactly the
+  /// order the unsplit in-memory deque would have.
   template <typename Fn>
   void ScanApply(Timestamp lo, Timestamp hi, Fn&& fn) const {
+    if (hook_) {
+      if (lo < hook_->floor) lo = hook_->floor;
+      if (hook_->spooled > 0 && lo <= hook_->frontier) {
+        ScanSpool(lo, hi, [&](const Tuple& t) {
+          fn(t);
+          return true;
+        });
+      }
+    }
     for (auto it = LowerBound(lo); it != tuples_.end(); ++it) {
       if (it->timestamp() > hi) break;
       fn(*it);
     }
   }
 
+  /// Chunked scan for replay: appends retained tuples in [lo, hi] to
+  /// `out`, stopping at the first timestamp change once `max_records`
+  /// are collected (an equal-timestamp run never splits across chunks,
+  /// even where it straddles the spool/resident boundary). Returns the
+  /// next lo to resume from, or kMaxTimestamp when the range is done.
+  Timestamp ScanChunk(Timestamp lo, Timestamp hi, size_t max_records,
+                      TupleVector* out) const;
+
+  /// Without a spool: frees history older than `ts` (legacy). With one:
+  /// demotes it to disk instead — the resident set shrinks, the history
+  /// stays scannable.
   void EvictBefore(Timestamp ts);
 
-  size_t size() const { return tuples_.size(); }
+  /// Retained tuples. With a spool and a finite retention span this can
+  /// exceed what scans serve: physical segment drops are coarse, so
+  /// records below the logical floor linger on disk (never in results)
+  /// until their whole segment ages out.
+  size_t size() const { return tuples_.size() + spooled_size(); }
   Timestamp min_timestamp() const;
   Timestamp max_timestamp() const;
 
  private:
+  /// Spool-side half of a split archive (pointers only so this header
+  /// stays free of the spool's).
+  struct SpoolHook {
+    Spool* spool = nullptr;
+    std::string key;
+    size_t resident_limit = 0;
+    /// Newest main-run timestamp in the spool; every spooled record has
+    /// ts <= frontier, every resident tuple ts >= it.
+    Timestamp frontier = kMinTimestamp;
+    /// Logical retention floor (the span cutoff): scans clamp here, so
+    /// segment-granular physical retention can lag exactness-free.
+    Timestamp floor = kMinTimestamp;
+    size_t spooled = 0;  ///< Live records in the spool.
+  };
+
   std::deque<Tuple>::const_iterator LowerBound(Timestamp lo) const;
+  /// Applies the retention span: raises the floor, pops expired resident
+  /// tuples and physically drops expired spool segments.
+  void TrimSpan();
+  /// Demotes the oldest resident tuples until `resident_limit` holds.
+  void DemoteOverflow();
+  /// Scans the spool region [lo, hi] in merge order (out-of-line so the
+  /// header needs no spool include).
+  void ScanSpool(Timestamp lo, Timestamp hi,
+                 const std::function<bool(const Tuple&)>& fn) const;
 
   Timestamp retention_span_;
   std::deque<Tuple> tuples_;  ///< Timestamp-ordered (enforced on Append).
   Timestamp max_ts_ = kMinTimestamp;
+  std::unique_ptr<SpoolHook> hook_;
 };
 
 }  // namespace tcq

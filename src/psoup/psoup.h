@@ -17,6 +17,8 @@
 
 namespace tcq {
 
+class Spool;
+
 /// PSoup (§3.2, [CF02]): treats data and queries symmetrically.
 ///
 ///  * Data arrives  -> built into the Data SteM, then *probes the Query
@@ -45,6 +47,15 @@ class PSoup {
 
   PSoup(const PSoup&) = delete;
   PSoup& operator=(const PSoup&) = delete;
+  ~PSoup();
+
+  /// Bounds the Data SteM's resident memory (DESIGN.md §16): history
+  /// beyond the newest `resident_limit` tuples demotes to `spool` under
+  /// `key`, and Register keeps seeding new queries from the FULL history
+  /// by reading the demoted prefix back through the spool's page cache.
+  /// Adopts records already spooled under the key. Caller keeps `spool`
+  /// alive past this PSoup.
+  void AttachSpool(Spool* spool, std::string key, size_t resident_limit);
 
   /// Registers a standing query: a predicate over the stream schema plus a
   /// time-based window width imposed at invocation. The query is
@@ -66,10 +77,15 @@ class PSoup {
   Result<TupleVector> Invoke(QueryId q, Timestamp now) const;
 
   /// Reclaims history and per-query results older than `ts` (results older
-  /// than any invocable window are dead weight).
+  /// than any invocable window are dead weight). With a spool attached the
+  /// history is demoted to disk instead of freed — it leaves RAM but new
+  /// queries still seed from it.
   void EvictBefore(Timestamp ts);
 
-  size_t history_size() const { return history_.size(); }
+  /// History tuples, resident and spooled.
+  size_t history_size() const { return history_.size() + spooled_; }
+  size_t resident_history_size() const { return history_.size(); }
+  size_t spooled_history_size() const { return spooled_; }
   size_t num_active_queries() const { return active_; }
   /// Total materialized result entries across queries.
   size_t materialized_results() const;
@@ -86,8 +102,24 @@ class PSoup {
   /// Data-side probe of the Query SteM: all active queries matching t.
   SmallBitset MatchQueries(const Tuple& t) const;
 
+  /// Demotes the oldest resident history until `resident_limit_` holds.
+  void DemoteOverflow();
+  void TrackHistoryBytes(int64_t delta);
+
   const SchemaPtr schema_;
   const Options options_;
+
+  // Spool hook (null = pure in-memory Data SteM). `frontier_` is the
+  // newest demoted timestamp: every spooled tuple has ts <= frontier_,
+  // every resident one ts >= it. `floor_` is the history_span cutoff
+  // clamped onto spool reads.
+  Spool* spool_ = nullptr;
+  std::string spool_key_;
+  size_t resident_limit_ = 0;
+  Timestamp spool_frontier_ = kMinTimestamp;
+  Timestamp spool_floor_ = kMinTimestamp;
+  size_t spooled_ = 0;
+  int64_t resident_bytes_ = 0;
 
   // Data SteM: retained history in timestamp order (InsertByTimestamp
   // re-sorts late arrivals on the way in, so EvictBefore's prefix pop

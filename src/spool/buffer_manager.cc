@@ -1,0 +1,192 @@
+#include "spool/buffer_manager.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tcq {
+namespace spool {
+
+BufferManager::BufferManager(Options options) : options_(options) {
+  TCQ_CHECK(options_.capacity_pages > 0);
+}
+
+BufferManager::~BufferManager() {
+  // Every PageRef must be gone by now; pinned frames here mean a scan
+  // outlived the spool.
+  for (const auto& [key, frame] : frames_) {
+    TCQ_CHECK(frame->pins == 0) << "spool page still pinned at shutdown";
+  }
+}
+
+BufferManager::PageRef::PageRef(PageRef&& o) noexcept
+    : bm_(std::exchange(o.bm_, nullptr)),
+      frame_(std::exchange(o.frame_, nullptr)),
+      owned_(std::move(o.owned_)),
+      data_(std::exchange(o.data_, nullptr)),
+      size_(std::exchange(o.size_, 0)) {}
+
+BufferManager::PageRef& BufferManager::PageRef::operator=(
+    PageRef&& o) noexcept {
+  if (this != &o) {
+    Release();
+    bm_ = std::exchange(o.bm_, nullptr);
+    frame_ = std::exchange(o.frame_, nullptr);
+    owned_ = std::move(o.owned_);
+    data_ = std::exchange(o.data_, nullptr);
+    size_ = std::exchange(o.size_, 0);
+  }
+  return *this;
+}
+
+BufferManager::PageRef::~PageRef() { Release(); }
+
+void BufferManager::PageRef::Release() {
+  if (bm_ != nullptr && frame_ != nullptr) bm_->Unpin(frame_);
+  bm_ = nullptr;
+  frame_ = nullptr;
+  owned_.reset();
+  data_ = nullptr;
+  size_ = 0;
+}
+
+Result<BufferManager::PageRef> BufferManager::Get(PageSource* src,
+                                                  uint64_t file,
+                                                  uint32_t page,
+                                                  bool sequential) {
+  const Key key{src, file, page};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    Frame* f = it->second.get();
+    ++stats_.hits;
+    if (f->in_lru) {
+      lru_.erase(f->lru_pos);
+      f->in_lru = false;
+    }
+    ++f->pins;
+    PageRef ref;
+    ref.bm_ = this;
+    ref.frame_ = f;
+    ref.data_ = f->data.get();
+    ref.size_ = f->len;
+    return ref;
+  }
+  ++stats_.misses;
+  auto buf = std::make_unique<uint8_t[]>(kPageSize);
+  uint32_t len = 0;
+  bool cacheable = true;
+  Status st = src->ReadPage(file, page, buf.get(), &len, &cacheable);
+  if (!st.ok()) return st;
+  if (!cacheable) {
+    // Live tail page: hand the caller its own snapshot, cache nothing.
+    PageRef ref;
+    ref.data_ = buf.get();
+    ref.size_ = len;
+    ref.owned_ = std::move(buf);
+    return ref;
+  }
+  auto frame = std::make_unique<Frame>();
+  frame->key = key;
+  frame->data = std::move(buf);
+  frame->len = len;
+  frame->pins = 1;
+  Frame* f = frame.get();
+  frames_.emplace(key, std::move(frame));
+  EvictIfNeededLocked();
+  if (sequential) {
+    for (size_t i = 1; i <= options_.read_ahead_pages; ++i) {
+      PrefetchLocked(Key{src, file, page + static_cast<uint32_t>(i)});
+    }
+  }
+  PageRef ref;
+  ref.bm_ = this;
+  ref.frame_ = f;
+  ref.data_ = f->data.get();
+  ref.size_ = f->len;
+  return ref;
+}
+
+void BufferManager::PrefetchLocked(const Key& key) {
+  if (frames_.size() >= options_.capacity_pages) return;  // Don't churn.
+  if (frames_.contains(key)) return;
+  auto buf = std::make_unique<uint8_t[]>(kPageSize);
+  uint32_t len = 0;
+  bool cacheable = true;
+  Status st = key.src->ReadPage(key.file, key.page, buf.get(), &len,
+                                &cacheable);
+  if (!st.ok() || !cacheable) return;  // Past EOF or live tail: stop here.
+  auto frame = std::make_unique<Frame>();
+  frame->key = key;
+  frame->data = std::move(buf);
+  frame->len = len;
+  frame->pins = 0;
+  frame->in_lru = true;
+  lru_.push_back(frame.get());
+  frame->lru_pos = std::prev(lru_.end());
+  frames_.emplace(key, std::move(frame));
+  ++stats_.readahead;
+}
+
+void BufferManager::EvictIfNeededLocked() {
+  while (frames_.size() > options_.capacity_pages && !lru_.empty()) {
+    Frame* victim = lru_.front();
+    lru_.pop_front();
+    frames_.erase(victim->key);
+    ++stats_.evictions;
+  }
+}
+
+void BufferManager::Unpin(void* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame* f = static_cast<Frame*>(frame);
+  TCQ_DCHECK(f->pins > 0);
+  if (--f->pins == 0) {
+    f->in_lru = true;
+    lru_.push_back(f);
+    f->lru_pos = std::prev(lru_.end());
+    EvictIfNeededLocked();
+  }
+}
+
+void BufferManager::DropFile(PageSource* src, uint64_t file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    Frame* f = it->second.get();
+    if (f->key.src == src && f->key.file == file) {
+      TCQ_CHECK(f->pins == 0) << "spool: dropping a pinned page";
+      if (f->in_lru) lru_.erase(f->lru_pos);
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferManager::DropSource(PageSource* src) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    Frame* f = it->second.get();
+    if (f->key.src == src) {
+      TCQ_CHECK(f->pins == 0) << "spool: dropping a pinned page";
+      if (f->in_lru) lru_.erase(f->lru_pos);
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t BufferManager::resident_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
+}
+
+BufferManager::Stats BufferManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace spool
+}  // namespace tcq

@@ -1,0 +1,138 @@
+#ifndef TCQ_SPOOL_BUFFER_MANAGER_H_
+#define TCQ_SPOOL_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "spool/segment.h"
+
+namespace tcq {
+namespace spool {
+
+/// Backing store the buffer manager faults pages in from. One source per
+/// segment store (i.e. per spooled stream); `file` is the segment id.
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+  /// Reads page `page` of file `file` into `buf` (>= kPageSize bytes).
+  /// *len = valid bytes; *cacheable = false when the page may still grow
+  /// (a writer's live tail) and must not be retained.
+  virtual Status ReadPage(uint64_t file, uint32_t page, uint8_t* buf,
+                          uint32_t* len, bool* cacheable) = 0;
+};
+
+/// Bounded page cache over every spooled stream (DESIGN.md §16): the hard
+/// resident-memory knob for reading history. Pages are pinned while a
+/// scan looks at them and LRU-evicted once unpinned; sequential scans ask
+/// for read-ahead so cold replay stays one disk round-trip per
+/// `read_ahead_pages` instead of per page. Capacity is a soft cap under
+/// pinning: a page fault never fails because every frame is pinned, it
+/// just overshoots until the pins drop.
+///
+/// Thread-safe; faults are served under the cache lock, so two scans
+/// missing at once serialize on the disk read (simple, and the per-stream
+/// spool lock already serializes same-stream scans).
+class BufferManager {
+ public:
+  struct Options {
+    size_t capacity_pages = 256;
+    size_t read_ahead_pages = 4;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t readahead = 0;
+  };
+
+  explicit BufferManager(Options options);
+  ~BufferManager();
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// A pinned view of one page. Valid (and the frame unevictable) until
+  /// destruction. Uncacheable pages are served as a private copy.
+  class PageRef {
+   public:
+    PageRef() = default;
+    PageRef(PageRef&& o) noexcept;
+    PageRef& operator=(PageRef&& o) noexcept;
+    PageRef(const PageRef&) = delete;
+    PageRef& operator=(const PageRef&) = delete;
+    ~PageRef();
+
+    const uint8_t* data() const { return data_; }
+    uint32_t size() const { return size_; }
+    bool valid() const { return data_ != nullptr; }
+
+   private:
+    friend class BufferManager;
+    BufferManager* bm_ = nullptr;
+    void* frame_ = nullptr;  ///< Frame* when cached, else null.
+    std::unique_ptr<uint8_t[]> owned_;  ///< Private copy (uncacheable page).
+    const uint8_t* data_ = nullptr;
+    uint32_t size_ = 0;
+
+    void Release();
+  };
+
+  /// Returns the page, faulting it in if needed. `sequential` marks a
+  /// forward scan: subsequent pages of the same file are prefetched.
+  Result<PageRef> Get(PageSource* src, uint64_t file, uint32_t page,
+                      bool sequential = false);
+
+  /// Drops every cached page of `file` (after a segment is deleted).
+  void DropFile(PageSource* src, uint64_t file);
+  /// Drops every cached page of `src` (stream close).
+  void DropSource(PageSource* src);
+
+  size_t resident_pages() const;
+  Stats stats() const;
+
+ private:
+  struct Key {
+    PageSource* src;
+    uint64_t file;
+    uint32_t page;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = reinterpret_cast<uintptr_t>(k.src);
+      h = h * 0x9e3779b97f4a7c15ULL + k.file;
+      h = h * 0x9e3779b97f4a7c15ULL + k.page;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+  struct Frame {
+    Key key;
+    std::unique_ptr<uint8_t[]> data;
+    uint32_t len = 0;
+    uint32_t pins = 0;
+    bool in_lru = false;
+    std::list<Frame*>::iterator lru_pos;
+  };
+
+  /// Loads (without pinning) `key` into the cache; no-op when present or
+  /// uncacheable. Called with lock held.
+  void PrefetchLocked(const Key& key);
+  void EvictIfNeededLocked();
+  void Unpin(void* frame);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::unique_ptr<Frame>, KeyHash> frames_;
+  std::list<Frame*> lru_;  ///< Unpinned frames, least-recent first.
+  Stats stats_;
+};
+
+}  // namespace spool
+}  // namespace tcq
+
+#endif  // TCQ_SPOOL_BUFFER_MANAGER_H_

@@ -1,0 +1,86 @@
+#include "spool/index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcq {
+namespace spool {
+
+void StreamIndex::NoteMain(const RecordLocation& loc, Timestamp ts) {
+  TCQ_DCHECK(ts >= main_frontier_)
+      << "spool index: main run must be timestamp-ordered";
+  main_frontier_ = ts;
+  if (main_.empty() || main_.back().segment != loc.segment ||
+      main_.back().page != loc.page) {
+    main_.push_back(MainEntry{loc.segment, loc.page, ts});
+  }
+  ++records_total_;
+  ++per_segment_[loc.segment].records;
+}
+
+void StreamIndex::NoteLate(const RecordLocation& loc, Timestamp ts) {
+  // Stable upper-bound insert: a late record lands after every record
+  // with ts <= its own, reproducing Archive::InsertOrdered placement.
+  const auto pos = std::upper_bound(
+      late_.begin(), late_.end(), ts,
+      [](Timestamp v, const LateEntry& e) { return v < e.ts; });
+  late_.insert(pos, LateEntry{ts, loc});
+  ++records_total_;
+  ++per_segment_[loc.segment].records;
+}
+
+void StreamIndex::AddMask(const RecordLocation& loc) {
+  if (masked_.insert(loc).second) {
+    ++masked_total_;
+    ++per_segment_[loc.segment].masked;
+  }
+}
+
+std::optional<StreamIndex::Pos> StreamIndex::SeekMain(Timestamp lo) const {
+  if (main_.empty()) return std::nullopt;
+  // Last entry with first_ts < lo; records with ts == lo may start on
+  // that page even though its first record is older.
+  const auto it = std::lower_bound(
+      main_.begin(), main_.end(), lo,
+      [](const MainEntry& e, Timestamp v) { return e.first_ts < v; });
+  if (it == main_.begin()) return Pos{it->segment, it->page};
+  const auto prev = std::prev(it);
+  return Pos{prev->segment, prev->page};
+}
+
+void StreamIndex::CollectLate(Timestamp lo, Timestamp hi,
+                              std::vector<LateEntry>* out) const {
+  const auto first = std::lower_bound(
+      late_.begin(), late_.end(), lo,
+      [](const LateEntry& e, Timestamp v) { return e.ts < v; });
+  for (auto it = first; it != late_.end() && it->ts <= hi; ++it) {
+    out->push_back(*it);
+  }
+}
+
+void StreamIndex::DropSegment(uint64_t segment) {
+  const auto counts = per_segment_.find(segment);
+  if (counts != per_segment_.end()) {
+    records_total_ -= counts->second.records;
+    masked_total_ -= counts->second.masked;
+    per_segment_.erase(counts);
+  }
+  std::erase_if(main_,
+                [&](const MainEntry& e) { return e.segment == segment; });
+  std::erase_if(late_,
+                [&](const LateEntry& e) { return e.loc.segment == segment; });
+  std::erase_if(masked_, [&](const RecordLocation& l) {
+    return l.segment == segment;
+  });
+}
+
+Timestamp StreamIndex::min_ts() const {
+  Timestamp min = kMaxTimestamp;
+  if (!main_.empty()) min = main_.front().first_ts;
+  if (!late_.empty()) min = std::min(min, late_.front().ts);
+  return min;
+}
+
+}  // namespace spool
+}  // namespace tcq

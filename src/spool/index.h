@@ -1,0 +1,96 @@
+#ifndef TCQ_SPOOL_INDEX_H_
+#define TCQ_SPOOL_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "spool/segment.h"
+
+namespace tcq {
+namespace spool {
+
+/// In-memory index over one stream's spooled records, rebuilt from the
+/// segment scan on open and maintained on every append (DESIGN.md §16).
+///
+/// Main-run records (timestamp-ordered appends) get a SPARSE index: one
+/// entry per (segment, page) a main record starts in, keyed by the first
+/// such record's timestamp — a range probe seeks to the right page and
+/// pays at most one page of overshoot. Late records (kIngestLate
+/// stragglers, physically out of order) get EXACT entries so scans can
+/// stitch them back into timestamp order; tombstones mask cancelled
+/// records by exact location. ~24 bytes per 4 KiB page plus a few dozen
+/// per straggler: memory stays a fraction of a percent of history size.
+class StreamIndex {
+ public:
+  struct Pos {
+    uint64_t segment;
+    uint32_t page;
+  };
+  struct LateEntry {
+    Timestamp ts;
+    RecordLocation loc;
+  };
+
+  /// Records a main-run append/recovery at `loc` (physical order).
+  void NoteMain(const RecordLocation& loc, Timestamp ts);
+  /// Records a late append/recovery at `loc`.
+  void NoteLate(const RecordLocation& loc, Timestamp ts);
+  /// Masks the record at `loc` (a tombstone cancelled it).
+  void AddMask(const RecordLocation& loc);
+
+  bool IsMasked(const RecordLocation& loc) const {
+    return masked_total_ > 0 && masked_.contains(loc);
+  }
+
+  /// Start position for a main-run scan of timestamps >= lo: the last
+  /// indexed page whose first main timestamp is strictly below lo (equal
+  /// timestamps may begin on an earlier page), or the first page. Empty
+  /// when no main records are live.
+  std::optional<Pos> SeekMain(Timestamp lo) const;
+
+  /// Late entries with ts in [lo, hi], in merge order (stable by ts).
+  void CollectLate(Timestamp lo, Timestamp hi,
+                   std::vector<LateEntry>* out) const;
+
+  /// Forgets everything in `segment` (dropped by retention).
+  void DropSegment(uint64_t segment);
+
+  /// Live record count (appended minus masked, over live segments).
+  size_t records() const { return records_total_ - masked_total_; }
+  bool has_late() const { return !late_.empty(); }
+  size_t late_count() const { return late_.size(); }
+
+  /// Oldest live timestamp (approximate under cancellation: a masked
+  /// oldest record is still counted). kMaxTimestamp when empty.
+  Timestamp min_ts() const;
+  /// Newest main-run timestamp ever seen (monotone; survives retention).
+  Timestamp main_frontier() const { return main_frontier_; }
+
+ private:
+  struct MainEntry {
+    uint64_t segment;
+    uint32_t page;
+    Timestamp first_ts;
+  };
+  struct SegCounts {
+    size_t records = 0;
+    size_t masked = 0;
+  };
+
+  std::vector<MainEntry> main_;  ///< Physical order == timestamp order.
+  std::vector<LateEntry> late_;  ///< Sorted by ts, stable (insert order).
+  std::unordered_set<RecordLocation, RecordLocationHash> masked_;
+  std::unordered_map<uint64_t, SegCounts> per_segment_;
+  size_t records_total_ = 0;
+  size_t masked_total_ = 0;
+  Timestamp main_frontier_ = kMinTimestamp;
+};
+
+}  // namespace spool
+}  // namespace tcq
+
+#endif  // TCQ_SPOOL_INDEX_H_

@@ -1,0 +1,696 @@
+#include "spool/segment.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tcq {
+namespace spool {
+
+namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>(v >> 8));
+}
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void StoreU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+void StoreU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint16_t LoadU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Bounds-checked little-endian reader over a record payload.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t n) : p_(data), end_(data + n) {}
+  bool U8(uint8_t* v) {
+    if (end_ - p_ < 1) return false;
+    *v = *p_++;
+    return true;
+  }
+  bool U16(uint16_t* v) {
+    if (end_ - p_ < 2) return false;
+    *v = LoadU16(p_);
+    p_ += 2;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (end_ - p_ < 4) return false;
+    *v = LoadU32(p_);
+    p_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (end_ - p_ < 8) return false;
+    *v = LoadU64(p_);
+    p_ += 8;
+    return true;
+  }
+  bool Bytes(size_t n, const uint8_t** out) {
+    if (static_cast<size_t>(end_ - p_) < n) return false;
+    *out = p_;
+    p_ += n;
+    return true;
+  }
+  bool AtEnd() const { return p_ == end_; }
+
+ private:
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t c = 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) c = table[(c ^ data[i]) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+void EncodeRecord(RecordKind kind, const Tuple& t, std::string* out) {
+  out->push_back(static_cast<char>(kind));
+  out->push_back(t.retraction() ? 1 : 0);
+  PutU64(out, static_cast<uint64_t>(t.timestamp()));
+  PutU64(out, static_cast<uint64_t>(t.seq()));
+  PutU16(out, static_cast<uint16_t>(t.arity()));
+  for (size_t i = 0; i < t.arity(); ++i) {
+    const Value& v = t.cell(i);
+    out->push_back(static_cast<char>(v.type()));
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kBool:
+        out->push_back(v.bool_value() ? 1 : 0);
+        break;
+      case ValueType::kInt64:
+        PutU64(out, static_cast<uint64_t>(v.int64_value()));
+        break;
+      case ValueType::kDouble: {
+        uint64_t bits;
+        const double d = v.double_value();
+        std::memcpy(&bits, &d, sizeof(bits));
+        PutU64(out, bits);
+        break;
+      }
+      case ValueType::kString: {
+        const std::string& s = v.string_value();
+        PutU32(out, static_cast<uint32_t>(s.size()));
+        out->append(s);
+        break;
+      }
+    }
+  }
+}
+
+Status DecodeRecord(const uint8_t* data, size_t n, RecordKind* kind,
+                    Tuple* t) {
+  Reader r(data, n);
+  uint8_t k = 0, flags = 0;
+  uint64_t ts = 0, seq = 0;
+  uint16_t arity = 0;
+  if (!r.U8(&k) || !r.U8(&flags) || !r.U64(&ts) || !r.U64(&seq) ||
+      !r.U16(&arity)) {
+    return Status::ParseError("spool record header truncated");
+  }
+  if (k < 1 || k > 3) return Status::ParseError("spool record bad kind");
+  std::vector<Value> cells;
+  cells.reserve(arity);
+  for (uint16_t i = 0; i < arity; ++i) {
+    uint8_t type = 0;
+    if (!r.U8(&type)) return Status::ParseError("spool cell truncated");
+    switch (static_cast<ValueType>(type)) {
+      case ValueType::kNull:
+        cells.push_back(Value::Null());
+        break;
+      case ValueType::kBool: {
+        uint8_t b = 0;
+        if (!r.U8(&b)) return Status::ParseError("spool cell truncated");
+        cells.push_back(Value::Bool(b != 0));
+        break;
+      }
+      case ValueType::kInt64: {
+        uint64_t v = 0;
+        if (!r.U64(&v)) return Status::ParseError("spool cell truncated");
+        cells.push_back(Value::Int64(static_cast<int64_t>(v)));
+        break;
+      }
+      case ValueType::kDouble: {
+        uint64_t bits = 0;
+        if (!r.U64(&bits)) return Status::ParseError("spool cell truncated");
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        cells.push_back(Value::Double(d));
+        break;
+      }
+      case ValueType::kString: {
+        uint32_t len = 0;
+        const uint8_t* bytes = nullptr;
+        if (!r.U32(&len) || !r.Bytes(len, &bytes)) {
+          return Status::ParseError("spool cell truncated");
+        }
+        cells.push_back(
+            Value::String(std::string(reinterpret_cast<const char*>(bytes),
+                                      len)));
+        break;
+      }
+      default:
+        return Status::ParseError("spool cell bad type");
+    }
+  }
+  if (!r.AtEnd()) return Status::ParseError("spool record trailing bytes");
+  Tuple out(std::move(cells), static_cast<Timestamp>(ts));
+  out.set_seq(static_cast<int64_t>(seq));
+  out.set_retraction(flags != 0);
+  *kind = static_cast<RecordKind>(k);
+  *t = std::move(out);
+  return Status::OK();
+}
+
+FragmentStatus ParseFragment(const uint8_t* page, uint32_t page_len,
+                             uint32_t off, Fragment* frag) {
+  if (off + kFragmentHeader > page_len) return FragmentStatus::kEndOfPage;
+  const uint32_t crc = LoadU32(page + off);
+  const uint16_t len = LoadU16(page + off + 4);
+  const uint8_t type = page[off + 6];
+  if (crc == 0 && len == 0 && type == 0) return FragmentStatus::kEndOfPage;
+  if (type < 1 || type > 4) return FragmentStatus::kCorrupt;
+  if (off + kFragmentHeader + len > page_len) return FragmentStatus::kCorrupt;
+  // CRC covers the type byte plus payload — contiguous on the page.
+  if (Crc32(page + off + 6, 1 + static_cast<size_t>(len)) != crc) {
+    return FragmentStatus::kCorrupt;
+  }
+  frag->type = static_cast<FragmentType>(type);
+  frag->data = page + off + kFragmentHeader;
+  frag->len = len;
+  frag->end = off + kFragmentHeader + len;
+  return FragmentStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// SegmentStore
+
+SegmentStore::SegmentStore(std::string dir, Options options,
+                           SegmentIoStats stats)
+    : dir_(std::move(dir)), options_(options), stats_(std::move(stats)) {}
+
+SegmentStore::~SegmentStore() {
+  if (active_ != kNone) {
+    // Best effort: make the tail durable on clean shutdown.
+    (void)Sync();
+  }
+  // Give back the global gauges this store contributed to.
+  if (stats_.on_bytes && total_bytes_ > 0) {
+    stats_.on_bytes(-static_cast<int64_t>(total_bytes_));
+  }
+  if (stats_.on_segments && !segments_.empty()) {
+    stats_.on_segments(-static_cast<int64_t>(segments_.size()));
+  }
+  for (Segment& seg : segments_) {
+    if (seg.fd >= 0) ::close(seg.fd);
+  }
+}
+
+std::string SegmentStore::SegmentPath(const std::string& dir, uint64_t id) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%08llu.spool",
+                static_cast<unsigned long long>(id));
+  return dir + "/" + name;
+}
+
+Result<std::unique_ptr<SegmentStore>> SegmentStore::Open(
+    std::string dir, Options options, SegmentIoStats stats,
+    const std::function<void(RecoveredRecord&&)>& recover) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("spool: cannot create " + dir + ": " +
+                            ec.message());
+  }
+  std::unique_ptr<SegmentStore> store(
+      new SegmentStore(std::move(dir), options, std::move(stats)));
+  Status st = store->RecoverExisting(recover);
+  if (!st.ok()) return st;
+  return store;
+}
+
+Status SegmentStore::RecoverExisting(
+    const std::function<void(RecoveredRecord&&)>& fn) {
+  std::vector<std::pair<uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long id = 0;
+    if (std::sscanf(name.c_str(), "seg-%llu.spool", &id) == 1 &&
+        name.size() == std::strlen("seg-00000000.spool")) {
+      found.emplace_back(id, entry.path().string());
+    }
+  }
+  if (ec) {
+    return Status::Internal("spool: cannot list " + dir_ + ": " +
+                            ec.message());
+  }
+  std::sort(found.begin(), found.end());
+  for (auto& [id, path] : found) {
+    next_id_ = std::max(next_id_, id + 1);
+    Segment seg;
+    seg.id = id;
+    seg.path = path;
+    seg.fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+    if (seg.fd < 0) {
+      return Status::Internal("spool: cannot open " + path);
+    }
+    Status st = RecoverSegment(&seg, fn);
+    if (!st.ok()) {
+      // Quarantine the unreadable segment so a later reopen does not trip
+      // over it again; newer segments still serve.
+      ::close(seg.fd);
+      std::error_code rec;
+      std::filesystem::rename(path, path + ".bad", rec);
+      if (stats_.on_crc_rejected) stats_.on_crc_rejected();
+      TCQ_LOG(Warn) << "spool: quarantined corrupt segment " << path
+                       << ": " << st.message();
+      continue;
+    }
+    total_bytes_ += seg.file_bytes;
+    segments_.push_back(std::move(seg));
+  }
+  if (stats_.on_bytes && total_bytes_ > 0) {
+    stats_.on_bytes(static_cast<int64_t>(total_bytes_));
+  }
+  if (stats_.on_segments && !segments_.empty()) {
+    stats_.on_segments(static_cast<int64_t>(segments_.size()));
+  }
+  return Status::OK();
+}
+
+Status SegmentStore::RecoverSegment(
+    Segment* seg, const std::function<void(RecoveredRecord&&)>& fn) {
+  struct stat sb;
+  if (::fstat(seg->fd, &sb) != 0) {
+    return Status::Internal("spool: fstat failed for " + seg->path);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(sb.st_size);
+  if (file_size < kPageSize) {
+    // Crash between create and header write: the file holds nothing.
+    ::close(seg->fd);
+    seg->fd = -1;
+    std::error_code ec;
+    std::filesystem::remove(seg->path, ec);
+    return Status::Internal("spool: segment shorter than its header");
+  }
+  uint8_t page[kPageSize];
+  if (::pread(seg->fd, page, kPageSize, 0) !=
+      static_cast<ssize_t>(kPageSize)) {
+    return Status::Internal("spool: cannot read segment header");
+  }
+  if (LoadU64(page) != kSegmentMagic ||
+      LoadU32(page + 8) != kSegmentVersion ||
+      LoadU32(page + 12) != kPageSize) {
+    return Status::Internal("spool: bad segment header");
+  }
+
+  // Scan data pages fragment by fragment. valid_end tracks the byte just
+  // past the last COMPLETE record; anything beyond it (torn chain, CRC
+  // mismatch, partial page) is truncated away.
+  uint64_t valid_end = kPageSize;
+  bool corrupt = false;
+  std::string pending;  // Partial record across FIRST/MIDDLE fragments.
+  RecordLocation pending_loc;
+  bool in_chain = false;
+  for (uint32_t pageno = kFirstDataPage; !corrupt; ++pageno) {
+    const uint64_t off = static_cast<uint64_t>(pageno) * kPageSize;
+    if (off >= file_size) break;
+    const uint32_t len =
+        static_cast<uint32_t>(std::min<uint64_t>(kPageSize, file_size - off));
+    const ssize_t got = ::pread(seg->fd, page, len, off);
+    if (got != static_cast<ssize_t>(len)) {
+      corrupt = true;
+      break;
+    }
+    uint32_t at = 0;
+    bool clean_trailer = false;
+    while (true) {
+      Fragment frag;
+      const FragmentStatus fs = ParseFragment(page, len, at, &frag);
+      if (fs == FragmentStatus::kEndOfPage) {
+        clean_trailer = true;
+        break;
+      }
+      if (fs == FragmentStatus::kCorrupt) {
+        corrupt = true;
+        if (stats_.on_crc_rejected) stats_.on_crc_rejected();
+        break;
+      }
+      const bool starts = frag.type == FragmentType::kFull ||
+                          frag.type == FragmentType::kFirst;
+      if (starts == in_chain) {
+        corrupt = true;  // Chain discontinuity: truncate here.
+        break;
+      }
+      if (starts) {
+        pending.clear();
+        pending_loc = RecordLocation{seg->id, pageno, at};
+      }
+      pending.append(reinterpret_cast<const char*>(frag.data), frag.len);
+      in_chain = frag.type == FragmentType::kFirst ||
+                 frag.type == FragmentType::kMiddle;
+      if (!in_chain) {
+        RecordKind kind;
+        Tuple t;
+        Status st = DecodeRecord(
+            reinterpret_cast<const uint8_t*>(pending.data()), pending.size(),
+            &kind, &t);
+        if (!st.ok()) {
+          corrupt = true;
+          break;
+        }
+        seg->min_ts = std::min(seg->min_ts, t.timestamp());
+        seg->max_ts = std::max(seg->max_ts, t.timestamp());
+        valid_end = off + frag.end;
+        if (fn) fn(RecoveredRecord{kind, std::move(t), pending_loc});
+      }
+      at = frag.end;
+    }
+    // Zero padding after a page's last fragment is part of the format
+    // (FinishTailPage zero-fills), not a torn tail: a page that parses
+    // cleanly to its trailer with an all-zero remainder is valid through
+    // its end. A page ending mid-chain stays provisional — the chain must
+    // complete on a later page to advance valid_end.
+    if (clean_trailer && !in_chain) {
+      bool zeros = true;
+      for (uint32_t i = at; i < len; ++i) zeros = zeros && page[i] == 0;
+      if (zeros) valid_end = std::max<uint64_t>(valid_end, off + len);
+    }
+  }
+  if (valid_end < file_size) {
+    if (::ftruncate(seg->fd, static_cast<off_t>(valid_end)) != 0) {
+      return Status::Internal("spool: truncate failed for " + seg->path);
+    }
+    if (stats_.on_torn_truncation) stats_.on_torn_truncation();
+    TCQ_LOG(Warn) << "spool: truncated torn tail of " << seg->path
+                     << " from " << file_size << " to " << valid_end
+                     << " bytes";
+  }
+  seg->file_bytes = valid_end;
+  seg->sealed = true;
+  return Status::OK();
+}
+
+Status SegmentStore::OpenActiveSegment() {
+  Segment seg;
+  seg.id = next_id_++;
+  seg.path = SegmentPath(dir_, seg.id);
+  seg.fd = ::open(seg.path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (seg.fd < 0) {
+    return Status::Internal("spool: cannot create " + seg.path);
+  }
+  seg.sealed = false;
+  uint8_t header[kPageSize] = {};
+  for (int i = 0; i < 8; ++i) {
+    header[i] = static_cast<uint8_t>(kSegmentMagic >> (8 * i));
+  }
+  StoreU32(header + 8, kSegmentVersion);
+  StoreU32(header + 12, kPageSize);
+  segments_.push_back(std::move(seg));
+  active_ = segments_.size() - 1;
+  tail_page_ = kFirstDataPage;
+  tail_used_ = 0;
+  tail_synced_ = 0;
+  active_data_bytes_ = 0;
+  std::memset(tail_buf_, 0, sizeof(tail_buf_));
+  Status st = WriteRange(&segments_[active_], 0, header, kPageSize);
+  if (!st.ok()) return st;
+  segments_[active_].file_bytes = kPageSize;
+  total_bytes_ += kPageSize;
+  if (stats_.on_bytes) stats_.on_bytes(kPageSize);
+  if (stats_.on_segments) stats_.on_segments(1);
+  return Status::OK();
+}
+
+Status SegmentStore::WriteRange(Segment* seg, uint64_t off,
+                                const uint8_t* data, uint32_t len) {
+  if (io_failed_) {
+    return Status::Internal("spool: store failed by injected torn write");
+  }
+  uint32_t write_len = len;
+  bool tearing = false;
+  if (torn_write_at_ > 0 && --torn_write_at_ == 0) {
+    write_len = len / 2;  // Simulated crash mid-write.
+    tearing = true;
+  }
+  const uint64_t start = stats_.on_write_us ? NowUs() : 0;
+  const ssize_t wrote =
+      ::pwrite(seg->fd, data, write_len, static_cast<off_t>(off));
+  if (stats_.on_write_us) stats_.on_write_us(NowUs() - start);
+  if (wrote != static_cast<ssize_t>(write_len)) {
+    return Status::Internal("spool: short write to " + seg->path);
+  }
+  if (tearing) {
+    ::fsync(seg->fd);
+    io_failed_ = true;
+    return Status::Internal("spool: injected torn write");
+  }
+  return Status::OK();
+}
+
+Status SegmentStore::FlushTailDelta() {
+  TCQ_DCHECK(active_ != kNone);
+  if (tail_used_ <= tail_synced_) return Status::OK();
+  Segment& seg = segments_[active_];
+  const uint64_t base = static_cast<uint64_t>(tail_page_) * kPageSize;
+  Status st = WriteRange(&seg, base + tail_synced_, tail_buf_ + tail_synced_,
+                         tail_used_ - tail_synced_);
+  if (!st.ok()) return st;
+  tail_synced_ = tail_used_;
+  const uint64_t new_end = base + tail_used_;
+  if (new_end > seg.file_bytes) {
+    const int64_t delta = static_cast<int64_t>(new_end - seg.file_bytes);
+    total_bytes_ += static_cast<uint64_t>(delta);
+    if (stats_.on_bytes) stats_.on_bytes(delta);
+    seg.file_bytes = new_end;
+  }
+  return Status::OK();
+}
+
+Status SegmentStore::FinishTailPage() {
+  TCQ_DCHECK(active_ != kNone);
+  std::memset(tail_buf_ + tail_used_, 0, kPageSize - tail_used_);
+  tail_used_ = kPageSize;
+  Status st = FlushTailDelta();
+  if (!st.ok()) return st;
+  ++tail_page_;
+  tail_used_ = 0;
+  tail_synced_ = 0;
+  std::memset(tail_buf_, 0, sizeof(tail_buf_));
+  return Status::OK();
+}
+
+Result<RecordLocation> SegmentStore::Append(RecordKind kind, const Tuple& t) {
+  if (active_ == kNone) {
+    Status st = OpenActiveSegment();
+    if (!st.ok()) return st;
+  }
+  std::string payload;
+  EncodeRecord(kind, t, &payload);
+
+  // Place the first fragment: if the tail cannot fit a header plus one
+  // payload byte, close it out first.
+  if (tail_used_ + kFragmentHeader + 1 > kPageSize) {
+    Status st = FinishTailPage();
+    if (!st.ok()) return st;
+  }
+  RecordLocation loc{segments_[active_].id, tail_page_, tail_used_};
+
+  size_t at = 0;
+  bool first = true;
+  while (first || at < payload.size()) {
+    if (tail_used_ + kFragmentHeader + 1 > kPageSize) {
+      Status st = FinishTailPage();
+      if (!st.ok()) return st;
+    }
+    const size_t room = kPageSize - tail_used_ - kFragmentHeader;
+    const size_t n = std::min(room, payload.size() - at);
+    const bool last = at + n == payload.size();
+    const FragmentType type =
+        first ? (last ? FragmentType::kFull : FragmentType::kFirst)
+              : (last ? FragmentType::kLast : FragmentType::kMiddle);
+    uint8_t* frag = tail_buf_ + tail_used_;
+    frag[6] = static_cast<uint8_t>(type);
+    std::memcpy(frag + kFragmentHeader, payload.data() + at, n);
+    StoreU32(frag, Crc32(frag + 6, 1 + n));
+    StoreU16(frag + 4, static_cast<uint16_t>(n));
+    tail_used_ += static_cast<uint32_t>(kFragmentHeader + n);
+    at += n;
+    first = false;
+  }
+  active_data_bytes_ += payload.size();
+
+  Segment& seg = segments_[active_];
+  seg.min_ts = std::min(seg.min_ts, t.timestamp());
+  seg.max_ts = std::max(seg.max_ts, t.timestamp());
+
+  if (options_.sync_each_append) {
+    Status st = Sync();
+    if (!st.ok()) return st;
+  }
+  if (active_data_bytes_ >= options_.segment_bytes) {
+    Status st = SealActive();
+    if (!st.ok()) return st;
+  }
+  return loc;
+}
+
+Status SegmentStore::Sync() {
+  if (active_ == kNone) return Status::OK();
+  Status st = FlushTailDelta();
+  if (!st.ok()) return st;
+  if (::fsync(segments_[active_].fd) != 0) {
+    return Status::Internal("spool: fsync failed for " +
+                            segments_[active_].path);
+  }
+  return Status::OK();
+}
+
+Status SegmentStore::SealActive() {
+  TCQ_DCHECK(active_ != kNone);
+  if (tail_used_ > 0) {
+    Status st = FinishTailPage();
+    if (!st.ok()) return st;
+  }
+  Segment& seg = segments_[active_];
+  if (::fsync(seg.fd) != 0) {
+    return Status::Internal("spool: fsync failed for " + seg.path);
+  }
+  seg.sealed = true;
+  active_ = kNone;
+  return Status::OK();
+}
+
+Status SegmentStore::ReadPage(uint64_t segment, uint32_t page, uint8_t* buf,
+                              uint32_t* len, bool* cacheable) const {
+  *cacheable = true;
+  const auto it = std::lower_bound(
+      segments_.begin(), segments_.end(), segment,
+      [](const Segment& s, uint64_t id) { return s.id < id; });
+  if (it == segments_.end() || it->id != segment) {
+    return Status::NotFound("spool: segment dropped");
+  }
+  const bool is_active =
+      active_ != kNone && &segments_[active_] == &*it;
+  if (is_active && page == tail_page_) {
+    std::memcpy(buf, tail_buf_, tail_used_);
+    *len = tail_used_;
+    *cacheable = false;  // Still growing: never cache the live tail.
+    return Status::OK();
+  }
+  const uint64_t disk_end =
+      is_active ? static_cast<uint64_t>(tail_page_) * kPageSize
+                : it->file_bytes;
+  const uint64_t off = static_cast<uint64_t>(page) * kPageSize;
+  if (off >= disk_end) return Status::OutOfRange("spool: page past end");
+  const uint32_t n =
+      static_cast<uint32_t>(std::min<uint64_t>(kPageSize, disk_end - off));
+  const uint64_t start = stats_.on_read_us ? NowUs() : 0;
+  const ssize_t got = ::pread(it->fd, buf, n, static_cast<off_t>(off));
+  if (stats_.on_read_us) stats_.on_read_us(NowUs() - start);
+  if (got != static_cast<ssize_t>(n)) {
+    return Status::Internal("spool: short read from " + it->path);
+  }
+  *len = n;
+  return Status::OK();
+}
+
+std::vector<uint64_t> SegmentStore::EnforceRetention(Timestamp age_cutoff) {
+  std::vector<uint64_t> dropped;
+  while (!segments_.empty()) {
+    const Segment& front = segments_.front();
+    if (!front.sealed) break;  // Never drop the active segment.
+    const bool over_bytes =
+        options_.retention_bytes > 0 && total_bytes_ > options_.retention_bytes
+        // Keep at least the newest sealed segment under the byte cap so
+        // retention cannot erase the entire history.
+        && segments_.size() > 1;
+    const bool aged_out = front.max_ts < age_cutoff;
+    if (!over_bytes && !aged_out) break;
+    dropped.push_back(front.id);
+    total_bytes_ -= front.file_bytes;
+    if (stats_.on_bytes) {
+      stats_.on_bytes(-static_cast<int64_t>(front.file_bytes));
+    }
+    if (stats_.on_segments) stats_.on_segments(-1);
+    if (stats_.on_segment_dropped) stats_.on_segment_dropped();
+    if (front.fd >= 0) ::close(front.fd);
+    std::error_code ec;
+    std::filesystem::remove(front.path, ec);
+    segments_.erase(segments_.begin());
+    if (active_ != kNone) --active_;
+  }
+  return dropped;
+}
+
+uint64_t SegmentStore::min_segment() const {
+  return segments_.empty() ? 0 : segments_.front().id;
+}
+
+std::vector<uint64_t> SegmentStore::SegmentIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(segments_.size());
+  for (const Segment& s : segments_) ids.push_back(s.id);
+  return ids;
+}
+
+}  // namespace spool
+}  // namespace tcq

@@ -1,0 +1,243 @@
+#ifndef TCQ_SPOOL_SEGMENT_H_
+#define TCQ_SPOOL_SEGMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+namespace spool {
+
+/// On-disk format (DESIGN.md §16). A segment file is a sequence of fixed
+/// 4 KiB pages: page 0 is the segment header, pages 1..N hold records.
+/// Records are fragmented RocksDB-WAL style so a page is always parseable
+/// on its own: each fragment is
+///
+///   crc32 (4B, over type+payload) | length (2B) | type (1B) | payload
+///
+/// with type FULL / FIRST / MIDDLE / LAST describing the fragment's place
+/// in its record. A fragment never crosses a page boundary; when fewer
+/// than kFragmentHeader + 1 bytes remain in a page, the remainder is
+/// zero-filled (a zero header is the page trailer). Torn or corrupt tails
+/// truncate to the last complete record on open.
+constexpr uint32_t kPageSize = 4096;
+constexpr size_t kFragmentHeader = 7;
+constexpr uint64_t kSegmentMagic = 0x74637173706f6f31ULL;  // "tcqspoo1"
+constexpr uint32_t kSegmentVersion = 1;
+
+/// Software CRC-32 (IEEE polynomial, reflected).
+uint32_t Crc32(const uint8_t* data, size_t n);
+
+enum class FragmentType : uint8_t {
+  kFull = 1,
+  kFirst = 2,
+  kMiddle = 3,
+  kLast = 4,
+};
+
+/// What a record holds. Main-run records arrive in timestamp order; late
+/// records are kIngestLate stragglers physically appended out of order and
+/// logically merged back by the index; a tombstone cancels the newest
+/// earlier record whose payload matches (retraction over demoted history).
+enum class RecordKind : uint8_t {
+  kMain = 1,
+  kLate = 2,
+  kTombstone = 3,
+};
+
+/// Physical address of a record: the page and in-page offset of its first
+/// fragment. Stable for the life of the segment.
+struct RecordLocation {
+  uint64_t segment = 0;
+  uint32_t page = 0;
+  uint32_t offset = 0;
+
+  bool operator==(const RecordLocation&) const = default;
+  bool operator<(const RecordLocation& o) const {
+    if (segment != o.segment) return segment < o.segment;
+    if (page != o.page) return page < o.page;
+    return offset < o.offset;
+  }
+};
+
+struct RecordLocationHash {
+  size_t operator()(const RecordLocation& l) const {
+    uint64_t h = l.segment * 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<uint64_t>(l.page) << 13) + l.offset;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    return static_cast<size_t>(h ^ (h >> 31));
+  }
+};
+
+/// Serializes one record (kind + tuple) to `out` (appended). The payload
+/// preserves everything delivery depends on: timestamp, seq, retraction
+/// sign, and typed cells.
+void EncodeRecord(RecordKind kind, const Tuple& t, std::string* out);
+
+/// Decodes a record payload produced by EncodeRecord.
+Status DecodeRecord(const uint8_t* data, size_t n, RecordKind* kind,
+                    Tuple* t);
+
+/// Parsed fragment view into a page buffer.
+struct Fragment {
+  FragmentType type;
+  const uint8_t* data;
+  uint16_t len;
+  uint32_t end;  ///< In-page offset one past this fragment.
+};
+
+/// Parse result for the fragment at `page[off]`.
+enum class FragmentStatus : uint8_t {
+  kOk = 0,       ///< *frag is valid.
+  kEndOfPage,    ///< Zero trailer or no room for a header: go to next page.
+  kCorrupt,      ///< CRC mismatch or malformed header: stop (torn tail).
+};
+FragmentStatus ParseFragment(const uint8_t* page, uint32_t page_len,
+                             uint32_t off, Fragment* frag);
+
+/// Counters the segment layer reports into (wired to tcq.spool.* by the
+/// owning Spool; null members are simply not reported).
+struct SegmentIoStats {
+  std::function<void(uint64_t us)> on_read_us;
+  std::function<void(uint64_t us)> on_write_us;
+  std::function<void()> on_torn_truncation;
+  std::function<void()> on_crc_rejected;
+  std::function<void()> on_segment_dropped;
+  std::function<void(int64_t delta)> on_bytes;     ///< Disk bytes delta.
+  std::function<void(int64_t delta)> on_segments;  ///< Segment count delta.
+};
+
+/// A record recovered while opening an existing store, in physical order.
+struct RecoveredRecord {
+  RecordKind kind;
+  Tuple tuple;
+  RecordLocation location;
+};
+
+/// Append-only segment store for ONE stream key: a directory of
+/// `seg-NNNNNNNN.spool` files. Appends go to a single active segment
+/// through an in-memory tail page; completed pages are written
+/// immediately, the partial tail only on Sync()/rotation. Rotation seals
+/// the active segment (fsync) once it reaches `segment_bytes`. Retention
+/// drops whole sealed segments from the front by total bytes or
+/// timestamp age.
+///
+/// Thread safety: none here — the owning Spool serializes all calls
+/// (including ReadPage issued by the buffer manager mid-scan) under its
+/// per-stream mutex.
+class SegmentStore {
+ public:
+  struct Options {
+    uint64_t segment_bytes = 4ull << 20;  ///< Rotate past this much data.
+    uint64_t retention_bytes = 0;         ///< 0 = unbounded.
+    Timestamp retention_span = kMaxTimestamp;
+    bool sync_each_append = false;  ///< fsync every record (crash tests).
+  };
+
+  /// Opens (creating if needed) the store at `dir`. Existing segments are
+  /// scanned with CRC validation — the tail segment is truncated to its
+  /// last complete record — and every surviving record is handed to
+  /// `recover` in physical order (null = discard, used by tests).
+  static Result<std::unique_ptr<SegmentStore>> Open(
+      std::string dir, Options options, SegmentIoStats stats,
+      const std::function<void(RecoveredRecord&&)>& recover);
+
+  ~SegmentStore();
+
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  /// Appends one record; returns where its first fragment landed.
+  Result<RecordLocation> Append(RecordKind kind, const Tuple& t);
+
+  /// Flushes the partial tail page and fsyncs the active segment.
+  Status Sync();
+
+  /// Reads page `page` of segment `segment` into `buf` (>= kPageSize).
+  /// *len receives the valid byte count (short for a truncated tail).
+  /// *cacheable is false only for the active segment's in-memory tail
+  /// page, which may still grow.
+  Status ReadPage(uint64_t segment, uint32_t page, uint8_t* buf,
+                  uint32_t* len, bool* cacheable) const;
+
+  /// Drops whole sealed segments from the front while (a) total bytes
+  /// exceed retention_bytes or (b) a segment's newest timestamp is below
+  /// `age_cutoff`. Returns the ids dropped (caller invalidates cache and
+  /// index entries).
+  std::vector<uint64_t> EnforceRetention(Timestamp age_cutoff);
+
+  /// Lowest live segment id, or 0 when empty.
+  uint64_t min_segment() const;
+  /// Live segment ids in physical (ascending) order.
+  std::vector<uint64_t> SegmentIds() const;
+  size_t segment_count() const { return segments_.size(); }
+  uint64_t total_bytes() const { return total_bytes_; }
+  const std::string& dir() const { return dir_; }
+
+  /// First data page of a segment (page 0 is the header).
+  static constexpr uint32_t kFirstDataPage = 1;
+
+  /// Test hook: the next `n`-th page write (1 = the very next) is torn —
+  /// only the first half of the page reaches disk, then every later write
+  /// to this store fails, simulating a crash mid-write.
+  void SetTornWriteForTest(int nth_write) { torn_write_at_ = nth_write; }
+
+ private:
+  struct Segment {
+    uint64_t id = 0;
+    std::string path;
+    int fd = -1;
+    uint64_t file_bytes = 0;  ///< Valid bytes on disk.
+    Timestamp min_ts = kMaxTimestamp;
+    Timestamp max_ts = kMinTimestamp;
+    bool sealed = true;
+  };
+
+  SegmentStore(std::string dir, Options options, SegmentIoStats stats);
+
+  Status RecoverExisting(const std::function<void(RecoveredRecord&&)>& fn);
+  Status RecoverSegment(Segment* seg,
+                        const std::function<void(RecoveredRecord&&)>& fn);
+  Status OpenActiveSegment();
+  Status FinishTailPage();  ///< Zero-fills and writes the tail, advances.
+  /// Writes [data, data+len) at absolute byte offset `off`. All segment
+  /// writes go through here (and through the torn-write test hook).
+  Status WriteRange(Segment* seg, uint64_t off, const uint8_t* data,
+                    uint32_t len);
+  /// Flushes the not-yet-written suffix of the tail page. Never rewrites
+  /// bytes already on disk, so a torn write can only damage data newer
+  /// than the last sync.
+  Status FlushTailDelta();
+  Status SealActive();
+  static std::string SegmentPath(const std::string& dir, uint64_t id);
+
+  std::string dir_;
+  Options options_;
+  SegmentIoStats stats_;
+  std::vector<Segment> segments_;  ///< Ordered by id; last may be active.
+  uint64_t next_id_ = 1;
+  uint64_t total_bytes_ = 0;
+
+  // Active-segment writer state. active_ indexes segments_ (or npos).
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+  size_t active_ = kNone;
+  uint32_t tail_page_ = kFirstDataPage;
+  uint32_t tail_used_ = 0;
+  uint32_t tail_synced_ = 0;  ///< Tail-page bytes already on disk.
+  uint8_t tail_buf_[kPageSize] = {};
+  uint64_t active_data_bytes_ = 0;  ///< Record bytes, for rotation.
+
+  int torn_write_at_ = 0;  ///< Test hook; 0 = disabled.
+  bool io_failed_ = false;
+};
+
+}  // namespace spool
+}  // namespace tcq
+
+#endif  // TCQ_SPOOL_SEGMENT_H_

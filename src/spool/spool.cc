@@ -1,0 +1,515 @@
+#include "spool/spool.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "telemetry/metrics.h"
+
+namespace tcq {
+
+namespace {
+
+using spool::RecordKind;
+using spool::RecordLocation;
+
+/// Process-global tcq.spool.* handles (gauges are deltas, so several live
+/// spools — or a restarted server in one process — stay additive).
+struct SpoolCounters {
+  Counter* demotions;
+  Counter* late_appends;
+  Counter* tombstones;
+  Counter* torn_truncations;
+  Counter* crc_rejected;
+  Counter* segments_dropped;
+  Gauge* segments;
+  Gauge* bytes;
+  Gauge* records;
+  Histogram* read_us;
+  Histogram* write_us;
+
+  static SpoolCounters& Get() {
+    static SpoolCounters c = [] {
+      MetricRegistry& reg = MetricRegistry::Global();
+      SpoolCounters n;
+      n.demotions = reg.GetCounter("tcq.spool.demotions");
+      n.late_appends = reg.GetCounter("tcq.spool.late_appends");
+      n.tombstones = reg.GetCounter("tcq.spool.tombstones");
+      n.torn_truncations = reg.GetCounter("tcq.spool.torn_truncations");
+      n.crc_rejected = reg.GetCounter("tcq.spool.crc_rejected");
+      n.segments_dropped = reg.GetCounter("tcq.spool.segments_dropped");
+      n.segments = reg.GetGauge("tcq.spool.segments");
+      n.bytes = reg.GetGauge("tcq.spool.bytes");
+      n.records = reg.GetGauge("tcq.spool.records");
+      n.read_us = reg.GetHistogram("tcq.spool.read_us");
+      n.write_us = reg.GetHistogram("tcq.spool.write_us");
+      return n;
+    }();
+    return c;
+  }
+};
+
+spool::SegmentIoStats MakeIoStats() {
+#ifdef TCQ_METRICS_DISABLED
+  return {};
+#else
+  SpoolCounters& m = SpoolCounters::Get();
+  spool::SegmentIoStats s;
+  s.on_read_us = [&m](uint64_t us) { m.read_us->Record(us); };
+  s.on_write_us = [&m](uint64_t us) { m.write_us->Record(us); };
+  s.on_torn_truncation = [&m] { m.torn_truncations->Add(1); };
+  s.on_crc_rejected = [&m] { m.crc_rejected->Add(1); };
+  s.on_segment_dropped = [&m] { m.segments_dropped->Add(1); };
+  s.on_bytes = [&m](int64_t d) { m.bytes->Add(d); };
+  s.on_segments = [&m](int64_t d) { m.segments->Add(d); };
+  return s;
+#endif
+}
+
+/// Iterates complete records of one stream in physical order, faulting
+/// pages through the buffer manager (sequential read-ahead on). Starts at
+/// `page` of segments_[seg_idx]; with `skip_partial`, fragments of a
+/// record that started on an earlier page are skipped first.
+class RecordCursor {
+ public:
+  RecordCursor(spool::BufferManager* bm, spool::PageSource* src,
+               std::vector<uint64_t> segments, size_t seg_idx, uint32_t page,
+               bool skip_partial)
+      : bm_(bm),
+        src_(src),
+        segments_(std::move(segments)),
+        seg_idx_(seg_idx),
+        page_(page),
+        skip_partial_(skip_partial) {}
+
+  /// Advances to the next record. Returns false at end of data; a non-OK
+  /// status means unreadable state (should not happen post-recovery).
+  Result<bool> Next(RecordKind* kind, Tuple* t, RecordLocation* loc) {
+    std::string pending;
+    RecordLocation start{};
+    bool in_chain = false;
+    while (true) {
+      if (!ref_.valid()) {
+        if (seg_idx_ >= segments_.size()) return false;
+        auto page_or = bm_->Get(src_, segments_[seg_idx_], page_,
+                                /*sequential=*/true);
+        if (!page_or.ok()) {
+          if (page_or.status().code() == StatusCode::kOutOfRange) {
+            // Past this segment's end: move to the next one, whose first
+            // data page always begins a record.
+            ++seg_idx_;
+            page_ = spool::SegmentStore::kFirstDataPage;
+            off_ = 0;
+            skip_partial_ = false;
+            if (in_chain) {
+              return Status::Internal("spool: record chain torn mid-scan");
+            }
+            continue;
+          }
+          return page_or.status();
+        }
+        ref_ = std::move(*page_or);
+      }
+      spool::Fragment frag;
+      const spool::FragmentStatus fs =
+          ParseFragment(ref_.data(), ref_.size(), off_, &frag);
+      if (fs == spool::FragmentStatus::kEndOfPage) {
+        ref_ = spool::BufferManager::PageRef();
+        ++page_;
+        off_ = 0;
+        continue;
+      }
+      if (fs == spool::FragmentStatus::kCorrupt) {
+        return Status::Internal("spool: corrupt fragment mid-scan");
+      }
+      const bool starts = frag.type == spool::FragmentType::kFull ||
+                          frag.type == spool::FragmentType::kFirst;
+      if (skip_partial_ && !starts) {
+        off_ = frag.end;
+        continue;
+      }
+      skip_partial_ = false;
+      if (starts != !in_chain) {
+        return Status::Internal("spool: record chain discontinuity");
+      }
+      if (starts) {
+        start = RecordLocation{segments_[seg_idx_], page_, off_};
+      }
+      pending.append(reinterpret_cast<const char*>(frag.data), frag.len);
+      in_chain = frag.type == spool::FragmentType::kFirst ||
+                 frag.type == spool::FragmentType::kMiddle;
+      off_ = frag.end;
+      if (!in_chain) {
+        TCQ_RETURN_NOT_OK(spool::DecodeRecord(
+            reinterpret_cast<const uint8_t*>(pending.data()), pending.size(),
+            kind, t));
+        *loc = start;
+        return true;
+      }
+    }
+  }
+
+ private:
+  spool::BufferManager* bm_;
+  spool::PageSource* src_;
+  std::vector<uint64_t> segments_;
+  size_t seg_idx_;
+  uint32_t page_;
+  uint32_t off_ = 0;
+  bool skip_partial_;
+  spool::BufferManager::PageRef ref_;
+};
+
+}  // namespace
+
+struct Spool::Stream : public spool::PageSource {
+  std::string key;
+  mutable std::mutex mu;
+  std::unique_ptr<spool::SegmentStore> store;
+  spool::StreamIndex index;
+
+  Status ReadPage(uint64_t file, uint32_t page, uint8_t* buf, uint32_t* len,
+                  bool* cacheable) override {
+    return store->ReadPage(file, page, buf, len, cacheable);
+  }
+};
+
+Spool::Spool(Options options)
+    : options_(std::move(options)),
+      cache_(spool::BufferManager::Options{options_.cache_pages,
+                                           options_.read_ahead_pages}) {}
+
+Spool::~Spool() {
+  for (auto& [key, s] : streams_) {
+    TCQ_METRIC(SpoolCounters::Get().records->Add(
+        -static_cast<int64_t>(s->index.records())));
+    // Stores flush in their destructors; drop their cached pages first so
+    // the cache never outlives a source it points at.
+    cache_.DropSource(s.get());
+  }
+}
+
+Result<std::unique_ptr<Spool>> Spool::Open(Options options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("spool: dir must not be empty");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::Internal("spool: cannot create " + options.dir + ": " +
+                            ec.message());
+  }
+  std::unique_ptr<Spool> spool(new Spool(std::move(options)));
+  // Adopt keys already on disk (reopen after restart).
+  for (const auto& entry :
+       std::filesystem::directory_iterator(spool->options_.dir, ec)) {
+    if (!entry.is_directory()) continue;
+    TCQ_RETURN_NOT_OK(
+        spool->GetOrCreate(entry.path().filename().string()).status());
+  }
+  if (ec) {
+    return Status::Internal("spool: cannot list " + spool->options_.dir);
+  }
+  return spool;
+}
+
+Result<Spool::Stream*> Spool::GetOrCreate(const std::string& key) {
+  if (key.empty() || key.find('/') != std::string::npos) {
+    return Status::InvalidArgument("spool: bad key '" + key + "'");
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = streams_.find(key);
+  if (it != streams_.end()) return it->second.get();
+
+  auto s = std::make_unique<Stream>();
+  s->key = key;
+  spool::SegmentStore::Options so;
+  so.segment_bytes = options_.segment_bytes;
+  so.retention_bytes = options_.retention_bytes;
+  so.sync_each_append = options_.sync_each_append;
+
+  // Recovery rebuilds the index from the segment scan; tombstones replay
+  // in physical order against the records recovered so far, masking
+  // exactly what the live Cancel() calls masked before the restart.
+  struct PendingTombstone {
+    Tuple t;
+    RecordLocation loc;
+  };
+  std::vector<PendingTombstone> tombstones;
+  auto store_or = spool::SegmentStore::Open(
+      options_.dir + "/" + key, so, MakeIoStats(),
+      [&](spool::RecoveredRecord&& r) {
+        switch (r.kind) {
+          case RecordKind::kMain:
+            s->index.NoteMain(r.location, r.tuple.timestamp());
+            break;
+          case RecordKind::kLate:
+            s->index.NoteLate(r.location, r.tuple.timestamp());
+            break;
+          case RecordKind::kTombstone:
+            tombstones.push_back({std::move(r.tuple), r.location});
+            break;
+        }
+      });
+  TCQ_RETURN_NOT_OK(store_or.status());
+  s->store = std::move(*store_or);
+  for (const PendingTombstone& tomb : tombstones) {
+    std::optional<RecordLocation> best;
+    TCQ_RETURN_NOT_OK(ScanLocked(
+        *s, tomb.t.timestamp(), tomb.t.timestamp(),
+        [&](const Tuple& t, RecordKind, const RecordLocation& loc) {
+          if (loc < tomb.loc && t.PayloadEquals(tomb.t)) best = loc;
+          return true;
+        }));
+    if (best.has_value()) s->index.AddMask(*best);
+  }
+  TCQ_METRIC(SpoolCounters::Get().records->Add(
+      static_cast<int64_t>(s->index.records())));
+  Stream* raw = s.get();
+  streams_.emplace(key, std::move(s));
+  return raw;
+}
+
+Spool::Stream* Spool::Find(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto it = streams_.find(key);
+  return it == streams_.end() ? nullptr : it->second.get();
+}
+
+Status Spool::Append(const std::string& key, const Tuple& t) {
+  TCQ_ASSIGN_OR_RETURN(Stream * s, GetOrCreate(key));
+  std::lock_guard<std::mutex> lock(s->mu);
+  const bool late = t.timestamp() < s->index.main_frontier();
+  TCQ_ASSIGN_OR_RETURN(
+      RecordLocation loc,
+      s->store->Append(late ? RecordKind::kLate : RecordKind::kMain, t));
+  if (late) {
+    s->index.NoteLate(loc, t.timestamp());
+    TCQ_METRIC(SpoolCounters::Get().late_appends->Add(1));
+  } else {
+    s->index.NoteMain(loc, t.timestamp());
+  }
+  TCQ_METRIC(SpoolCounters::Get().demotions->Add(1));
+  TCQ_METRIC(SpoolCounters::Get().records->Add(1));
+  if (options_.retention_bytes > 0) {
+    DropSegments(*s, s->store->EnforceRetention(kMinTimestamp));
+  }
+  return Status::OK();
+}
+
+Result<bool> Spool::Cancel(const std::string& key, const Tuple& t) {
+  Stream* s = Find(key);
+  if (s == nullptr) return false;
+  std::lock_guard<std::mutex> lock(s->mu);
+  // Newest matching record = the last one in logical (merge) order, the
+  // same choice Archive::CancelMatching makes on its in-memory deque.
+  std::optional<RecordLocation> best;
+  TCQ_RETURN_NOT_OK(ScanLocked(
+      *s, t.timestamp(), t.timestamp(),
+      [&](const Tuple& rec, RecordKind, const RecordLocation& loc) {
+        if (rec.PayloadEquals(t)) best = loc;
+        return true;
+      }));
+  if (!best.has_value()) return false;
+  TCQ_RETURN_NOT_OK(s->store->Append(RecordKind::kTombstone, t).status());
+  s->index.AddMask(*best);
+  TCQ_METRIC(SpoolCounters::Get().tombstones->Add(1));
+  TCQ_METRIC(SpoolCounters::Get().records->Add(-1));
+  return true;
+}
+
+Status Spool::ScanLocked(Stream& s, Timestamp lo, Timestamp hi,
+                         const DetailFn& fn) const {
+  if (lo > hi || s.index.records() == 0) return Status::OK();
+  std::vector<spool::StreamIndex::LateEntry> lates;
+  s.index.CollectLate(lo, hi, &lates);
+  size_t li = 0;
+  bool stopped = false;
+  // Emits late entries below `bound` (exclusive); main wins ties, exactly
+  // upper_bound placement.
+  auto drain_late = [&](Timestamp bound) -> Status {
+    while (!stopped && li < lates.size() && lates[li].ts < bound) {
+      const auto& e = lates[li++];
+      if (s.index.IsMasked(e.loc)) continue;
+      RecordKind k;
+      Tuple t;
+      TCQ_RETURN_NOT_OK(ReadRecordAt(s, e.loc, &k, &t));
+      if (!fn(t, k, e.loc)) stopped = true;
+    }
+    return Status::OK();
+  };
+
+  const auto pos = s.index.SeekMain(lo);
+  if (pos.has_value()) {
+    const std::vector<uint64_t> ids = s.store->SegmentIds();
+    const auto seg_it =
+        std::lower_bound(ids.begin(), ids.end(), pos->segment);
+    if (seg_it != ids.end() && *seg_it == pos->segment) {
+      RecordCursor cur(&cache_, &s, ids,
+                       static_cast<size_t>(seg_it - ids.begin()), pos->page,
+                       /*skip_partial=*/true);
+      while (!stopped) {
+        RecordKind kind;
+        Tuple t;
+        RecordLocation loc;
+        TCQ_ASSIGN_OR_RETURN(bool more, cur.Next(&kind, &t, &loc));
+        if (!more) break;
+        if (kind != RecordKind::kMain) continue;  // Lates merge below.
+        if (t.timestamp() < lo) continue;         // Seek overshoot.
+        if (t.timestamp() > hi) break;            // Main run is ordered.
+        if (s.index.IsMasked(loc)) continue;
+        TCQ_RETURN_NOT_OK(drain_late(t.timestamp()));
+        if (stopped) break;
+        if (!fn(t, kind, loc)) stopped = true;
+      }
+    }
+  }
+  if (!stopped) {
+    TCQ_RETURN_NOT_OK(drain_late(hi == kMaxTimestamp ? hi : hi + 1));
+    // hi + 1 as an exclusive bound empties the remaining in-range lates.
+  }
+  return Status::OK();
+}
+
+Status Spool::ReadRecordAt(Stream& s, const RecordLocation& loc,
+                           RecordKind* kind, Tuple* t) const {
+  // Walk the record's page from its start (skipping any fragment carried
+  // over from an earlier page) until the location matches — records per
+  // page are few, so this stays a one-page affair plus chain tails.
+  RecordCursor from_start(&cache_, &s, {loc.segment}, 0, loc.page,
+                          /*skip_partial=*/true);
+  while (true) {
+    RecordLocation at;
+    TCQ_ASSIGN_OR_RETURN(bool more, from_start.Next(kind, t, &at));
+    if (!more) {
+      return Status::Internal("spool: indexed record not found");
+    }
+    if (at == loc) return Status::OK();
+    if (loc < at) {
+      return Status::Internal("spool: indexed record not found");
+    }
+  }
+}
+
+Status Spool::Scan(const std::string& key, Timestamp lo, Timestamp hi,
+                   const std::function<bool(const Tuple&)>& fn) const {
+  Stream* s = Find(key);
+  if (s == nullptr) return Status::OK();
+  std::lock_guard<std::mutex> lock(s->mu);
+  return ScanLocked(*s, lo, hi,
+                    [&fn](const Tuple& t, RecordKind, const RecordLocation&) {
+                      return fn(t);
+                    });
+}
+
+Result<Timestamp> Spool::ScanChunk(const std::string& key, Timestamp lo,
+                                   Timestamp hi, size_t max_records,
+                                   TupleVector* out) const {
+  Stream* s = Find(key);
+  if (s == nullptr) return kMaxTimestamp;
+  std::lock_guard<std::mutex> lock(s->mu);
+  Timestamp next = kMaxTimestamp;
+  TCQ_RETURN_NOT_OK(ScanLocked(
+      *s, lo, hi,
+      [&](const Tuple& t, RecordKind, const RecordLocation&) {
+        if (out->size() >= max_records &&
+            t.timestamp() != out->back().timestamp()) {
+          next = t.timestamp();  // Never split an equal-timestamp run.
+          return false;
+        }
+        out->push_back(t);
+        return true;
+      }));
+  return next;
+}
+
+Status Spool::Sync(const std::string& key) {
+  Stream* s = Find(key);
+  if (s == nullptr) return Status::OK();
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->store->Sync();
+}
+
+Status Spool::EvictBefore(const std::string& key, Timestamp ts) {
+  Stream* s = Find(key);
+  if (s == nullptr) return Status::OK();
+  std::lock_guard<std::mutex> lock(s->mu);
+  DropSegments(*s, s->store->EnforceRetention(ts));
+  return Status::OK();
+}
+
+void Spool::DropSegments(Stream& s, const std::vector<uint64_t>& ids) {
+  for (const uint64_t id : ids) {
+    cache_.DropFile(&s, id);
+    const size_t before = s.index.records();
+    s.index.DropSegment(id);
+    TCQ_METRIC(SpoolCounters::Get().records->Add(
+        -static_cast<int64_t>(before - s.index.records())));
+  }
+}
+
+bool Spool::HasKey(const std::string& key) const {
+  return Find(key) != nullptr;
+}
+
+std::vector<std::string> Spool::Keys() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<std::string> keys;
+  keys.reserve(streams_.size());
+  for (const auto& [key, s] : streams_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+size_t Spool::records(const std::string& key) const {
+  Stream* s = Find(key);
+  if (s == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->index.records();
+}
+
+Timestamp Spool::min_timestamp(const std::string& key) const {
+  Stream* s = Find(key);
+  if (s == nullptr) return kMaxTimestamp;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->index.min_ts();
+}
+
+Timestamp Spool::main_frontier(const std::string& key) const {
+  Stream* s = Find(key);
+  if (s == nullptr) return kMinTimestamp;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->index.main_frontier();
+}
+
+uint64_t Spool::bytes() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  uint64_t total = 0;
+  for (const auto& [key, s] : streams_) {
+    std::lock_guard<std::mutex> slock(s->mu);
+    total += s->store->total_bytes();
+  }
+  return total;
+}
+
+size_t Spool::segments() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  size_t total = 0;
+  for (const auto& [key, s] : streams_) {
+    std::lock_guard<std::mutex> slock(s->mu);
+    total += s->store->segment_count();
+  }
+  return total;
+}
+
+void Spool::SetTornWriteForTest(const std::string& key, int nth_write) {
+  auto s_or = GetOrCreate(key);
+  TCQ_CHECK(s_or.ok()) << s_or.status();
+  Stream* s = *s_or;
+  std::lock_guard<std::mutex> lock(s->mu);
+  s->store->SetTornWriteForTest(nth_write);
+}
+
+}  // namespace tcq

@@ -1,0 +1,138 @@
+#ifndef TCQ_SPOOL_SPOOL_H_
+#define TCQ_SPOOL_SPOOL_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "spool/buffer_manager.h"
+#include "spool/index.h"
+#include "spool/segment.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+/// The spool (DESIGN.md §16): a disk-backed history store the engine
+/// demotes aged stream state into instead of dropping it — the paper's
+/// §4.3 "queries over history" answer. One spool serves many stream keys
+/// (archives, PSoup history, SteM state), each in its own directory of
+/// append-only segments, all sharing one bounded page cache so resident
+/// memory is a hard knob independent of history size.
+///
+/// Ordering contract: per key, appends with non-decreasing timestamps
+/// form the MAIN run; an append below the main frontier is a LATE record,
+/// and scans stitch it back exactly where Archive::InsertOrdered would
+/// have placed it (after every record with ts <= its own at insert time).
+/// Cancel() persists a tombstone and masks the newest matching record, so
+/// a reopened spool replays the same cancellations deterministically.
+///
+/// Thread-safe: per-key mutex (appends and scans on one key serialize;
+/// distinct keys proceed in parallel, meeting only at the page cache).
+/// Scan callbacks run under the key's lock and must not re-enter the
+/// spool on the same key.
+class Spool {
+ public:
+  struct Options {
+    std::string dir;
+    /// Page-cache capacity (spool::kPageSize each) shared by all keys.
+    size_t cache_pages = 256;
+    size_t read_ahead_pages = 4;
+    uint64_t segment_bytes = 4ull << 20;
+    /// Per-key on-disk cap; oldest whole segments drop past it. 0 = off.
+    uint64_t retention_bytes = 0;
+    /// fsync every record — crash-safety tests; ruinous for throughput.
+    bool sync_each_append = false;
+  };
+
+  /// Opens the spool at options.dir, adopting any keys already on disk
+  /// (indices are rebuilt from a CRC-checked segment scan; torn tails
+  /// truncate to the last complete record).
+  static Result<std::unique_ptr<Spool>> Open(Options options);
+  ~Spool();
+
+  Spool(const Spool&) = delete;
+  Spool& operator=(const Spool&) = delete;
+
+  /// Appends one tuple under `key` (a demotion). Routed to the main or
+  /// late run by timestamp.
+  Status Append(const std::string& key, const Tuple& t);
+
+  /// Retraction over spooled history: masks the newest record under `key`
+  /// whose payload matches `t`, persisting a tombstone. Returns whether a
+  /// match was found.
+  Result<bool> Cancel(const std::string& key, const Tuple& t);
+
+  /// Applies `fn` to live records with ts in [lo, hi] in logical
+  /// (timestamp-merge) order until it returns false. Reads fault through
+  /// the shared page cache.
+  Status Scan(const std::string& key, Timestamp lo, Timestamp hi,
+              const std::function<bool(const Tuple&)>& fn) const;
+
+  /// Chunked scan for replay: collects records in [lo, hi] into `out`,
+  /// stopping at the first timestamp boundary once `max_records` are
+  /// collected (equal-timestamp runs are never split). Returns the next
+  /// lo to resume from, or kMaxTimestamp when the range is exhausted.
+  Result<Timestamp> ScanChunk(const std::string& key, Timestamp lo,
+                              Timestamp hi, size_t max_records,
+                              TupleVector* out) const;
+
+  /// Flushes and fsyncs `key`'s active segment.
+  Status Sync(const std::string& key);
+
+  /// Physically drops whole segments of `key` whose newest record is
+  /// older than `ts`. Segment-granular: callers needing an exact floor
+  /// clamp their scans (the archive does).
+  Status EvictBefore(const std::string& key, Timestamp ts);
+
+  // --- Introspection -------------------------------------------------
+  bool HasKey(const std::string& key) const;
+  std::vector<std::string> Keys() const;
+  /// Live records under `key` (0 when absent).
+  size_t records(const std::string& key) const;
+  Timestamp min_timestamp(const std::string& key) const;
+  /// Newest main-run timestamp under `key` (kMinTimestamp when absent).
+  Timestamp main_frontier(const std::string& key) const;
+  uint64_t bytes() const;
+  size_t segments() const;
+  spool::BufferManager::Stats cache_stats() const {
+    return cache_.stats();
+  }
+  size_t cache_pages() const { return cache_.resident_pages(); }
+  const std::string& dir() const { return options_.dir; }
+
+  /// Test hook: forwards to SegmentStore::SetTornWriteForTest for `key`.
+  void SetTornWriteForTest(const std::string& key, int nth_write);
+
+ private:
+  struct Stream;
+
+  explicit Spool(Options options);
+
+  /// Looks up or creates (opening the on-disk state of) `key`.
+  Result<Stream*> GetOrCreate(const std::string& key);
+  Stream* Find(const std::string& key) const;
+
+  /// Scan with physical detail, masked records already filtered. Returns
+  /// false if fn stopped the scan early.
+  using DetailFn = std::function<bool(
+      const Tuple& t, spool::RecordKind kind, const spool::RecordLocation&)>;
+  Status ScanLocked(Stream& s, Timestamp lo, Timestamp hi,
+                    const DetailFn& fn) const;
+  Status ReadRecordAt(Stream& s, const spool::RecordLocation& loc,
+                      spool::RecordKind* kind, Tuple* t) const;
+  void DropSegments(Stream& s, const std::vector<uint64_t>& ids);
+
+  Options options_;
+  mutable spool::BufferManager cache_;
+  mutable std::mutex registry_mu_;
+  std::unordered_map<std::string, std::unique_ptr<Stream>> streams_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_SPOOL_SPOOL_H_

@@ -1,6 +1,7 @@
 #include "stem/stem.h"
 
 #include "common/logging.h"
+#include "spool/spool.h"
 
 namespace tcq {
 
@@ -15,9 +16,15 @@ AggregateMetrics& AggregateMetrics::Get() {
     agg->matches = reg.GetCounter("tcq.stem.matches");
     agg->evictions = reg.GetCounter("tcq.stem.evictions");
     agg->scanned = reg.GetCounter("tcq.stem.scanned");
+    agg->resident_bytes = reg.GetGauge("tcq.stem.resident_bytes");
     return agg;
   }();
   return *m;
+}
+
+void TrackResidentBytes(int64_t delta) {
+  TCQ_METRIC(AggregateMetrics::Get().resident_bytes->Add(delta));
+  (void)delta;
 }
 
 }  // namespace stem_internal
@@ -27,6 +34,28 @@ SteM::SteM(std::string name, SchemaPtr schema, Options options)
   TCQ_CHECK(schema_ != nullptr);
   TCQ_CHECK(options_.key_field < static_cast<int>(schema_->num_fields()));
   TCQ_CHECK(options_.max_tuples > 0);
+}
+
+SteM::~SteM() {
+  stem_internal::TrackResidentBytes(-resident_bytes_);  // Gauge hygiene.
+}
+
+void SteM::SetSpool(Spool* spool, std::string key) {
+  TCQ_CHECK(spool != nullptr);
+  spool_ = spool;
+  spool_key_ = std::move(key);
+}
+
+void SteM::DemoteAt(size_t pos) {
+  if (dead_[pos]) return;
+  if (spool_ != nullptr) {
+    // Demote rather than free: expired join state stays replayable. The
+    // spool routes out-of-timestamp-order demotions to its late run, so
+    // the arrival-order sweep here needs no sorting.
+    TCQ_CHECK(spool_->Append(spool_key_, tuples_[pos]).ok())
+        << name_ << ": spool demotion failed";
+  }
+  EvictAt(pos);
 }
 
 void SteM::Insert(const Tuple& tuple) {
@@ -66,10 +95,11 @@ void SteM::Insert(const Tuple& tuple) {
     return;
   }
   if (live_count_ >= options_.max_tuples) {
-    // FIFO capacity eviction: drop the oldest live tuple.
+    // FIFO capacity eviction: drop the oldest live tuple (demoting it to
+    // the spool when one is attached).
     for (size_t i = 0; i < dead_.size(); ++i) {
       if (!dead_[i]) {
-        EvictAt(i);
+        DemoteAt(i);
         break;
       }
     }
@@ -79,6 +109,9 @@ void SteM::Insert(const Tuple& tuple) {
   tuples_.push_back(tuple);
   dead_.push_back(false);
   ++live_count_;
+  const int64_t bytes = static_cast<int64_t>(tuple.ApproxBytes());
+  resident_bytes_ += bytes;
+  stem_internal::TrackResidentBytes(bytes);
   if (options_.key_field >= 0) {
     index_.emplace(tuple.cell(static_cast<size_t>(options_.key_field)), id);
   }
@@ -151,6 +184,9 @@ void SteM::EvictAt(size_t pos) {
   if (dead_[pos]) return;
   dead_[pos] = true;
   --live_count_;
+  const int64_t bytes = static_cast<int64_t>(tuples_[pos].ApproxBytes());
+  resident_bytes_ -= bytes;
+  stem_internal::TrackResidentBytes(-bytes);
   ++stats_.evictions;
   TCQ_METRIC(stem_internal::AggregateMetrics::Get().evictions->Add(1));
 }
@@ -176,7 +212,7 @@ size_t SteM::EvictBefore(Timestamp ts) {
   size_t n = 0;
   for (size_t i = 0; i < tuples_.size(); ++i) {
     if (!dead_[i] && tuples_[i].timestamp() < ts) {
-      EvictAt(i);
+      DemoteAt(i);
       ++n;
     }
   }
@@ -190,7 +226,7 @@ size_t SteM::EvictOutside(Timestamp lo, Timestamp hi) {
     if (dead_[i]) continue;
     const Timestamp ts = tuples_[i].timestamp();
     if (ts < lo || ts > hi) {
-      EvictAt(i);
+      DemoteAt(i);
       ++n;
     }
   }
@@ -199,11 +235,14 @@ size_t SteM::EvictOutside(Timestamp lo, Timestamp hi) {
 }
 
 void SteM::Clear() {
+  // Wholesale reset (tests, shutdown): no demotion, plain release.
   tuples_.clear();
   dead_.clear();
   index_.clear();
   base_id_ = 0;
   live_count_ = 0;
+  stem_internal::TrackResidentBytes(-resident_bytes_);
+  resident_bytes_ = 0;
 }
 
 }  // namespace tcq

@@ -17,6 +17,8 @@
 
 namespace tcq {
 
+class Spool;
+
 namespace stem_internal {
 /// Process-wide SteM telemetry aggregated across all state modules
 /// (DESIGN.md §10); per-instance detail remains on SteM::stats().
@@ -26,8 +28,12 @@ struct AggregateMetrics {
   Counter* matches;
   Counter* evictions;
   Counter* scanned;
+  Gauge* resident_bytes;  ///< Stored-tuple bytes in RAM (SteM+SharedSteM).
   static AggregateMetrics& Get();
 };
+
+/// Adjusts tcq.stem.resident_bytes (no-op under disabled metrics).
+void TrackResidentBytes(int64_t delta);
 }  // namespace stem_internal
 
 /// A State Module (§2.2, [RDH02]): a temporary repository of homogeneous
@@ -51,9 +57,16 @@ class SteM {
   };
 
   SteM(std::string name, SchemaPtr schema, Options options);
+  ~SteM();
 
   SteM(const SteM&) = delete;
   SteM& operator=(const SteM&) = delete;
+
+  /// Evicted tuples (window expiry, capacity FIFO) demote to `spool`
+  /// under `key` instead of being freed (DESIGN.md §16); retraction
+  /// cancellations still delete. Caller keeps `spool` alive past this
+  /// SteM.
+  void SetSpool(Spool* spool, std::string key);
 
   const std::string& name() const { return name_; }
   const SchemaPtr& schema() const { return schema_; }
@@ -158,6 +171,9 @@ class SteM {
 
  private:
   void EvictAt(size_t pos);
+  /// EvictAt plus spool demotion — the window-expiry / capacity path
+  /// (cancellations bypass this and truly delete).
+  void DemoteAt(size_t pos);
   void CompactFront();
   TupleVector ProbeImpl(const Tuple& probe, int probe_key_field,
                         bool probe_on_left, const ExprPtr& residual,
@@ -166,6 +182,11 @@ class SteM {
   const std::string name_;
   const SchemaPtr schema_;
   const Options options_;
+
+  // Spool hook (null = evictions free memory, the legacy behavior).
+  Spool* spool_ = nullptr;
+  std::string spool_key_;
+  int64_t resident_bytes_ = 0;
 
   // Storage: append-only deque addressed by global id = base_id_ + offset.
   // dead_ marks evicted positions; the front compacts when fully dead.

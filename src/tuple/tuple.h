@@ -160,6 +160,20 @@ class Tuple {
     return retraction_ == other.retraction_ && PayloadEquals(other);
   }
 
+  /// Approximate resident heap footprint: the tuple itself, its cell
+  /// block, and any string payloads. Aliasing copies each count the
+  /// shared block in full — this feeds resident-memory gauges, where an
+  /// over-estimate beats an under-estimate.
+  size_t ApproxBytes() const {
+    size_t n = sizeof(Tuple) + size_ * sizeof(Value);
+    for (size_t i = 0; i < size_; ++i) {
+      if (cells_[i].type() == ValueType::kString) {
+        n += cells_[i].string_value().size();
+      }
+    }
+    return n;
+  }
+
   std::string ToString() const;
 
  private:

@@ -1,0 +1,596 @@
+// Spool subsystem unit + crash-safety coverage (DESIGN.md §16): record
+// codec, segment rotation, buffer-manager LRU/pinning/read-ahead, sparse
+// index probes, late-run merge and tombstone masking equivalence against
+// the in-memory Archive, torn-tail truncation, CRC-mismatch rejection,
+// and seeded reopen-after-kill round-trips.
+
+#include "spool/spool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ingress/wrapper.h"
+#include "spool/buffer_manager.h"
+#include "spool/index.h"
+#include "spool/segment.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+namespace {
+
+/// Self-cleaning unique temp directory (tcq-spool-* prefix: CI sweeps any
+/// leftovers from crashed runs).
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "tcq-spool-XXXXXX")
+                           .string();
+    char* made = ::mkdtemp(tmpl.data());
+    EXPECT_NE(made, nullptr);
+    path_ = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Tuple Row(int64_t ts, int64_t v, int64_t seq = 0) {
+  Tuple t = Tuple::Make({Value::Int64(v)}, ts);
+  t.set_seq(seq);
+  return t;
+}
+
+std::string Fingerprint(const std::vector<Tuple>& rows) {
+  std::string fp;
+  for (const Tuple& t : rows) {
+    fp += t.ToString();
+    fp += "@" + std::to_string(t.timestamp());
+    fp += "#" + std::to_string(t.seq());
+    fp += ";";
+  }
+  return fp;
+}
+
+std::vector<Tuple> ScanAll(const Spool& spool, const std::string& key,
+                           Timestamp lo = kMinTimestamp,
+                           Timestamp hi = kMaxTimestamp) {
+  std::vector<Tuple> out;
+  EXPECT_TRUE(spool
+                  .Scan(key, lo, hi,
+                        [&](const Tuple& t) {
+                          out.push_back(t);
+                          return true;
+                        })
+                  .ok());
+  return out;
+}
+
+Spool::Options SmallOptions(const std::string& dir) {
+  Spool::Options o;
+  o.dir = dir;
+  o.cache_pages = 8;
+  o.read_ahead_pages = 2;
+  o.segment_bytes = 8 * 1024;  // Tiny segments: force rotation in tests.
+  return o;
+}
+
+TEST(SpoolCodec, RoundTripsEveryValueType) {
+  Tuple t = Tuple::Make({Value::Null(), Value::Bool(true), Value::Int64(-42),
+                         Value::Double(3.25), Value::String("hello\0x"),
+                         Value::String(std::string(10000, 'z'))},
+                        77);
+  t.set_seq(991);
+  t.set_retraction(true);
+  std::string buf;
+  spool::EncodeRecord(spool::RecordKind::kLate, t, &buf);
+  spool::RecordKind kind;
+  Tuple back;
+  ASSERT_TRUE(spool::DecodeRecord(
+                  reinterpret_cast<const uint8_t*>(buf.data()), buf.size(),
+                  &kind, &back)
+                  .ok());
+  EXPECT_EQ(kind, spool::RecordKind::kLate);
+  EXPECT_EQ(back.timestamp(), 77);
+  EXPECT_EQ(back.seq(), 991);
+  EXPECT_TRUE(back.retraction());
+  ASSERT_EQ(back.arity(), t.arity());
+  for (size_t i = 0; i < t.arity(); ++i) {
+    EXPECT_EQ(back.cell(i), t.cell(i)) << "cell " << i;
+  }
+  // Truncated payloads are rejected, never mis-parsed.
+  for (size_t cut : {size_t{1}, size_t{10}, buf.size() - 1}) {
+    EXPECT_FALSE(spool::DecodeRecord(
+                     reinterpret_cast<const uint8_t*>(buf.data()), cut, &kind,
+                     &back)
+                     .ok());
+  }
+}
+
+TEST(SpoolSegments, AppendScanRotationAndRanges) {
+  TempDir dir;
+  auto spool_or = Spool::Open(SmallOptions(dir.path()));
+  ASSERT_TRUE(spool_or.ok()) << spool_or.status();
+  Spool& spool = **spool_or;
+  constexpr int kN = 2000;  // Several segments at 8 KiB per segment.
+  for (int i = 1; i <= kN; ++i) {
+    ASSERT_TRUE(spool.Append("s", Row(i, i * 3, i)).ok());
+  }
+  EXPECT_GT(spool.segments(), 3u);
+  EXPECT_EQ(spool.records("s"), static_cast<size_t>(kN));
+  EXPECT_EQ(spool.min_timestamp("s"), 1);
+  EXPECT_EQ(spool.main_frontier("s"), kN);
+
+  std::vector<Tuple> all = ScanAll(spool, "s");
+  ASSERT_EQ(all.size(), static_cast<size_t>(kN));
+  for (int i = 1; i <= kN; ++i) {
+    EXPECT_EQ(all[i - 1].timestamp(), i);
+    EXPECT_EQ(all[i - 1].seq(), i);
+    EXPECT_EQ(all[i - 1].cell(0).int64_value(), i * 3);
+  }
+  // Range probes land exactly.
+  std::vector<Tuple> mid = ScanAll(spool, "s", 500, 700);
+  ASSERT_EQ(mid.size(), 201u);
+  EXPECT_EQ(mid.front().timestamp(), 500);
+  EXPECT_EQ(mid.back().timestamp(), 700);
+  EXPECT_TRUE(ScanAll(spool, "s", kN + 1, kN + 100).empty());
+  // Early stop works.
+  int seen = 0;
+  ASSERT_TRUE(spool
+                  .Scan("s", 1, kN,
+                        [&](const Tuple&) { return ++seen < 10; })
+                  .ok());
+  EXPECT_EQ(seen, 10);
+}
+
+TEST(SpoolSegments, MultiPageRecordsChainAcrossPages) {
+  TempDir dir;
+  auto spool_or = Spool::Open(SmallOptions(dir.path()));
+  ASSERT_TRUE(spool_or.ok());
+  Spool& spool = **spool_or;
+  // Each record spans multiple 4 KiB pages.
+  for (int i = 1; i <= 20; ++i) {
+    Tuple t = Tuple::Make(
+        {Value::Int64(i), Value::String(std::string(9000 + i, 'a' + i % 20))},
+        i);
+    ASSERT_TRUE(spool.Append("big", t).ok());
+  }
+  std::vector<Tuple> all = ScanAll(spool, "big");
+  ASSERT_EQ(all.size(), 20u);
+  for (int i = 1; i <= 20; ++i) {
+    EXPECT_EQ(all[i - 1].cell(1).string_value().size(),
+              static_cast<size_t>(9000 + i));
+  }
+}
+
+/// Late-run merge and cancellation must reproduce the in-memory Archive
+/// byte for byte — that equivalence is what makes the spool transparent
+/// behind it.
+TEST(SpoolSemantics, LateMergeAndCancelMatchArchive) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    TempDir dir;
+    auto spool_or = Spool::Open(SmallOptions(dir.path()));
+    ASSERT_TRUE(spool_or.ok());
+    Spool& spool = **spool_or;
+    Archive archive;
+    Rng rng(seed);
+    Timestamp frontier = 0;
+    for (int i = 0; i < 600; ++i) {
+      const int pick = static_cast<int>(rng.NextBounded(100));
+      if (pick < 70 || frontier < 5) {
+        // In-order append (duplicate timestamps now and then).
+        frontier += rng.NextBounded(3);
+        const Tuple t = Row(frontier, static_cast<int64_t>(rng.NextBounded(8)),
+                            i);
+        archive.Append(t);
+        ASSERT_TRUE(spool.Append("k", t).ok());
+      } else if (pick < 90) {
+        // Straggler below the frontier.
+        const Timestamp ts =
+            1 + static_cast<Timestamp>(rng.NextBounded(
+                    static_cast<uint64_t>(frontier)));
+        const Tuple t = Row(ts, static_cast<int64_t>(rng.NextBounded(8)), i);
+        archive.InsertOrdered(t);
+        ASSERT_TRUE(spool.Append("k", t).ok());
+      } else {
+        // Retract a payload that may or may not exist.
+        const Timestamp ts =
+            1 + static_cast<Timestamp>(
+                    rng.NextBounded(static_cast<uint64_t>(frontier)));
+        const Tuple probe = Row(ts, static_cast<int64_t>(rng.NextBounded(8)));
+        const bool mem = archive.CancelMatching(probe);
+        auto disk = spool.Cancel("k", probe);
+        ASSERT_TRUE(disk.ok()) << disk.status();
+        EXPECT_EQ(mem, *disk) << "seed " << seed << " step " << i;
+      }
+    }
+    EXPECT_EQ(Fingerprint(archive.Scan(kMinTimestamp, kMaxTimestamp)),
+              Fingerprint(ScanAll(spool, "k")))
+        << "seed " << seed;
+    EXPECT_EQ(archive.size(), spool.records("k"));
+    // Sub-range scans agree too.
+    EXPECT_EQ(Fingerprint(archive.Scan(frontier / 3, 2 * frontier / 3)),
+              Fingerprint(
+                  ScanAll(spool, "k", frontier / 3, 2 * frontier / 3)));
+  }
+}
+
+TEST(SpoolSemantics, ScanChunkNeverSplitsEqualTimestamps) {
+  TempDir dir;
+  auto spool_or = Spool::Open(SmallOptions(dir.path()));
+  ASSERT_TRUE(spool_or.ok());
+  Spool& spool = **spool_or;
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(spool.Append("c", Row(i / 3, i)).ok());  // Triplets per ts.
+  }
+  std::vector<Tuple> all;
+  Timestamp lo = kMinTimestamp;
+  int chunks = 0;
+  while (lo != kMaxTimestamp) {
+    TupleVector chunk;
+    auto next = spool.ScanChunk("c", lo, kMaxTimestamp, 7, &chunk);
+    ASSERT_TRUE(next.ok());
+    if (!chunk.empty()) {
+      // A timestamp never straddles a chunk boundary.
+      if (!all.empty()) EXPECT_NE(all.back().timestamp(),
+                                  chunk.front().timestamp());
+      all.insert(all.end(), chunk.begin(), chunk.end());
+    }
+    if (*next == lo) break;  // Defensive: no progress.
+    lo = *next;
+    ++chunks;
+  }
+  EXPECT_EQ(all.size(), 300u);
+  EXPECT_GT(chunks, 10);
+  EXPECT_EQ(Fingerprint(all), Fingerprint(ScanAll(spool, "c")));
+}
+
+TEST(SpoolBufferManager, LruEvictionAndWarmRescans) {
+  TempDir dir;
+  Spool::Options o = SmallOptions(dir.path());
+  o.cache_pages = 4;  // Far below the history's page count.
+  o.read_ahead_pages = 2;
+  auto spool_or = Spool::Open(o);
+  ASSERT_TRUE(spool_or.ok());
+  Spool& spool = **spool_or;
+  for (int i = 1; i <= 4000; ++i) {
+    ASSERT_TRUE(spool.Append("s", Row(i, i)).ok());
+  }
+  ASSERT_EQ(ScanAll(spool, "s").size(), 4000u);
+  const auto cold = spool.cache_stats();
+  EXPECT_GT(cold.misses, 10u);
+  EXPECT_GT(cold.evictions, 0u);
+  EXPECT_LE(spool.cache_pages(), o.cache_pages);
+
+  // A narrow range that fits in cache turns warm on rescan.
+  (void)ScanAll(spool, "s", 10, 20);
+  const auto after_first = spool.cache_stats();
+  (void)ScanAll(spool, "s", 10, 20);
+  const auto after_second = spool.cache_stats();
+  EXPECT_GT(after_second.hits, after_first.hits);
+  EXPECT_EQ(after_second.misses, after_first.misses);
+  EXPECT_GT(after_second.readahead, 0u);
+}
+
+TEST(SpoolRetention, EvictBeforeDropsWholeSegmentsAndIndexEntries) {
+  TempDir dir;
+  auto spool_or = Spool::Open(SmallOptions(dir.path()));
+  ASSERT_TRUE(spool_or.ok());
+  Spool& spool = **spool_or;
+  for (int i = 1; i <= 2000; ++i) {
+    ASSERT_TRUE(spool.Append("s", Row(i, i)).ok());
+  }
+  const size_t before_segments = spool.segments();
+  const uint64_t before_bytes = spool.bytes();
+  ASSERT_TRUE(spool.EvictBefore("s", 1000).ok());
+  EXPECT_LT(spool.segments(), before_segments);
+  EXPECT_LT(spool.bytes(), before_bytes);
+  EXPECT_LT(spool.records("s"), 2000u);
+  // Everything at or above the cutoff survives (drop is segment-granular,
+  // so some older records may survive too — never the other way around).
+  std::vector<Tuple> rest = ScanAll(spool, "s");
+  EXPECT_GE(rest.size(), 1001u);
+  EXPECT_EQ(rest.back().timestamp(), 2000);
+  for (size_t i = 1; i < rest.size(); ++i) {
+    EXPECT_EQ(rest[i].timestamp(), rest[i - 1].timestamp() + 1);
+  }
+}
+
+TEST(SpoolRetention, ByteCapDropsOldestSegments) {
+  TempDir dir;
+  Spool::Options o = SmallOptions(dir.path());
+  o.retention_bytes = 40 * 1024;
+  auto spool_or = Spool::Open(o);
+  ASSERT_TRUE(spool_or.ok());
+  Spool& spool = **spool_or;
+  for (int i = 1; i <= 20000; ++i) {
+    ASSERT_TRUE(spool.Append("s", Row(i, i)).ok());
+  }
+  EXPECT_LE(spool.bytes(), 2 * o.retention_bytes);
+  EXPECT_LT(spool.records("s"), 20000u);
+  std::vector<Tuple> rest = ScanAll(spool, "s");
+  EXPECT_EQ(rest.back().timestamp(), 20000);
+  EXPECT_GT(rest.front().timestamp(), 1);
+}
+
+TEST(SpoolReopen, RebuildsIndexLateRunsAndTombstones) {
+  TempDir dir;
+  std::string expect;
+  {
+    auto spool_or = Spool::Open(SmallOptions(dir.path()));
+    ASSERT_TRUE(spool_or.ok());
+    Spool& spool = **spool_or;
+    for (int i = 1; i <= 500; ++i) {
+      ASSERT_TRUE(spool.Append("s", Row(i * 2, i)).ok());
+    }
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(spool.Append("s", Row(3 + i * 7, 1000 + i)).ok());  // Late.
+    }
+    auto c1 = spool.Cancel("s", Row(10, 5));
+    ASSERT_TRUE(c1.ok());
+    EXPECT_TRUE(*c1);
+    auto c2 = spool.Cancel("s", Row(24, 1003));  // A late record (3 + 3*7).
+    ASSERT_TRUE(c2.ok());
+    EXPECT_TRUE(*c2);
+    expect = Fingerprint(ScanAll(spool, "s"));
+  }  // Clean close: destructor flushes.
+  auto reopened_or = Spool::Open(SmallOptions(dir.path()));
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status();
+  Spool& reopened = **reopened_or;
+  EXPECT_TRUE(reopened.HasKey("s"));
+  EXPECT_EQ(Fingerprint(ScanAll(reopened, "s")), expect);
+  EXPECT_EQ(reopened.records("s"), 538u);  // 540 appended - 2 cancelled.
+}
+
+TEST(SpoolCrash, TornTailTruncatesToLastDurableRecord) {
+  TempDir dir;
+  Spool::Options o = SmallOptions(dir.path());
+  o.sync_each_append = true;
+  std::string expect;
+  {
+    auto spool_or = Spool::Open(o);
+    ASSERT_TRUE(spool_or.ok());
+    Spool& spool = **spool_or;
+    std::vector<Tuple> durable;
+    for (int i = 1; i <= 50; ++i) {
+      const Tuple t = Row(i, i);
+      ASSERT_TRUE(spool.Append("s", t).ok());
+      durable.push_back(t);
+    }
+    // The next page write only lands half, then the "machine dies".
+    spool.SetTornWriteForTest("s", 1);
+    EXPECT_FALSE(spool.Append("s", Row(51, 51)).ok());
+    expect = Fingerprint(durable);
+  }
+  auto reopened_or = Spool::Open(o);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status();
+  // Every append that was acknowledged (synced) survives; the torn one is
+  // truncated away.
+  EXPECT_EQ(Fingerprint(ScanAll(**reopened_or, "s")), expect);
+}
+
+TEST(SpoolCrash, CrcMismatchRejectsCorruptedBytes) {
+  TempDir dir;
+  Spool::Options o = SmallOptions(dir.path());
+  {
+    auto spool_or = Spool::Open(o);
+    ASSERT_TRUE(spool_or.ok());
+    for (int i = 1; i <= 3000; ++i) {
+      ASSERT_TRUE((*spool_or)->Append("s", Row(i, i)).ok());
+    }
+  }
+  // Flip payload bytes in the middle of the FIRST sealed segment.
+  std::vector<std::string> segs;
+  for (const auto& e : std::filesystem::recursive_directory_iterator(
+           dir.path())) {
+    if (e.path().extension() == ".spool") segs.push_back(e.path().string());
+  }
+  std::sort(segs.begin(), segs.end());
+  ASSERT_GE(segs.size(), 3u);
+  {
+    std::FILE* f = std::fopen(segs[0].c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 2 * 4096 + 100, SEEK_SET);
+    const char junk[4] = {'\x5a', '\x5a', '\x5a', '\x5a'};
+    std::fwrite(junk, 1, 4, f);
+    std::fclose(f);
+  }
+  auto reopened_or = Spool::Open(o);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status();
+  std::vector<Tuple> rows = ScanAll(**reopened_or, "s");
+  // Records before the corruption survive; the segment's suffix is gone;
+  // later segments are intact (scan continuity across the hole).
+  ASSERT_FALSE(rows.empty());
+  EXPECT_LT(rows.size(), 3000u);
+  EXPECT_EQ(rows.front().timestamp(), 1);
+  EXPECT_EQ(rows.back().timestamp(), 3000);
+}
+
+/// Reopen-after-kill round trip across seeds: a FaultInjector-style
+/// seeded schedule decides batch sizes, payload shapes and the kill
+/// point; everything acknowledged before the kill must read back, in
+/// order, after reopen.
+TEST(SpoolCrash, SeededReopenAfterKillRoundTrip) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    TempDir dir;
+    Spool::Options o = SmallOptions(dir.path());
+    o.sync_each_append = true;
+    std::vector<Tuple> durable;
+    {
+      auto spool_or = Spool::Open(o);
+      ASSERT_TRUE(spool_or.ok());
+      Spool& spool = **spool_or;
+      Rng rng(seed);
+      const int appends = 30 + static_cast<int>(rng.NextBounded(120));
+      const int kill_after = 5 + static_cast<int>(
+                                     rng.NextBounded(
+                                         static_cast<uint64_t>(appends)));
+      for (int i = 1; i <= appends; ++i) {
+        Tuple t = Tuple::Make(
+            {Value::Int64(i),
+             Value::String(std::string(rng.NextBounded(600), 'x'))},
+            i);
+        if (i == kill_after) {
+          spool.SetTornWriteForTest(
+              "s", 1 + static_cast<int>(rng.NextBounded(2)));
+        }
+        if (spool.Append("s", t).ok()) {
+          durable.push_back(std::move(t));
+        } else {
+          break;  // Store is dead after the injected crash.
+        }
+      }
+    }
+    auto reopened_or = Spool::Open(o);
+    ASSERT_TRUE(reopened_or.ok()) << reopened_or.status();
+    EXPECT_EQ(Fingerprint(ScanAll(**reopened_or, "s")),
+              Fingerprint(durable))
+        << "seed " << seed;
+  }
+}
+
+/// The split archive (tiny resident tail + spool) must behave byte for
+/// byte like the unsplit in-memory archive under every mutation the
+/// server performs: ordered appends, late inserts, retractions and
+/// demotion-style eviction.
+TEST(SpoolArchive, SplitArchiveMatchesInMemoryArchive) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    TempDir dir;
+    auto spool_or = Spool::Open(SmallOptions(dir.path()));
+    ASSERT_TRUE(spool_or.ok());
+    Archive reference;
+    Archive split;
+    split.AttachSpool(spool_or->get(), "stream.s", /*resident_limit=*/8);
+    Rng rng(seed);
+    Timestamp frontier = 0;
+    for (int i = 0; i < 500; ++i) {
+      const int pick = static_cast<int>(rng.NextBounded(100));
+      if (pick < 60 || frontier < 5) {
+        frontier += rng.NextBounded(3);
+        const Tuple t = Row(frontier, static_cast<int64_t>(rng.NextBounded(6)),
+                            i);
+        reference.Append(t);
+        split.Append(t);
+      } else if (pick < 80) {
+        const Timestamp ts =
+            1 + static_cast<Timestamp>(
+                    rng.NextBounded(static_cast<uint64_t>(frontier)));
+        const Tuple t = Row(ts, static_cast<int64_t>(rng.NextBounded(6)), i);
+        reference.InsertOrdered(t);
+        split.InsertOrdered(t);
+      } else if (pick < 95) {
+        const Timestamp ts =
+            1 + static_cast<Timestamp>(
+                    rng.NextBounded(static_cast<uint64_t>(frontier)));
+        const Tuple probe = Row(ts, static_cast<int64_t>(rng.NextBounded(6)));
+        EXPECT_EQ(reference.CancelMatching(probe),
+                  split.CancelMatching(probe))
+            << "seed " << seed << " step " << i;
+      } else {
+        // EvictBefore demotes on the split archive but FREES on the
+        // reference, so drive both from a third unsplit copy instead:
+        // here just exercise the split one and check size bookkeeping.
+        const size_t before = split.size();
+        split.EvictBefore(frontier / 2);
+        EXPECT_EQ(split.size(), before);  // Demoted, not freed.
+      }
+    }
+    EXPECT_EQ(Fingerprint(reference.Scan(kMinTimestamp, kMaxTimestamp)),
+              Fingerprint(split.Scan(kMinTimestamp, kMaxTimestamp)))
+        << "seed " << seed;
+    EXPECT_EQ(reference.size(), split.size());
+    EXPECT_EQ(reference.min_timestamp(), split.min_timestamp());
+    EXPECT_EQ(reference.max_timestamp(), split.max_timestamp());
+    EXPECT_LE(split.resident_size(), 8u);
+    EXPECT_EQ(Fingerprint(reference.Scan(frontier / 4, 3 * frontier / 4)),
+              Fingerprint(split.Scan(frontier / 4, 3 * frontier / 4)));
+    // Chunked scan reassembles to the same bytes and never splits an
+    // equal-timestamp run.
+    std::vector<Tuple> chunked;
+    Timestamp lo = kMinTimestamp;
+    while (true) {
+      TupleVector chunk;
+      const Timestamp next = split.ScanChunk(lo, kMaxTimestamp, 5, &chunk);
+      if (!chunk.empty()) {
+        if (!chunked.empty()) {
+          EXPECT_NE(chunked.back().timestamp(), chunk.front().timestamp());
+        }
+        chunked.insert(chunked.end(), chunk.begin(), chunk.end());
+      }
+      if (next == kMaxTimestamp) break;
+      lo = next;
+    }
+    EXPECT_EQ(Fingerprint(chunked),
+              Fingerprint(reference.Scan(kMinTimestamp, kMaxTimestamp)))
+        << "seed " << seed;
+  }
+}
+
+/// A finite retention span on a split archive: the logical floor stays
+/// exact even though physical segment drops are coarse.
+TEST(SpoolArchive, RetentionSpanKeepsExactLogicalFloor) {
+  TempDir dir;
+  auto spool_or = Spool::Open(SmallOptions(dir.path()));
+  ASSERT_TRUE(spool_or.ok());
+  Archive reference(/*retention_span=*/100);
+  Archive split(/*retention_span=*/100);
+  split.AttachSpool(spool_or->get(), "stream.s", /*resident_limit=*/4);
+  for (int i = 1; i <= 1000; ++i) {
+    const Tuple t = Row(i, i);
+    reference.Append(t);
+    split.Append(t);
+  }
+  EXPECT_EQ(Fingerprint(reference.Scan(kMinTimestamp, kMaxTimestamp)),
+            Fingerprint(split.Scan(kMinTimestamp, kMaxTimestamp)));
+  // size() may over-count on the split side (whole segments below the
+  // floor age out lazily) but what scans SERVE is exact — and bounded.
+  EXPECT_GE(split.size(), reference.size());
+  EXPECT_EQ(split.min_timestamp(), reference.min_timestamp());
+  // Stragglers below the span floor vanish on both sides: scans stay
+  // identical and the straggler is not served.
+  reference.InsertOrdered(Row(100, 7));
+  split.InsertOrdered(Row(100, 7));
+  EXPECT_EQ(Fingerprint(reference.Scan(kMinTimestamp, kMaxTimestamp)),
+            Fingerprint(split.Scan(kMinTimestamp, kMaxTimestamp)));
+}
+
+TEST(SpoolIndex, SeekMainProbesAndMaskCounts) {
+  spool::StreamIndex idx;
+  EXPECT_FALSE(idx.SeekMain(5).has_value());
+  idx.NoteMain({1, 1, 0}, 10);
+  idx.NoteMain({1, 1, 100}, 20);  // Same page: no new entry.
+  idx.NoteMain({1, 2, 0}, 30);
+  idx.NoteMain({2, 1, 0}, 40);
+  EXPECT_EQ(idx.records(), 4u);
+  auto pos = idx.SeekMain(5);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(pos->segment, 1u);
+  EXPECT_EQ(pos->page, 1u);
+  pos = idx.SeekMain(30);  // Equal first_ts must land one entry earlier.
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(pos->page, 1u);
+  pos = idx.SeekMain(45);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(pos->segment, 2u);
+  idx.NoteLate({2, 2, 0}, 15);
+  EXPECT_EQ(idx.min_ts(), 10);
+  idx.AddMask({1, 1, 100});
+  EXPECT_EQ(idx.records(), 4u);  // 5 noted - 1 masked.
+  EXPECT_TRUE(idx.IsMasked({1, 1, 100}));
+  idx.DropSegment(1);
+  EXPECT_EQ(idx.records(), 2u);  // Segment 2: one main + one late.
+  EXPECT_EQ(idx.min_ts(), 15);
+}
+
+}  // namespace
+}  // namespace tcq
